@@ -1,0 +1,50 @@
+"""Benchmark fixtures: small, deterministic workloads.
+
+The suites use pytest-benchmark to time *our* machinery (the simulator
+and runtimes themselves — wall time of a virtual-time run), while the
+virtual-time results inside each benchmark reproduce the paper's
+figures.  Each ``test_figN_*`` benchmark also asserts the corresponding
+figure's qualitative facts, so ``pytest benchmarks/ --benchmark-only``
+doubles as a reproduction check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mandelbrot.params import MandelParams
+
+
+@pytest.fixture(scope="session")
+def mandel_params():
+    """Small Mandelbrot workload; grid memoized across benchmarks."""
+    from repro.apps.mandelbrot.sequential import mandelbrot_grid
+
+    params = MandelParams(dim=128, niter=600)
+    mandelbrot_grid(params)  # warm the memo outside timed sections
+    return params
+
+
+@pytest.fixture(scope="session")
+def dedup_corpus():
+    from repro.apps.datasets import parsec_large
+
+    return parsec_large(size=256 * 1024, seed=21)
+
+
+@pytest.fixture(scope="session")
+def dedup_batches(dedup_corpus):
+    from repro.apps.dedup.rabin import GearChunker, make_batches
+    from repro.apps.lzss import cache
+
+    batches = make_batches(
+        dedup_corpus,
+        GearChunker(mask_bits=11, min_block=512, max_block=8192),
+        batch_size=64 * 1024,
+    )
+    # Warm the LZSS memo so benchmark iterations time the pipeline and
+    # cost models, not the one-off functional match search.
+    from repro.apps.dedup.pipeline_cpu import dedup_sequential
+
+    dedup_sequential(dedup_corpus)
+    return batches

@@ -1,0 +1,63 @@
+"""Ablation benchmarks over the design choices DESIGN.md §6 lists."""
+
+import pytest
+
+from repro.apps.mandelbrot.gpu_single import GpuVariant, run_gpu
+from repro.apps.mandelbrot.streaming import fastflow_mandelbrot, tbb_mandelbrot
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.sim.machine import paper_machine
+
+pytestmark = pytest.mark.benchmark(group="ablations")
+
+SIM = ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(1))
+
+
+@pytest.mark.parametrize("batch", [1, 2, 8, 32, 128])
+def test_ablate_batch_size(benchmark, mandel_params, batch):
+    out = benchmark(run_gpu, mandel_params, GpuVariant(batch_size=batch))
+    assert out.kernel_launches == -(-mandel_params.dim // batch)
+
+
+def test_ablate_batch_size_monotone_to_saturation(mandel_params):
+    times = {b: run_gpu(mandel_params, GpuVariant(batch_size=b)).elapsed
+             for b in (1, 2, 8, 32)}
+    assert times[1] > times[8] > times[32] * 0.8  # improves toward saturation
+
+
+@pytest.mark.parametrize("spaces", [1, 2, 4, 8])
+def test_ablate_mem_spaces(benchmark, mandel_params, spaces):
+    benchmark(run_gpu, mandel_params, GpuVariant(batch_size=16, mem_spaces=spaces))
+
+
+def test_ablate_mem_spaces_plateau(mandel_params):
+    """The paper: 'Allocating more memory spaces does not provide
+    performance improvements' past 4."""
+    t = {s: run_gpu(mandel_params, GpuVariant(batch_size=16, mem_spaces=s)).elapsed
+         for s in (1, 2, 4, 8)}
+    assert t[2] <= t[1]
+    assert t[8] == pytest.approx(t[4], rel=0.05)
+
+
+@pytest.mark.parametrize("tokens", [4, 12, 38, 76])
+def test_ablate_tbb_tokens(benchmark, mandel_params, tokens):
+    img, r = benchmark(tbb_mandelbrot, mandel_params, 6, tokens, SIM)
+    assert r.makespan > 0
+
+
+@pytest.mark.parametrize("blocking", [True, False], ids=["blocking", "spinning"])
+def test_ablate_ff_queue_mode(benchmark, mandel_params, blocking):
+    from dataclasses import replace
+
+    cfg = replace(SIM, blocking=blocking)
+    img, r = benchmark(fastflow_mandelbrot, mandel_params, 6, cfg)
+    assert r.makespan > 0
+
+
+@pytest.mark.parametrize("sched", [Scheduling.ROUND_ROBIN, Scheduling.ON_DEMAND],
+                         ids=["round-robin", "on-demand"])
+def test_ablate_farm_scheduling(benchmark, mandel_params, sched):
+    from dataclasses import replace
+
+    cfg = replace(SIM, scheduling=sched)
+    img, r = benchmark(fastflow_mandelbrot, mandel_params, 6, cfg)
+    assert r.makespan > 0

@@ -1,0 +1,52 @@
+"""FIG1 benchmarks: the Mandelbrot GPU optimization ladder.
+
+Each benchmark times one ladder rung end-to-end (simulator wall time)
+and asserts the paper's ordering facts on the virtual-time results:
+batching beats per-line kernels, overlap beats synchronous batches,
+two GPUs beat one.
+"""
+
+import pytest
+
+from repro.apps.mandelbrot.gpu_single import (
+    GpuVariant,
+    run_gpu,
+    sequential_virtual_time,
+)
+
+pytestmark = pytest.mark.benchmark(group="fig1")
+
+RUNGS = {
+    "1d_per_line": GpuVariant(batch_size=1),
+    "2d_per_line": GpuVariant(batch_size=1, layout="2d"),
+    "batch32": GpuVariant(batch_size=32),
+    "batch32_2xmem": GpuVariant(batch_size=32, mem_spaces=2),
+    "batch32_4xmem": GpuVariant(batch_size=32, mem_spaces=4),
+    "2gpu_1x1": GpuVariant(batch_size=32, mem_spaces=2, n_gpus=2),
+    "2gpu_2x2": GpuVariant(batch_size=32, mem_spaces=4, n_gpus=2),
+    "opencl_batch32": GpuVariant(api="opencl", batch_size=32),
+}
+
+
+@pytest.mark.parametrize("rung", list(RUNGS), ids=list(RUNGS))
+def test_fig1_rung(benchmark, mandel_params, rung):
+    variant = RUNGS[rung]
+    out = benchmark(run_gpu, mandel_params, variant)
+    assert out.elapsed > 0
+    assert out.image.shape == (mandel_params.dim, mandel_params.dim)
+
+
+def test_fig1_ladder_ordering(mandel_params):
+    """The figure's shape, asserted (same checks EXPERIMENTS.md records)."""
+    t = {name: run_gpu(mandel_params, v).elapsed for name, v in RUNGS.items()}
+    seq = sequential_virtual_time(mandel_params)
+    assert t["batch32"] < t["1d_per_line"]            # batching wins
+    assert t["2d_per_line"] > t["1d_per_line"]        # 2D layout loses
+    assert t["batch32_2xmem"] <= t["batch32"]         # overlap helps
+    assert t["2gpu_2x2"] <= t["batch32_2xmem"]        # multi-GPU helps
+    assert t["opencl_batch32"] == pytest.approx(t["batch32"], rel=0.1)
+    assert seq > 0
+
+
+def test_fig1_sequential_baseline(benchmark, mandel_params):
+    benchmark(sequential_virtual_time, mandel_params)

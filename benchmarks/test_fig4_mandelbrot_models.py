@@ -1,0 +1,66 @@
+"""FIG4 benchmarks: Mandelbrot across programming models.
+
+Times each model's full (virtual-time) pipeline run and asserts the
+paper's cross-model facts: the three CPU models perform within a few
+percent of each other; hybrids match GPU-only at one GPU.
+"""
+
+import pytest
+
+from repro.apps.mandelbrot.gpu_single import GpuVariant, run_gpu
+from repro.apps.mandelbrot.hybrid import hybrid_mandelbrot
+from repro.apps.mandelbrot.streaming import (
+    fastflow_mandelbrot,
+    spar_mandelbrot,
+    tbb_mandelbrot,
+)
+from repro.core.config import ExecConfig, ExecMode
+from repro.sim.machine import paper_machine
+
+pytestmark = pytest.mark.benchmark(group="fig4")
+
+WORKERS = 6
+
+
+def _sim(n_gpus=1):
+    return ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(n_gpus))
+
+
+def test_fig4_spar(benchmark, mandel_params):
+    img, r = benchmark(spar_mandelbrot, mandel_params, WORKERS, _sim())
+    assert r.items_emitted == mandel_params.dim
+
+
+def test_fig4_tbb(benchmark, mandel_params):
+    img, r = benchmark(tbb_mandelbrot, mandel_params, WORKERS, 2 * WORKERS, _sim())
+    assert r.items_emitted == mandel_params.dim
+
+
+def test_fig4_fastflow(benchmark, mandel_params):
+    img, r = benchmark(fastflow_mandelbrot, mandel_params, WORKERS, _sim())
+    assert r.items_emitted == mandel_params.dim
+
+
+@pytest.mark.parametrize("model", ["spar", "tbb", "fastflow"])
+@pytest.mark.parametrize("api", ["cuda", "opencl"])
+def test_fig4_hybrid(benchmark, mandel_params, model, api):
+    img, r = benchmark(
+        hybrid_mandelbrot, mandel_params, model, api, WORKERS, 1, 16, None,
+        paper_machine(1), _sim())
+    assert r.makespan > 0
+
+
+def test_fig4_cross_model_facts(mandel_params):
+    _, spar = spar_mandelbrot(mandel_params, WORKERS, config=_sim())
+    _, tbb = tbb_mandelbrot(mandel_params, WORKERS, tokens=2 * WORKERS,
+                            config=_sim())
+    _, ff = fastflow_mandelbrot(mandel_params, WORKERS, config=_sim())
+    times = [spar.makespan, tbb.makespan, ff.makespan]
+    assert max(times) / min(times) < 1.10, "CPU models should be comparable"
+
+    gpu = run_gpu(mandel_params, GpuVariant(batch_size=16, mem_spaces=4)).elapsed
+    _, hyb = hybrid_mandelbrot(mandel_params, "spar", "cuda", WORKERS,
+                               batch_size=16, machine=paper_machine(1),
+                               config=_sim())
+    assert hyb.makespan == pytest.approx(gpu, rel=0.25), \
+        "SPar+CUDA should match plain CUDA at one GPU"

@@ -1,0 +1,87 @@
+"""FIG5 benchmarks: Dedup throughput by version.
+
+Times each Dedup version on a small corpus (LZSS memo pre-warmed by the
+fixture so iterations measure the pipelines, not one-off match search)
+and asserts the figure's stated facts: batch optimization helps a lot,
+2x memory spaces help OpenCL but not CUDA, SPar+CUDA leads.
+"""
+
+import pytest
+
+from repro.apps.dedup.pipeline_cpu import dedup_cpu
+from repro.apps.dedup.pipeline_gpu import GpuDedupConfig, dedup_gpu
+from repro.core.config import ExecConfig, ExecMode
+
+pytestmark = pytest.mark.benchmark(group="fig5")
+
+BATCH = 64 * 1024
+SIM = ExecConfig(mode=ExecMode.SIMULATED)
+
+SINGLE_CONFIGS = {
+    "cuda_nobatch": GpuDedupConfig(api="cuda", model="single", batch_opt=False,
+                                   batch_size=BATCH),
+    "cuda_batch": GpuDedupConfig(api="cuda", model="single", batch_size=BATCH),
+    "cuda_batch_2xmem": GpuDedupConfig(api="cuda", model="single", mem_spaces=2,
+                                       batch_size=BATCH),
+    "opencl_batch": GpuDedupConfig(api="opencl", model="single", batch_size=BATCH),
+    "opencl_batch_2xmem": GpuDedupConfig(api="opencl", model="single",
+                                         mem_spaces=2, batch_size=BATCH),
+}
+
+SPAR_CONFIGS = {
+    "spar_cuda": GpuDedupConfig(api="cuda", model="spar", replicas=4,
+                                batch_size=BATCH),
+    "spar_opencl": GpuDedupConfig(api="opencl", model="spar", replicas=4,
+                                  batch_size=BATCH),
+    "spar_cuda_2gpu": GpuDedupConfig(api="cuda", model="spar", replicas=4,
+                                     n_gpus=2, batch_size=BATCH),
+}
+
+
+def test_fig5_spar_cpu(benchmark, dedup_corpus, dedup_batches):
+    out = benchmark(dedup_cpu, dedup_corpus, 4, None, SIM, dedup_batches)
+    assert out.result.makespan > 0
+
+
+@pytest.mark.parametrize("name", list(SINGLE_CONFIGS), ids=list(SINGLE_CONFIGS))
+def test_fig5_single_thread(benchmark, dedup_corpus, dedup_batches, name):
+    cfg = SINGLE_CONFIGS[name]
+    out = benchmark(dedup_gpu, dedup_corpus, cfg, None, None, None, dedup_batches)
+    assert out.details["elapsed"] > 0
+
+
+@pytest.mark.parametrize("name", list(SPAR_CONFIGS), ids=list(SPAR_CONFIGS))
+def test_fig5_spar_gpu(benchmark, dedup_corpus, dedup_batches, name):
+    cfg = SPAR_CONFIGS[name]
+    out = benchmark(dedup_gpu, dedup_corpus, cfg, None, None, SIM, dedup_batches)
+    assert out.result.makespan > 0
+
+
+def test_fig5_facts(dedup_corpus, dedup_batches):
+    mb = len(dedup_corpus) / (1 << 20)
+
+    def single(name):
+        out = dedup_gpu(dedup_corpus, SINGLE_CONFIGS[name],
+                        prechunked=dedup_batches)
+        return mb / out.details["elapsed"]
+
+    def spar(name):
+        out = dedup_gpu(dedup_corpus, SPAR_CONFIGS[name],
+                        prechunked=dedup_batches, exec_config=SIM)
+        return mb / out.result.makespan
+
+    cpu = mb / dedup_cpu(dedup_corpus, replicas=4, config=SIM,
+                         prechunked=dedup_batches).result.makespan
+
+    assert single("cuda_batch") > 1.2 * single("cuda_nobatch"), \
+        "batch optimization must increase throughput significantly"
+    assert single("cuda_batch_2xmem") == pytest.approx(single("cuda_batch"),
+                                                       rel=0.02), \
+        "2x memory spaces cannot help CUDA (realloc vs pinned memory)"
+    assert single("opencl_batch_2xmem") > 1.05 * single("opencl_batch"), \
+        "2x memory spaces must help OpenCL"
+    best_spar_cuda = spar("spar_cuda")
+    assert best_spar_cuda >= spar("spar_opencl") * 0.999, \
+        "SPar+CUDA gives the best results"
+    assert best_spar_cuda > cpu, "GPU offload must beat CPU-only SPar"
+    assert spar("spar_cuda_2gpu") > best_spar_cuda * 0.99

@@ -1,0 +1,148 @@
+"""Micro-benchmarks of the substrates themselves.
+
+These time the *implementation* (engine throughput, queue hand-offs,
+kernel pricing, SHA-1/LZSS rates) so regressions in the simulator or
+runtimes show up independently of the figure-level results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.dedup.sha1 import sha1_batch, sha1_scalar
+from repro.apps.lzss.reference import compress_block
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.run import run_graph
+from repro.core.stage import FunctionStage, IterSource
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, kernel_duration
+from repro.sim.engine import Engine
+from repro.sim.machine import TITAN_XP
+from repro.tbb import WorkStealingPool, blocked_range, parallel_for
+
+pytestmark = pytest.mark.benchmark(group="micro")
+
+
+def test_bench_engine_timeout_throughput(benchmark):
+    def run():
+        eng = Engine()
+
+        def proc():
+            for _ in range(2000):
+                yield eng.timeout(1.0)
+
+        eng.run_process(proc())
+        return eng.now
+
+    assert benchmark(run) == 2000.0
+
+
+def test_bench_store_handoff(benchmark):
+    def run():
+        eng = Engine()
+        store = eng.store(capacity=8)
+
+        def producer():
+            for i in range(1000):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(1000):
+                yield store.get()
+
+        eng.process(producer())
+        eng.process(consumer())
+        eng.run()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED],
+                         ids=["native", "simulated"])
+def test_bench_pipeline_item_rate(benchmark, mode):
+    def run():
+        g = linear_graph(
+            IterSource(range(500)),
+            StageSpec(FunctionStage(lambda x: x + 1), "inc", replicas=4),
+            StageSpec(FunctionStage(lambda x: x), "sink"),
+        )
+        return run_graph(g, ExecConfig(mode=mode))
+
+    r = benchmark(run)
+    assert r.items_emitted == 500
+
+
+def test_bench_kernel_pricing(benchmark):
+    k = Kernel(lambda ts: KernelWork("mandel_iter", np.full(ts.n, 100.0)),
+               registers_per_thread=18)
+    cfg = LaunchConfig.make(2000, 256)
+    work = k.run(cfg, ())
+    benchmark(kernel_duration, TITAN_XP, k, cfg, work)
+
+
+def test_bench_sha1_scalar(benchmark):
+    benchmark(sha1_scalar, b"x" * 4096)
+
+
+def test_bench_sha1_batch_64_blocks(benchmark):
+    blocks = [bytes([i] * 2048) for i in range(64)]
+    digests = benchmark(sha1_batch, blocks)
+    assert len(digests) == 64
+
+
+def test_bench_lzss_compress_text(benchmark):
+    from repro.apps.lzss import cache
+
+    data = (b"stream processing on multicores with gpus " * 64)[:2048]
+
+    def run():
+        cache.clear()
+        return compress_block(data, 0, len(data))
+
+    out = benchmark(run)
+    assert len(out) < len(data)
+
+
+def test_bench_parallel_for(benchmark):
+    acc = np.zeros(10_000)
+
+    def run():
+        with WorkStealingPool(4) as pool:
+            parallel_for(blocked_range(0, 10_000, 256),
+                         lambda r: None, pool=pool)
+
+    benchmark(run)
+
+
+def test_bench_spar_compile_inline(benchmark):
+    import textwrap
+
+    src = textwrap.dedent('''
+        from repro.spar import ToStream, Stage, Input, Output, Replicate
+
+        def fn(n, sink):
+            with ToStream(Input('n', 'sink')):
+                for i in range(n):
+                    with Stage(Input('i'), Output('v'), Replicate(2)):
+                        v = i * 2
+                    with Stage(Input('v')):
+                        sink.append(v)
+    ''')
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as td:
+        path = os.path.join(td, "spar_bench_mod.py")
+        with open(path, "w") as f:
+            f.write(src)
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location("spar_bench_mod", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+
+        from repro.spar import parallelize
+
+        compiled = benchmark(parallelize, mod.fn)
+        sink = []
+        compiled(5, sink)
+        assert sink == [0, 2, 4, 6, 8]

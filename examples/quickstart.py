@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Quickstart: the same streaming computation in all three models.
+
+A tiny text-processing stream — tokenize lines, score them in a
+replicated stage, collect in order — expressed with SPar annotations,
+TBB filters, and FastFlow nodes.  Run::
+
+    python examples/quickstart.py
+"""
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.fastflow import EOS, ff_node, ff_ofarm, ff_pipeline
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+from repro.tbb import filter_mode, make_filter, parallel_pipeline
+
+LINES = [
+    "stream processing on multi cores with gpus",
+    "parallel programming models challenges",
+    "spar tbb fastflow cuda opencl",
+    "the mandelbrot streaming benchmark",
+    "and the parsec dedup application",
+] * 4
+
+
+def score(line: str) -> int:
+    """The 'expensive' middle-stage computation."""
+    return sum(len(w) ** 2 for w in line.split())
+
+
+# --- SPar: annotate the sequential loop, then compile -----------------------
+
+@parallelize
+def spar_version(lines, n, out, workers):
+    with ToStream(Input('lines', 'out', 'n')):
+        for i in range(n):
+            line = lines[i]
+            with Stage(Input('line', 'i'), Output('s', 'i'), Replicate('workers')):
+                s = score(line)
+            with Stage(Input('s', 'i')):
+                out.append((i, s))
+
+
+# --- FastFlow: explicit building blocks -------------------------------------
+
+class Emit(ff_node):
+    def __init__(self, lines):
+        super().__init__()
+        self.items = list(enumerate(lines))
+
+    def svc(self, _):
+        if not self.items:
+            return EOS
+        return self.items.pop(0)
+
+
+class Work(ff_node):
+    def svc(self, item):
+        i, line = item
+        return (i, score(line))
+
+
+class Collect(ff_node):
+    def __init__(self, out):
+        super().__init__()
+        self.out = out
+
+    def svc(self, item):
+        self.out.append(item)
+        return None
+
+
+def fastflow_version(lines, out, workers):
+    pipe = ff_pipeline(Emit(lines), ff_ofarm(Work, replicas=workers), Collect(out))
+    pipe.run_and_wait_end()
+
+
+# --- TBB: parallel_pipeline with live tokens ---------------------------------
+
+def tbb_version(lines, out, workers):
+    items = list(enumerate(lines))
+
+    def source(fc):
+        if not items:
+            fc.stop()
+            return None
+        return items.pop(0)
+
+    parallel_pipeline(
+        2 * workers,
+        make_filter(filter_mode.serial_in_order, source),
+        make_filter(filter_mode.parallel, lambda it: (it[0], score(it[1]))),
+        make_filter(filter_mode.serial_in_order,
+                    lambda it: out.append(it) or None),
+        parallelism=workers,
+    )
+
+
+def main() -> None:
+    expected = [(i, score(line)) for i, line in enumerate(LINES)]
+
+    results = []
+    spar_version(LINES, len(LINES), results, 4)
+    assert results == expected, "SPar output out of order?"
+    print(f"SPar     : {len(results)} items, ordered OK "
+          f"(makespan {spar_version.last_run.makespan * 1e3:.1f} ms)")
+    print("  generated driver is inspectable: spar_version.spar_source "
+          f"({len(spar_version.spar_source.splitlines())} lines)")
+
+    results = []
+    fastflow_version(LINES, results, 4)
+    assert results == expected
+    print(f"FastFlow : {len(results)} items, ordered OK")
+
+    results = []
+    tbb_version(LINES, results, 4)
+    assert results == expected
+    print(f"TBB      : {len(results)} items, ordered OK")
+
+    # The same SPar pipeline on the paper's *virtual* testbed:
+    results = []
+    spar_version(LINES, len(LINES), results, 4,
+                 _spar_config=ExecConfig(mode=ExecMode.SIMULATED))
+    assert results == expected
+    print(f"SPar (simulated machine): makespan "
+          f"{spar_version.last_run.makespan * 1e6:.1f} virtual µs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""SPar's future work, prototyped: ``Target('cuda')`` stages.
+
+The paper's conclusion: "we intend to automatically generate parallel
+OpenCL and CUDA code through the SPar compilation toolchain."  This
+example shows the prototype: annotate a stage with ``Target('cuda')``
+and the compiled pipeline hands the body a ready ``spar_gpu`` handle —
+the right device (round-robin across the replicas), a fresh CUDA stream
+per item, and automatic synchronization after the stage — eliminating
+the per-thread ``cudaSetDevice`` and per-item stream/sync boilerplate
+Section IV-A catalogues.  Run::
+
+    python examples/spar_gpu_target.py
+"""
+
+import numpy as np
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.gpu.kernel import Kernel, KernelWork
+from repro.sim.machine import paper_machine
+from repro.spar import Input, Output, Replicate, Stage, Target, ToStream, parallelize
+
+CHUNK = 4096
+
+
+def _make_kernel():
+    def saxpy(ts, a, x, y, out, n):
+        gid = ts.flat_global_id()
+        valid = gid < n
+        idx = gid[valid]
+        xv = x.view(np.float64)
+        yv = y.view(np.float64)
+        out.view(np.float64)[idx] = a * xv[idx] + yv[idx]
+        return KernelWork("generic_op", np.where(valid, 12.0, 0.0))
+
+    return Kernel(saxpy, name="saxpy", registers_per_thread=20)
+
+
+SAXPY = _make_kernel()
+
+
+def offload_saxpy(chunk, spar_gpu):
+    """The stage body: plain CUDA calls against the injected handle."""
+    cuda = spar_gpu.cuda
+    hx = cuda.malloc_host(8 * CHUNK)
+    hy = cuda.malloc_host(8 * CHUNK)
+    hx.raw.view(np.float64)[:] = chunk
+    hy.raw.view(np.float64)[:] = 1.0
+    dx, dy, dout = (cuda.malloc(8 * CHUNK) for _ in range(3))
+    hout = cuda.malloc_host(8 * CHUNK)
+    cuda.memcpy_h2d_async(dx, hx, spar_gpu.stream)
+    cuda.memcpy_h2d_async(dy, hy, spar_gpu.stream)
+    cuda.launch(SAXPY, -(-CHUNK // 256), 256, 2.0, dx, dy, dout, CHUNK,
+                stream=spar_gpu.stream)
+    cuda.memcpy_d2h_async(hout, dout, spar_gpu.stream)
+    return hout  # runtime synchronizes the stream before the next stage
+
+
+@parallelize
+def saxpy_stream(chunks, n, results, workers):
+    with ToStream(Input('chunks', 'n', 'results')):
+        for ci in range(n):
+            chunk = chunks[ci]
+            with Stage(Input('chunk', 'ci'), Output('hout', 'ci'),
+                       Replicate('workers'), Target('cuda')):
+                hout = offload_saxpy(chunk, spar_gpu)  # noqa: F821 - injected
+            with Stage(Input('hout', 'ci')):
+                results.append((ci, hout.array.view(np.float64).copy()))
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    chunks = [rng.random(CHUNK) for _ in range(12)]
+    results = []
+    cfg = ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(2))
+    saxpy_stream(chunks, len(chunks), results, workers=4, _spar_config=cfg)
+
+    assert [ci for ci, _ in results] == list(range(12)), "stream order lost"
+    for ci, out in results:
+        assert np.allclose(out, 2.0 * chunks[ci] + 1.0)
+    run = saxpy_stream.last_run
+    print(f"12 chunks x {CHUNK} elements SAXPY'd on 2 simulated GPUs")
+    print(f"stage replicas round-robin the devices; streams/syncs generated")
+    print(f"virtual makespan on the paper's machine: {run.makespan * 1e3:.2f} ms")
+    print("results verified: out == 2x + 1 for every chunk, in order")
+    print("\n--- generated driver (what the SPar compiler emitted) ---")
+    print(saxpy_stream.spar_source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline CI).
+
+`pip install -e .` with modern PEP-660 editable installs requires the
+`wheel` backend; this setup.py lets pip fall back to the legacy
+`setup.py develop` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

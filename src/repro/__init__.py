@@ -1,0 +1,22 @@
+"""repro — stream processing on multi-cores with (simulated) GPUs.
+
+A from-scratch Python reproduction of Rockenbach et al., *Stream
+Processing on Multi-Cores with GPUs: Parallel Programming Models'
+Challenges* (IPPS 2019): the SPar annotation DSL, FastFlow- and
+TBB-style runtimes, CUDA/OpenCL-style APIs over a virtual-time GPU
+model, and the Mandelbrot-Streaming and Dedup case studies with the
+paper's full benchmark harness.
+
+Quick tour::
+
+    from repro import spar, fastflow, tbb, gpu
+    from repro.apps import mandelbrot, dedup, lzss
+    from repro.harness import experiments
+
+See README.md and DESIGN.md for the architecture, EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "sim", "gpu", "fastflow", "tbb", "spar", "apps", "harness"]

@@ -1,0 +1,17 @@
+"""The paper's case-study applications.
+
+* :mod:`repro.apps.mandelbrot` — the Mandelbrot Streaming pseudo
+  application (Section IV-A): one fractal line per stream item, in
+  sequential, SPar/TBB/FastFlow, CUDA/OpenCL and hybrid versions,
+  including the full GPU optimization ladder of Fig. 1.
+* :mod:`repro.apps.lzss` — LZSS compression (the paper's substitute for
+  PARSEC's Bzip2/Gzip, from their prior PDP'19 work) with the
+  block-bounded batched ``FindMatch`` GPU kernel of Listing 3.
+* :mod:`repro.apps.dedup` — the PARSEC Dedup application re-architected
+  per Section IV-B: fixed 1 MB batches, Rabin-fingerprint block indexes,
+  SHA-1 deduplication and LZSS compression, as a 3-stage CPU pipeline
+  and the 5-stage GPU pipeline of Fig. 3.
+* :mod:`repro.apps.datasets` — deterministic synthetic corpora standing
+  in for PARSEC ``input_large``, the Linux kernel source and the
+  Silesia corpus.
+"""

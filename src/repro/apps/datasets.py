@@ -1,0 +1,169 @@
+"""Synthetic corpora standing in for the paper's three Dedup datasets.
+
+The paper evaluates on (1) PARSEC's ``input_large`` (185 MB), (2) a tar
+of the Linux kernel sources (816 MB) and (3) the Silesia corpus
+(202.13 MB).  None can ship here, so deterministic generators produce
+scaled corpora with the *statistics that drive Dedup behaviour*:
+duplication ratio (how many Rabin blocks repeat) and compressibility
+(how well LZSS does on unique blocks).  DESIGN.md §4 records the
+substitution.
+
+=================  ==========================  ========================
+dataset            duplication character        compressibility
+=================  ==========================  ========================
+``parsec_large``   moderate (media-ish mix)     moderate
+``linux_src``      high (repeated source müll)  high (tokenized text)
+``silesia``        low (heterogeneous corpus)   varied per segment
+=================  ==========================  ========================
+
+Sizes default to 1/64 of the paper's so the full Fig. 5 grid runs in CI;
+pass ``size`` explicitly to scale up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+
+_C_TOKENS = (
+    "int long unsigned static const struct return if else for while switch "
+    "case break continue goto sizeof void char u8 u16 u32 u64 size_t "
+    "spin_lock spin_unlock mutex_lock mutex_unlock kmalloc kfree printk "
+    "EXPORT_SYMBOL module_init module_exit NULL ERR_PTR likely unlikely "
+    "container_of list_for_each_entry READ_ONCE WRITE_ONCE rcu_read_lock"
+).split()
+
+_ENGLISH = (
+    "the of and to in a is that it was for on are as with his they at be "
+    "this have from or one had by word but not what all were we when your "
+    "can said there use an each which she do how their if will up other"
+).split()
+
+
+def _tokens_text(rng: np.random.Generator, vocab: List[str], n_bytes: int,
+                 zipf_a: float = 1.3) -> bytes:
+    """Zipf-distributed token stream (text-like, compressible).
+
+    A sprinkle of unique identifiers (``var_3fa29c``) keeps the n-gram
+    space rich enough that a rolling fingerprint still finds
+    content-defined boundaries — plain natural text is what real source
+    files look like to a chunker.
+    """
+    out = bytearray()
+    ranks = np.minimum(rng.zipf(zipf_a, size=n_bytes // 4), len(vocab)) - 1
+    idents = rng.integers(0, 1 << 24, size=n_bytes // 4)
+    i = 0
+    while len(out) < n_bytes and i < len(ranks):
+        if i % 11 == 10:
+            out += b"var_%06x" % int(idents[i])
+        else:
+            out += vocab[ranks[i]].encode()
+        out += b"\n" if ranks[i] % 8 == 0 else b" "
+        i += 1
+    if len(out) < n_bytes:
+        out += b" " * (n_bytes - len(out))
+    return bytes(out[:n_bytes])
+
+
+def _random_binary(rng: np.random.Generator, n_bytes: int) -> bytes:
+    return rng.integers(0, 256, size=n_bytes, dtype=np.uint8).tobytes()
+
+
+def _structured_binary(rng: np.random.Generator, n_bytes: int,
+                       record: int = 64) -> bytes:
+    """DLL/media-like: repeating record skeleton with noisy fields."""
+    skeleton = rng.integers(0, 256, size=record, dtype=np.uint8)
+    n_rec = -(-n_bytes // record)
+    recs = np.tile(skeleton, (n_rec, 1))
+    noise_cols = rng.choice(record, size=max(1, record // 8), replace=False)
+    recs[:, noise_cols] = rng.integers(0, 256, size=(n_rec, len(noise_cols)),
+                                       dtype=np.uint8)
+    return recs.tobytes()[:n_bytes]
+
+
+def _with_duplication(rng: np.random.Generator, make_segment: Callable[[int], bytes],
+                      n_bytes: int, dup_fraction: float,
+                      segment: int = 16 * 1024) -> bytes:
+    """Assemble segments, periodically re-emitting a *long window* of
+    already-generated output verbatim.  Long identical spans are what
+    create duplicate content-defined blocks: the rolling fingerprint
+    realigns within the first block of the repeat and every interior
+    block hashes identically (file copies in a source tree, repeated
+    inputs in a media corpus)."""
+    out = bytearray()
+    while len(out) < n_bytes:
+        if len(out) > 128 * 1024 and rng.random() < dup_fraction:
+            win = int(rng.integers(48 * 1024, 128 * 1024))
+            pos = int(rng.integers(0, max(1, len(out) - win)))
+            out += out[pos:pos + win]
+        else:
+            out += make_segment(segment)
+    return bytes(out[:n_bytes])
+
+
+def parsec_large(size: int = 185 * (1 << 20) // 64, seed: int = 1) -> bytes:
+    """``input_large``-like: mixed media with moderate duplication."""
+    rng = np.random.default_rng(seed)
+
+    def seg(n: int) -> bytes:
+        kind = rng.random()
+        if kind < 0.45:
+            return _structured_binary(rng, n)
+        if kind < 0.75:
+            return _tokens_text(rng, _ENGLISH, n)
+        return _random_binary(rng, n)
+
+    return _with_duplication(rng, seg, size, dup_fraction=0.25)
+
+
+def linux_src(size: int = 816 * (1 << 20) // 64, seed: int = 2) -> bytes:
+    """Linux-kernel-source-like: highly duplicated, very compressible."""
+    rng = np.random.default_rng(seed)
+
+    def seg(n: int) -> bytes:
+        return _tokens_text(rng, _C_TOKENS, n, zipf_a=1.2)
+
+    return _with_duplication(rng, seg, size, dup_fraction=0.60)
+
+
+def silesia(size: int = 202 * (1 << 20) // 64, seed: int = 3) -> bytes:
+    """Silesia-like: heterogeneous file types, little duplication."""
+    rng = np.random.default_rng(seed)
+    parts: List[bytes] = []
+    remaining = size
+    kinds = [
+        lambda n: _tokens_text(rng, _ENGLISH, n),        # dickens-ish
+        lambda n: _tokens_text(rng, _C_TOKENS, n),       # samba/xml-ish
+        lambda n: _structured_binary(rng, n),            # dll/database-ish
+        lambda n: _random_binary(rng, n),                # already-compressed
+    ]
+    i = 0
+    while remaining > 0:
+        n = int(min(remaining, size // 8 or remaining))
+        parts.append(kinds[i % len(kinds)](n))
+        remaining -= n
+        i += 1
+    return b"".join(parts)[:size]
+
+
+DATASETS: Dict[str, Callable[..., bytes]] = {
+    "parsec_large": parsec_large,
+    "linux_src": linux_src,
+    "silesia": silesia,
+}
+
+#: paper sizes in MB, for reports
+PAPER_SIZES_MB = {"parsec_large": 185.0, "linux_src": 816.0, "silesia": 202.13}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    name: str
+    size: int
+    seed: int = 0
+
+    def build(self) -> bytes:
+        gen = DATASETS[self.name]
+        return gen(self.size) if self.seed == 0 else gen(self.size, self.seed)

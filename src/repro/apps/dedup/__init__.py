@@ -1,0 +1,53 @@
+"""PARSEC Dedup, re-architected per Section IV-B.
+
+The paper's modification to PARSEC's design: the input is cut into
+**fixed 1 MB batches**; the Rabin fingerprint runs on the CPU over each
+batch and records the indexes (``startPos``) where it *would* have cut,
+which become the variable-size blocks; SHA-1 identifies duplicate
+blocks; unique blocks are LZSS-compressed; the writer reassembles
+everything in order.
+
+Components:
+
+* :mod:`~repro.apps.dedup.rabin` — rolling-fingerprint chunking
+  (polynomial Rabin reference + a vectorized Gear variant);
+* :mod:`~repro.apps.dedup.sha1` — from-scratch SHA-1 (scalar, verified
+  against hashlib) and a numpy-batched version computing many block
+  digests at once ("each GPU thread calculates the SHA-1 of one block");
+* :mod:`~repro.apps.dedup.chunkstore` — the duplicate-detection table;
+* :mod:`~repro.apps.dedup.container` — the archive format plus
+  ``restore`` (bit-exact verification);
+* :mod:`~repro.apps.dedup.pipeline_cpu` — the 3-stage SPar pipeline of
+  the original CPU version;
+* :mod:`~repro.apps.dedup.pipeline_gpu` — the 5-stage pipeline of
+  Fig. 3 with SHA-1 and LZSS offloaded to the GPU(s).
+"""
+
+from repro.apps.dedup.rabin import Batch, GearChunker, RabinChunker, make_batches
+from repro.apps.dedup.sha1 import sha1_batch, sha1_hex, sha1_scalar
+from repro.apps.dedup.chunkstore import ChunkStore
+from repro.apps.dedup.container import (
+    Archive,
+    BlockRecord,
+    restore,
+    verify_archive,
+)
+from repro.apps.dedup.pipeline_cpu import dedup_cpu
+from repro.apps.dedup.pipeline_gpu import dedup_gpu
+
+__all__ = [
+    "Batch",
+    "RabinChunker",
+    "GearChunker",
+    "make_batches",
+    "sha1_scalar",
+    "sha1_hex",
+    "sha1_batch",
+    "ChunkStore",
+    "Archive",
+    "BlockRecord",
+    "restore",
+    "verify_archive",
+    "dedup_cpu",
+    "dedup_gpu",
+]

@@ -1,0 +1,51 @@
+"""Duplicate-block detection (Dedup's hash table).
+
+The store maps SHA-1 digests to the id of the first block that carried
+them.  Stage 3 of the paper's pipeline ("it checks if blocks in the
+batch are duplicated") is serial, so a plain dict suffices; a lock
+keeps the native executor safe if a pipeline ever replicates the stage.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+from repro.sim.context import charge_cpu
+
+
+class ChunkStore:
+    def __init__(self) -> None:
+        self._by_digest: Dict[bytes, int] = {}
+        self._lock = threading.Lock()
+        self.unique_blocks = 0
+        self.duplicate_blocks = 0
+        self.unique_bytes = 0
+        self.duplicate_bytes = 0
+
+    def check(self, digest: bytes, size: int) -> Tuple[bool, int]:
+        """Register a block; returns ``(is_duplicate, canonical_id)``.
+
+        The canonical id is the global index of the first block with
+        this digest (what the writer stores for duplicates).
+        """
+        charge_cpu("generic_op", 60)  # hash-table probe + bookkeeping
+        with self._lock:
+            existing: Optional[int] = self._by_digest.get(digest)
+            if existing is not None:
+                self.duplicate_blocks += 1
+                self.duplicate_bytes += size
+                return True, existing
+            block_id = self.unique_blocks + self.duplicate_blocks
+            self._by_digest[digest] = block_id
+            self.unique_blocks += 1
+            self.unique_bytes += size
+            return False, block_id
+
+    @property
+    def total_blocks(self) -> int:
+        return self.unique_blocks + self.duplicate_blocks
+
+    def dedup_ratio(self) -> float:
+        total = self.unique_bytes + self.duplicate_bytes
+        return self.duplicate_bytes / total if total else 0.0

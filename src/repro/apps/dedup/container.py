@@ -1,0 +1,140 @@
+"""Dedup archive container: serialization, restore, verification.
+
+The writer (stage 5) receives batches in order and appends one record
+per block: unique blocks carry their LZSS token stream (or raw bytes if
+compression did not help, like Dedup's fallback), duplicates carry the
+index of the first occurrence.  ``restore`` inverts the whole archive
+bit-exactly — the end-to-end oracle every pipeline integration test
+uses.
+
+On-disk layout (little-endian)::
+
+    magic  b"RDDA"  | u32 record_count
+    per record:
+      u8 kind  (0 unique+lzss, 1 unique+raw, 2 duplicate)
+      unique:    u32 orig_len | u32 payload_len | payload
+      duplicate: u32 ref_index
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.apps.lzss.format import decompress
+from repro.sim.context import charge_cpu
+
+_MAGIC = b"RDDA"
+
+KIND_LZSS = 0
+KIND_RAW = 1
+KIND_DUP = 2
+
+
+class ArchiveError(ValueError):
+    pass
+
+
+@dataclass
+class BlockRecord:
+    kind: int
+    orig_len: int = 0
+    payload: bytes = b""
+    ref_index: int = 0
+
+
+@dataclass
+class Archive:
+    records: List[BlockRecord] = field(default_factory=list)
+    input_bytes: int = 0
+
+    def add_unique(self, original: bytes, compressed: Optional[bytes]) -> int:
+        """Store a unique block; falls back to raw when LZSS expanded it."""
+        if compressed is not None and len(compressed) < len(original):
+            rec = BlockRecord(KIND_LZSS, len(original), compressed)
+        else:
+            rec = BlockRecord(KIND_RAW, len(original), bytes(original))
+        self.records.append(rec)
+        charge_cpu("write_byte", len(rec.payload) + 9)
+        return len(self.records) - 1
+
+    def add_duplicate(self, ref_index: int, orig_len: int) -> int:
+        if not 0 <= ref_index < len(self.records):
+            raise ArchiveError(f"duplicate references unknown record {ref_index}")
+        self.records.append(BlockRecord(KIND_DUP, orig_len, ref_index=ref_index))
+        charge_cpu("write_byte", 5)
+        return len(self.records) - 1
+
+    # -- stats ---------------------------------------------------------
+    @property
+    def archive_bytes(self) -> int:
+        total = 8
+        for r in self.records:
+            total += 1 + (4 if r.kind == KIND_DUP else 8 + len(r.payload))
+        return total
+
+    def compression_ratio(self) -> float:
+        return self.archive_bytes / self.input_bytes if self.input_bytes else 1.0
+
+    # -- serialization ---------------------------------------------------
+    def serialize(self) -> bytes:
+        out = bytearray(_MAGIC)
+        out += struct.pack("<I", len(self.records))
+        for r in self.records:
+            out.append(r.kind)
+            if r.kind == KIND_DUP:
+                out += struct.pack("<I", r.ref_index)
+            else:
+                out += struct.pack("<II", r.orig_len, len(r.payload))
+                out += r.payload
+        return bytes(out)
+
+    @staticmethod
+    def deserialize(blob: bytes) -> "Archive":
+        if blob[:4] != _MAGIC:
+            raise ArchiveError("bad magic")
+        (count,) = struct.unpack_from("<I", blob, 4)
+        pos = 8
+        arc = Archive()
+        for _ in range(count):
+            kind = blob[pos]
+            pos += 1
+            if kind == KIND_DUP:
+                (ref,) = struct.unpack_from("<I", blob, pos)
+                pos += 4
+                arc.records.append(BlockRecord(KIND_DUP, ref_index=ref))
+            elif kind in (KIND_LZSS, KIND_RAW):
+                orig, plen = struct.unpack_from("<II", blob, pos)
+                pos += 8
+                arc.records.append(BlockRecord(kind, orig, blob[pos:pos + plen]))
+                pos += plen
+            else:
+                raise ArchiveError(f"unknown record kind {kind}")
+        if pos != len(blob):
+            raise ArchiveError("trailing bytes")
+        return arc
+
+
+def restore(archive: Archive) -> bytes:
+    """Reassemble the original input from the archive."""
+    out = bytearray()
+    expanded: List[bytes] = []
+    for i, r in enumerate(archive.records):
+        if r.kind == KIND_LZSS:
+            data = decompress(r.payload, r.orig_len)
+        elif r.kind == KIND_RAW:
+            data = r.payload
+        elif r.kind == KIND_DUP:
+            if r.ref_index >= i:
+                raise ArchiveError("forward duplicate reference")
+            data = expanded[r.ref_index]
+        else:  # pragma: no cover
+            raise ArchiveError(f"unknown record kind {r.kind}")
+        expanded.append(data)
+        out += data
+    return bytes(out)
+
+
+def verify_archive(archive: Archive, original: bytes) -> bool:
+    return restore(archive) == original

@@ -1,0 +1,44 @@
+"""Device kernels for the Dedup GPU pipeline (Fig. 3, stage 2).
+
+One GPU thread hashes one dedup block ("Our strategy was that each GPU
+thread calculates the SHA-1 of one block.  The result is saved in an
+array").  Because Rabin blocks range from 1 KiB to 64 KiB, warp lanes
+diverge heavily — the cost model prices exactly that (a warp costs its
+largest block).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.apps.dedup.sha1 import sha1_many_fast, sha1_work_units
+from repro.gpu.kernel import Kernel, KernelWork, ThreadSpace
+from repro.gpu.memory import DeviceBuffer
+
+DIGEST_BYTES = 20
+SHA1_KERNEL_REGISTERS = 48
+
+
+def make_sha1_kernel() -> Kernel:
+    def sha1_blocks_kernel(ts: ThreadSpace, input_buf: DeviceBuffer, size: int,
+                           startposs: DeviceBuffer, n_blocks: int,
+                           digests: DeviceBuffer) -> KernelWork:
+        data = bytes(input_buf.view(np.uint8)[:size])
+        starts = startposs.view(np.int64)[:n_blocks]
+        bounds = list(starts) + [size]
+        blocks: List[bytes] = [
+            data[bounds[k]:bounds[k + 1]] for k in range(n_blocks)
+        ]
+        out = digests.view(np.uint8)
+        for k, digest in enumerate(sha1_many_fast(blocks)):
+            out[k * DIGEST_BYTES:(k + 1) * DIGEST_BYTES] = np.frombuffer(
+                digest, dtype=np.uint8)
+        work = np.zeros(ts.n, dtype=np.float64)
+        units = sha1_work_units(blocks)
+        work[:n_blocks] = units
+        return KernelWork("sha1_byte", work)
+
+    return Kernel(sha1_blocks_kernel, name="sha1_blocks_kernel",
+                  registers_per_thread=SHA1_KERNEL_REGISTERS)

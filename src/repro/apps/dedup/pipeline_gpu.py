@@ -1,0 +1,461 @@
+"""Dedup on multi-cores with GPUs: the 5-stage pipeline of Fig. 3.
+
+Stages (Section IV-B):
+
+1. **Fragment** (CPU, serial): read the input, cut fixed 1 MB batches,
+   run the Rabin fingerprint per batch and record the ``startPos``
+   block indexes (Fig. 2).
+2. **SHA-1** (replicated): transfer the batch to its GPU (round-robin
+   across devices) and hash every block — one GPU thread per block.
+3. **Duplicate check** (CPU, serial): probe the chunk store.
+4. **Compress** (serial): run the single batched ``FindMatchKernel``
+   over the batch *reusing the bytes stage 2 already uploaded*, copy
+   the match arrays back, and encode the non-duplicate blocks on the
+   CPU.  ``batch_opt=False`` reverts to the pre-optimization one-launch-
+   per-block shape whose overhead motivated Listing 3.
+5. **Write** (CPU, serial): reorder (the ordered farm guarantees stream
+   order) and append to the archive.
+
+Memory-space semantics (Section V-B): Dedup's buffers are grown with
+``realloc``, which page-locked memory cannot do.  The CUDA path is
+therefore stuck with pageable host buffers — its "async" copies degrade
+to synchronous ones and ``mem_spaces=2`` buys nothing, exactly the
+paper's observation.  The OpenCL path can use pinned transfer buffers
+when ``mem_spaces >= 2`` and overlaps copies with compute.
+
+``dedup_gpu`` also provides the single-CPU-thread CUDA/OpenCL versions
+(no pipeline, ``model='single'``) with ``mem_spaces`` double buffering,
+matching the standalone GPU bars of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.dedup.chunkstore import ChunkStore
+from repro.apps.dedup.container import Archive
+from repro.apps.dedup.gpu_kernels import DIGEST_BYTES, make_sha1_kernel
+from repro.apps.dedup.pipeline_cpu import DedupOutcome, StreamWriter
+from repro.apps.dedup.rabin import BATCH_SIZE, Batch, GearChunker, make_batches
+from repro.apps.lzss.gpu import encode_from_matches, make_findmatch_kernel
+from repro.core.config import ExecConfig
+from repro.gpu.cuda import CudaRuntime
+from repro.gpu.opencl import OpenCLRuntime, wait_for_events
+from repro.sim.context import WorkCursor, charge_cpu, use_cursor
+from repro.sim.machine import MachineSpec, paper_machine
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+
+_BLOCK = 256
+
+
+@dataclass
+class GpuDedupConfig:
+    api: str = "cuda"            # 'cuda' | 'opencl'
+    model: str = "spar"          # 'spar' | 'single'
+    replicas: int = 19           # stage-2 replication (paper: 19)
+    n_gpus: int = 1
+    batch_size: int = BATCH_SIZE
+    batch_opt: bool = True       # False: one FindMatch launch per block
+    mem_spaces: int = 1          # >=2: pinned/double-buffered transfers
+
+    def __post_init__(self) -> None:
+        if self.api not in ("cuda", "opencl"):
+            raise ValueError(f"unknown api {self.api!r}")
+        if self.model not in ("spar", "single"):
+            raise ValueError(f"unknown model {self.model!r}")
+        if self.replicas < 1 or self.n_gpus < 1 or self.mem_spaces < 1:
+            raise ValueError("replicas, n_gpus, mem_spaces must be >= 1")
+
+    @property
+    def pinned_host(self) -> bool:
+        """Only OpenCL can use page-locked transfer buffers (realloc)."""
+        return self.api == "opencl" and self.mem_spaces >= 2
+
+    @property
+    def label(self) -> str:
+        bits = [self.model, self.api,
+                "batch" if self.batch_opt else "no-batch",
+                f"{self.mem_spaces}xmem" if self.mem_spaces > 1 else None,
+                f"{self.n_gpus}gpu" if self.n_gpus > 1 else None]
+        return " ".join(b for b in bits if b)
+
+
+@dataclass
+class _Item:
+    """Stream item: a batch plus its per-item GPU resources/results."""
+
+    batch: Batch
+    device_index: int
+    # GPU resources (filled by stage 2)
+    res: Any = None
+    digests: Optional[List[bytes]] = None
+    dup_flags: Optional[List[bool]] = None
+    results: Optional[list] = None
+
+
+class _DeviceResources:
+    """Per-item buffers and stream/queue on one device."""
+
+    def __init__(self, backend: "_Backend", device_index: int, batch_bytes: int,
+                 n_blocks: int):
+        self.device_index = device_index
+        self.backend = backend
+        be = backend
+        self.d_input = be.malloc(device_index, batch_bytes)
+        self.d_starts = be.malloc(device_index, 8 * max(1, n_blocks), np.int64)
+        self.d_digests = be.malloc(device_index, DIGEST_BYTES * max(1, n_blocks))
+        self.d_mlen = be.malloc(device_index, 4 * batch_bytes, np.int32)
+        self.d_moff = be.malloc(device_index, 4 * batch_bytes, np.int32)
+        self.d_dup = be.malloc(device_index, max(1, n_blocks))
+        self.h_dup = be.malloc_host(max(1, n_blocks))
+        self.h_in = be.malloc_host(batch_bytes)
+        self.h_starts = be.malloc_host(8 * max(1, n_blocks), np.int64)
+        self.h_digests = be.malloc_host(DIGEST_BYTES * max(1, n_blocks))
+        self.h_mlen = be.malloc_host(4 * batch_bytes, np.int32)
+        self.h_moff = be.malloc_host(4 * batch_bytes, np.int32)
+        self.stream = be.make_stream(device_index)
+
+    def free(self) -> None:
+        for b in (self.d_input, self.d_starts, self.d_digests, self.d_mlen,
+                  self.d_moff, self.d_dup):
+            self.backend.free_device(b)
+        for b in (self.h_in, self.h_starts, self.h_digests, self.h_mlen,
+                  self.h_moff, self.h_dup):
+            b.free()
+
+
+class _Backend:
+    """Thin CUDA/OpenCL abstraction so the pipeline code is written once.
+
+    The per-API behaviours that matter to the paper are preserved:
+    pinned vs pageable host memory (see module docstring), per-thread
+    ``cudaSetDevice``, per-item ``cl_kernel`` objects.
+    """
+
+    def __init__(self, cfg: GpuDedupConfig, machine: MachineSpec):
+        self.cfg = cfg
+        self.machine = machine
+        self.sha1_kernel = make_sha1_kernel()
+        self.findmatch_kernel = make_findmatch_kernel()
+        if cfg.api == "cuda":
+            self.cuda = CudaRuntime(machine)
+            self.ocl = None
+        else:
+            self.cuda = None
+            self.ocl = OpenCLRuntime(machine)
+            self.devices = self.ocl.get_platforms()[0].get_devices()[:cfg.n_gpus]
+            self.ctx = self.ocl.create_context(self.devices)
+            self.program = self.ctx.create_program(
+                [self.sha1_kernel, self.findmatch_kernel])
+
+    # -- allocation ------------------------------------------------------
+    def malloc(self, device_index: int, nbytes: int, dtype=np.uint8):
+        if self.cuda is not None:
+            self.cuda.set_device(device_index)
+            return self.cuda.malloc(nbytes, dtype=dtype)
+        return self.ctx.create_buffer(nbytes, device=self.devices[device_index],
+                                      dtype=dtype)
+
+    def malloc_host(self, nbytes: int, dtype=np.uint8):
+        pinned = self.cfg.pinned_host
+        if self.cuda is not None:
+            # Dedup reallocs its buffers; CUDA cannot pin them (Section V-B)
+            from repro.gpu.memory import HostBuffer
+            return HostBuffer(nbytes, pinned=False, dtype=dtype)
+        return self.ctx.alloc_host(nbytes, pinned=pinned, dtype=dtype)
+
+    def make_stream(self, device_index: int):
+        if self.cuda is not None:
+            self.cuda.set_device(device_index)
+            return self.cuda.stream_create()
+        queue = self.ctx.create_queue(self.devices[device_index])
+        # cl_kernel objects are not thread-safe: one pair per stream item.
+        return _CLStream(
+            queue,
+            self.program.create_kernel(self.sha1_kernel.name),
+            self.program.create_kernel(self.findmatch_kernel.name),
+        )
+
+    def free_device(self, buf) -> None:
+        if self.cuda is not None:
+            buf.free()
+        else:
+            buf.release()
+
+    # -- ops ----------------------------------------------------------------
+    def h2d(self, res: _DeviceResources, dbuf, hbuf, nbytes: int) -> None:
+        if self.cuda is not None:
+            self.cuda.set_device(res.device_index)
+            self.cuda.memcpy_h2d_async(dbuf, hbuf, res.stream, nbytes=nbytes)
+        else:
+            res.stream.queue.enqueue_write_buffer(dbuf, hbuf, blocking=False,
+                                                  nbytes=nbytes)
+
+    def d2h(self, res: _DeviceResources, hbuf, dbuf, nbytes: int) -> None:
+        if self.cuda is not None:
+            self.cuda.set_device(res.device_index)
+            self.cuda.memcpy_d2h_async(hbuf, dbuf, res.stream, nbytes=nbytes)
+        else:
+            ev = res.stream.queue.enqueue_read_buffer(hbuf, dbuf, blocking=False,
+                                                      nbytes=nbytes)
+            res.stream.events.append(ev)
+
+    def launch_sha1(self, res: _DeviceResources, size: int, n_blocks: int) -> None:
+        grid = -(-n_blocks // _BLOCK)
+        if self.cuda is not None:
+            self.cuda.set_device(res.device_index)
+            self.cuda.launch(self.sha1_kernel, grid, _BLOCK,
+                             res.d_input, size, res.d_starts, n_blocks,
+                             res.d_digests, stream=res.stream)
+        else:
+            k = res.stream.sha1
+            for i, v in enumerate((res.d_input, size, res.d_starts, n_blocks,
+                                   res.d_digests)):
+                k.set_arg(i, v)
+            res.stream.queue.enqueue_nd_range_kernel(k, grid * _BLOCK, _BLOCK)
+
+    def launch_findmatch(self, res: _DeviceResources, size: int,
+                         n_blocks: int, with_dup_flags: bool = False) -> None:
+        grid = -(-size // _BLOCK)
+        dup = res.d_dup if with_dup_flags else None
+        if self.cuda is not None:
+            self.cuda.set_device(res.device_index)
+            self.cuda.launch(self.findmatch_kernel, grid, _BLOCK,
+                             res.d_input, size, res.d_starts, n_blocks,
+                             res.d_mlen, res.d_moff, dup, stream=res.stream)
+        else:
+            k = res.stream.findmatch
+            for i, v in enumerate((res.d_input, size, res.d_starts, n_blocks,
+                                   res.d_mlen, res.d_moff, dup)):
+                k.set_arg(i, v)
+            res.stream.queue.enqueue_nd_range_kernel(k, grid * _BLOCK, _BLOCK)
+
+    def launch_findmatch_per_block(self, res: _DeviceResources,
+                                   bounds: Sequence[int],
+                                   skip: Optional[Sequence[bool]] = None) -> None:
+        """Pre-optimization shape: one launch per (non-duplicate) block."""
+        from repro.apps.lzss.gpu import _SubBuffer
+
+        one = np.array([0], dtype=np.int64)
+        for k in range(len(bounds) - 1):
+            if skip is not None and skip[k]:
+                continue
+            s, e = int(bounds[k]), int(bounds[k + 1])
+            res.h_starts.raw.view(np.int64)[:1] = one
+            self.h2d(res, res.d_starts, res.h_starts, 8)
+            grid = -(-(e - s) // _BLOCK)
+            args = (_SubBuffer(res.d_input, s), e - s, res.d_starts, 1,
+                    _SubBuffer(res.d_mlen, 4 * s), _SubBuffer(res.d_moff, 4 * s))
+            if self.cuda is not None:
+                self.cuda.set_device(res.device_index)
+                self.cuda.launch(self.findmatch_kernel, grid, _BLOCK, *args,
+                                 stream=res.stream)
+            else:
+                kk = res.stream.findmatch
+                for i, v in enumerate(args):
+                    kk.set_arg(i, v)
+                res.stream.queue.enqueue_nd_range_kernel(kk, grid * _BLOCK, _BLOCK)
+
+    def synchronize(self, res: _DeviceResources) -> None:
+        if self.cuda is not None:
+            self.cuda.stream_synchronize(res.stream)
+        else:
+            res.stream.queue.finish()
+            res.stream.events.clear()
+
+
+class _CLStream:
+    """OpenCL per-item bundle: queue + the two non-thread-safe kernels."""
+
+    def __init__(self, queue, sha1_kernel, findmatch_kernel):
+        self.queue = queue
+        self.sha1 = sha1_kernel
+        self.findmatch = findmatch_kernel
+        self.events: List[Any] = []
+
+
+# ---------------------------------------------------------------------------
+# stage bodies (shared by the SPar pipeline and the single-thread loop)
+# ---------------------------------------------------------------------------
+
+def stage2_sha1(item: _Item, backend: _Backend) -> _Item:
+    """Upload the batch and hash every block on the GPU."""
+    batch = item.batch
+    size = len(batch.data)
+    n_blocks = batch.n_blocks
+    res = _DeviceResources(backend, item.device_index, size, n_blocks)
+    item.res = res
+    res.h_in.raw[:size] = np.frombuffer(batch.data, dtype=np.uint8)
+    res.h_starts.raw.view(np.int64)[:n_blocks] = np.asarray(
+        batch.start_positions, dtype=np.int64)
+    charge_cpu("memcpy_byte", size)
+    backend.h2d(res, res.d_input, res.h_in, size)
+    backend.h2d(res, res.d_starts, res.h_starts, 8 * n_blocks)
+    backend.launch_sha1(res, size, n_blocks)
+    backend.d2h(res, res.h_digests, res.d_digests, DIGEST_BYTES * n_blocks)
+    backend.synchronize(res)
+    raw = res.h_digests.array
+    item.digests = [bytes(raw[k * DIGEST_BYTES:(k + 1) * DIGEST_BYTES])
+                    for k in range(n_blocks)]
+    return item
+
+
+def stage3_dupcheck(item: _Item, store: ChunkStore) -> _Item:
+    sizes = item.batch.block_bounds
+    item.dup_flags = []
+    for k, digest in enumerate(item.digests):
+        dup, _ = store.check(digest, sizes[k + 1] - sizes[k])
+        item.dup_flags.append(dup)
+    return item
+
+
+def stage4_compress(item: _Item, backend: _Backend) -> _Item:
+    """FindMatch over the resident batch; encode unique blocks on CPU.
+
+    Stage 3's duplicate flags ride down to the device so threads in
+    duplicated blocks exit early ("it compress every not duplicated
+    blocks on GPU")."""
+    batch = item.batch
+    res = item.res
+    size = len(batch.data)
+    bounds = batch.block_bounds
+    res.h_dup.raw[:batch.n_blocks] = np.asarray(item.dup_flags, dtype=np.uint8)
+    backend.h2d(res, res.d_dup, res.h_dup, batch.n_blocks)
+    if backend.cfg.batch_opt:
+        backend.launch_findmatch(res, size, batch.n_blocks, with_dup_flags=True)
+    else:
+        backend.launch_findmatch_per_block(res, bounds, skip=item.dup_flags)
+    backend.d2h(res, res.h_mlen, res.d_mlen, 4 * size)
+    backend.d2h(res, res.h_moff, res.d_moff, 4 * size)
+    backend.synchronize(res)
+    mlen = res.h_mlen.array.view(np.int32)
+    moff = res.h_moff.array.view(np.int32)
+    results = []
+    for k in range(batch.n_blocks):
+        s, e = bounds[k], bounds[k + 1]
+        original = batch.data[s:e]
+        if item.dup_flags[k]:
+            results.append((item.digests[k], original, None))
+        else:
+            blocks = encode_from_matches(batch.data, [s, e], mlen, moff)
+            results.append((item.digests[k], original, blocks[0]))
+    item.results = results
+    res.free()
+    item.res = None
+    return item
+
+
+def stage5_write(item: _Item, writer: StreamWriter) -> None:
+    writer.write(item.results)
+
+
+# ---------------------------------------------------------------------------
+# SPar pipeline (Fig. 3)
+# ---------------------------------------------------------------------------
+
+@parallelize
+def _spar_dedup_gpu(batches, n_batches, n_gpus, backend, store, writer, replicas):
+    with ToStream(Input('batches', 'n_batches', 'n_gpus', 'backend',
+                        'store', 'writer')):
+        for bi in range(n_batches):
+            batch = batches[bi]
+            charge_cpu('rabin_byte', len(batch.data))
+            item = _Item(batch=batch, device_index=bi % n_gpus)
+            with Stage(Input('item'), Output('item'), Replicate('replicas')):
+                item = stage2_sha1(item, backend)
+            with Stage(Input('item'), Output('item')):
+                item = stage3_dupcheck(item, store)
+            with Stage(Input('item'), Output('item')):
+                item = stage4_compress(item, backend)
+            with Stage(Input('item')):
+                stage5_write(item, writer)
+
+
+# ---------------------------------------------------------------------------
+# single-CPU-thread version (standalone CUDA / OpenCL bars of Fig. 5)
+# ---------------------------------------------------------------------------
+
+def _dedup_single_thread(batches: List[Batch], cfg: GpuDedupConfig,
+                         backend: _Backend, store: ChunkStore,
+                         writer: StreamWriter) -> None:
+    slots: List[Optional[_Item]] = [None] * cfg.mem_spaces
+    for bi, batch in enumerate(batches):
+        charge_cpu("rabin_byte", len(batch.data))
+        si = bi % cfg.mem_spaces
+        if slots[si] is not None:
+            _finish_single(slots[si], backend, store, writer)
+            slots[si] = None
+        item = _Item(batch=batch, device_index=0)
+        item = stage2_sha1(item, backend)
+        # issue the compression kernel right away so the next batch's CPU
+        # work overlaps it (the double-buffering benefit)
+        if cfg.batch_opt:
+            backend.launch_findmatch(item.res, len(batch.data), batch.n_blocks)
+        else:
+            backend.launch_findmatch_per_block(item.res, batch.block_bounds)
+        backend.d2h(item.res, item.res.h_mlen, item.res.d_mlen, 4 * len(batch.data))
+        backend.d2h(item.res, item.res.h_moff, item.res.d_moff, 4 * len(batch.data))
+        slots[si] = item
+    # drain leftovers in *stream* order (slot order is rotation order and
+    # would scramble the writer when the batch count is not a multiple
+    # of mem_spaces)
+    for item in sorted((i for i in slots if i is not None),
+                       key=lambda i: i.batch.index):
+        _finish_single(item, backend, store, writer)
+
+
+def _finish_single(item: _Item, backend: _Backend, store: ChunkStore,
+                   writer: StreamWriter) -> None:
+    item = stage3_dupcheck(item, store)
+    batch = item.batch
+    res = item.res
+    backend.synchronize(res)
+    mlen = res.h_mlen.array.view(np.int32)
+    moff = res.h_moff.array.view(np.int32)
+    bounds = batch.block_bounds
+    results = []
+    for k in range(batch.n_blocks):
+        s, e = bounds[k], bounds[k + 1]
+        original = batch.data[s:e]
+        if item.dup_flags[k]:
+            results.append((item.digests[k], original, None))
+        else:
+            blocks = encode_from_matches(batch.data, [s, e], mlen, moff)
+            results.append((item.digests[k], original, blocks[0]))
+    res.free()
+    item.res = None
+    writer.write(results)
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def dedup_gpu(data: bytes, cfg: GpuDedupConfig,
+              machine: Optional[MachineSpec] = None,
+              chunker=None,
+              exec_config: Optional[ExecConfig] = None,
+              prechunked: Optional[List[Batch]] = None) -> DedupOutcome:
+    m = machine if machine is not None else paper_machine(cfg.n_gpus)
+    ck = chunker if chunker is not None else GearChunker()
+    batches = prechunked if prechunked is not None else make_batches(
+        data, ck, batch_size=cfg.batch_size)
+    backend = _Backend(cfg, m)
+    store = ChunkStore()
+    writer = StreamWriter()
+
+    if cfg.model == "single":
+        cursor = WorkCursor(0.0, cpu_spec=m.cpu, thread_id="dedup-single")
+        with use_cursor(cursor):
+            _dedup_single_thread(batches, cfg, backend, store, writer)
+        outcome = DedupOutcome(archive=writer.archive, result=None, store=store,
+                               details={"elapsed": cursor.now})
+        return outcome
+
+    _spar_dedup_gpu(batches, len(batches), cfg.n_gpus, backend, store, writer,
+                    cfg.replicas, _spar_config=exec_config)
+    return DedupOutcome(archive=writer.archive, result=_spar_dedup_gpu.last_run,
+                        store=store)

@@ -1,0 +1,94 @@
+"""Canonical match semantics for LZSS (CPU and GPU paths must agree).
+
+Given a position inside a block, the match is the **longest, then
+leftmost** occurrence that
+
+* starts inside the sliding window (at most ``WINDOW_SIZE`` bytes back)
+  and not before the block start (matches never cross Dedup block
+  boundaries — the whole point of ``startPos`` in Listing 3),
+* ends strictly before the current position (no self-overlap:
+  Listing 3's ``current + j < thisBatchI`` bound),
+* is between ``MIN_MATCH`` and ``MAX_CODED`` bytes, truncated at the
+  block end.
+
+Two implementations: a transparent brute-force scan (the reference, and
+the loop structure whose operation count the GPU cost model prices) and
+a fast equivalent using ``bytes.find`` with binary search on the match
+length (``find`` returns the *leftmost* occurrence, which preserves the
+tie-break).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.apps.lzss.format import MAX_CODED, MIN_MATCH, WINDOW_SIZE
+
+
+def find_longest_match_bruteforce(data: bytes, pos: int, block_start: int,
+                                  block_end: int) -> Tuple[int, int]:
+    """Reference scan; returns (length, distance) or (0, 0)."""
+    max_len = min(MAX_CODED, block_end - pos)
+    if max_len < MIN_MATCH:
+        return 0, 0
+    win_start = max(block_start, pos - WINDOW_SIZE)
+    best_len = 0
+    best_start = -1
+    for start in range(win_start, pos):
+        limit = min(max_len, pos - start)  # source must end before pos
+        if limit <= best_len:
+            break  # remaining candidates can only be shorter
+        length = 0
+        while length < limit and data[start + length] == data[pos + length]:
+            length += 1
+        if length > best_len:
+            best_len = length
+            best_start = start
+    if best_len < MIN_MATCH:
+        return 0, 0
+    return best_len, pos - best_start
+
+
+def find_longest_match(data: bytes, pos: int, block_start: int,
+                       block_end: int) -> Tuple[int, int]:
+    """Fast longest-leftmost match; equivalent to the brute-force scan.
+
+    Binary-searches the achievable length: a match of length L exists
+    iff ``data.find(data[pos:pos+L], win_start, pos - L + L)`` lands at
+    most at ``pos - L`` (source must end before ``pos``).  ``find`` is
+    leftmost, so for the final length the tie-break matches the
+    reference.
+    """
+    max_len = min(MAX_CODED, block_end - pos)
+    if max_len < MIN_MATCH:
+        return 0, 0
+    win_start = max(block_start, pos - WINDOW_SIZE)
+    if win_start >= pos:
+        return 0, 0
+
+    def locate(length: int) -> int:
+        """Leftmost start of a non-overlapping match of ``length``, or -1."""
+        if pos - win_start < length:
+            return -1
+        idx = data.find(data[pos:pos + length], win_start, pos)
+        # find's end bound limits the *end* of the needle: occurrences
+        # ending after pos would overlap; the end=pos argument already
+        # enforces start + length <= pos.
+        return idx if idx >= 0 else -1
+
+    if locate(MIN_MATCH) < 0:
+        return 0, 0
+    lo, hi = MIN_MATCH, max_len  # lo is always achievable
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if locate(mid) >= 0:
+            lo = mid
+        else:
+            hi = mid - 1
+    start = locate(lo)
+    return lo, pos - start
+
+
+def bruteforce_scan_ops(pos: int, block_start: int) -> int:
+    """Operation count of the window scan at ``pos`` (for cost models)."""
+    return min(pos - block_start, WINDOW_SIZE)

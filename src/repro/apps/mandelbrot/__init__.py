@@ -1,0 +1,48 @@
+"""Mandelbrot Streaming (Section IV-A).
+
+The fractal is computed one image line per stream item.  Variants:
+
+* :mod:`~repro.apps.mandelbrot.sequential` — the reference computation
+  (scalar Listing-1 semantics and its vectorized equivalent);
+* :mod:`~repro.apps.mandelbrot.streaming` — SPar, TBB and FastFlow
+  3-stage pipelines (emit line -> compute -> ShowLine);
+* :mod:`~repro.apps.mandelbrot.gpu_single` — single-CPU-thread CUDA and
+  OpenCL versions covering the whole Fig. 1 optimization ladder (naive
+  per-line kernel, 2D thread layout, 32-line batches, overlapped
+  transfers with 2x/4x memory spaces, multi-GPU round-robin);
+* :mod:`~repro.apps.mandelbrot.hybrid` — the multi-core x GPU
+  combinations of Fig. 4 (SPar/TBB/FastFlow x CUDA/OpenCL).
+
+Every variant produces a bit-identical fractal image.
+"""
+
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.sequential import (
+    mandelbrot_grid,
+    mandelbrot_line,
+    mandelbrot_sequential,
+    reference_line_scalar,
+    sequential_stats,
+)
+from repro.apps.mandelbrot.gpu_single import GpuVariant, run_gpu
+from repro.apps.mandelbrot.streaming import (
+    fastflow_mandelbrot,
+    spar_mandelbrot,
+    tbb_mandelbrot,
+)
+from repro.apps.mandelbrot.hybrid import hybrid_mandelbrot
+
+__all__ = [
+    "MandelParams",
+    "mandelbrot_grid",
+    "mandelbrot_line",
+    "mandelbrot_sequential",
+    "reference_line_scalar",
+    "sequential_stats",
+    "GpuVariant",
+    "run_gpu",
+    "spar_mandelbrot",
+    "tbb_mandelbrot",
+    "fastflow_mandelbrot",
+    "hybrid_mandelbrot",
+]

@@ -1,0 +1,274 @@
+"""Single-CPU-thread GPU Mandelbrot: the Fig. 1 optimization ladder.
+
+One code path drives every rung via :class:`GpuVariant`:
+
+=====================================  =======================================
+paper rung                             variant
+=====================================  =======================================
+"GPU 1D" (3.1x)                        ``GpuVariant(batch_size=1)``
+"GPU 2D" (1.6x)                        ``GpuVariant(batch_size=1, layout='2d')``
+"batch 32" (44-45x)                    ``GpuVariant(batch_size=32)``
+"2x mem. spaces" (67x)                 ``GpuVariant(batch_size=32, mem_spaces=2)``
+"4x mem. spaces" (74x)                 ``GpuVariant(batch_size=32, mem_spaces=4)``
+"2 GPUs, 1+1 space" (89x)              ``GpuVariant(batch_size=32, mem_spaces=2, n_gpus=2)``
+"2 GPUs, 2+2 spaces" (130-132x)        ``GpuVariant(batch_size=32, mem_spaces=4, n_gpus=2)``
+=====================================  =======================================
+
+``mem_spaces`` is the *total* number of host+device buffer pairs (the
+paper counts host memory multiples the same way); they are cycled
+round-robin across GPUs, each pair with its own stream / command queue.
+With a single pair every batch is processed synchronously (launch,
+copy back, show); with more pairs copies overlap compute and the CPU-side
+``ShowLine`` work overlaps the GPU, which is where the 45x -> 74x gain
+comes from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.mandelbrot.kernels import build_kernels
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.sequential import mandelbrot_grid, work_from_counts
+from repro.gpu.cuda import CudaRuntime, CudaStream
+from repro.gpu.opencl import OpenCLRuntime, wait_for_events
+from repro.sim.context import WorkCursor, use_cursor
+from repro.sim.machine import MachineSpec, paper_machine
+
+_BLOCK = 256
+
+
+@dataclass(frozen=True)
+class GpuVariant:
+    """One rung of the ladder."""
+
+    api: str = "cuda"          # 'cuda' | 'opencl'
+    layout: str = "1d"         # '1d' | '2d'
+    batch_size: int = 1        # fractal lines per kernel launch
+    mem_spaces: int = 1        # total host+device buffer pairs (all GPUs)
+    n_gpus: int = 1
+
+    def __post_init__(self) -> None:
+        if self.api not in ("cuda", "opencl"):
+            raise ValueError(f"unknown api {self.api!r}")
+        if self.layout not in ("1d", "2d"):
+            raise ValueError(f"unknown layout {self.layout!r}")
+        if self.batch_size < 1 or self.mem_spaces < 1 or self.n_gpus < 1:
+            raise ValueError("batch_size, mem_spaces and n_gpus must be >= 1")
+        if self.mem_spaces < self.n_gpus:
+            raise ValueError("need at least one memory space per GPU")
+
+    @property
+    def label(self) -> str:
+        bits = [self.api, self.layout if self.layout != "1d" else None,
+                f"batch{self.batch_size}" if self.batch_size > 1 else "per-line",
+                f"{self.mem_spaces}xmem" if self.mem_spaces > 1 else None,
+                f"{self.n_gpus}gpu" if self.n_gpus > 1 else None]
+        return " ".join(b for b in bits if b)
+
+    @property
+    def host_memory_multiplier(self) -> int:
+        """Host memory relative to the sequential version (paper metric)."""
+        return self.mem_spaces
+
+
+@dataclass
+class GpuRunOutcome:
+    image: np.ndarray
+    elapsed: float                      # virtual seconds (single CPU thread)
+    kernel_launches: int
+    host_bytes: int
+    device_bytes_per_gpu: int
+    details: dict = field(default_factory=dict)
+
+
+class _Slot:
+    """One memory space: device buffer + pinned host buffer + stream/queue."""
+
+    def __init__(self) -> None:
+        self.device_index = 0
+        self.dbuf = None
+        self.hbuf = None
+        self.stream: Optional[CudaStream] = None
+        self.queue = None           # OpenCL command queue
+        self.kernel_obj = None      # per-slot cl_kernel (not thread-safe)
+        self.read_event = None
+        self.inflight_batch: Optional[int] = None
+        self.inflight_rows: int = 0
+
+
+def _launch_geometry(variant: GpuVariant, dim: int):
+    if variant.layout == "1d":
+        total = variant.batch_size * dim
+        return (-(-total // _BLOCK),), (_BLOCK,)
+    # 2D: (32,32) blocks; grid x covers columns in 1024-wide tiles, grid y
+    # covers the lines of the batch.
+    return (-(-dim // 1024), variant.batch_size), (32, 32)
+
+
+def run_gpu(params: MandelParams, variant: GpuVariant,
+            machine: Optional[MachineSpec] = None) -> GpuRunOutcome:
+    """Run one ladder rung; returns the image plus virtual-time metrics."""
+    m = machine if machine is not None else paper_machine(variant.n_gpus)
+    if len(m.gpus) < variant.n_gpus:
+        raise ValueError(f"machine has {len(m.gpus)} GPUs, variant needs {variant.n_gpus}")
+    cursor = WorkCursor(0.0, cpu_spec=m.cpu, thread_id="gpu-main")
+    with use_cursor(cursor):
+        if variant.api == "cuda":
+            outcome = _run_cuda(params, variant, m, cursor)
+        else:
+            outcome = _run_opencl(params, variant, m, cursor)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# shared driver skeleton
+# ---------------------------------------------------------------------------
+
+def _show_lines(cursor: WorkCursor, image: np.ndarray, host: np.ndarray,
+                batch: int, rows: int, dim: int, batch_size: int) -> None:
+    """The collector work: copy lines out of the transfer buffer and
+    'display' them (the paper's ShowLine per line)."""
+    start = batch * batch_size
+    image[start:start + rows] = host[: rows * dim].reshape(rows, dim)
+    cursor.cpu("show_pixel", rows * dim)
+
+
+def _batch_arg_tuple(params: MandelParams, batch: int, variant: GpuVariant):
+    return (batch, variant.batch_size, params.dim, params.init_a,
+            params.init_b, params.step, params.niter)
+
+
+def _run_cuda(params: MandelParams, variant: GpuVariant, m: MachineSpec,
+              cursor: WorkCursor) -> GpuRunOutcome:
+    dim = params.dim
+    cuda = CudaRuntime(m)
+    kernel = build_kernels(params)[variant.layout]
+    grid, block = _launch_geometry(variant, dim)
+    buf_bytes = variant.batch_size * dim
+
+    slots: List[_Slot] = []
+    for s in range(variant.mem_spaces):
+        slot = _Slot()
+        slot.device_index = s % variant.n_gpus
+        cuda.set_device(slot.device_index)
+        # Allocating memory costs CPU time too (stage 1 in the pipelines).
+        cursor.cpu("memcpy_byte", buf_bytes)
+        slot.dbuf = cuda.malloc(buf_bytes)
+        slot.hbuf = cuda.malloc_host(buf_bytes)
+        slot.stream = cuda.stream_create()
+        slots.append(slot)
+
+    image = np.zeros((dim, dim), dtype=np.uint8)
+    n_batches = -(-dim // variant.batch_size)
+    for batch in range(n_batches):
+        slot = slots[batch % len(slots)]
+        if slot.inflight_batch is not None:
+            cuda.stream_synchronize(slot.stream)
+            _show_lines(cursor, image, slot.hbuf.array, slot.inflight_batch,
+                        slot.inflight_rows, dim, variant.batch_size)
+            slot.inflight_batch = None
+        cuda.set_device(slot.device_index)
+        rows = min(variant.batch_size, dim - batch * variant.batch_size)
+        cuda.launch(kernel, grid, block,
+                    *_batch_arg_tuple(params, batch, variant), slot.dbuf,
+                    stream=slot.stream)
+        cuda.memcpy_d2h_async(slot.hbuf, slot.dbuf, slot.stream)
+        slot.inflight_batch = batch
+        slot.inflight_rows = rows
+    for slot in slots:
+        if slot.inflight_batch is not None:
+            cuda.stream_synchronize(slot.stream)
+            _show_lines(cursor, image, slot.hbuf.array, slot.inflight_batch,
+                        slot.inflight_rows, dim, variant.batch_size)
+            slot.inflight_batch = None
+
+    launches = sum(d.kernel_launches for d in cuda.devices)
+    util = {f"gpu{d.index}_compute_util": d.compute.utilization(cursor.now)
+            for d in cuda.devices[: variant.n_gpus]}
+    return GpuRunOutcome(
+        image=image, elapsed=cursor.now, kernel_launches=launches,
+        host_bytes=buf_bytes * len(slots),
+        device_bytes_per_gpu=buf_bytes * max(
+            sum(1 for s in slots if s.device_index == g) for g in range(variant.n_gpus)
+        ),
+        details=util,
+    )
+
+
+def _run_opencl(params: MandelParams, variant: GpuVariant, m: MachineSpec,
+                cursor: WorkCursor) -> GpuRunOutcome:
+    dim = params.dim
+    ocl = OpenCLRuntime(m)
+    devices = ocl.get_platforms()[0].get_devices()[: variant.n_gpus]
+    ctx = ocl.create_context(devices)
+    kernel = build_kernels(params)[variant.layout]
+    program = ctx.create_program([kernel])
+    grid, block = _launch_geometry(variant, dim)
+    global_size = tuple(g * b for g, b in zip(grid, block))
+    buf_bytes = variant.batch_size * dim
+
+    slots: List[_Slot] = []
+    for s in range(variant.mem_spaces):
+        slot = _Slot()
+        slot.device_index = s % variant.n_gpus
+        dev = devices[slot.device_index]
+        cursor.cpu("memcpy_byte", buf_bytes)
+        slot.dbuf = ctx.create_buffer(buf_bytes, device=dev)
+        slot.hbuf = ctx.alloc_host(buf_bytes, pinned=True)
+        slot.queue = ctx.create_queue(dev)
+        slot.kernel_obj = program.create_kernel(kernel.name)
+        slots.append(slot)
+
+    image = np.zeros((dim, dim), dtype=np.uint8)
+    n_batches = -(-dim // variant.batch_size)
+    for batch in range(n_batches):
+        slot = slots[batch % len(slots)]
+        if slot.inflight_batch is not None:
+            wait_for_events([slot.read_event])
+            _show_lines(cursor, image, slot.hbuf.array, slot.inflight_batch,
+                        slot.inflight_rows, dim, variant.batch_size)
+            slot.inflight_batch = None
+        rows = min(variant.batch_size, dim - batch * variant.batch_size)
+        k = slot.kernel_obj
+        for idx, val in enumerate(_batch_arg_tuple(params, batch, variant)):
+            k.set_arg(idx, val)
+        k.set_arg(7, slot.dbuf)
+        slot.queue.enqueue_nd_range_kernel(k, global_size, block)
+        slot.read_event = slot.queue.enqueue_read_buffer(
+            slot.hbuf, slot.dbuf, blocking=False)
+        slot.inflight_batch = batch
+        slot.inflight_rows = rows
+    for slot in slots:
+        if slot.inflight_batch is not None:
+            wait_for_events([slot.read_event])
+            _show_lines(cursor, image, slot.hbuf.array, slot.inflight_batch,
+                        slot.inflight_rows, dim, variant.batch_size)
+            slot.inflight_batch = None
+
+    gpus = [d.gpu for d in devices]
+    launches = sum(g.kernel_launches for g in gpus)
+    util = {f"gpu{g.index}_compute_util": g.compute.utilization(cursor.now)
+            for g in gpus}
+    return GpuRunOutcome(
+        image=image, elapsed=cursor.now, kernel_launches=launches,
+        host_bytes=buf_bytes * len(slots),
+        device_bytes_per_gpu=buf_bytes * max(
+            sum(1 for s in slots if s.device_index == g) for g in range(variant.n_gpus)
+        ),
+        details=util,
+    )
+
+
+def sequential_virtual_time(params: MandelParams,
+                            machine: Optional[MachineSpec] = None) -> float:
+    """Virtual seconds of the sequential program on the modeled CPU
+    (compute every pixel on one thread, then show every line)."""
+    m = machine if machine is not None else paper_machine(1)
+    work = work_from_counts(mandelbrot_grid(params), params.niter)
+    compute = m.cpu.seconds("mandel_iter", float(work.sum()))
+    show = m.cpu.seconds("show_pixel", params.dim * params.dim)
+    return compute + show

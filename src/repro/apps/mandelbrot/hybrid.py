@@ -1,0 +1,277 @@
+"""Multi-core x GPU Mandelbrot: the Fig. 4 hybrid combinations.
+
+The paper's structure for every combination (Section IV-A, last
+paragraphs): the first stage allocates the per-item GPU resources and
+puts them *on the stream item* — a ``cudaStream`` (CUDA) or a
+``cl_kernel`` + ``cl_command_queue`` pair (OpenCL, because ``cl_kernel``
+objects are not thread-safe); the replicated middle stage calls
+``cudaSetDevice`` (thread-side effects!), launches the kernel and starts
+an asynchronous device-to-host copy; the last stage synchronizes
+(``cudaStreamSynchronize`` / ``clWaitForEvents``), shows the lines and
+releases the memory.  Items are 32-line batches (the Fig. 1 lesson) and
+devices are assigned round-robin for multi-GPU.
+
+``hybrid_mandelbrot`` runs any of the six model x API combinations on
+the same helper, so outputs are bit-identical across all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.mandelbrot.kernels import build_kernels
+from repro.apps.mandelbrot.params import MandelParams
+from repro.core.config import ExecConfig
+from repro.core.metrics import RunResult
+from repro.fastflow import EOS, ff_node, ff_ofarm, ff_pipeline
+from repro.gpu.cuda import CudaRuntime
+from repro.gpu.opencl import OpenCLRuntime, wait_for_events
+from repro.sim.context import charge_cpu
+from repro.sim.machine import MachineSpec, paper_machine
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+from repro.tbb import filter_mode, make_filter, parallel_pipeline
+
+_BLOCK = 256
+
+
+@dataclass
+class _BatchItem:
+    """One stream item: a batch of fractal lines plus its GPU resources."""
+
+    batch: int
+    rows: int
+    device_index: int
+    dbuf: Any
+    hbuf: Any
+    stream: Any = None        # CUDA stream
+    queue: Any = None         # OpenCL command queue
+    kernel_obj: Any = None    # per-item cl_kernel (not thread-safe)
+    read_event: Any = None
+
+
+class _CudaHelper:
+    """The CUDA-side of every hybrid pipeline."""
+
+    def __init__(self, params: MandelParams, machine: MachineSpec, n_gpus: int,
+                 batch_size: int):
+        self.params = params
+        self.batch_size = batch_size
+        self.n_gpus = n_gpus
+        self.cuda = CudaRuntime(machine)
+        self.kernel = build_kernels(params)["1d"]
+        self.buf_bytes = batch_size * params.dim
+        self.n_batches = -(-params.dim // batch_size)
+
+    def make_item(self, batch: int) -> _BatchItem:
+        dim = self.params.dim
+        dev = batch % self.n_gpus
+        self.cuda.set_device(dev)
+        charge_cpu("memcpy_byte", self.buf_bytes)
+        return _BatchItem(
+            batch=batch,
+            rows=min(self.batch_size, dim - batch * self.batch_size),
+            device_index=dev,
+            dbuf=self.cuda.malloc(self.buf_bytes),
+            hbuf=self.cuda.malloc_host(self.buf_bytes),
+            stream=self.cuda.stream_create(),
+        )
+
+    def compute(self, item: _BatchItem) -> _BatchItem:
+        p = self.params
+        self.cuda.set_device(item.device_index)
+        grid = -(-self.batch_size * p.dim // _BLOCK)
+        self.cuda.launch(self.kernel, grid, _BLOCK,
+                         item.batch, self.batch_size, p.dim, p.init_a,
+                         p.init_b, p.step, p.niter, item.dbuf,
+                         stream=item.stream)
+        self.cuda.memcpy_d2h_async(item.hbuf, item.dbuf, item.stream)
+        return item
+
+    def finish(self, item: _BatchItem, image: np.ndarray) -> None:
+        p = self.params
+        self.cuda.stream_synchronize(item.stream)
+        start = item.batch * self.batch_size
+        image[start:start + item.rows] = (
+            item.hbuf.array[: item.rows * p.dim].reshape(item.rows, p.dim))
+        charge_cpu("show_pixel", item.rows * p.dim)
+        item.dbuf.free()
+        item.hbuf.free()
+
+
+class _OpenCLHelper:
+    """The OpenCL side: per-item cl_kernel and command queue."""
+
+    def __init__(self, params: MandelParams, machine: MachineSpec, n_gpus: int,
+                 batch_size: int):
+        self.params = params
+        self.batch_size = batch_size
+        self.n_gpus = n_gpus
+        self.ocl = OpenCLRuntime(machine)
+        self.devices = self.ocl.get_platforms()[0].get_devices()[:n_gpus]
+        self.ctx = self.ocl.create_context(self.devices)
+        self.kernel = build_kernels(params)["1d"]
+        self.program = self.ctx.create_program([self.kernel])
+        self.buf_bytes = batch_size * params.dim
+        self.n_batches = -(-params.dim // batch_size)
+
+    def make_item(self, batch: int) -> _BatchItem:
+        dim = self.params.dim
+        dev = batch % self.n_gpus
+        charge_cpu("memcpy_byte", self.buf_bytes)
+        return _BatchItem(
+            batch=batch,
+            rows=min(self.batch_size, dim - batch * self.batch_size),
+            device_index=dev,
+            dbuf=self.ctx.create_buffer(self.buf_bytes, device=self.devices[dev]),
+            hbuf=self.ctx.alloc_host(self.buf_bytes, pinned=True),
+            queue=self.ctx.create_queue(self.devices[dev]),
+            kernel_obj=self.program.create_kernel(self.kernel.name),
+        )
+
+    def compute(self, item: _BatchItem) -> _BatchItem:
+        p = self.params
+        k = item.kernel_obj
+        for idx, val in enumerate((item.batch, self.batch_size, p.dim,
+                                   p.init_a, p.init_b, p.step, p.niter)):
+            k.set_arg(idx, val)
+        k.set_arg(7, item.dbuf)
+        gsize = -(-self.batch_size * p.dim // _BLOCK) * _BLOCK
+        item.queue.enqueue_nd_range_kernel(k, gsize, _BLOCK)
+        item.read_event = item.queue.enqueue_read_buffer(
+            item.hbuf, item.dbuf, blocking=False)
+        return item
+
+    def finish(self, item: _BatchItem, image: np.ndarray) -> None:
+        p = self.params
+        wait_for_events([item.read_event])
+        start = item.batch * self.batch_size
+        image[start:start + item.rows] = (
+            item.hbuf.array[: item.rows * p.dim].reshape(item.rows, p.dim))
+        charge_cpu("show_pixel", item.rows * p.dim)
+        item.dbuf.release()
+        item.hbuf.free()
+
+
+# ---------------------------------------------------------------------------
+# SPar hybrid (annotations + GPU code in the stage bodies, Section IV-A)
+# ---------------------------------------------------------------------------
+
+@parallelize
+def _spar_mandel_gpu(helper, image, n_batches, workers):
+    with ToStream(Input('helper', 'image', 'n_batches')):
+        for b in range(n_batches):
+            item = helper.make_item(b)
+            with Stage(Input('item'), Output('item'), Replicate('workers')):
+                item = helper.compute(item)
+            with Stage(Input('item')):
+                helper.finish(item, image)
+
+
+# ---------------------------------------------------------------------------
+# FastFlow hybrid
+# ---------------------------------------------------------------------------
+
+class _FFGpuEmit(ff_node):
+    def __init__(self, helper):
+        super().__init__()
+        self.helper = helper
+        self.b = 0
+
+    def svc(self, _):
+        if self.b >= self.helper.n_batches:
+            return EOS
+        item = self.helper.make_item(self.b)
+        self.b += 1
+        return item
+
+
+class _FFGpuWorker(ff_node):
+    def __init__(self, helper):
+        super().__init__()
+        self.helper = helper
+
+    def svc(self, item):
+        return self.helper.compute(item)
+
+
+class _FFGpuShow(ff_node):
+    def __init__(self, helper, image):
+        super().__init__()
+        self.helper = helper
+        self.image = image
+
+    def svc(self, item):
+        self.helper.finish(item, self.image)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def hybrid_mandelbrot(params: MandelParams, model: str, api: str,
+                      workers: int = 10, n_gpus: int = 1,
+                      batch_size: int = 32,
+                      tokens: Optional[int] = None,
+                      machine: Optional[MachineSpec] = None,
+                      config: Optional[ExecConfig] = None
+                      ) -> Tuple[np.ndarray, RunResult]:
+    """Run one Fig. 4 combination: ``model`` in {'spar','tbb','fastflow'},
+    ``api`` in {'cuda','opencl'}.  ``tokens`` defaults to the paper's GPU
+    tuning (5 x workers) for TBB."""
+    m = machine if machine is not None else paper_machine(n_gpus)
+    if api == "cuda":
+        helper = _CudaHelper(params, m, n_gpus, batch_size)
+    elif api == "opencl":
+        helper = _OpenCLHelper(params, m, n_gpus, batch_size)
+    else:
+        raise ValueError(f"unknown api {api!r}")
+    image = np.zeros((params.dim, params.dim), dtype=np.uint8)
+
+    if model == "spar":
+        _spar_mandel_gpu(helper, image, helper.n_batches, workers,
+                         _spar_config=config)
+        result = _spar_mandel_gpu.last_run
+    elif model == "fastflow":
+        pipe = ff_pipeline(
+            _FFGpuEmit(helper),
+            ff_ofarm(lambda: _FFGpuWorker(helper), replicas=workers,
+                     name="gpu_farm"),
+            _FFGpuShow(helper, image),
+            name=f"ff_mandel_{api}",
+        )
+        result = pipe.run_and_wait_end(config)
+    elif model == "tbb":
+        live = tokens if tokens is not None else 5 * workers
+        counter = iter(range(helper.n_batches))
+
+        def source(fc):
+            try:
+                b = next(counter)
+            except StopIteration:
+                fc.stop()
+                return None
+            return helper.make_item(b)
+
+        def middle(item):
+            return helper.compute(item)
+
+        def show(item):
+            helper.finish(item, image)
+            return None
+
+        result = parallel_pipeline(
+            live,
+            make_filter(filter_mode.serial_in_order, source, name="emit"),
+            make_filter(filter_mode.parallel, middle, name="gpu"),
+            make_filter(filter_mode.serial_in_order, show, name="show"),
+            config=config,
+            parallelism=workers,
+            name=f"tbb_mandel_{api}",
+        )
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    return image, result

@@ -1,0 +1,86 @@
+"""GPU kernels for Mandelbrot Streaming (Listing 2 and the 2D layout).
+
+``build_kernels(params)`` returns the two device functions:
+
+* ``mandel_kernel`` — Listing 2 verbatim: a 1D launch where each thread
+  derives ``i_batch``, the fractal line ``i`` and the column ``j`` from
+  its global id, computes one pixel and stores it at
+  ``img[i_batch*dim + j]``.  Uses 18 registers (the paper checks this
+  does not limit occupancy).
+* ``mandel_kernel_2d`` — the "more dimensions" variant the paper tried
+  first (worse: 1.6x vs 3.1x): a (16,16) block layout whose warp lanes
+  map to *strided* columns (``j = blockStart + tx*16 + ty``), so the 32
+  pixels sharing a warp are spread across the line and diverge far more
+  than 32 adjacent pixels do.  The cost model prices exactly that
+  divergence (warp cost = max lane).
+
+Both kernels read the memoized escape grid of
+:mod:`repro.apps.mandelbrot.sequential` (the factory closes over
+``params`` for the lookup; all Listing-2 arguments are still passed and
+used for the index arithmetic), so results match every other variant
+bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.sequential import (
+    colors_from_counts,
+    mandelbrot_grid,
+    work_from_counts,
+)
+from repro.gpu.kernel import Kernel, KernelWork, ThreadSpace
+from repro.gpu.memory import DeviceBuffer
+
+#: reported by nvcc for Listing 2 (Section IV-A)
+MANDEL_KERNEL_REGISTERS = 18
+
+
+def build_kernels(params: MandelParams) -> Dict[str, Kernel]:
+    grid_counts = mandelbrot_grid(params)
+
+    def _store(img: DeviceBuffer, dest_idx: np.ndarray, i: np.ndarray,
+               j: np.ndarray, niter: int, n_lanes: int,
+               valid: np.ndarray) -> KernelWork:
+        work = np.zeros(n_lanes, dtype=np.float64)
+        iv = i[valid]
+        jv = j[valid]
+        counts = grid_counts[iv, jv]
+        img.view(np.uint8)[dest_idx[valid]] = colors_from_counts(counts, niter)
+        work[valid] = work_from_counts(counts, niter)
+        return KernelWork("mandel_iter", work)
+
+    def mandel_kernel(ts: ThreadSpace, batch: int, batch_size: int, dim: int,
+                      init_a: float, init_b: float, step: float, niter: int,
+                      img: DeviceBuffer) -> KernelWork:
+        tid = ts.flat_global_id()
+        i_batch = tid // dim
+        i = batch * batch_size + i_batch
+        j = tid - i_batch * dim
+        valid = (i < dim) & (j < dim) & (i_batch < batch_size)
+        return _store(img, i_batch * dim + j, i, j, niter, ts.n, valid)
+
+    def mandel_kernel_2d(ts: ThreadSpace, batch: int, batch_size: int, dim: int,
+                         init_a: float, init_b: float, step: float, niter: int,
+                         img: DeviceBuffer) -> KernelWork:
+        # (32,32) blocks; each block covers 1024 consecutive columns of one
+        # line but lanes walk them with stride 32 (transposed indexing), so
+        # a warp's 32 pixels span the whole tile and diverge maximally.
+        tx = ts.thread_idx(0)
+        ty = ts.thread_idx(1)
+        col = ts.block_idx(0) * 1024 + tx * 32 + ty
+        i_batch = ts.block_idx(1)
+        i = batch * batch_size + i_batch
+        valid = (i < dim) & (col < dim) & (i_batch < batch_size)
+        return _store(img, i_batch * dim + col, i, col, niter, ts.n, valid)
+
+    return {
+        "1d": Kernel(mandel_kernel, name="mandel_kernel",
+                     registers_per_thread=MANDEL_KERNEL_REGISTERS),
+        "2d": Kernel(mandel_kernel_2d, name="mandel_kernel_2d",
+                     registers_per_thread=MANDEL_KERNEL_REGISTERS),
+    }

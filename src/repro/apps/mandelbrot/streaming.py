@@ -1,0 +1,169 @@
+"""CPU-only Mandelbrot Streaming pipelines: SPar, TBB, FastFlow.
+
+All three implement the paper's 3-stage shape: stage 1 manages the
+stream and allocates memory (the emitter), the replicated middle stage
+computes one fractal line per item, and the last stage shows lines in
+order (``ShowLine``).  The SPar version is Listing 1 translated to the
+Python dialect and compiled by :func:`repro.spar.parallelize`; the TBB
+version uses ``parallel_pipeline`` filters with live tokens; the
+FastFlow version composes ``ff_node``s with an ordered farm built from
+"a vector of instances of the stage class".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.sequential import mandelbrot_line
+from repro.core.config import ExecConfig
+from repro.core.items import EOS as CORE_EOS
+from repro.core.metrics import RunResult
+from repro.fastflow import EOS, ff_node, ff_ofarm, ff_pipeline
+from repro.sim.context import charge_cpu
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+from repro.tbb import filter_mode, make_filter, parallel_pipeline
+
+
+# ---------------------------------------------------------------------------
+# shared stage bodies (identical math in all three models)
+# ---------------------------------------------------------------------------
+
+def compute_line(params: MandelParams, i: int) -> np.ndarray:
+    """Middle-stage body: compute fractal line ``i`` and charge its cost."""
+    line, work = mandelbrot_line(params, i)
+    charge_cpu("mandel_iter", float(work.sum()))
+    return line
+
+
+def show_line(image: np.ndarray, line: np.ndarray, i: int) -> None:
+    """Last-stage body: 'display' the line (write into the image)."""
+    image[i] = line
+    charge_cpu("show_pixel", line.size)
+
+
+def _alloc_charge(dim: int) -> None:
+    """Stage-1 memory management cost per stream item."""
+    charge_cpu("memcpy_byte", dim)
+
+
+# ---------------------------------------------------------------------------
+# SPar (Listing 1)
+# ---------------------------------------------------------------------------
+
+@parallelize
+def _spar_mandel(params, dim, image, workers):
+    with ToStream(Input('params', 'dim', 'image')):
+        for i in range(dim):
+            _alloc_charge(dim)
+            with Stage(Input('i'), Output('line', 'i'), Replicate('workers')):
+                line = compute_line(params, i)
+            with Stage(Input('line', 'i')):
+                show_line(image, line, i)
+
+
+def spar_mandelbrot(params: MandelParams, workers: int,
+                    config: Optional[ExecConfig] = None
+                    ) -> Tuple[np.ndarray, RunResult]:
+    image = np.zeros((params.dim, params.dim), dtype=np.uint8)
+    _spar_mandel(params, params.dim, image, workers, _spar_config=config)
+    return image, _spar_mandel.last_run
+
+
+# ---------------------------------------------------------------------------
+# FastFlow
+# ---------------------------------------------------------------------------
+
+class _FFEmit(ff_node):
+    def __init__(self, params: MandelParams):
+        super().__init__()
+        self.params = params
+        self.i = 0
+
+    def svc(self, _):
+        if self.i >= self.params.dim:
+            return EOS
+        _alloc_charge(self.params.dim)
+        i = self.i
+        self.i += 1
+        return i
+
+
+class _FFWorker(ff_node):
+    def __init__(self, params: MandelParams):
+        super().__init__()
+        self.params = params
+
+    def svc(self, i: int):
+        return (compute_line(self.params, i), i)
+
+
+class _FFShow(ff_node):
+    def __init__(self, image: np.ndarray):
+        super().__init__()
+        self.image = image
+
+    def svc(self, item):
+        line, i = item
+        show_line(self.image, line, i)
+        return None
+
+
+def fastflow_mandelbrot(params: MandelParams, workers: int,
+                        config: Optional[ExecConfig] = None
+                        ) -> Tuple[np.ndarray, RunResult]:
+    image = np.zeros((params.dim, params.dim), dtype=np.uint8)
+    # The paper builds "a vector of instances of the stage class".
+    worker_vector = [_FFWorker(params) for _ in range(workers)]
+    pipe = ff_pipeline(
+        _FFEmit(params),
+        ff_ofarm(worker_vector, name="mandel_farm"),
+        _FFShow(image),
+        name="ff_mandelbrot",
+    )
+    result = pipe.run_and_wait_end(config)
+    return image, result
+
+
+# ---------------------------------------------------------------------------
+# TBB
+# ---------------------------------------------------------------------------
+
+def tbb_mandelbrot(params: MandelParams, workers: int,
+                   tokens: Optional[int] = None,
+                   config: Optional[ExecConfig] = None
+                   ) -> Tuple[np.ndarray, RunResult]:
+    """TBB pipeline; the paper tuned ``tokens`` to 2 x workers on CPU."""
+    image = np.zeros((params.dim, params.dim), dtype=np.uint8)
+    live_tokens = tokens if tokens is not None else 2 * workers
+    counter = iter(range(params.dim))
+
+    def source(fc):
+        try:
+            i = next(counter)
+        except StopIteration:
+            fc.stop()
+            return None
+        _alloc_charge(params.dim)
+        return i
+
+    def middle(i: int):
+        return (compute_line(params, i), i)
+
+    def show(item):
+        line, i = item
+        show_line(image, line, i)
+        return None
+
+    result = parallel_pipeline(
+        live_tokens,
+        make_filter(filter_mode.serial_in_order, source, name="emit"),
+        make_filter(filter_mode.parallel, middle, name="mandel"),
+        make_filter(filter_mode.serial_in_order, show, name="show"),
+        config=config,
+        parallelism=workers,
+        name="tbb_mandelbrot",
+    )
+    return image, result

@@ -1,0 +1,47 @@
+"""Core stream-processing runtime shared by the programming-model facades.
+
+The FastFlow, TBB and SPar front-ends (:mod:`repro.fastflow`,
+:mod:`repro.tbb`, :mod:`repro.spar`) all lower to the pipeline graph
+defined here.  A graph is a linear chain: one source followed by stages,
+any of which may be replicated (a *farm* in FastFlow terms, a *parallel
+filter* in TBB terms, ``spar::Replicate`` in SPar terms).
+
+Graphs run on one of two executors sharing identical semantics:
+
+* :class:`~repro.core.executor_native.NativeExecutor` — real Python
+  threads and bounded queues; used for functional testing and genuinely
+  concurrent runs.
+* :class:`~repro.core.executor_sim.SimExecutor` — the virtual-time
+  discrete-event engine of :mod:`repro.sim`; used by the benchmark
+  harness to reproduce the paper's figures on the modeled testbed.
+"""
+
+from repro.core.items import EOS, Multi, is_eos
+from repro.core.stage import FunctionStage, IterSource, Source, Stage, StageContext
+from repro.core.graph import PipelineGraph, SourceSpec, StageSpec, linear_graph
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.metrics import RunResult, StageMetrics
+from repro.core.ordering import ReorderBuffer
+from repro.core.run import run_graph
+
+__all__ = [
+    "EOS",
+    "Multi",
+    "is_eos",
+    "Stage",
+    "FunctionStage",
+    "Source",
+    "IterSource",
+    "StageContext",
+    "PipelineGraph",
+    "linear_graph",
+    "StageSpec",
+    "SourceSpec",
+    "ExecConfig",
+    "ExecMode",
+    "Scheduling",
+    "RunResult",
+    "StageMetrics",
+    "ReorderBuffer",
+    "run_graph",
+]

@@ -1,0 +1,50 @@
+"""Execution configuration shared by both executors."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.machine import MachineSpec, PAPER_MACHINE
+
+
+class ExecMode(enum.Enum):
+    """How a pipeline graph is driven."""
+
+    NATIVE = "native"        #: real Python threads (functional runs, tests)
+    SIMULATED = "simulated"  #: virtual-time discrete-event engine (figures)
+
+
+class Scheduling(enum.Enum):
+    """Farm emitter policy for replicated stages."""
+
+    ROUND_ROBIN = "rr"       #: FastFlow default: per-worker SPSC queues
+    ON_DEMAND = "ondemand"   #: shared queue; idle worker takes next item
+
+
+@dataclass
+class ExecConfig:
+    """Knobs common to the FastFlow/TBB/SPar lowerings.
+
+    ``max_tokens`` models TBB's ``max_number_of_live_tokens``: the source
+    is throttled so at most that many items are in flight; ``None`` means
+    no token limit (FastFlow relies on bounded queues instead).
+    """
+
+    mode: ExecMode = ExecMode.NATIVE
+    queue_capacity: int = 512
+    max_tokens: Optional[int] = None
+    scheduling: Scheduling = Scheduling.ROUND_ROBIN
+    #: FastFlow blocking vs non-blocking (spinning) queue mode.  Spinning
+    #: costs virtual CPU but reduces per-item hand-off latency.
+    blocking: bool = True
+    machine: MachineSpec = field(default_factory=lambda: PAPER_MACHINE)
+    #: collect payloads flowing out of the last stage into RunResult.outputs
+    collect_outputs: bool = True
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_tokens is not None and self.max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1 or None")

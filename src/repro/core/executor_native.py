@@ -1,0 +1,400 @@
+"""Threaded executor: runs a pipeline graph on real Python threads.
+
+Lowering (mirrors FastFlow's): one thread for the source, one per stage
+replica, plus an implicit *sequencer* thread between two consecutive
+replicated stages when the upstream one is ordered.  Edges are bounded
+queues; a replicated stage's input edge is either one shared queue
+(on-demand scheduling) or one queue per replica fed round-robin.
+
+Internal protocol: payloads travel in :class:`Env` envelopes —
+``(seq, payloads_tuple)``.  Every stage consumes one envelope and emits
+exactly one (or none, when all its payloads were filtered), so TBB-style
+token accounting is exact: a token is acquired per envelope at the
+source, transferred downstream, and released when the envelope is
+filtered or leaves the last stage.
+
+Failure semantics: an exception in any stage aborts the whole run; all
+threads are unblocked via polling puts/gets and the original exception
+is re-raised from :meth:`NativeExecutor.run`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from typing import Any, List, Optional, Sequence
+
+from repro.core.config import ExecConfig, Scheduling
+from repro.core.graph import PipelineGraph, StageSpec
+from repro.core.items import EOS, Multi
+from repro.core.metrics import RunResult, StageMetrics
+from repro.core.ordering import SimpleReorderBuffer
+from repro.core.stage import StageContext
+
+_POLL = 0.05
+
+
+class PipelineAborted(RuntimeError):
+    """Internal signal: another thread failed; unwind quietly."""
+
+
+class Env:
+    """Envelope: ordered unit of flow between stages."""
+
+    __slots__ = ("seq", "payloads", "tokened")
+
+    def __init__(self, seq: int, payloads: Sequence[Any], tokened: bool = True):
+        self.seq = seq
+        self.payloads = tuple(payloads)
+        self.tokened = tokened
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Env(seq={self.seq}, n={len(self.payloads)})"
+
+
+class _ErrorBox:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.error: Optional[BaseException] = None
+        self.failed = threading.Event()
+
+    def set(self, exc: BaseException) -> None:
+        with self._lock:
+            if self.error is None:
+                self.error = exc
+        self.failed.set()
+
+
+class _TokenPool:
+    """Counting semaphore with abort support; None limit = unlimited."""
+
+    def __init__(self, limit: Optional[int], errors: _ErrorBox):
+        self._sem = threading.Semaphore(limit) if limit is not None else None
+        self._errors = errors
+
+    def acquire(self) -> None:
+        if self._sem is None:
+            return
+        while not self._sem.acquire(timeout=_POLL):
+            if self._errors.failed.is_set():
+                raise PipelineAborted()
+
+    def release(self) -> None:
+        if self._sem is not None:
+            self._sem.release()
+
+
+class Edge:
+    """P producers -> C consumers with correct EOS aggregation."""
+
+    def __init__(self, producers: int, consumers: int, capacity: int,
+                 per_consumer_queues: bool, errors: _ErrorBox,
+                 placement=None):
+        self.producers = producers
+        self.consumers = consumers
+        self.errors = errors
+        self._placement = placement
+        self._eos_lock = threading.Lock()
+        self._eos_seen = 0
+        if per_consumer_queues:
+            self._queues = [queue.Queue(maxsize=capacity) for _ in range(consumers)]
+            self._rr = itertools.cycle(range(consumers))
+            self._shared = False
+        else:
+            self._queues = [queue.Queue(maxsize=capacity)]
+            self._shared = True
+
+    # producer side ------------------------------------------------------
+    def put(self, item: Any, consumer_hint: Optional[int] = None) -> None:
+        if self._shared:
+            q = self._queues[0]
+        else:
+            if consumer_hint is None and self._placement is not None:
+                # FastFlow's customized-scheduler hook
+                consumer_hint = self._placement(item.seq, self.consumers) \
+                    % self.consumers
+            idx = next(self._rr) if consumer_hint is None else consumer_hint
+            q = self._queues[idx]
+        while True:
+            try:
+                q.put(item, timeout=_POLL)
+                return
+            except queue.Full:
+                if self.errors.failed.is_set():
+                    raise PipelineAborted() from None
+
+    def put_eos(self) -> None:
+        """Called once per producer; last producer releases the consumers."""
+        with self._eos_lock:
+            self._eos_seen += 1
+            last = self._eos_seen == self.producers
+        if not last:
+            return
+        if self._shared:
+            for _ in range(self.consumers):
+                self.put(EOS)
+        else:
+            for idx in range(self.consumers):
+                self.put(EOS, consumer_hint=idx)
+
+    # consumer side ------------------------------------------------------
+    def get(self, consumer_idx: int) -> Any:
+        q = self._queues[0] if self._shared else self._queues[consumer_idx]
+        while True:
+            try:
+                return q.get(timeout=_POLL)
+            except queue.Empty:
+                if self.errors.failed.is_set():
+                    raise PipelineAborted() from None
+
+
+def _normalize_outputs(result: Any) -> tuple[Any, ...]:
+    """Stage return value -> tuple of payloads (None filters, Multi expands)."""
+    if result is None:
+        return ()
+    if isinstance(result, Multi):
+        return tuple(result.items)
+    return (result,)
+
+
+class NativeExecutor:
+    def __init__(self, graph: PipelineGraph, config: ExecConfig):
+        graph.validate()
+        self.graph = graph
+        self.config = config
+        self._errors = _ErrorBox()
+        self._tokens = _TokenPool(config.max_tokens, self._errors)
+        self._metrics_lock = threading.Lock()
+        self._metrics: dict[str, StageMetrics] = {}
+        self._outputs: List[Any] = []
+        self._output_lock = threading.Lock()
+        self._items_emitted = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _record(self, name: str, replicas: int, service: float, emitted: int) -> None:
+        with self._metrics_lock:
+            m = self._metrics.get(name)
+            if m is None:
+                m = StageMetrics(name=name, replicas=replicas)
+                self._metrics[name] = m
+            m.record(service, emitted)
+
+    def _scheduling_for(self, spec: StageSpec) -> Scheduling:
+        return spec.scheduling if spec.scheduling is not None else self.config.scheduling
+
+    # -- thread bodies ----------------------------------------------------
+    def _source_loop(self, out_edge: Edge) -> None:
+        ctx = StageContext(self.graph.source.name, 0, 1)
+        src = self.graph.source.factory()
+        seq = 0
+        try:
+            src.on_start(ctx)
+            for payload in src.generate(ctx):
+                self._tokens.acquire()
+                out_edge.put(Env(seq, (payload,)))
+                seq += 1
+            src.on_end(ctx)
+        finally:
+            with self._metrics_lock:
+                self._items_emitted = seq
+            out_edge.put_eos()
+
+    def _stage_loop(self, spec: StageSpec, replica: int, in_edge: Edge,
+                    out_edge: Optional[Edge], reorder_upstream: bool) -> None:
+        """Body for one replica of a stage.
+
+        ``reorder_upstream`` is set on the (single-consumer) stage placed
+        right after an ordered replicated stage: envelopes are re-sequenced
+        before processing.
+        """
+        ctx = StageContext(spec.name, replica, spec.replicas)
+        logic = spec.factory()
+        logic.on_start(ctx)
+        rob = SimpleReorderBuffer() if reorder_upstream else None
+        # A farm replica keeps the upstream sequence number so the next
+        # (collector) stage can restore order; a serial stage renumbers so
+        # its own output edge always carries a contiguous 0..n sequence.
+        keep_seq = spec.replicas > 1
+        out_seq = 0
+        tail: List[Env] = []  # on_end outputs from upstream replicas
+
+        def handle(env: Env) -> None:
+            nonlocal out_seq
+            t0 = time.perf_counter()
+            outs: List[Any] = []
+            for payload in env.payloads:
+                outs.extend(_normalize_outputs(logic.process(payload, ctx)))
+            service = time.perf_counter() - t0
+            self._record(spec.name, spec.replicas, service, len(outs))
+            if outs:
+                new_env = Env(env.seq if keep_seq else out_seq, outs,
+                              tokened=env.tokened)
+                out_seq += 1
+                self._emit(new_env, out_edge)
+            elif keep_seq and spec.ordered:
+                # Filtered in an ordered farm: forward an empty envelope so
+                # the downstream reorder point does not stall on this seq.
+                self._emit(Env(env.seq, (), tokened=env.tokened), out_edge)
+            elif env.tokened:
+                self._tokens.release()
+
+        try:
+            while True:
+                item = in_edge.get(replica)
+                if item is EOS:
+                    break
+                env: Env = item
+                if rob is None:
+                    handle(env)
+                else:
+                    if not env.tokened:
+                        tail.append(env)  # upstream on_end output: after all items
+                        continue
+                    for ordered_env in rob.push(env.seq, env):
+                        if not ordered_env.payloads:
+                            # skip-marker from a filtering farm replica
+                            if ordered_env.tokened:
+                                self._tokens.release()
+                            continue
+                        handle(ordered_env)
+            if rob is not None and rob.pending:
+                raise RuntimeError(
+                    f"stage {spec.name!r}: {rob.pending} envelopes stuck in "
+                    "reorder buffer at EOS (missing sequence numbers)"
+                )
+            for env in tail:
+                handle(env)
+            final = _normalize_outputs(logic.on_end(ctx))
+            if final:
+                self._emit(Env(-1, final, tokened=False), out_edge)
+        finally:
+            if out_edge is not None:
+                out_edge.put_eos()
+
+    def _emit(self, env: Env, out_edge: Optional[Edge]) -> None:
+        if out_edge is not None:
+            out_edge.put(env)
+            return
+        # Last stage: collect outputs and release the token.
+        if self.config.collect_outputs:
+            with self._output_lock:
+                self._outputs.append(env)
+        if env.tokened:
+            self._tokens.release()
+
+    def _sequencer_loop(self, name: str, upstream_ordered: bool,
+                        in_edge: Edge, out_edge: Edge) -> None:
+        """Reorder (if needed) and re-number between two replicated stages."""
+        rob = SimpleReorderBuffer() if upstream_ordered else None
+        out_seq = 0
+        tail: List[Env] = []
+        try:
+            while True:
+                item = in_edge.get(0)
+                if item is EOS:
+                    break
+                env: Env = item
+                if rob is None:
+                    out_edge.put(Env(out_seq, env.payloads, env.tokened))
+                    out_seq += 1
+                elif not env.tokened:
+                    tail.append(env)
+                else:
+                    for ordered in rob.push(env.seq, env):
+                        out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
+                        out_seq += 1
+            for env in tail:
+                out_edge.put(Env(out_seq, env.payloads, env.tokened))
+                out_seq += 1
+        finally:
+            out_edge.put_eos()
+
+    # -- orchestration -----------------------------------------------------
+    def run(self) -> RunResult:
+        stages = self.graph.stages
+        errors = self._errors
+        threads: List[threading.Thread] = []
+
+        def spawn(fn, *args, name: str) -> None:
+            def body() -> None:
+                try:
+                    fn(*args)
+                except PipelineAborted:
+                    pass
+                except BaseException as exc:  # noqa: BLE001 - must capture all
+                    errors.set(exc)
+
+            t = threading.Thread(target=body, name=name, daemon=True)
+            threads.append(t)
+
+        cap = self.config.queue_capacity
+        in_edges: List[Edge] = []          # stage i's input edge
+        targets: List[Edge] = []           # where stage i-1 (or source) writes
+        reorder: List[bool] = []           # stage i must reorder its input
+        sequencers: List[tuple[Edge, Edge, bool]] = []  # (mid, out, ordered)
+        prev_reps = 1
+        prev_ordered_farm = False
+        for spec in stages:
+            sched = self._scheduling_for(spec)
+            per_consumer = spec.replicas > 1 and (
+                sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
+            if prev_reps > 1 and spec.replicas > 1:
+                # farm -> farm: a sequencer merges (and maybe reorders).
+                mid = Edge(prev_reps, 1, cap, False, errors)
+                stage_in = Edge(1, spec.replicas, cap, per_consumer, errors,
+                                placement=spec.placement)
+                sequencers.append((mid, stage_in, prev_ordered_farm))
+                targets.append(mid)
+                reorder.append(False)
+            else:
+                stage_in = Edge(prev_reps, spec.replicas, cap, per_consumer,
+                                errors, placement=spec.placement)
+                targets.append(stage_in)
+                reorder.append(prev_ordered_farm and spec.replicas == 1)
+            in_edges.append(stage_in)
+            prev_reps = spec.replicas
+            prev_ordered_farm = spec.replicas > 1 and spec.ordered
+
+        spawn(self._source_loop, targets[0], name="source")
+        for (mid, stage_in, ordered) in sequencers:
+            spawn(self._sequencer_loop, "sequencer", ordered, mid, stage_in,
+                  name="sequencer")
+        for i, spec in enumerate(stages):
+            out_edge = targets[i + 1] if i + 1 < len(stages) else None
+            for r in range(spec.replicas):
+                spawn(self._stage_loop, spec, r, in_edges[i], out_edge,
+                      reorder[i], name=f"{spec.name}[{r}]")
+
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        makespan = time.perf_counter() - t_start
+
+        if errors.error is not None:
+            raise errors.error
+
+        # Deliver sink outputs: ordered by envelope seq if the last stage is
+        # replicated+ordered, else in arrival order; on_end extras last.
+        last = stages[-1]
+        envs = self._outputs
+        ordered_out: List[Any] = []
+        if last.replicas > 1 and last.ordered:
+            keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
+            extras = [e for e in envs if not e.tokened]
+            for e in keyed + extras:
+                ordered_out.extend(e.payloads)
+        else:
+            for e in envs:
+                ordered_out.extend(e.payloads)
+
+        return RunResult(
+            makespan=makespan,
+            outputs=ordered_out,
+            stage_metrics=self._metrics,
+            mode="native",
+            items_emitted=self._items_emitted,
+        )

@@ -1,0 +1,377 @@
+"""Simulated executor: the same pipeline semantics on virtual time.
+
+Topology, sequence numbering, ordering, token accounting and EOS handling
+mirror :mod:`repro.core.executor_native` exactly — integration tests
+assert the two executors produce identical output streams.  The
+difference is *when*: each replica is a generator process on the
+discrete-event engine; a stage invocation runs functionally at dispatch
+time while a :class:`~repro.sim.context.WorkCursor` accumulates the
+virtual cost (named CPU work charged by the stage's cost model plus GPU
+waits), and the process then sleeps for that long.
+
+Per-hop costs: every queue push/pop charges the machine's ``queue_op_s``;
+blocking (non-spinning) queues add a wake-up latency on hand-offs that
+actually had to wait, matching FastFlow's blocking vs non-blocking modes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional
+
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.executor_native import Env, _normalize_outputs
+from repro.core.graph import PipelineGraph, StageSpec
+from repro.core.items import EOS
+from repro.core.metrics import RunResult, StageMetrics
+from repro.core.ordering import SimpleReorderBuffer
+from repro.core.stage import StageContext
+from repro.sim.context import WorkCursor, use_cursor
+from repro.sim.engine import Engine, Store
+
+#: extra hand-off latency when a blocking queue's consumer had to sleep
+_BLOCKING_WAKE_S = 2.0e-6
+
+
+class SimEdge:
+    """P producers -> C consumers over engine stores, with EOS counting."""
+
+    def __init__(self, engine: Engine, producers: int, consumers: int,
+                 capacity: int, per_consumer_queues: bool, name: str = "",
+                 placement=None):
+        self.engine = engine
+        self.producers = producers
+        self.consumers = consumers
+        self._eos_seen = 0
+        self._placement = placement
+        if per_consumer_queues:
+            self._stores = [engine.store(capacity, name=f"{name}.{i}")
+                            for i in range(consumers)]
+            self._rr = 0
+            self._shared = False
+        else:
+            self._stores = [engine.store(capacity, name=name)]
+            self._shared = True
+
+    def put(self, item: Any, consumer_hint: Optional[int] = None):
+        """Returns a SimEvent to yield on (completes when space exists)."""
+        if self._shared:
+            store = self._stores[0]
+        else:
+            if consumer_hint is None and self._placement is not None:
+                consumer_hint = self._placement(item.seq, self.consumers) \
+                    % self.consumers
+            if consumer_hint is None:
+                consumer_hint = self._rr
+                self._rr = (self._rr + 1) % self.consumers
+            store = self._stores[consumer_hint]
+        return store.put(item)
+
+    def put_eos(self):
+        """Generator: call as ``yield from edge.put_eos()``."""
+        self._eos_seen += 1
+        if self._eos_seen != self.producers:
+            return
+        if self._shared:
+            for _ in range(self.consumers):
+                yield self._stores[0].put(EOS)
+        else:
+            for i in range(self.consumers):
+                yield self._stores[i].put(EOS)
+
+    def get(self, consumer_idx: int):
+        store = self._stores[0] if self._shared else self._stores[consumer_idx]
+        return store.get()
+
+
+class SimExecutor:
+    def __init__(self, graph: PipelineGraph, config: ExecConfig):
+        graph.validate()
+        self.graph = graph
+        self.config = config
+        self.engine = Engine()
+        self._metrics: dict[str, StageMetrics] = {}
+        self._outputs: List[Env] = []
+        self._items_emitted = 0
+        machine = config.machine
+        # Sequencer threads also occupy a hardware thread.
+        extra = sum(
+            1 for a, b in zip([1] + [s.replicas for s in graph.stages],
+                              [s.replicas for s in graph.stages])
+            if a > 1 and b > 1
+        )
+        self._threads = graph.total_threads + extra
+        self._oversub = machine.cpu.oversubscription_factor(self._threads)
+        self._queue_op = machine.cpu.queue_op_s * self._oversub
+        self._tokens: Optional[Store] = None
+        if config.max_tokens is not None:
+            self._tokens = self.engine.store(capacity=None, name="tokens")
+            for i in range(config.max_tokens):
+                self._tokens.items.append(object())
+
+    # -- bookkeeping ----------------------------------------------------
+    def _record(self, name: str, replicas: int, service: float, emitted: int) -> None:
+        m = self._metrics.get(name)
+        if m is None:
+            m = StageMetrics(name=name, replicas=replicas)
+            self._metrics[name] = m
+        m.record(service, emitted)
+
+    def _scheduling_for(self, spec: StageSpec) -> Scheduling:
+        return spec.scheduling if spec.scheduling is not None else self.config.scheduling
+
+    def _make_cursor(self, thread_id: Optional[str] = None) -> WorkCursor:
+        return WorkCursor(self.engine.now, cpu_spec=self.config.machine.cpu,
+                          oversubscription=self._oversub, thread_id=thread_id)
+
+    def _hop_cost(self, get_event) -> float:
+        """Virtual cost of one queue pop, given its completion event."""
+        cost = self._queue_op
+        if self.config.blocking and not get_event.triggered:
+            cost += _BLOCKING_WAKE_S
+        return cost
+
+    # -- process bodies ---------------------------------------------------
+    def _source_proc(self, out_edge: SimEdge):
+        tid = self.graph.source.name
+        ctx_cursor = self._make_cursor(tid)
+        ctx = StageContext(self.graph.source.name, 0, 1, cursor=ctx_cursor,
+                           machine=self.config.machine)
+        src = self.graph.source.factory()
+        seq = 0
+        with use_cursor(ctx_cursor):
+            src.on_start(ctx)
+        for payload in self._iterate_source(src, ctx):
+            if self._tokens is not None:
+                yield self._tokens.get()
+            ctx_cursor = ctx.cursor  # refreshed by _iterate_source
+            if ctx_cursor.elapsed > 0:
+                yield self.engine.timeout(ctx_cursor.elapsed)
+            yield out_edge.put(Env(seq, (payload,)))
+            yield self.engine.timeout(self._queue_op)
+            seq += 1
+        cursor = self._make_cursor(tid)
+        ctx.cursor = cursor
+        with use_cursor(cursor):
+            src.on_end(ctx)
+        if cursor.elapsed > 0:
+            yield self.engine.timeout(cursor.elapsed)
+        self._items_emitted = seq
+        yield from out_edge.put_eos()
+
+    def _iterate_source(self, src, ctx):
+        """Drive src.generate one item at a time, each under a fresh cursor."""
+        tid = ctx.cursor.thread_id
+        with use_cursor(ctx.cursor):
+            it = iter(src.generate(ctx))
+        while True:
+            cursor = self._make_cursor(tid)
+            ctx.cursor = cursor
+            with use_cursor(cursor):
+                try:
+                    item = next(it)
+                except StopIteration:
+                    return
+            yield item
+
+    def _stage_proc(self, spec: StageSpec, replica: int, in_edge: SimEdge,
+                    out_edge: Optional[SimEdge], reorder_upstream: bool):
+        tid = f"{spec.name}[{replica}]"
+        cursor0 = self._make_cursor(tid)
+        ctx = StageContext(spec.name, replica, spec.replicas, cursor=cursor0,
+                           machine=self.config.machine)
+        logic = spec.factory()
+        with use_cursor(cursor0):
+            logic.on_start(ctx)
+        if cursor0.elapsed > 0:
+            yield self.engine.timeout(cursor0.elapsed)
+        rob = SimpleReorderBuffer() if reorder_upstream else None
+        keep_seq = spec.replicas > 1
+        out_seq = 0
+        tail: List[Env] = []
+
+        def run_stage(env: Env) -> tuple[float, Optional[Env]]:
+            nonlocal out_seq
+            cursor = self._make_cursor(tid)
+            ctx.cursor = cursor
+            outs: List[Any] = []
+            with use_cursor(cursor):
+                for payload in env.payloads:
+                    outs.extend(_normalize_outputs(logic.process(payload, ctx)))
+            service = cursor.elapsed
+            self._record(spec.name, spec.replicas, service, len(outs))
+            if outs:
+                ne = Env(env.seq if keep_seq else out_seq, outs, tokened=env.tokened)
+                out_seq += 1
+                return service, ne
+            if keep_seq and spec.ordered:
+                return service, Env(env.seq, (), tokened=env.tokened)
+            return service, None
+
+        def emit(env: Env):
+            if out_edge is not None:
+                yield out_edge.put(env)
+                yield self.engine.timeout(self._queue_op)
+            else:
+                if self.config.collect_outputs:
+                    self._outputs.append(env)
+                if env.tokened and self._tokens is not None:
+                    yield self._tokens.put(object())
+
+        def release_token():
+            if self._tokens is not None:
+                yield self._tokens.put(object())
+
+        while True:
+            gev = in_edge.get(replica)
+            item = yield gev
+            if item is EOS:
+                break
+            yield self.engine.timeout(self._hop_cost(gev))
+            env: Env = item
+            pending: List[Env] = []
+            if rob is None:
+                pending.append(env)
+            elif not env.tokened:
+                tail.append(env)
+                continue
+            else:
+                for e in rob.push(env.seq, env):
+                    pending.append(e)
+            for e in pending:
+                if rob is not None and not e.payloads:
+                    if e.tokened:
+                        yield from release_token()
+                    continue
+                service, ne = run_stage(e)
+                if service > 0:
+                    yield self.engine.timeout(service)
+                if ne is not None:
+                    yield from emit(ne)
+                elif e.tokened:
+                    yield from release_token()
+        if rob is not None and rob.pending:
+            raise RuntimeError(
+                f"stage {spec.name!r}: {rob.pending} envelopes stuck in "
+                "reorder buffer at EOS"
+            )
+        for env in tail:
+            service, ne = run_stage(env)
+            if service > 0:
+                yield self.engine.timeout(service)
+            if ne is not None:
+                yield from emit(ne)
+        cursor = self._make_cursor(tid)
+        ctx.cursor = cursor
+        with use_cursor(cursor):
+            final = _normalize_outputs(logic.on_end(ctx))
+        if cursor.elapsed > 0:
+            yield self.engine.timeout(cursor.elapsed)
+        if final:
+            yield from emit(Env(-1, final, tokened=False))
+        if out_edge is not None:
+            yield from out_edge.put_eos()
+
+    def _sequencer_proc(self, upstream_ordered: bool, in_edge: SimEdge,
+                        out_edge: SimEdge):
+        rob = SimpleReorderBuffer() if upstream_ordered else None
+        out_seq = 0
+        tail: List[Env] = []
+        while True:
+            gev = in_edge.get(0)
+            item = yield gev
+            if item is EOS:
+                break
+            yield self.engine.timeout(self._hop_cost(gev))
+            env: Env = item
+            if rob is None:
+                yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
+                yield self.engine.timeout(self._queue_op)
+                out_seq += 1
+            elif not env.tokened:
+                tail.append(env)
+            else:
+                for ordered in rob.push(env.seq, env):
+                    yield out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
+                    yield self.engine.timeout(self._queue_op)
+                    out_seq += 1
+        for env in tail:
+            yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
+            out_seq += 1
+        yield from out_edge.put_eos()
+
+    # -- orchestration -----------------------------------------------------
+    def run(self) -> RunResult:
+        stages = self.graph.stages
+        engine = self.engine
+        cap = self.config.queue_capacity
+
+        in_edges: List[SimEdge] = []
+        targets: List[SimEdge] = []
+        reorder: List[bool] = []
+        sequencers: List[tuple[SimEdge, SimEdge, bool]] = []
+        prev_reps = 1
+        prev_ordered_farm = False
+        for spec in stages:
+            sched = self._scheduling_for(spec)
+            per_consumer = spec.replicas > 1 and (
+                sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
+            if prev_reps > 1 and spec.replicas > 1:
+                mid = SimEdge(engine, prev_reps, 1, cap, False, name=f"{spec.name}.mid")
+                stage_in = SimEdge(engine, 1, spec.replicas, cap, per_consumer,
+                                   name=spec.name, placement=spec.placement)
+                sequencers.append((mid, stage_in, prev_ordered_farm))
+                targets.append(mid)
+                reorder.append(False)
+            else:
+                stage_in = SimEdge(engine, prev_reps, spec.replicas, cap,
+                                   per_consumer, name=spec.name,
+                                   placement=spec.placement)
+                targets.append(stage_in)
+                reorder.append(prev_ordered_farm and spec.replicas == 1)
+            in_edges.append(stage_in)
+            prev_reps = spec.replicas
+            prev_ordered_farm = spec.replicas > 1 and spec.ordered
+
+        procs = [engine.process(self._source_proc(targets[0]), name="source")]
+        for (mid, stage_in, ordered) in sequencers:
+            procs.append(engine.process(
+                self._sequencer_proc(ordered, mid, stage_in), name="sequencer"))
+        for i, spec in enumerate(stages):
+            out_edge = targets[i + 1] if i + 1 < len(stages) else None
+            for r in range(spec.replicas):
+                procs.append(engine.process(
+                    self._stage_proc(spec, r, in_edges[i], out_edge, reorder[i]),
+                    name=f"{spec.name}[{r}]"))
+
+        wall0 = time.perf_counter()
+        engine.run()
+        wall = time.perf_counter() - wall0
+        for p in procs:
+            if p.triggered:
+                p.value  # re-raise stage exceptions
+        for p in procs:
+            if not p.triggered:
+                raise RuntimeError(f"simulated pipeline deadlocked in {p.name!r}")
+
+        last = stages[-1]
+        envs = self._outputs
+        ordered_out: List[Any] = []
+        if last.replicas > 1 and last.ordered:
+            keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
+            extras = [e for e in envs if not e.tokened]
+            for e in keyed + extras:
+                ordered_out.extend(e.payloads)
+        else:
+            for e in envs:
+                ordered_out.extend(e.payloads)
+
+        return RunResult(
+            makespan=engine.now,
+            outputs=ordered_out,
+            stage_metrics=self._metrics,
+            mode="simulated",
+            items_emitted=self._items_emitted,
+            details={"wall_seconds": wall, "threads": self._threads,
+                     "oversubscription": self._oversub},
+        )

@@ -1,0 +1,98 @@
+"""Pipeline graph description: a source followed by a chain of stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.core.config import Scheduling
+from repro.core.stage import FunctionStage, Source, Stage
+
+
+class GraphError(ValueError):
+    """Structural problem in a pipeline graph."""
+
+
+@dataclass
+class SourceSpec:
+    """The stream generator at the head of the pipeline."""
+
+    factory: Callable[[], Source]
+    name: str = "source"
+
+
+@dataclass
+class StageSpec:
+    """One pipeline stage; ``replicas > 1`` makes it a farm.
+
+    ``ordered`` controls whether the stage's output is re-sequenced into
+    input order before reaching the next stage (FastFlow ordered farm /
+    TBB ``serial_in_order`` downstream filter).  It is meaningless for
+    ``replicas == 1`` (a serial stage preserves order trivially).
+
+    ``placement`` is FastFlow's customized-scheduler hook: a callable
+    ``(seq, replicas) -> replica_index`` deciding which worker receives
+    each item (overrides round-robin/on-demand when set).
+    """
+
+    factory: Callable[[], Stage]
+    name: str
+    replicas: int = 1
+    ordered: bool = True
+    scheduling: Optional[Scheduling] = None  # None -> config default
+    placement: Optional[Callable[[int, int], int]] = None
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise GraphError(f"stage {self.name!r}: replicas must be >= 1")
+        if isinstance(self.factory, Stage):
+            # Accept a ready instance for serial stages (and for stateless
+            # FunctionStage wrappers); replicated stateful stages need a
+            # factory so each replica gets its own state.
+            if self.replicas > 1 and not isinstance(self.factory, FunctionStage):
+                raise GraphError(
+                    f"stage {self.name!r}: pass a factory (class or lambda), "
+                    "not an instance, when replicas > 1"
+                )
+            instance = self.factory
+            self.factory = lambda: instance
+
+
+@dataclass
+class PipelineGraph:
+    """A linear pipeline: source -> stage_1 -> ... -> stage_n."""
+
+    source: SourceSpec
+    stages: List[StageSpec] = field(default_factory=list)
+    name: str = "pipeline"
+
+    def validate(self) -> None:
+        if not self.stages:
+            raise GraphError(f"pipeline {self.name!r} has no stages")
+        seen: set[str] = {self.source.name}
+        for spec in self.stages:
+            if spec.name in seen:
+                raise GraphError(f"duplicate stage name {spec.name!r}")
+            seen.add(spec.name)
+
+    @property
+    def total_threads(self) -> int:
+        """Thread count in the FastFlow lowering: source + every replica."""
+        return 1 + sum(s.replicas for s in self.stages)
+
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]
+
+
+def linear_graph(source: Source | SourceSpec | Callable[[], Source],
+                 *stages: StageSpec, name: str = "pipeline") -> PipelineGraph:
+    """Convenience constructor accepting a Source instance or factory."""
+    if isinstance(source, SourceSpec):
+        src = source
+    elif isinstance(source, Source):
+        src = SourceSpec(factory=lambda s=source: s)
+    else:
+        src = SourceSpec(factory=source)
+    g = PipelineGraph(source=src, stages=list(stages), name=name)
+    g.validate()
+    return g

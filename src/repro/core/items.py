@@ -1,0 +1,62 @@
+"""Stream items, the end-of-stream sentinel and multi-output wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+
+class _EndOfStream:
+    """Singleton end-of-stream marker (FastFlow's ``EOS`` / TBB's empty token)."""
+
+    _instance: "_EndOfStream | None" = None
+
+    def __new__(cls) -> "_EndOfStream":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EOS"
+
+    def __reduce__(self):
+        return (_EndOfStream, ())
+
+
+EOS = _EndOfStream()
+
+
+def is_eos(item: Any) -> bool:
+    return item is EOS
+
+
+@dataclass(frozen=True)
+class Multi:
+    """Wrapper letting a stage emit several items for one input.
+
+    ``process`` may return ``Multi([a, b, c])`` and the runtime forwards
+    the three payloads downstream in order (FastFlow's repeated
+    ``ff_send_out``).  An empty ``Multi`` drops the input (a filter).
+    """
+
+    items: Sequence[Any]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "items", tuple(self.items))
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Internal wrapper carrying the sequence number used for ordering.
+
+    Sequence numbers are assigned where parallelism is introduced (the
+    farm emitter); the ordered collector reassembles emission order.
+    ``sub`` disambiguates multiple outputs produced from one input.
+    """
+
+    seq: int
+    sub: int
+    payload: Any
+
+    def key(self) -> tuple[int, int]:
+        return (self.seq, self.sub)

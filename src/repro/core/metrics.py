@@ -1,0 +1,68 @@
+"""Per-stage and per-run metrics gathered by both executors."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class StageMetrics:
+    """Service statistics for one stage (aggregated over replicas)."""
+
+    name: str
+    replicas: int = 1
+    items_in: int = 0
+    items_out: int = 0
+    busy_time: float = 0.0
+    service_min: float = math.inf
+    service_max: float = 0.0
+
+    def record(self, service_time: float, emitted: int) -> None:
+        self.items_in += 1
+        self.items_out += emitted
+        self.busy_time += service_time
+        if service_time < self.service_min:
+            self.service_min = service_time
+        if service_time > self.service_max:
+            self.service_max = service_time
+
+    @property
+    def service_mean(self) -> float:
+        return self.busy_time / self.items_in if self.items_in else 0.0
+
+    def merge(self, other: "StageMetrics") -> None:
+        self.items_in += other.items_in
+        self.items_out += other.items_out
+        self.busy_time += other.busy_time
+        self.service_min = min(self.service_min, other.service_min)
+        self.service_max = max(self.service_max, other.service_max)
+
+
+@dataclass
+class RunResult:
+    """Outcome of running a pipeline graph."""
+
+    makespan: float
+    outputs: List[Any] = field(default_factory=list)
+    stage_metrics: Dict[str, StageMetrics] = field(default_factory=dict)
+    mode: str = "native"
+    items_emitted: int = 0
+    #: extra executor-specific details (GPU engine utilization, traces...)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def throughput(self, units: Optional[float] = None) -> float:
+        """Items (or provided work units) per second of makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return (units if units is not None else self.items_emitted) / self.makespan
+
+    def bottleneck(self) -> Optional[str]:
+        """Stage with the highest per-replica busy time."""
+        best, best_t = None, -1.0
+        for name, m in self.stage_metrics.items():
+            per_replica = m.busy_time / max(1, m.replicas)
+            if per_replica > best_t:
+                best, best_t = name, per_replica
+        return best

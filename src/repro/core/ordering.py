@@ -1,0 +1,112 @@
+"""Reorder buffer: reassemble emission order after a replicated stage.
+
+Items carry ``(seq, sub)`` keys assigned by the farm emitter; replicas
+complete out of order; the collector pushes envelopes here and drains
+every payload whose key is the next expected one.  Keys must be exactly
+the emitted set — a missing key stalls the buffer (detected by
+``pending`` at EOS), a duplicate raises.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Iterator, List, Tuple
+
+from repro.core.items import Envelope
+
+
+class OrderingError(RuntimeError):
+    pass
+
+
+class ReorderBuffer:
+    def __init__(self) -> None:
+        self._heap: List[Tuple[Tuple[int, int], Envelope]] = []
+        self._next_seq = 0
+        self._next_sub = 0
+        self._seen: set[Tuple[int, int]] = set()
+        self.max_held = 0
+
+    def push(self, env: Envelope) -> Iterator[Any]:
+        """Insert one envelope; yield every payload now deliverable in order."""
+        key = env.key()
+        if key in self._seen or key < (self._next_seq, self._next_sub):
+            raise OrderingError(f"duplicate sequence key {key}")
+        self._seen.add(key)
+        heappush(self._heap, (key, env))
+        self.max_held = max(self.max_held, len(self._heap))
+        return self._drain()
+
+    def _drain(self) -> Iterator[Any]:
+        while self._heap:
+            (seq, sub), env = self._heap[0]
+            if seq != self._next_seq or sub != self._next_sub:
+                return
+            heappop(self._heap)
+            self._seen.discard((seq, sub))
+            self._next_sub += 1
+            yield env.payload
+
+    def close_seq(self, seq: int) -> Iterator[Any]:
+        """Mark sequence ``seq`` complete (no more sub-items will arrive).
+
+        The emitter tells the collector how many outputs each input
+        produced by closing its sequence; ordering then advances past it.
+        """
+        if seq != self._next_seq:
+            raise OrderingError(
+                f"close_seq out of order: got {seq}, expected {self._next_seq}"
+            )
+        self._next_seq += 1
+        self._next_sub = 0
+        return self._drain()
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class SimpleReorderBuffer:
+    """Reorder by plain integer sequence, one output per input.
+
+    This is the common fast path (every stage emits exactly one item per
+    input); the farm collector uses it unless a stage returned ``Multi``.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._heap: List[Tuple[int, Any]] = []
+        self._next = start
+        self.max_held = 0
+
+    def push(self, seq: int, payload: Any) -> Iterator[Any]:
+        if seq < self._next:
+            raise OrderingError(f"sequence {seq} already delivered")
+        heappush(self._heap, (seq, payload))
+        self.max_held = max(self.max_held, len(self._heap))
+        while self._heap and self._heap[0][0] == self._next:
+            _, out = heappop(self._heap)
+            self._next += 1
+            yield out
+
+    def skip(self, seq: int) -> Iterator[Any]:
+        """Declare that ``seq`` produced no output (filtered item)."""
+        if seq < self._next:
+            raise OrderingError(f"sequence {seq} already delivered")
+        heappush(self._heap, (seq, _SKIP))
+        while self._heap and self._heap[0][0] == self._next:
+            _, out = heappop(self._heap)
+            self._next += 1
+            if out is not _SKIP:
+                yield out
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class _Skip:
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<skip>"
+
+
+_SKIP = _Skip()

@@ -1,0 +1,24 @@
+"""Single entry point for running a pipeline graph under either executor."""
+
+from __future__ import annotations
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.graph import PipelineGraph
+from repro.core.metrics import RunResult
+
+
+def run_graph(graph: PipelineGraph, config: ExecConfig | None = None) -> RunResult:
+    """Run ``graph`` under the executor selected by ``config.mode``.
+
+    With no config the graph runs natively (real threads) with defaults.
+    """
+    cfg = config if config is not None else ExecConfig()
+    if cfg.mode is ExecMode.NATIVE:
+        from repro.core.executor_native import NativeExecutor
+
+        return NativeExecutor(graph, cfg).run()
+    if cfg.mode is ExecMode.SIMULATED:
+        from repro.core.executor_sim import SimExecutor
+
+        return SimExecutor(graph, cfg).run()
+    raise ValueError(f"unknown execution mode: {cfg.mode!r}")

@@ -1,0 +1,110 @@
+"""Stage and source logic objects.
+
+A :class:`Stage` is the per-replica unit of user code: ``on_start`` /
+``process`` / ``on_end`` (FastFlow's ``svc_init`` / ``svc`` /
+``svc_end``).  ``process`` returns the output payload, ``None`` to drop
+the item, or :class:`~repro.core.items.Multi` to emit several.
+
+Sources produce the stream: :class:`Source` subclasses implement
+``generate()`` yielding payloads; :class:`IterSource` adapts any iterable.
+
+The :class:`StageContext` passed to every hook carries the replica id,
+replica count and — in simulated mode — the active
+:class:`~repro.sim.context.WorkCursor` so cost models can charge virtual
+time (``ctx.charge("sha1_byte", n)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.sim.context import WorkCursor
+
+
+class StageContext:
+    """Execution context handed to stage hooks."""
+
+    __slots__ = ("replica", "replicas", "stage_name", "cursor", "machine")
+
+    def __init__(self, stage_name: str, replica: int, replicas: int,
+                 cursor: Optional[WorkCursor] = None, machine: Any = None):
+        self.stage_name = stage_name
+        self.replica = replica
+        self.replicas = replicas
+        self.cursor = cursor
+        self.machine = machine
+
+    @property
+    def simulated(self) -> bool:
+        return self.cursor is not None
+
+    def charge(self, kind: str, units: float) -> None:
+        """Charge named CPU work to the virtual clock (no-op natively)."""
+        if self.cursor is not None:
+            self.cursor.cpu(kind, units)
+
+    def charge_seconds(self, seconds: float) -> None:
+        if self.cursor is not None:
+            self.cursor.cpu_seconds(seconds)
+
+    @property
+    def now(self) -> float:
+        """Stage-local virtual time (0.0 when running natively)."""
+        return self.cursor.now if self.cursor is not None else 0.0
+
+
+class Stage:
+    """Base class for stage logic; one instance per replica."""
+
+    def on_start(self, ctx: StageContext) -> None:  # noqa: B027 - optional hook
+        """Called once per replica before the first item."""
+
+    def process(self, item: Any, ctx: StageContext) -> Any:
+        raise NotImplementedError
+
+    def on_end(self, ctx: StageContext) -> Any:  # noqa: B027 - optional hook
+        """Called once per replica after EOS; may return final output(s)."""
+        return None
+
+
+class FunctionStage(Stage):
+    """Adapt a plain callable ``fn(item) -> out`` (or ``fn(item, ctx)``)."""
+
+    def __init__(self, fn: Callable[..., Any], wants_ctx: bool = False, name: str = ""):
+        self.fn = fn
+        self.wants_ctx = wants_ctx
+        self.name = name or getattr(fn, "__name__", "fn")
+
+    def process(self, item: Any, ctx: StageContext) -> Any:
+        if self.wants_ctx:
+            return self.fn(item, ctx)
+        return self.fn(item)
+
+
+class Source:
+    """Base class for stream sources; one instance per run."""
+
+    def on_start(self, ctx: StageContext) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def generate(self, ctx: StageContext) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def on_end(self, ctx: StageContext) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class IterSource(Source):
+    """Source over any (re-)iterable or iterator factory."""
+
+    def __init__(self, iterable: Iterable[Any] | Callable[[], Iterable[Any]],
+                 per_item_charge: Optional[tuple[str, float]] = None):
+        self._iterable = iterable
+        self._per_item_charge = per_item_charge
+
+    def generate(self, ctx: StageContext) -> Iterator[Any]:
+        src = self._iterable() if callable(self._iterable) else self._iterable
+        for item in src:
+            if self._per_item_charge is not None:
+                ctx.charge(*self._per_item_charge)
+            yield item

@@ -1,0 +1,30 @@
+"""FastFlow-style building blocks (``ff_node`` / ``ff_pipeline`` / ``ff_farm``).
+
+A Python re-implementation of the FastFlow programming interface the
+paper uses (Section III-A): nodes with ``svc_init``/``svc``/``svc_end``
+hooks, ``ff_send_out`` for multi-output, pipelines composed of nodes and
+farms, ordered farms, round-robin or on-demand scheduling, and blocking
+vs non-blocking queue modes.  SPar (:mod:`repro.spar`) compiles to these
+blocks, exactly as the real SPar compiler emits FastFlow code.
+
+Example::
+
+    class Emit(ff_node):
+        def svc(self, _):
+            for i in range(10):
+                self.ff_send_out(i)
+            return EOS
+
+    class Work(ff_node):
+        def svc(self, x):
+            return x * x
+
+    pipe = ff_pipeline(Emit(), ff_farm(Work, replicas=4), Collect())
+    result = pipe.run_and_wait_end()
+"""
+
+from repro.fastflow.node import EOS, GO_ON, ff_node
+from repro.fastflow.farm import ff_farm, ff_ofarm
+from repro.fastflow.pipeline import ff_pipeline
+
+__all__ = ["ff_node", "ff_farm", "ff_ofarm", "ff_pipeline", "EOS", "GO_ON"]

@@ -1,0 +1,81 @@
+"""``ff_farm``: replicate a worker node over the stream."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+from repro.core.config import Scheduling
+from repro.fastflow.node import ff_node
+
+WorkerSpec = Union[Callable[[], ff_node], Sequence[ff_node]]
+
+
+class ff_farm:
+    """A farm of worker replicas (emitter/collector are implicit).
+
+    Construct either from a factory plus a replica count — the common
+    case — or, FastFlow-style, from a pre-built vector of worker node
+    instances (the paper builds "a vector of instances of the stage
+    class")::
+
+        ff_farm(Worker, replicas=19)
+        ff_farm([Worker() for _ in range(19)])
+
+    ``set_scheduling_ondemand()`` switches the emitter from the default
+    round-robin to on-demand (a shared queue).
+    """
+
+    ordered = False
+
+    def __init__(self, workers: WorkerSpec, replicas: Optional[int] = None,
+                 name: str = "farm"):
+        self.name = name
+        self.scheduling = Scheduling.ROUND_ROBIN
+        self.placement = None
+        if callable(workers):
+            if replicas is None or replicas < 1:
+                raise ValueError("ff_farm(factory) needs replicas >= 1")
+            self.replicas = replicas
+            self._factory: Callable[[], ff_node] = workers  # type: ignore[assignment]
+            self._pool: Optional[List[ff_node]] = None
+        else:
+            pool = list(workers)
+            if not pool:
+                raise ValueError("ff_farm worker vector is empty")
+            if replicas is not None and replicas != len(pool):
+                raise ValueError("replicas disagrees with worker vector length")
+            self.replicas = len(pool)
+            self._pool = pool
+            self._factory = self._next_from_pool
+
+    def _next_from_pool(self) -> ff_node:
+        assert self._pool is not None
+        if not self._pool:
+            raise RuntimeError(
+                f"farm {self.name!r}: worker vector exhausted; a node vector "
+                "can back at most one run"
+            )
+        return self._pool.pop(0)
+
+    def set_scheduling_ondemand(self) -> "ff_farm":
+        self.scheduling = Scheduling.ON_DEMAND
+        return self
+
+    def set_scheduling_policy(self, policy) -> "ff_farm":
+        """Attach a customized scheduler (FastFlow: "enables the
+        programmer to attach their customized task scheduler"): the
+        emitter calls ``policy(seq, replicas) -> replica_index`` for
+        every item."""
+        if not callable(policy):
+            raise TypeError("scheduling policy must be callable")
+        self.placement = policy
+        return self
+
+    def worker_factory(self) -> Callable[[], ff_node]:
+        return self._factory
+
+
+class ff_ofarm(ff_farm):
+    """Ordered farm: outputs leave in the same order items entered."""
+
+    ordered = True

@@ -1,0 +1,114 @@
+"""``ff_node``: FastFlow's unit of computation."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.items import EOS, Multi
+from repro.core.stage import Stage, StageContext
+
+
+class _GoOn:
+    """FastFlow's ``FF_GO_ON``: svc produced nothing this time, keep going."""
+
+    _instance: Optional["_GoOn"] = None
+
+    def __new__(cls) -> "_GoOn":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "GO_ON"
+
+
+GO_ON = _GoOn()
+
+
+class ff_node:
+    """Subclass and override ``svc``; optionally ``svc_init``/``svc_end``.
+
+    Inside ``svc`` (and ``svc_end``) the node may push any number of
+    outputs with :meth:`ff_send_out`; the returned value (unless
+    ``GO_ON``/``EOS``) is pushed last.  A first-stage node's ``svc`` is
+    called repeatedly with ``None`` until it returns ``EOS``.
+    """
+
+    def __init__(self) -> None:
+        self._out_buffer: List[Any] = []
+        self._ctx: Optional[StageContext] = None
+
+    # -- user API ----------------------------------------------------------
+    def svc_init(self) -> None:  # noqa: B027 - optional hook
+        """Called once in the node's thread before the first item."""
+
+    def svc(self, item: Any) -> Any:
+        raise NotImplementedError
+
+    def svc_end(self) -> None:  # noqa: B027 - optional hook
+        """Called once after the stream ended."""
+
+    def ff_send_out(self, item: Any) -> None:
+        """Push one output downstream (may be called many times per svc)."""
+        self._out_buffer.append(item)
+
+    # -- runtime context ------------------------------------------------------
+    @property
+    def get_my_id(self) -> int:
+        """Replica index within a farm (0 for plain pipeline nodes)."""
+        return self._ctx.replica if self._ctx is not None else 0
+
+    @property
+    def context(self) -> Optional[StageContext]:
+        return self._ctx
+
+    def charge(self, kind: str, units: float) -> None:
+        """Charge named CPU work to the virtual clock (no-op natively)."""
+        if self._ctx is not None:
+            self._ctx.charge(kind, units)
+
+    # -- internal: drain ff_send_out buffer -------------------------------------
+    def _take_outputs(self) -> List[Any]:
+        outs = self._out_buffer
+        self._out_buffer = []
+        return outs
+
+
+class _NodeStage(Stage):
+    """Adapter: ff_node -> core Stage."""
+
+    def __init__(self, node: ff_node):
+        self.node = node
+
+    def on_start(self, ctx: StageContext) -> None:
+        self.node._ctx = ctx
+        self.node.svc_init()
+
+    def process(self, item: Any, ctx: StageContext) -> Any:
+        self.node._ctx = ctx
+        result = self.node.svc(item)
+        outs = self.node._take_outputs()
+        if result is GO_ON or result is None:
+            pass
+        elif result is EOS:
+            raise RuntimeError(
+                "returning EOS from a non-source ff_node is not supported; "
+                "the stream ends when the source does"
+            )
+        else:
+            outs.append(result)
+        if not outs:
+            return None
+        if len(outs) == 1:
+            return outs[0]
+        return Multi(outs)
+
+    def on_end(self, ctx: StageContext) -> Any:
+        self.node._ctx = ctx
+        self.node.svc_end()
+        outs = self.node._take_outputs()
+        if not outs:
+            return None
+        if len(outs) == 1:
+            return outs[0]
+        return Multi(outs)

@@ -1,0 +1,125 @@
+"""``ff_pipeline``: compose nodes and farms into a stream pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Iterator, List, Optional, Union
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
+from repro.core.items import EOS
+from repro.core.metrics import RunResult
+from repro.core.run import run_graph
+from repro.core.stage import Source, StageContext
+from repro.fastflow.farm import ff_farm
+from repro.fastflow.node import GO_ON, _NodeStage, ff_node
+
+
+class _NodeSource(Source):
+    """Adapter: a first-stage ff_node becomes the stream source.
+
+    FastFlow calls the first node's ``svc(nullptr)`` in a loop until it
+    returns EOS; everything pushed via ``ff_send_out`` (or returned)
+    becomes stream items.
+    """
+
+    def __init__(self, node: ff_node):
+        self.node = node
+
+    def on_start(self, ctx: StageContext) -> None:
+        self.node._ctx = ctx
+        self.node.svc_init()
+
+    def generate(self, ctx: StageContext) -> Iterator[Any]:
+        node = self.node
+        while True:
+            node._ctx = ctx
+            result = node.svc(None)
+            yield from node._take_outputs()
+            if result is EOS:
+                return
+            if result is not GO_ON and result is not None:
+                yield result
+
+    def on_end(self, ctx: StageContext) -> None:
+        self.node._ctx = ctx
+        self.node.svc_end()
+
+
+class ff_pipeline:
+    """A linear composition of ``ff_node``/``ff_farm`` stages.
+
+    ``run_and_wait_end()`` executes and returns the
+    :class:`~repro.core.metrics.RunResult`; :meth:`ffTime` then reports
+    the makespan (FastFlow's ``ffTime(STOP_TIME)``).
+    """
+
+    def __init__(self, *stages: Union[ff_node, ff_farm], name: str = "ff_pipeline"):
+        self.name = name
+        self._stages: List[Union[ff_node, ff_farm]] = list(stages)
+        self._blocking = True
+        self._queue_capacity = 512
+        self._last_result: Optional[RunResult] = None
+
+    def add_stage(self, stage: Union[ff_node, ff_farm]) -> "ff_pipeline":
+        self._stages.append(stage)
+        return self
+
+    def set_blocking_mode(self, blocking: bool) -> "ff_pipeline":
+        """Blocking vs non-blocking (spinning) queue hand-offs."""
+        self._blocking = blocking
+        return self
+
+    def set_queue_capacity(self, capacity: int) -> "ff_pipeline":
+        self._queue_capacity = capacity
+        return self
+
+    # -- lowering -------------------------------------------------------------
+    def to_graph(self) -> PipelineGraph:
+        if len(self._stages) < 2:
+            raise ValueError("ff_pipeline needs at least a source node and one stage")
+        first = self._stages[0]
+        if isinstance(first, ff_farm):
+            raise ValueError("the first pipeline stage must be an ff_node (the stream source)")
+        source = SourceSpec(factory=lambda n=first: _NodeSource(n), name="ff_source")
+        specs: List[StageSpec] = []
+        for i, st in enumerate(self._stages[1:], start=1):
+            if isinstance(st, ff_farm):
+                wf = st.worker_factory()
+                specs.append(StageSpec(
+                    factory=lambda wf=wf: _NodeStage(wf()),
+                    name=f"{st.name}@{i}",
+                    replicas=st.replicas,
+                    ordered=st.ordered,
+                    scheduling=st.scheduling,
+                    placement=st.placement,
+                ))
+            elif isinstance(st, ff_node):
+                specs.append(StageSpec(
+                    factory=lambda n=st: _NodeStage(n),
+                    name=f"stage@{i}",
+                    replicas=1,
+                ))
+            else:
+                raise TypeError(f"pipeline stage {i} is {type(st)}; expected ff_node/ff_farm")
+        g = PipelineGraph(source=source, stages=specs, name=self.name)
+        g.validate()
+        return g
+
+    # -- execution ---------------------------------------------------------------
+    def run_and_wait_end(self, config: Optional[ExecConfig] = None) -> RunResult:
+        cfg = config if config is not None else ExecConfig()
+        cfg = replace(cfg, blocking=self._blocking, queue_capacity=self._queue_capacity)
+        self._last_result = run_graph(self.to_graph(), cfg)
+        return self._last_result
+
+    def run_simulated(self, config: Optional[ExecConfig] = None) -> RunResult:
+        cfg = config if config is not None else ExecConfig()
+        cfg = replace(cfg, mode=ExecMode.SIMULATED)
+        return self.run_and_wait_end(cfg)
+
+    def ffTime(self) -> float:
+        """Makespan of the last run, in (virtual or wall) seconds."""
+        if self._last_result is None:
+            raise RuntimeError("pipeline has not run yet")
+        return self._last_result.makespan

@@ -1,0 +1,52 @@
+"""Simulated GPU: device model, memory, kernels, CUDA/OpenCL-style APIs.
+
+Kernels execute *functionally* (numpy-vectorized; one array lane per GPU
+thread, results are bit-real) and *temporally* on a virtual-time model:
+
+* per-warp cost is the maximum work among the warp's 32 lanes (thread
+  divergence — the paper's Section IV-A concern),
+* device throughput scales with resident warps until the latency-hiding
+  saturation point (the paper's 61,440-resident-threads argument for
+  batching 32 fractal lines per kernel),
+* copies run on dedicated H2D/D2H engines that overlap compute; streams
+  and in-order command queues impose FIFO dependencies (the paper's
+  2x/4x memory-space overlap optimisations).
+
+See :mod:`repro.gpu.cuda` and :mod:`repro.gpu.opencl` for the two
+paper-style front-ends.
+"""
+
+from repro.gpu.errors import (
+    DeviceMismatchError,
+    GpuError,
+    KernelLaunchError,
+    OutOfMemoryError,
+    PendingTransferError,
+    PinnedMemoryError,
+    ThreadSafetyError,
+)
+from repro.gpu.occupancy import Occupancy, occupancy
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, ThreadSpace, kernel_duration
+from repro.gpu.device import GpuDevice, build_devices
+
+__all__ = [
+    "GpuError",
+    "OutOfMemoryError",
+    "PinnedMemoryError",
+    "ThreadSafetyError",
+    "KernelLaunchError",
+    "PendingTransferError",
+    "DeviceMismatchError",
+    "Occupancy",
+    "occupancy",
+    "DeviceBuffer",
+    "HostBuffer",
+    "Kernel",
+    "KernelWork",
+    "LaunchConfig",
+    "ThreadSpace",
+    "kernel_duration",
+    "GpuDevice",
+    "build_devices",
+]

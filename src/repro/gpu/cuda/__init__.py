@@ -1,0 +1,12 @@
+"""CUDA-style front-end over the simulated devices.
+
+Names follow the CUDA runtime API the paper uses: per-thread
+``set_device`` (with its thread-side-effect semantics), ``malloc`` /
+``malloc_host`` (page-locked), streams, events, async memcpys and
+``stream_synchronize`` — enough to express every Mandelbrot/Dedup
+variant of Section IV.
+"""
+
+from repro.gpu.cuda.api import CudaEvent, CudaRuntime, CudaStream
+
+__all__ = ["CudaRuntime", "CudaStream", "CudaEvent"]

@@ -1,0 +1,232 @@
+"""CUDA runtime API facade.
+
+One :class:`CudaRuntime` is created per application run over a
+:class:`~repro.sim.machine.MachineSpec`; it owns fresh
+:class:`~repro.gpu.device.GpuDevice` instances.  The current device is
+**per thread** (``cudaSetDevice`` has thread-side effects — Section
+IV-A: "it must be called after initializing each thread"); objects
+remember their device and validate cross-device use.
+
+Asynchrony: launches and ``memcpy_*_async`` return immediately (they
+only reserve time on the device timelines at the caller's virtual
+'now'); ``stream_synchronize`` / ``event_synchronize`` /
+``device_synchronize`` advance the caller's work cursor to the
+completion time and clear the pending flags on host buffers, making
+them readable again.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gpu.device import GpuDevice, build_devices
+from repro.gpu.errors import DeviceMismatchError, GpuError
+from repro.gpu.identity import current_thread_identity
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.sim.context import current_cursor
+from repro.sim.machine import MachineSpec
+from repro.sim.timeline import Op, StreamChain
+
+#: CPU-side cost of issuing one runtime command (launch/memcpy/record)
+_ISSUE_OVERHEAD_S = 5.0e-6
+
+
+class CudaStream:
+    """An asynchronous FIFO of device operations (``cudaStream_t``)."""
+
+    _counter = 0
+
+    def __init__(self, device: GpuDevice):
+        CudaStream._counter += 1
+        self.device = device
+        self.chain = StreamChain(name=f"{device.name}.stream{CudaStream._counter}")
+        #: host buffers with unsynchronized async writes: (completion, buffer)
+        self._pending: List[tuple[float, HostBuffer]] = []
+
+    def _mark(self, op: Op, buf: HostBuffer) -> None:
+        buf.mark_pending(op.end, label=op.label)
+        self._pending.append((op.end, buf))
+
+    def _clear_until(self, t: float) -> None:
+        still = []
+        for end, buf in self._pending:
+            if end <= t + 1e-15:
+                buf.clear_pending()
+            else:
+                still.append((end, buf))
+        self._pending = still
+
+
+class CudaEvent:
+    """``cudaEvent_t``: captures a stream's position when recorded."""
+
+    def __init__(self) -> None:
+        self.time: Optional[float] = None
+        self.stream: Optional[CudaStream] = None
+
+    @property
+    def recorded(self) -> bool:
+        return self.time is not None
+
+
+class CudaRuntime:
+    def __init__(self, machine: MachineSpec):
+        if not machine.gpus:
+            raise GpuError(f"machine {machine.name!r} has no GPUs")
+        self.machine = machine
+        self.devices: List[GpuDevice] = build_devices(machine)
+        self._device_by_thread: dict = {}
+        self._streams: List[CudaStream] = []
+
+    # -- device selection (thread-side effects!) ---------------------------
+    def set_device(self, index: int) -> None:
+        """``cudaSetDevice``: selects the calling *thread's* device.
+
+        Like real CUDA this is per thread — a farm replica must call it
+        itself after starting (Section IV-A); logical (simulated) stage
+        threads count as threads here.
+        """
+        if not 0 <= index < len(self.devices):
+            raise GpuError(f"no device {index}; machine has {len(self.devices)}")
+        self._device_by_thread[current_thread_identity()] = index
+
+    def get_device(self) -> int:
+        return self._device_by_thread.get(current_thread_identity(), 0)
+
+    @property
+    def current(self) -> GpuDevice:
+        return self.devices[self.get_device()]
+
+    def device_count(self) -> int:
+        return len(self.devices)
+
+    # -- memory -------------------------------------------------------------
+    def malloc(self, nbytes: int, dtype=np.uint8) -> DeviceBuffer:
+        """``cudaMalloc`` on the current device."""
+        return self.current.malloc(nbytes, dtype=dtype)
+
+    def malloc_host(self, nbytes: int, dtype=np.uint8) -> HostBuffer:
+        """``cudaMallocHost``: page-locked host memory (async-copy capable)."""
+        return HostBuffer(nbytes, pinned=True, dtype=dtype)
+
+    def free(self, buf: DeviceBuffer) -> None:
+        buf.free()
+
+    def free_host(self, buf: HostBuffer) -> None:
+        buf.free()
+
+    # -- streams & events ----------------------------------------------------
+    def stream_create(self) -> CudaStream:
+        stream = CudaStream(self.current)
+        self._streams.append(stream)
+        return stream
+
+    def event_create(self) -> CudaEvent:
+        return CudaEvent()
+
+    def event_record(self, event: CudaEvent, stream: CudaStream) -> None:
+        event.time = stream.chain.tail
+        event.stream = stream
+
+    def event_synchronize(self, event: CudaEvent) -> None:
+        if not event.recorded:
+            raise GpuError("cudaEventSynchronize on an unrecorded event")
+        self._advance(event.time)
+        if event.stream is not None:
+            event.stream._clear_until(event.time)
+
+    def stream_wait_event(self, stream: CudaStream, event: CudaEvent) -> None:
+        """Make subsequent ops in ``stream`` wait for ``event`` (device-side)."""
+        if not event.recorded:
+            raise GpuError("cudaStreamWaitEvent on an unrecorded event")
+        stream.chain.tail = max(stream.chain.tail, event.time)
+
+    # -- copies ---------------------------------------------------------------
+    def memcpy_h2d(self, dst: DeviceBuffer, src: HostBuffer,
+                   nbytes: Optional[int] = None) -> None:
+        """Synchronous ``cudaMemcpy`` host->device."""
+        op = dst.device.copy_h2d(dst, src, nbytes, self._now(),
+                                 chain=dst.device.default_chain)
+        self._advance(op.end)
+
+    def memcpy_d2h(self, dst: HostBuffer, src: DeviceBuffer,
+                   nbytes: Optional[int] = None) -> None:
+        op = src.device.copy_d2h(dst, src, nbytes, self._now(),
+                                 chain=src.device.default_chain)
+        self._advance(op.end)
+
+    def memcpy_h2d_async(self, dst: DeviceBuffer, src: HostBuffer,
+                         stream: CudaStream, nbytes: Optional[int] = None) -> Op:
+        """``cudaMemcpyAsync`` H2D.  Truly asynchronous only from
+        page-locked memory — from pageable memory CUDA degrades to a
+        synchronous copy, which we reproduce."""
+        self._check_stream_device(stream, dst.device)
+        op = dst.device.copy_h2d(dst, src, nbytes, self._now(), chain=stream.chain)
+        if not src.pinned:
+            self._advance(op.end)
+        return op
+
+    def memcpy_d2h_async(self, dst: HostBuffer, src: DeviceBuffer,
+                         stream: CudaStream, nbytes: Optional[int] = None) -> Op:
+        self._check_stream_device(stream, src.device)
+        op = src.device.copy_d2h(dst, src, nbytes, self._now(), chain=stream.chain)
+        if not dst.pinned:
+            self._advance(op.end)
+        else:
+            stream._mark(op, dst)
+        return op
+
+    # -- kernel launch ----------------------------------------------------------
+    def launch(self, kernel: Kernel, grid, block, *args,
+               stream: Optional[CudaStream] = None) -> KernelWork:
+        """``kernel<<<grid, block, 0, stream>>>(*args)``.
+
+        Executes functionally now; time is modeled on the stream's chain.
+        """
+        cfg = LaunchConfig.make(grid, block)
+        device = stream.device if stream is not None else self.current
+        chain = stream.chain if stream is not None else device.default_chain
+        work, _op = device.execute_kernel(kernel, cfg, args, self._now(), chain)
+        return work
+
+    # -- synchronization -----------------------------------------------------------
+    def stream_synchronize(self, stream: CudaStream) -> None:
+        self._advance(stream.chain.tail)
+        stream._clear_until(stream.chain.tail)
+
+    def device_synchronize(self) -> None:
+        """``cudaDeviceSynchronize``: wait for everything on the current
+        device, completing all of its streams' pending transfers."""
+        dev = self.current
+        t = max(dev.busy_until(), dev.default_chain.tail)
+        self._advance(t)
+        for stream in self._streams:
+            if stream.device is dev:
+                stream._clear_until(t)
+
+    # -- internals ---------------------------------------------------------------------
+    @staticmethod
+    def _now() -> float:
+        """Virtual time of the calling thread, charging the driver's
+        per-command issue overhead."""
+        cur = current_cursor()
+        if cur is None:
+            return 0.0
+        cur.cpu_seconds(_ISSUE_OVERHEAD_S)
+        return cur.now
+
+    @staticmethod
+    def _advance(t: float) -> None:
+        cur = current_cursor()
+        if cur is not None:
+            cur.advance_to(t)
+
+    @staticmethod
+    def _check_stream_device(stream: CudaStream, device: GpuDevice) -> None:
+        if stream.device is not device:
+            raise DeviceMismatchError(
+                f"stream belongs to {stream.device.name!r}, buffer to {device.name!r}"
+            )

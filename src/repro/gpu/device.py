@@ -1,0 +1,124 @@
+"""Runtime GPU device: memory accounting plus the three engine timelines.
+
+A :class:`GpuDevice` is the shared substrate under both the CUDA and the
+OpenCL front-ends: it owns the device-memory budget and three
+:class:`~repro.sim.timeline.Timeline` engines — kernel execution, host-
+to-device copy and device-to-host copy — so compute and transfers in
+*different* streams/queues overlap while ops pushed through one
+stream/queue serialize (what the paper's 2x-memory-space optimization
+exploits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gpu.errors import OutOfMemoryError
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, kernel_duration
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.sim.machine import GpuSpec, MachineSpec
+from repro.sim.timeline import Op, StreamChain, Timeline
+
+
+class GpuDevice:
+    """One simulated GPU board."""
+
+    def __init__(self, spec: GpuSpec, index: int):
+        self.spec = spec
+        self.index = index
+        self.name = f"{spec.name}#{index}"
+        self.mem_used = 0
+        self.compute = Timeline(f"{self.name}.compute")
+        self.h2d = Timeline(f"{self.name}.h2d")
+        self.d2h = Timeline(f"{self.name}.d2h")
+        self.kernel_launches = 0
+        self.default_chain = StreamChain(f"{self.name}.stream0")
+
+    # -- memory ----------------------------------------------------------
+    def _alloc(self, nbytes: int) -> None:
+        if self.mem_used + nbytes > self.spec.mem_bytes:
+            raise OutOfMemoryError(
+                f"{self.name}: allocating {nbytes} B would exceed device "
+                f"memory ({self.mem_used} of {self.spec.mem_bytes} B in use)"
+            )
+        self.mem_used += nbytes
+
+    def _release(self, nbytes: int) -> None:
+        self.mem_used -= nbytes
+        if self.mem_used < 0:  # pragma: no cover - internal invariant
+            raise AssertionError("device memory accounting went negative")
+
+    def malloc(self, nbytes: int, dtype=np.uint8) -> DeviceBuffer:
+        return DeviceBuffer(self, nbytes, dtype=dtype)
+
+    # -- timed operations --------------------------------------------------
+    def execute_kernel(self, kernel: Kernel, cfg: LaunchConfig, args: tuple,
+                       issue_time: float, chain: Optional[StreamChain] = None,
+                       after: float = 0.0) -> tuple[KernelWork, Op]:
+        """Run the kernel functionally *now*; model its execution time."""
+        work = kernel.run(cfg, args)
+        duration = kernel_duration(self.spec, kernel, cfg, work)
+        ch = chain if chain is not None else self.default_chain
+        op = ch.push(self.compute, issue_time, duration, kind="kernel",
+                     label=kernel.name, after=after)
+        self.kernel_launches += 1
+        return work, op
+
+    def copy_h2d(self, dst: DeviceBuffer, src: HostBuffer, nbytes: Optional[int],
+                 issue_time: float, chain: Optional[StreamChain] = None,
+                 after: float = 0.0) -> Op:
+        dst.check_same_device(self)
+        n = self._do_copy(dst.array, src.raw, nbytes)
+        ch = chain if chain is not None else self.default_chain
+        return ch.push(self.h2d, issue_time, self.spec.copy_seconds(n, True),
+                       kind="h2d", label=f"h2d:{n}B", after=after)
+
+    def copy_d2h(self, dst: HostBuffer, src: DeviceBuffer, nbytes: Optional[int],
+                 issue_time: float, chain: Optional[StreamChain] = None,
+                 after: float = 0.0) -> Op:
+        src.check_same_device(self)
+        n = self._do_copy(dst.raw, src.array, nbytes)
+        ch = chain if chain is not None else self.default_chain
+        return ch.push(self.d2h, issue_time, self.spec.copy_seconds(n, False),
+                       kind="d2h", label=f"d2h:{n}B", after=after)
+
+    def copy_d2d(self, dst: DeviceBuffer, src: DeviceBuffer, nbytes: Optional[int],
+                 issue_time: float, chain: Optional[StreamChain] = None) -> Op:
+        dst.check_same_device(self)
+        src.check_same_device(self)
+        n = self._do_copy(dst.array, src.array, nbytes)
+        ch = chain if chain is not None else self.default_chain
+        # on-device copies run on the compute engine at memory bandwidth
+        return ch.push(self.compute, issue_time, n / (self.spec.h2d_bps * 20),
+                       kind="d2d", label=f"d2d:{n}B")
+
+    @staticmethod
+    def _do_copy(dst: np.ndarray, src: np.ndarray, nbytes: Optional[int]) -> int:
+        db = dst.view(np.uint8)
+        sb = src.view(np.uint8)
+        n = nbytes if nbytes is not None else min(db.nbytes, sb.nbytes)
+        if n > db.nbytes or n > sb.nbytes:
+            raise ValueError(
+                f"copy of {n} B exceeds buffer sizes (src {sb.nbytes}, dst {db.nbytes})"
+            )
+        db[:n] = sb[:n]
+        return n
+
+    # -- lifecycle -----------------------------------------------------------
+    def reset_timelines(self) -> None:
+        self.compute.reset()
+        self.h2d.reset()
+        self.d2h.reset()
+        self.default_chain.reset()
+        self.kernel_launches = 0
+
+    def busy_until(self) -> float:
+        return max(self.compute.busy_until, self.h2d.busy_until,
+                   self.d2h.busy_until)
+
+
+def build_devices(machine: MachineSpec) -> List[GpuDevice]:
+    """Fresh device instances for one run over the machine's GPUs."""
+    return [GpuDevice(spec, i) for i, spec in enumerate(machine.gpus)]

@@ -1,0 +1,36 @@
+"""GPU error hierarchy, mirroring the failure modes the paper ran into."""
+
+from __future__ import annotations
+
+
+class GpuError(RuntimeError):
+    """Base class for all simulated-GPU errors."""
+
+
+class OutOfMemoryError(GpuError):
+    """Device memory exhausted (the paper's OpenCL 10 MB-batch failure)."""
+
+
+class PinnedMemoryError(GpuError):
+    """Illegal operation on page-locked memory (the paper's Dedup/CUDA
+    ``realloc`` limitation: page-locked allocations cannot be resized)."""
+
+
+class ThreadSafetyError(GpuError):
+    """Non-thread-safe object used from the wrong thread (the paper:
+    ``cl_kernel`` objects are not thread-safe and must be allocated per
+    thread / per stream item)."""
+
+
+class KernelLaunchError(GpuError):
+    """Invalid launch configuration (block too large, zero grid, ...)."""
+
+
+class PendingTransferError(GpuError):
+    """Host buffer read while an async device-to-host copy is still in
+    flight — i.e. the caller forgot ``cudaStreamSynchronize`` /
+    ``clWaitForEvents``."""
+
+
+class DeviceMismatchError(GpuError):
+    """Operation mixes objects from different devices/contexts."""

@@ -1,0 +1,23 @@
+"""Thread identity spanning real and simulated (logical) threads.
+
+Per-thread GPU semantics — ``cudaSetDevice``'s thread-side effects and
+``cl_kernel``'s non-thread-safety — must hold both under the native
+executor (real threads) and the simulated one (stage replicas are
+logical threads multiplexed on one real thread).  The simulated executor
+stamps each stage replica's :class:`~repro.sim.context.WorkCursor` with
+a ``thread_id``; natively we fall back to the interpreter thread id.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable
+
+from repro.sim.context import current_cursor
+
+
+def current_thread_identity() -> Hashable:
+    cur = current_cursor()
+    if cur is not None and cur.thread_id is not None:
+        return ("sim", cur.thread_id)
+    return ("native", threading.get_ident())

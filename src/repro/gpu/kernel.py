@@ -1,0 +1,216 @@
+"""Kernel objects, launch geometry and the kernel timing model.
+
+A kernel is a Python callable executed once per launch over the whole
+thread grid using numpy (one array lane per GPU thread).  It receives a
+:class:`ThreadSpace` — the vectorized equivalent of CUDA's
+``blockIdx/blockDim/threadIdx`` (or OpenCL's ``get_global_id``) — writes
+results into device buffers, and returns a :class:`KernelWork` stating
+how much work of which kind every lane performed.  The timing model then
+prices the launch:
+
+* **divergence** — a warp costs the *maximum* work among its 32 lanes
+  (Section IV-A: "minimize divergence among threads of the same warp");
+* **residency** — device throughput scales linearly with resident
+  useful warps up to the latency-hiding saturation point
+  (``warps_for_peak_per_sm``), reproducing the paper's observation that
+  2,000-thread per-line kernels leave a 61,440-resident-thread Titan XP
+  mostly idle until lines are batched 32 at a time;
+* **occupancy** — residency per SM honours the CC-6.1 limits via
+  :func:`repro.gpu.occupancy.occupancy` (the paper checks its kernel's
+  18 registers are not limiting);
+* a fixed per-launch overhead (the "large number of launched kernels
+  with small workloads" cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu.errors import KernelLaunchError
+from repro.gpu.occupancy import occupancy
+from repro.sim.machine import GpuSpec
+
+Dim3 = Tuple[int, int, int]
+
+
+def _as_dim3(v: int | Sequence[int], what: str) -> Dim3:
+    if isinstance(v, (int, np.integer)):
+        dims: Tuple[int, ...] = (int(v),)
+    else:
+        dims = tuple(int(x) for x in v)
+    if not 1 <= len(dims) <= 3:
+        raise KernelLaunchError(f"{what} must have 1-3 dimensions, got {dims!r}")
+    if any(d < 1 for d in dims):
+        raise KernelLaunchError(f"{what} dimensions must be >= 1, got {dims!r}")
+    return dims + (1,) * (3 - len(dims))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """CUDA's ``<<<grid, block>>>`` / OpenCL's global+local sizes."""
+
+    grid: Dim3
+    block: Dim3
+
+    @staticmethod
+    def make(grid: int | Sequence[int], block: int | Sequence[int]) -> "LaunchConfig":
+        return LaunchConfig(_as_dim3(grid, "grid"), _as_dim3(block, "block"))
+
+    @property
+    def threads_per_block(self) -> int:
+        bx, by, bz = self.block
+        return bx * by * bz
+
+    @property
+    def n_blocks(self) -> int:
+        gx, gy, gz = self.grid
+        return gx * gy * gz
+
+    @property
+    def total_threads(self) -> int:
+        return self.n_blocks * self.threads_per_block
+
+    @staticmethod
+    def for_elements(n: int, block: int = 256) -> "LaunchConfig":
+        """1D config covering ``n`` elements (the usual ceil-div launch)."""
+        if n < 1:
+            raise KernelLaunchError("need at least one element")
+        return LaunchConfig.make(-(-n // block), block)
+
+
+class ThreadSpace:
+    """Vectorized thread-coordinate helpers for one launch.
+
+    All arrays are aligned to the *flat lane order*: blocks in
+    ``blockIdx`` linear order, threads within a block linearized with x
+    fastest (matching hardware warp formation — lanes 0..31 of a warp
+    are 32 consecutive flat threads of the block).
+    """
+
+    def __init__(self, cfg: LaunchConfig):
+        self.cfg = cfg
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return self.cfg.total_threads
+
+    def _coords(self) -> tuple[np.ndarray, ...]:
+        key = "coords"
+        if key not in self._cache:
+            bx, by, bz = self.cfg.block
+            gx, gy, gz = self.cfg.grid
+            tpb = self.cfg.threads_per_block
+            lane = np.arange(self.n, dtype=np.int64)
+            block_lin = lane // tpb
+            tid_lin = lane % tpb
+            tx = tid_lin % bx
+            ty = (tid_lin // bx) % by
+            tz = tid_lin // (bx * by)
+            bxi = block_lin % gx
+            byi = (block_lin // gx) % gy
+            bzi = block_lin // (gx * gy)
+            self._cache[key] = (tx, ty, tz, bxi, byi, bzi)
+        return self._cache[key]  # type: ignore[return-value]
+
+    def thread_idx(self, axis: int = 0) -> np.ndarray:
+        return self._coords()[axis]
+
+    def block_idx(self, axis: int = 0) -> np.ndarray:
+        return self._coords()[3 + axis]
+
+    def global_id(self, axis: int = 0) -> np.ndarray:
+        """``blockIdx.axis * blockDim.axis + threadIdx.axis`` /
+        OpenCL's ``get_global_id(axis)``."""
+        return self.block_idx(axis) * self.cfg.block[axis] + self.thread_idx(axis)
+
+    def flat_global_id(self) -> np.ndarray:
+        """The paper's ``threadIdGlobal`` for 1D launches (Listing 2 line 2)."""
+        return self.global_id(0)
+
+
+@dataclass
+class KernelWork:
+    """Per-lane work accounting returned by a kernel body.
+
+    ``work`` has one entry per launched thread (flat lane order); idle /
+    out-of-range lanes carry 0.  ``kind`` names the rate in the GPU spec.
+    """
+
+    kind: str
+    work: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.work = np.asarray(self.work, dtype=np.float64)
+
+
+@dataclass
+class Kernel:
+    """A named device function plus its static resource usage."""
+
+    fn: Callable[..., KernelWork]
+    name: str = ""
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = getattr(self.fn, "__name__", "kernel")
+
+    def run(self, cfg: LaunchConfig, args: tuple) -> KernelWork:
+        ts = ThreadSpace(cfg)
+        result = self.fn(ts, *args)
+        if not isinstance(result, KernelWork):
+            raise KernelLaunchError(
+                f"kernel {self.name!r} must return KernelWork, got {type(result)}"
+            )
+        if result.work.size != cfg.total_threads:
+            raise KernelLaunchError(
+                f"kernel {self.name!r} returned work for {result.work.size} lanes, "
+                f"launch has {cfg.total_threads} threads"
+            )
+        return result
+
+
+def kernel_duration(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
+                    work: KernelWork) -> float:
+    """Virtual seconds for one launch (see module docstring for the model)."""
+    tpb = cfg.threads_per_block
+    if tpb > spec.max_threads_per_block:
+        raise KernelLaunchError(
+            f"block of {tpb} threads exceeds limit {spec.max_threads_per_block}"
+        )
+    occ = occupancy(spec, tpb, kernel.registers_per_thread,
+                    kernel.shared_mem_per_block)
+
+    warp = spec.warp_size
+    wpb = -(-tpb // warp)
+    per_block = work.work.reshape(cfg.n_blocks, tpb)
+    if tpb % warp:
+        pad = np.zeros((cfg.n_blocks, wpb * warp - tpb))
+        per_block = np.concatenate([per_block, pad], axis=1)
+    lanes = per_block.reshape(cfg.n_blocks, wpb, warp)
+    warp_cost = lanes.max(axis=2)                     # divergence: max lane
+    active = lanes > 0
+    nonempty = warp_cost > 0
+    n_warps = cfg.n_blocks * wpb
+    n_nonempty = int(nonempty.sum())
+    if n_nonempty == 0:
+        return spec.launch_overhead_s
+
+    fill = float(active.sum()) / (n_nonempty * warp)  # valid lanes per busy warp
+    capacity = spec.sms * occ.warps_per_sm
+    resident = min(n_warps, capacity)
+    useful = (n_nonempty / n_warps) * fill
+    saturation = spec.warps_for_peak_per_sm * spec.sms
+    peak = spec.rate(work.kind)
+    rate = peak * min(1.0, resident * useful / saturation)
+    lane = spec.lane_rates.get(work.kind)
+    if lane is not None:
+        # ILP floor: every resident useful lane sustains at least `lane`
+        # units/s regardless of occupancy (see GpuSpec.lane_rates).
+        rate = min(peak, max(rate, lane * warp * resident * useful))
+    return spec.launch_overhead_s + warp * float(warp_cost.sum()) / rate

@@ -1,0 +1,147 @@
+"""Host and device buffers.
+
+Buffers wrap numpy byte arrays so kernels operate on real data.  The
+semantics the paper trips over are enforced:
+
+* device allocations count against the device's 12 GB and raise
+  :class:`~repro.gpu.errors.OutOfMemoryError` when exhausted;
+* *page-locked* (pinned) host buffers are required for truly
+  asynchronous copies and cannot be ``realloc``-ed (Dedup's
+  ``realloc``-based buffer growth is incompatible with CUDA pinned
+  memory — Section V-B);
+* a host buffer that is the target of an in-flight async device-to-host
+  copy raises :class:`~repro.gpu.errors.PendingTransferError` if read
+  before the owning stream/event is synchronized.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.gpu.errors import (
+    DeviceMismatchError,
+    OutOfMemoryError,
+    PendingTransferError,
+    PinnedMemoryError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpu.device import GpuDevice
+
+
+class HostBuffer:
+    """Host memory; optionally page-locked."""
+
+    def __init__(self, nbytes: int, pinned: bool = False, dtype=np.uint8):
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        self.pinned = pinned
+        self._array = np.zeros(nbytes // np.dtype(dtype).itemsize, dtype=dtype)
+        #: virtual time at which the newest async write into this buffer
+        #: lands; cleared by stream/event synchronization
+        self._pending_until: Optional[float] = None
+        self._pending_label = ""
+        self.freed = False
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    # -- data access -----------------------------------------------------
+    @property
+    def array(self) -> np.ndarray:
+        """Checked view: raises if an async copy into this buffer is
+        still unsynchronized (the classic missing-``cudaStreamSynchronize``
+        bug the paper's last pipeline stage exists to avoid)."""
+        self._check()
+        return self._array
+
+    def view(self, dtype) -> np.ndarray:
+        self._check()
+        return self._array.view(dtype)
+
+    @property
+    def raw(self) -> np.ndarray:
+        """Unchecked view (for the runtime's own copy machinery)."""
+        if self.freed:
+            raise PendingTransferError("use-after-free of host buffer")
+        return self._array
+
+    def _check(self) -> None:
+        if self.freed:
+            raise PendingTransferError("use-after-free of host buffer")
+        if self._pending_until is not None:
+            raise PendingTransferError(
+                f"host buffer read while async transfer {self._pending_label!r} "
+                "is in flight; synchronize the stream/event first"
+            )
+
+    # -- async-copy bookkeeping -------------------------------------------
+    def mark_pending(self, until: float, label: str = "") -> None:
+        self._pending_until = until
+        self._pending_label = label
+
+    def clear_pending(self) -> None:
+        self._pending_until = None
+        self._pending_label = ""
+
+    # -- lifecycle ---------------------------------------------------------
+    def realloc(self, nbytes: int) -> None:
+        """Grow/shrink the buffer (Dedup's realloc-based buffers).
+
+        Page-locked memory cannot be resized — exactly the limitation
+        that kept the paper's Dedup/CUDA version from using 2x memory
+        spaces (Section V-B).
+        """
+        if self.pinned:
+            raise PinnedMemoryError(
+                "realloc of page-locked (pinned) host memory is not supported"
+            )
+        self._check()
+        old = self._array
+        self._array = np.zeros(nbytes, dtype=old.dtype)
+        n = min(old.size, self._array.size)
+        self._array[:n] = old[:n]
+
+    def free(self) -> None:
+        self.freed = True
+
+
+class DeviceBuffer:
+    """Device memory on one GPU; data lives in a numpy array."""
+
+    def __init__(self, device: "GpuDevice", nbytes: int, dtype=np.uint8):
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        itemsize = np.dtype(dtype).itemsize
+        self.device = device
+        self._array = np.zeros(nbytes // itemsize, dtype=dtype)
+        self.freed = False
+        device._alloc(self._array.nbytes)
+
+    @property
+    def nbytes(self) -> int:
+        return self._array.nbytes
+
+    @property
+    def array(self) -> np.ndarray:
+        if self.freed:
+            raise OutOfMemoryError("use-after-free of device buffer")
+        return self._array
+
+    def view(self, dtype) -> np.ndarray:
+        return self.array.view(dtype)
+
+    def check_same_device(self, device: "GpuDevice") -> None:
+        if self.device is not device:
+            raise DeviceMismatchError(
+                f"buffer lives on {self.device.name!r}, operation targets "
+                f"{device.name!r}"
+            )
+
+    def free(self) -> None:
+        if not self.freed:
+            self.freed = True
+            self.device._release(self._array.nbytes)

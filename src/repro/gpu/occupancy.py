@@ -1,0 +1,94 @@
+"""CUDA-style occupancy calculator.
+
+Computes how many blocks/warps of a kernel are resident per SM given the
+four architectural limits (threads, warps, blocks, registers, shared
+memory).  Matches the arithmetic of NVIDIA's occupancy spreadsheet for
+the compute-capability-6.1 parameters carried by
+:class:`~repro.sim.machine.GpuSpec`; used by the kernel timing model and
+directly testable against the paper's numbers (Listing 2 uses 18
+registers, "not a limiting factor").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.errors import KernelLaunchError
+from repro.sim.machine import GpuSpec
+
+#: register allocation granularity (warp-level, CC 6.x)
+_REG_ALLOC_UNIT = 256
+#: shared-memory allocation granularity
+_SHMEM_ALLOC_UNIT = 256
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _round_up(x: int, unit: int) -> int:
+    return _ceil_div(x, unit) * unit
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Residency of one kernel configuration on one SM."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limiting_factor: str
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    def threads_per_sm(self, warp_size: int = 32) -> int:
+        return self.warps_per_sm * warp_size
+
+    def fraction(self, spec: GpuSpec) -> float:
+        return self.warps_per_sm / spec.max_warps_per_sm
+
+
+def occupancy(spec: GpuSpec, threads_per_block: int,
+              registers_per_thread: int = 32,
+              shared_mem_per_block: int = 0) -> Occupancy:
+    """Resident blocks/warps per SM for the given kernel resources."""
+    if threads_per_block < 1:
+        raise KernelLaunchError("threads_per_block must be >= 1")
+    if threads_per_block > spec.max_threads_per_block:
+        raise KernelLaunchError(
+            f"block of {threads_per_block} threads exceeds device limit "
+            f"{spec.max_threads_per_block}"
+        )
+    if shared_mem_per_block > spec.shared_mem_per_sm:
+        raise KernelLaunchError(
+            f"shared memory {shared_mem_per_block} B exceeds the SM's "
+            f"{spec.shared_mem_per_sm} B"
+        )
+
+    warps_per_block = _ceil_div(threads_per_block, spec.warp_size)
+
+    limits = {
+        "threads": spec.max_threads_per_sm // (warps_per_block * spec.warp_size),
+        "warps": spec.max_warps_per_sm // warps_per_block,
+        "blocks": spec.max_blocks_per_sm,
+    }
+    if registers_per_thread > 0:
+        regs_per_block = _round_up(
+            registers_per_thread * spec.warp_size, _REG_ALLOC_UNIT
+        ) * warps_per_block
+        limits["registers"] = spec.registers_per_sm // regs_per_block if regs_per_block else limits["blocks"]
+    if shared_mem_per_block > 0:
+        limits["shared_mem"] = spec.shared_mem_per_sm // _round_up(
+            shared_mem_per_block, _SHMEM_ALLOC_UNIT
+        )
+
+    factor, blocks = min(limits.items(), key=lambda kv: kv[1])
+    if blocks < 1:
+        raise KernelLaunchError(
+            f"kernel cannot be resident: limited by {factor} "
+            f"(threads_per_block={threads_per_block}, "
+            f"regs={registers_per_thread}, shmem={shared_mem_per_block})"
+        )
+    return Occupancy(blocks_per_sm=blocks, warps_per_block=warps_per_block,
+                     limiting_factor=factor)

@@ -1,0 +1,36 @@
+"""OpenCL-style front-end over the simulated devices.
+
+Follows the workflow the paper quotes from the OpenCL spec: discover
+platforms and devices, create a context and kernels, manage host/device
+memory, enqueue work and collect results through events.  The
+``cl_kernel`` non-thread-safety that shaped the paper's pipeline design
+(one kernel + one command queue carried on each stream item) is
+enforced: using a kernel from two (logical) threads raises
+:class:`~repro.gpu.errors.ThreadSafetyError`.
+"""
+
+from repro.gpu.opencl.api import (
+    CLBuffer,
+    CLCommandQueue,
+    CLContext,
+    CLDevice,
+    CLEvent,
+    CLKernel,
+    CLPlatform,
+    CLProgram,
+    OpenCLRuntime,
+    wait_for_events,
+)
+
+__all__ = [
+    "OpenCLRuntime",
+    "CLPlatform",
+    "CLDevice",
+    "CLContext",
+    "CLCommandQueue",
+    "CLProgram",
+    "CLKernel",
+    "CLBuffer",
+    "CLEvent",
+    "wait_for_events",
+]

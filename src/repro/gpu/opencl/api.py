@@ -1,0 +1,310 @@
+"""OpenCL 1.2-style API facade.
+
+The object model mirrors Khronos': platform -> device -> context ->
+(program, buffers, command queues) -> kernels -> events.  Work sizes use
+OpenCL's convention (``global_size`` = total work-items, ``local_size``
+= work-group size) and are translated to the shared
+:class:`~repro.gpu.kernel.LaunchConfig`.
+
+Timing semantics match the CUDA facade (same device timelines): an
+in-order command queue is a FIFO chain; non-blocking reads mark the
+destination host buffer pending until :func:`wait_for_events` or
+:meth:`CLCommandQueue.finish`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gpu.device import GpuDevice, build_devices
+from repro.gpu.errors import DeviceMismatchError, GpuError, KernelLaunchError, ThreadSafetyError
+from repro.gpu.identity import current_thread_identity
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.sim.context import current_cursor
+from repro.sim.machine import MachineSpec
+from repro.sim.timeline import Op, StreamChain
+
+
+#: CPU-side cost of one clEnqueue* call (the OpenCL runtime dispatches
+#: through a thicker driver stack than CUDA's)
+_ENQUEUE_OVERHEAD_S = 15.0e-6
+
+
+def _now() -> float:
+    """Virtual time of the calling thread, charging the enqueue cost."""
+    cur = current_cursor()
+    if cur is None:
+        return 0.0
+    cur.cpu_seconds(_ENQUEUE_OVERHEAD_S)
+    return cur.now
+
+
+def _advance(t: float) -> None:
+    cur = current_cursor()
+    if cur is not None:
+        cur.advance_to(t)
+
+
+class CLEvent:
+    """``cl_event``: completion handle for one enqueued command."""
+
+    def __init__(self, op: Op, queue: "CLCommandQueue",
+                 host_buffer: Optional[HostBuffer] = None):
+        self.op = op
+        self.queue = queue
+        self._host_buffer = host_buffer
+
+    @property
+    def end_time(self) -> float:
+        return self.op.end
+
+    def _complete(self) -> None:
+        if self._host_buffer is not None:
+            self._host_buffer.clear_pending()
+            self._host_buffer = None
+
+
+def wait_for_events(events: Iterable[CLEvent]) -> None:
+    """``clWaitForEvents``: block until every event completes."""
+    events = list(events)
+    if not events:
+        return
+    _advance(max(ev.end_time for ev in events))
+    for ev in events:
+        ev._complete()
+
+
+class CLDevice:
+    """One OpenCL device (wraps the shared simulated GPU)."""
+
+    def __init__(self, gpu: GpuDevice, platform: "CLPlatform"):
+        self.gpu = gpu
+        self.platform = platform
+        self.name = gpu.name
+
+    @property
+    def global_mem_size(self) -> int:
+        return self.gpu.spec.mem_bytes
+
+    @property
+    def max_work_group_size(self) -> int:
+        return self.gpu.spec.max_threads_per_block
+
+
+class CLPlatform:
+    def __init__(self, name: str, devices_builder):
+        self.name = name
+        self._devices: Optional[List[CLDevice]] = None
+        self._builder = devices_builder
+
+    def get_devices(self) -> List[CLDevice]:
+        if self._devices is None:
+            self._devices = [CLDevice(g, self) for g in self._builder()]
+        return self._devices
+
+
+class OpenCLRuntime:
+    """Entry point: platform discovery (step 1 of the paper's workflow)."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+        self._gpus = build_devices(machine)
+        self._platforms = [CLPlatform("Simulated NVIDIA CUDA", lambda: self._gpus)]
+
+    def get_platforms(self) -> List[CLPlatform]:
+        return list(self._platforms)
+
+    def create_context(self, devices: Optional[Sequence[CLDevice]] = None) -> "CLContext":
+        if devices is None:
+            devices = self.get_platforms()[0].get_devices()
+        return CLContext(list(devices))
+
+
+class CLContext:
+    def __init__(self, devices: List[CLDevice]):
+        if not devices:
+            raise GpuError("a context needs at least one device")
+        self.devices = devices
+
+    def create_buffer(self, nbytes: int, device: Optional[CLDevice] = None,
+                      dtype=np.uint8) -> "CLBuffer":
+        dev = device if device is not None else self.devices[0]
+        self._check_device(dev)
+        return CLBuffer(self, dev, nbytes, dtype=dtype)
+
+    def create_queue(self, device: Optional[CLDevice] = None) -> "CLCommandQueue":
+        dev = device if device is not None else self.devices[0]
+        self._check_device(dev)
+        return CLCommandQueue(self, dev)
+
+    def create_program(self, kernels: Sequence[Kernel]) -> "CLProgram":
+        return CLProgram(self, kernels)
+
+    def alloc_host(self, nbytes: int, pinned: bool = True, dtype=np.uint8) -> HostBuffer:
+        """Host allocation (CL_MEM_ALLOC_HOST_PTR-style pinned memory)."""
+        return HostBuffer(nbytes, pinned=pinned, dtype=dtype)
+
+    def _check_device(self, device: CLDevice) -> None:
+        if device not in self.devices:
+            raise DeviceMismatchError(f"device {device.name!r} not in this context")
+
+
+class CLBuffer:
+    """``cl_mem``: device memory within a context."""
+
+    def __init__(self, context: CLContext, device: CLDevice, nbytes: int, dtype=np.uint8):
+        self.context = context
+        self.device = device
+        self.dev_buffer = DeviceBuffer(device.gpu, nbytes, dtype=dtype)
+
+    @property
+    def nbytes(self) -> int:
+        return self.dev_buffer.nbytes
+
+    @property
+    def array(self) -> np.ndarray:
+        return self.dev_buffer.array
+
+    def release(self) -> None:
+        self.dev_buffer.free()
+
+
+class CLProgram:
+    """``cl_program``: a compiled bundle of kernels."""
+
+    def __init__(self, context: CLContext, kernels: Sequence[Kernel]):
+        self.context = context
+        self._kernels = {k.name: k for k in kernels}
+
+    def kernel_names(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def create_kernel(self, name: str) -> "CLKernel":
+        """``clCreateKernel``: a *new* kernel object — they are not
+        thread-safe, so the paper allocates one per stream item."""
+        try:
+            return CLKernel(self, self._kernels[name])
+        except KeyError:
+            raise GpuError(
+                f"program has no kernel {name!r}; known: {self.kernel_names()}"
+            ) from None
+
+
+class CLKernel:
+    """``cl_kernel``: kernel object with argument slots.
+
+    NOT thread-safe (OpenCL spec, and the paper's Section IV-A
+    challenge): the object binds to the first (logical) thread that
+    touches it; any other thread raises :class:`ThreadSafetyError`.
+    """
+
+    def __init__(self, program: CLProgram, kernel: Kernel):
+        self.program = program
+        self.kernel = kernel
+        self._args: dict[int, Any] = {}
+        self._owner = None
+
+    def _check_thread(self) -> None:
+        me = current_thread_identity()
+        if self._owner is None:
+            self._owner = me
+        elif self._owner != me:
+            raise ThreadSafetyError(
+                f"cl_kernel {self.kernel.name!r} used from thread {me!r} but "
+                f"owned by {self._owner!r}; cl_kernel objects are not "
+                "thread-safe — create one per thread/stream item"
+            )
+
+    def set_arg(self, index: int, value: Any) -> None:
+        self._check_thread()
+        self._args[index] = value
+
+    def _collect_args(self) -> tuple:
+        if not self._args:
+            return ()
+        hi = max(self._args)
+        missing = [i for i in range(hi + 1) if i not in self._args]
+        if missing:
+            raise KernelLaunchError(
+                f"kernel {self.kernel.name!r} launched with unset args {missing}"
+            )
+        out = []
+        for i in range(hi + 1):
+            v = self._args[i]
+            out.append(v.dev_buffer if isinstance(v, CLBuffer) else v)
+        return tuple(out)
+
+
+class CLCommandQueue:
+    """In-order ``cl_command_queue`` on one device."""
+
+    _counter = 0
+
+    def __init__(self, context: CLContext, device: CLDevice):
+        CLCommandQueue._counter += 1
+        self.context = context
+        self.device = device
+        self.chain = StreamChain(name=f"{device.name}.clq{CLCommandQueue._counter}")
+        self._pending: List[CLEvent] = []
+
+    # -- enqueue operations ------------------------------------------------
+    def enqueue_nd_range_kernel(self, kernel: CLKernel,
+                                global_size: int | Sequence[int],
+                                local_size: int | Sequence[int]) -> CLEvent:
+        kernel._check_thread()
+        gs = (global_size,) if isinstance(global_size, int) else tuple(global_size)
+        ls = (local_size,) if isinstance(local_size, int) else tuple(local_size)
+        if len(gs) != len(ls):
+            raise KernelLaunchError("global and local sizes must have equal rank")
+        grid = []
+        for g, l in zip(gs, ls):
+            if l < 1 or g < 1:
+                raise KernelLaunchError("work sizes must be >= 1")
+            if g % l:
+                raise KernelLaunchError(
+                    f"global size {g} not a multiple of local size {l}"
+                )
+            grid.append(g // l)
+        cfg = LaunchConfig.make(tuple(grid), ls)
+        args = kernel._collect_args()
+        _work, op = self.device.gpu.execute_kernel(
+            kernel.kernel, cfg, args, _now(), self.chain
+        )
+        return CLEvent(op, self)
+
+    def enqueue_write_buffer(self, buf: CLBuffer, host: HostBuffer,
+                             blocking: bool = True,
+                             nbytes: Optional[int] = None) -> CLEvent:
+        op = self.device.gpu.copy_h2d(buf.dev_buffer, host, nbytes, _now(),
+                                      self.chain)
+        ev = CLEvent(op, self)
+        if blocking or not host.pinned:
+            _advance(op.end)
+        return ev
+
+    def enqueue_read_buffer(self, host: HostBuffer, buf: CLBuffer,
+                            blocking: bool = True,
+                            nbytes: Optional[int] = None) -> CLEvent:
+        op = self.device.gpu.copy_d2h(host, buf.dev_buffer, nbytes, _now(),
+                                      self.chain)
+        if blocking or not host.pinned:
+            _advance(op.end)
+            return CLEvent(op, self)
+        host.mark_pending(op.end, label=op.label)
+        ev = CLEvent(op, self, host_buffer=host)
+        self._pending.append(ev)
+        return ev
+
+    # -- synchronization ------------------------------------------------------
+    def finish(self) -> None:
+        """``clFinish``: block until everything in the queue completed."""
+        _advance(self.chain.tail)
+        for ev in self._pending:
+            ev._complete()
+        self._pending.clear()
+
+    def flush(self) -> None:
+        """``clFlush``: submission barrier; a no-op in the model."""

@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerates every figure of the paper's Section V.
+
+Each experiment module produces an :class:`~repro.harness.runner.ExperimentReport`
+whose rows mirror the bars/series of the corresponding figure, printed as
+ASCII tables with the paper's published values alongside (where the paper
+states them) for direct comparison.
+
+Run from the command line::
+
+    python -m repro.harness fig1            # Mandelbrot optimization ladder
+    python -m repro.harness fig4            # Mandelbrot across models
+    python -m repro.harness fig5            # Dedup throughput
+    python -m repro.harness all --scale=paper
+
+``--scale=paper`` uses the paper's workload sizes (Mandelbrot
+2000x2000x200k on the virtual testbed; Dedup on proportionally-scaled
+synthetic corpora); the default small scale finishes in seconds.
+"""
+
+from repro.harness.runner import ExperimentReport, Row, measure
+from repro.harness.report import render_table
+
+__all__ = ["ExperimentReport", "Row", "measure", "render_table"]

@@ -1,0 +1,45 @@
+"""CLI: ``python -m repro.harness {fig1|fig4|fig5|ablations|all}``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.harness.experiments import REGISTRY
+from repro.harness.report import render_table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's figures on the virtual testbed.",
+    )
+    parser.add_argument("experiment", choices=[*REGISTRY, "all"],
+                        help="which figure to regenerate")
+    parser.add_argument("--scale", default=None,
+                        choices=["small", "paper"],
+                        help="workload scale (default: paper for fig1/fig4/"
+                             "ablations, small for fig5)")
+    parser.add_argument("--json", dest="as_json", action="store_true",
+                        help="emit machine-readable JSON instead of tables")
+    parser.add_argument("--no-bars", action="store_true",
+                        help="suppress the ASCII bar charts")
+    args = parser.parse_args(argv)
+
+    names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
+    default_scale = {"fig1": "paper", "fig4": "paper", "fig5": "small",
+                     "ablations": "paper"}
+    for name in names:
+        scale = args.scale or default_scale[name]
+        report = REGISTRY[name](scale=scale)
+        if args.as_json:
+            print(json.dumps(report.as_dict(), indent=2))
+        else:
+            print(render_table(report, bars=not args.no_bars))
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

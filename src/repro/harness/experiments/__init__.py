@@ -1,0 +1,13 @@
+"""One module per paper figure; see the per-module docstrings and
+DESIGN.md's experiment index (FIG1/FIG4/FIG5)."""
+
+from repro.harness.experiments import fig1, fig4, fig5, ablations
+
+REGISTRY = {
+    "fig1": fig1.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "ablations": ablations.run,
+}
+
+__all__ = ["REGISTRY", "fig1", "fig4", "fig5", "ablations"]

@@ -1,0 +1,70 @@
+"""Ablations over the design choices DESIGN.md §6 calls out.
+
+Not a paper figure — these sweeps justify the constants the paper picked
+empirically ("These are the best configurations and were chosen by
+empirical testing"):
+
+* kernel batch size (the paper derives 30.7 lines from the Titan XP's
+  61,440 resident threads and uses 32),
+* number of memory spaces (the paper stops at 4: "allocating more
+  memory spaces does not provide performance improvements"),
+* TBB ``max_number_of_live_tokens`` (the paper tuned 38 / 50),
+* FastFlow blocking vs non-blocking queues,
+* farm scheduling policy (round-robin vs on-demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.apps.mandelbrot.gpu_single import GpuVariant, run_gpu
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.streaming import fastflow_mandelbrot, tbb_mandelbrot
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.harness.experiments.fig1 import workload
+from repro.harness.runner import ExperimentReport, Row
+from repro.sim.machine import paper_machine
+
+BATCH_SIZES = (1, 2, 8, 32, 128)
+MEM_SPACES = (1, 2, 4, 8)
+TOKEN_COUNTS = (5, 10, 19, 38, 76)
+
+
+def run(scale: str = "paper", workers: int = 19) -> ExperimentReport:
+    params = workload(scale)
+    machine = paper_machine(1)
+    report = ExperimentReport(
+        experiment="ablations",
+        title="Design-choice sweeps (Mandelbrot workload)",
+        unit="s",
+        meta={"dim": params.dim, "niter": params.niter, "scale": scale},
+    )
+
+    for bs in BATCH_SIZES:
+        out = run_gpu(params, GpuVariant(batch_size=bs), machine=machine)
+        report.add(Row(f"batch size {bs} lines/kernel", out.elapsed,
+                       extra={"kernel_launches": out.kernel_launches}))
+
+    for ms in MEM_SPACES:
+        out = run_gpu(params, GpuVariant(batch_size=32, mem_spaces=ms),
+                      machine=machine)
+        report.add(Row(f"batch 32, {ms}x mem spaces", out.elapsed,
+                       extra={"host_bytes": out.host_bytes}))
+
+    sim = ExecConfig(mode=ExecMode.SIMULATED, machine=machine)
+    for tokens in TOKEN_COUNTS:
+        _, r = tbb_mandelbrot(params, workers, tokens=tokens, config=sim)
+        report.add(Row(f"TBB tokens={tokens} ({workers} workers)", r.makespan))
+
+    for blocking in (True, False):
+        cfg = dc_replace(sim, blocking=blocking)
+        _, r = fastflow_mandelbrot(params, workers, config=cfg)
+        mode = "blocking" if blocking else "non-blocking"
+        report.add(Row(f"FastFlow {mode} queues", r.makespan))
+
+    for sched in (Scheduling.ROUND_ROBIN, Scheduling.ON_DEMAND):
+        cfg = dc_replace(sim, scheduling=sched)
+        _, r = fastflow_mandelbrot(params, workers, config=cfg)
+        report.add(Row(f"FastFlow farm {sched.value} scheduling", r.makespan))
+
+    return report

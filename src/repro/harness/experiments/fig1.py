@@ -1,0 +1,89 @@
+"""FIG1 — "Optimizing Mandelbrot Streaming application" (paper Fig. 1).
+
+Regenerates the optimization ladder: sequential, the CPU-parallel
+version (20 threads: 19 workers + emitter/collector — the in-text 17x),
+then the GPU rungs for both CUDA and OpenCL — naive one-kernel-per-line
+1D, the 2D thread layout, 32-line batches, overlapped transfers with
+2x/4x memory spaces, and both multi-GPU configurations.  Paper values
+(execution time and speedup quoted in Section IV-A) are attached to each
+row for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.mandelbrot.gpu_single import (
+    GpuVariant,
+    run_gpu,
+    sequential_virtual_time,
+)
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.streaming import spar_mandelbrot
+from repro.core.config import ExecConfig, ExecMode
+from repro.harness.runner import ExperimentReport, Row
+from repro.sim.machine import paper_machine
+
+#: (label, variant, paper seconds, paper speedup) — in-text Section IV-A
+LADDER = [
+    ("{api} 1 thread/pixel-row (1D)", GpuVariant(batch_size=1), {"cuda": 129.0, "opencl": 129.0}, 3.1),
+    ("{api} 2D grid", GpuVariant(batch_size=1, layout="2d"), {"cuda": 250.0, "opencl": 250.0}, 1.6),
+    ("{api} batch 32 lines", GpuVariant(batch_size=32), {"cuda": 8.9, "opencl": 9.1}, None),
+    ("{api} batch + 2x mem spaces", GpuVariant(batch_size=32, mem_spaces=2), {"cuda": 5.98, "opencl": 5.98}, 67.0),
+    ("{api} batch + 4x mem spaces", GpuVariant(batch_size=32, mem_spaces=4), {"cuda": 5.4, "opencl": 5.4}, 74.0),
+    ("{api} 2 GPUs, 1+1 spaces", GpuVariant(batch_size=32, mem_spaces=2, n_gpus=2), {"cuda": 4.48, "opencl": 4.48}, 89.0),
+    ("{api} 2 GPUs, 2+2 spaces", GpuVariant(batch_size=32, mem_spaces=4, n_gpus=2), {"cuda": 3.02, "opencl": 3.07}, None),
+]
+
+PAPER_SPEEDUPS = {"cuda batch 32 lines": 45.0, "opencl batch 32 lines": 44.0,
+                  "cuda 2 GPUs, 2+2 spaces": 132.0, "opencl 2 GPUs, 2+2 spaces": 130.0}
+
+
+def workload(scale: str) -> MandelParams:
+    if scale == "paper":
+        return MandelParams(dim=2000, niter=200_000)
+    if scale == "small":
+        return MandelParams(dim=256, niter=1000)
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def run(scale: str = "paper", apis=("cuda", "opencl"),
+        cpu_workers: int = 19) -> ExperimentReport:
+    params = workload(scale)
+    machine = paper_machine(2)
+    report = ExperimentReport(
+        experiment="fig1",
+        title="Optimizing Mandelbrot Streaming (execution time, virtual seconds)",
+        unit="s",
+        meta={"dim": params.dim, "niter": params.niter, "scale": scale,
+              "machine": machine.name},
+    )
+
+    seq = sequential_virtual_time(params, machine.with_gpus(1))
+    report.add(Row("sequential", seq,
+                   paper_value=400.0 if scale == "paper" else None,
+                   paper_speedup=1.0))
+
+    _image, res = spar_mandelbrot(
+        params, workers=cpu_workers,
+        config=ExecConfig(mode=ExecMode.SIMULATED, machine=machine))
+    report.add(Row(f"CPU {cpu_workers + 1} threads (SPar)", res.makespan,
+                   paper_speedup=17.0))
+
+    for api in apis:
+        for label_t, variant, paper_secs, paper_spd in LADDER:
+            variant = GpuVariant(api=api, layout=variant.layout,
+                                 batch_size=variant.batch_size,
+                                 mem_spaces=variant.mem_spaces,
+                                 n_gpus=variant.n_gpus)
+            out = run_gpu(params, variant,
+                          machine=machine.with_gpus(variant.n_gpus))
+            label = label_t.format(api=api)
+            pv = paper_secs.get(api) if scale == "paper" else None
+            ps = paper_spd if paper_spd is not None else PAPER_SPEEDUPS.get(label)
+            report.add(Row(label, out.elapsed, paper_value=pv, paper_speedup=ps,
+                           extra={"kernel_launches": out.kernel_launches,
+                                  "host_mem_multiplier": variant.host_memory_multiplier}))
+
+    report.compute_speedups("sequential")
+    return report

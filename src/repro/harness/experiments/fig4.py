@@ -1,0 +1,86 @@
+"""FIG4 — "Mandelbrot results" (paper Fig. 4).
+
+Every programming model and combination of Section V-A:
+
+* CPU-only: SPar, TBB (38 live tokens = 2x19 workers), FastFlow, each
+  with 19 workers for the middle stage;
+* GPU-only single CPU thread: CUDA and OpenCL with 4x memory spaces per
+  GPU, 1 and 2 GPUs;
+* hybrids: {SPar, TBB, FastFlow} x {CUDA, OpenCL} with 10 workers (TBB:
+  50 tokens = 5x10), 1 and 2 GPUs.
+
+The paper publishes the figure without exact numbers; the expectations
+it states in prose are what EXPERIMENTS.md checks: all CPU models
+perform similarly; with one GPU, SPar+CUDA matches plain CUDA/OpenCL;
+with two GPUs the single-thread versions degrade relative to the
+multicore+CUDA combinations.
+"""
+
+from __future__ import annotations
+
+from repro.apps.mandelbrot.gpu_single import (
+    GpuVariant,
+    run_gpu,
+    sequential_virtual_time,
+)
+from repro.apps.mandelbrot.hybrid import hybrid_mandelbrot
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.streaming import (
+    fastflow_mandelbrot,
+    spar_mandelbrot,
+    tbb_mandelbrot,
+)
+from repro.core.config import ExecConfig, ExecMode
+from repro.harness.experiments.fig1 import workload
+from repro.harness.runner import ExperimentReport, Row
+from repro.sim.machine import paper_machine
+
+
+def run(scale: str = "paper", cpu_workers: int = 19,
+        gpu_workers: int = 10) -> ExperimentReport:
+    params = workload(scale)
+    machine2 = paper_machine(2)
+    report = ExperimentReport(
+        experiment="fig4",
+        title="Mandelbrot Streaming across programming models",
+        unit="s",
+        meta={"dim": params.dim, "niter": params.niter, "scale": scale,
+              "cpu_workers": cpu_workers, "gpu_workers": gpu_workers,
+              "tbb_tokens_cpu": 2 * cpu_workers, "tbb_tokens_gpu": 5 * gpu_workers},
+    )
+
+    def cfg(n_gpus: int) -> ExecConfig:
+        return ExecConfig(mode=ExecMode.SIMULATED,
+                          machine=paper_machine(n_gpus))
+
+    report.add(Row("sequential", sequential_virtual_time(params, machine2),
+                   paper_value=400.0 if scale == "paper" else None))
+
+    _, r = spar_mandelbrot(params, cpu_workers, config=cfg(2))
+    report.add(Row("SPar", r.makespan, paper_speedup=17.0))
+    _, r = tbb_mandelbrot(params, cpu_workers, tokens=2 * cpu_workers, config=cfg(2))
+    report.add(Row("TBB", r.makespan))
+    _, r = fastflow_mandelbrot(params, cpu_workers, config=cfg(2))
+    report.add(Row("FastFlow", r.makespan))
+
+    for n_gpus in (1, 2):
+        suffix = f" ({n_gpus} GPU{'s' if n_gpus > 1 else ''})"
+        for api in ("cuda", "opencl"):
+            out = run_gpu(
+                params,
+                GpuVariant(api=api, batch_size=32, mem_spaces=4 * n_gpus,
+                           n_gpus=n_gpus),
+                machine=paper_machine(n_gpus),
+            )
+            report.add(Row(f"{api.upper()}{suffix}", out.elapsed))
+        for model in ("spar", "tbb", "fastflow"):
+            for api in ("cuda", "opencl"):
+                _, r = hybrid_mandelbrot(
+                    params, model=model, api=api, workers=gpu_workers,
+                    n_gpus=n_gpus, tokens=5 * gpu_workers,
+                    machine=paper_machine(n_gpus), config=cfg(n_gpus))
+                pretty = {"spar": "SPar", "tbb": "TBB", "fastflow": "FastFlow"}[model]
+                report.add(Row(f"{pretty}+{api.upper()}{suffix}", r.makespan))
+
+    report.compute_speedups("sequential")
+    return report

@@ -1,0 +1,76 @@
+"""ASCII rendering of experiment reports (tables + log-scale bars)."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.harness.runner import ExperimentReport, Row
+
+
+def _fmt(v: Optional[float], digits: int = 3) -> str:
+    if v is None or (isinstance(v, float) and math.isnan(v)):
+        return "-"
+    if v >= 1000:
+        return f"{v:,.0f}"
+    return f"{v:.{digits}g}"
+
+
+def render_table(report: ExperimentReport, bars: bool = True) -> str:
+    """Render one figure's rows as a table, optionally with bars.
+
+    Bars are log-scale when values span more than two decades (the
+    paper's Fig. 1 uses a log axis for the same reason).
+    """
+    unit = report.unit
+    headers = ["variant", f"measured [{unit}]", "±", "speedup",
+               f"paper [{unit}]", "paper speedup"]
+    rows_txt: List[List[str]] = []
+    for r in report.rows:
+        rows_txt.append([
+            r.label,
+            _fmt(r.value, 4),
+            _fmt(r.std, 2) if r.std else "0",
+            f"{r.speedup:.2f}x" if r.speedup is not None else "-",
+            _fmt(r.paper_value, 3),
+            f"{r.paper_speedup:.1f}x" if r.paper_speedup is not None else "-",
+        ])
+    widths = [max(len(h), *(len(row[i]) for row in rows_txt)) if rows_txt else len(h)
+              for i, h in enumerate(headers)]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [f"== {report.experiment}: {report.title} =="]
+    for k, v in report.meta.items():
+        out.append(f"   {k}: {v}")
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in rows_txt:
+        out.append(line(row))
+
+    if bars and report.rows:
+        out.append("")
+        out.extend(_render_bars(report.rows, unit))
+    return "\n".join(out)
+
+
+def _render_bars(rows: List[Row], unit: str, width: int = 46) -> List[str]:
+    values = [r.value for r in rows if r.value > 0]
+    if not values:
+        return []
+    vmax, vmin = max(values), min(values)
+    log = vmax / max(vmin, 1e-12) > 100.0
+    label_w = max(len(r.label) for r in rows)
+    out = [f"   ({'log scale' if log else 'linear'} bars, {unit})"]
+    for r in rows:
+        if r.value <= 0:
+            n = 0
+        elif log:
+            lo, hi = math.log10(vmin), math.log10(vmax)
+            frac = 1.0 if hi == lo else (math.log10(r.value) - lo) / (hi - lo)
+            n = max(1, int(round(frac * (width - 1))) + 1)
+        else:
+            n = max(1, int(round(r.value / vmax * width)))
+        out.append(f"   {r.label.ljust(label_w)} |{'#' * n} {_fmt(r.value, 4)}")
+    return out

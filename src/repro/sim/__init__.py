@@ -1,0 +1,55 @@
+"""Discrete-event simulation substrate (virtual time).
+
+The paper's measurements were taken on a dual-GPU HPC workstation.  This
+package provides the virtual-time machinery that lets the same pipeline
+graphs run on a *modeled* machine: a generator-process discrete-event
+engine (:mod:`repro.sim.engine`), serially-reusable device timelines for
+GPU compute/copy engines (:mod:`repro.sim.timeline`), machine profiles
+matching the paper's testbed (:mod:`repro.sim.machine`), and the work
+cursor that stage functions use to account for virtual CPU/GPU time
+(:mod:`repro.sim.context`).
+"""
+
+from repro.sim.engine import Engine, Interrupt, Process, SimEvent, Store, Timeout
+from repro.sim.timeline import Op, StreamChain, Timeline
+from repro.sim.trace import EngineTrace, Trace
+from repro.sim.machine import (
+    PAPER_MACHINE,
+    CpuSpec,
+    GpuSpec,
+    MachineSpec,
+    TITAN_XP,
+    paper_machine,
+)
+from repro.sim.context import (
+    WorkCursor,
+    charge_cpu,
+    charge_cpu_seconds,
+    current_cursor,
+    use_cursor,
+)
+
+__all__ = [
+    "Engine",
+    "Interrupt",
+    "Process",
+    "SimEvent",
+    "Store",
+    "Timeout",
+    "Op",
+    "StreamChain",
+    "Timeline",
+    "Trace",
+    "EngineTrace",
+    "MachineSpec",
+    "CpuSpec",
+    "GpuSpec",
+    "TITAN_XP",
+    "PAPER_MACHINE",
+    "paper_machine",
+    "WorkCursor",
+    "charge_cpu",
+    "charge_cpu_seconds",
+    "current_cursor",
+    "use_cursor",
+]

@@ -1,0 +1,94 @@
+"""Work cursors: how plain stage functions account for virtual time.
+
+In simulated mode a pipeline stage's ``process(item)`` runs *functionally*
+at dispatch time (real Python executes, results are real) while a
+:class:`WorkCursor` tracks how far the stage's local virtual clock has
+advanced.  Stage code — and the CUDA/OpenCL facades it calls — charge time
+with :meth:`WorkCursor.cpu` / :meth:`WorkCursor.advance_to`; the simulated
+executor then sleeps the stage for ``cursor.elapsed`` virtual seconds.
+
+Cursors form a stack in a context variable so nested calls (a stage
+calling into the GPU API) find the active cursor without plumbing it
+through every signature.  In native (real-thread) mode no cursor is
+active and all charging calls are no-ops, so the same application code
+runs unchanged in both modes.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+from repro.sim.machine import CpuSpec
+
+
+class WorkCursor:
+    """Local virtual-time cursor for one stage invocation."""
+
+    __slots__ = ("start", "now", "cpu_spec", "oversubscription", "cpu_busy",
+                 "thread_id")
+
+    def __init__(self, start: float, cpu_spec: Optional[CpuSpec] = None,
+                 oversubscription: float = 1.0, thread_id: Optional[str] = None):
+        self.start = start
+        self.now = start
+        self.cpu_spec = cpu_spec
+        self.oversubscription = oversubscription
+        self.cpu_busy = 0.0
+        #: logical thread name (stage replica) for per-thread GPU semantics
+        self.thread_id = thread_id
+
+    # -- charging ------------------------------------------------------
+    def cpu_seconds(self, seconds: float) -> None:
+        """Charge raw CPU time (already in seconds of one thread's work)."""
+        if seconds < 0:
+            raise ValueError(f"negative cpu time: {seconds}")
+        scaled = seconds * self.oversubscription
+        self.now += scaled
+        self.cpu_busy += scaled
+
+    def cpu(self, kind: str, units: float) -> None:
+        """Charge ``units`` of named work at the machine's per-thread rate."""
+        if self.cpu_spec is None:
+            raise RuntimeError("cursor has no CpuSpec; cannot charge named work")
+        self.cpu_seconds(self.cpu_spec.seconds(kind, units))
+
+    def advance_to(self, t: float) -> None:
+        """Block until absolute virtual time ``t`` (e.g. a GPU op's end)."""
+        if t > self.now:
+            self.now = t
+
+    @property
+    def elapsed(self) -> float:
+        return self.now - self.start
+
+
+_CURSOR: ContextVar[Optional[WorkCursor]] = ContextVar("repro_work_cursor", default=None)
+
+
+def current_cursor() -> Optional[WorkCursor]:
+    """The active cursor, or None when running natively."""
+    return _CURSOR.get()
+
+
+@contextlib.contextmanager
+def use_cursor(cursor: WorkCursor) -> Iterator[WorkCursor]:
+    token = _CURSOR.set(cursor)
+    try:
+        yield cursor
+    finally:
+        _CURSOR.reset(token)
+
+
+def charge_cpu(kind: str, units: float) -> None:
+    """Charge named CPU work to the active cursor, if any (no-op natively)."""
+    cur = _CURSOR.get()
+    if cur is not None:
+        cur.cpu(kind, units)
+
+
+def charge_cpu_seconds(seconds: float) -> None:
+    cur = _CURSOR.get()
+    if cur is not None:
+        cur.cpu_seconds(seconds)

@@ -1,0 +1,356 @@
+"""Generator-process discrete-event engine.
+
+A small, deterministic simulation kernel in the style of SimPy: *processes*
+are Python generators that ``yield`` awaitable :class:`SimEvent` objects
+(timeouts, store get/put operations, other processes).  The engine owns a
+virtual clock and an event heap; everything is single-threaded and fully
+deterministic, which is what makes the benchmark figures reproducible
+bit-for-bit.
+
+Only the primitives the stream runtimes need are implemented:
+
+* :class:`Timeout` — advance virtual time,
+* :class:`SimEvent` — one-shot triggerable event (used for GPU op
+  completion, pipeline termination, ...),
+* :class:`Store` — a bounded FIFO channel with blocking ``get``/``put``
+  (models the runtimes' bounded queues),
+* :class:`Process` — a running generator; itself awaitable (join).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural misuse of the engine (not for modeled faults)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class SimEvent:
+    """A one-shot event that processes can wait on.
+
+    An event is *pending* until :meth:`trigger` (success) or :meth:`fail`
+    (failure) is called; waiting processes are resumed in FIFO order with
+    the event's value (or the exception thrown in).
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "_done", "callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._done = False
+        self.callbacks: deque[Callable[["SimEvent"], None]] = deque()
+        self.name = name
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._done
+
+    @property
+    def ok(self) -> bool:
+        return self._done and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- transitions ---------------------------------------------------
+    def trigger(self, value: Any = None) -> "SimEvent":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._value = value
+        self.engine._schedule_event_callbacks(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "SimEvent":
+        if self._done:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._done = True
+        self._exc = exc
+        self.engine._schedule_event_callbacks(self)
+        return self
+
+    def add_callback(self, fn: Callable[["SimEvent"], None]) -> None:
+        if self._done:
+            # Already resolved: run at the current instant via the heap so
+            # ordering with other same-time events stays deterministic.
+            self.engine.call_soon(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state} @{self.engine.now:.6f}>"
+
+
+class Timeout(SimEvent):
+    """Event that triggers ``delay`` virtual seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self.delay = delay
+        engine.schedule(delay, lambda: self.trigger(value))
+
+
+ProcessGen = Generator[SimEvent, Any, Any]
+
+
+class Process(SimEvent):
+    """A generator driven by the engine.  Awaitable: completes on return."""
+
+    __slots__ = ("gen", "_waiting_on", "_interrupt_pending")
+
+    def __init__(self, engine: "Engine", gen: ProcessGen, name: str = ""):
+        super().__init__(engine, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        self._waiting_on: Optional[SimEvent] = None
+        self._interrupt_pending: Optional[Interrupt] = None
+        engine.call_soon(lambda: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant."""
+        if self.triggered:
+            return
+        exc = Interrupt(cause)
+        if self._waiting_on is not None:
+            target = self._waiting_on
+            self._waiting_on = None
+            # Detach: a later trigger of `target` must not resume us.
+            try:
+                target.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+            self.engine.call_soon(lambda: self._resume(None, exc))
+        else:
+            # Not started / between resumptions: deliver on next resume.
+            self._interrupt_pending = exc
+
+    # -- driving -------------------------------------------------------
+    def _on_event(self, ev: SimEvent) -> None:
+        self._waiting_on = None
+        if ev._exc is not None:
+            self._resume(None, ev._exc)
+        else:
+            self._resume(ev._value, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        if self._interrupt_pending is not None and exc is None:
+            exc = self._interrupt_pending
+            self._interrupt_pending = None
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        except Interrupt as intr:
+            # Process chose not to handle its interruption: treat as failure.
+            self.fail(intr)
+            return
+        except Exception as err:
+            self.fail(err)
+            return
+        if not isinstance(target, SimEvent):
+            self.gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield SimEvent"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class Store:
+    """Bounded FIFO channel with blocking, FIFO-fair ``get``/``put``.
+
+    ``capacity=None`` means unbounded (puts never block).  This is the
+    simulated analogue of the runtimes' bounded SPSC queues.
+    """
+
+    def __init__(self, engine: "Engine", capacity: Optional[int] = None, name: str = ""):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._getters: deque[SimEvent] = deque()
+        self._putters: deque[tuple[SimEvent, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> SimEvent:
+        ev = SimEvent(self.engine, name=f"put:{self.name}")
+        if self._getters:
+            # Direct hand-off keeps FIFO order only when the buffer is empty.
+            assert not self.items
+            getter = self._getters.popleft()
+            getter.trigger(item)
+            ev.trigger(None)
+        elif not self.full:
+            self.items.append(item)
+            ev.trigger(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> SimEvent:
+        ev = SimEvent(self.engine, name=f"get:{self.name}")
+        if self.items:
+            ev.trigger(self.items.popleft())
+            if self._putters:
+                pev, pitem = self._putters.popleft()
+                self.items.append(pitem)
+                pev.trigger(None)
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; models FastFlow's non-blocking queue mode."""
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return True
+        if self.full:
+            return False
+        self.items.append(item)
+        return True
+
+    def try_get(self) -> tuple[bool, Any]:
+        if not self.items:
+            return False, None
+        item = self.items.popleft()
+        if self._putters:
+            pev, pitem = self._putters.popleft()
+            self.items.append(pitem)
+            pev.trigger(None)
+        return True, item
+
+
+class Engine:
+    """The event loop: a heap of ``(time, seq, callback)`` entries."""
+
+    def __init__(self, capture_process_errors: bool = True):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.capture_process_errors = capture_process_errors
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def call_soon(self, callback: Callable[[], None]) -> None:
+        self.schedule(0.0, callback)
+
+    def _schedule_event_callbacks(self, ev: SimEvent) -> None:
+        while ev.callbacks:
+            fn = ev.callbacks.popleft()
+            self.call_soon(lambda fn=fn: fn(ev))
+
+    # -- factories -----------------------------------------------------
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def event(self, name: str = "") -> SimEvent:
+        return SimEvent(self, name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def store(self, capacity: Optional[int] = None, name: str = "") -> Store:
+        return Store(self, capacity, name=name)
+
+    def all_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """Event that triggers once every input event has triggered OK."""
+        events = list(events)
+        done = self.event(name="all_of")
+        remaining = len(events)
+        if remaining == 0:
+            done.trigger([])
+            return done
+        values: list[Any] = [None] * remaining
+
+        def make_cb(i: int):
+            def cb(ev: SimEvent) -> None:
+                nonlocal remaining
+                if done.triggered:
+                    return
+                if ev._exc is not None:
+                    done.fail(ev._exc)
+                    return
+                values[i] = ev._value
+                remaining -= 1
+                if remaining == 0:
+                    done.trigger(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # -- running -------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or virtual time passes ``until``)."""
+        while self._heap:
+            t, _, cb = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            if t < self.now - 1e-12:
+                raise SimulationError("time went backwards")
+            self.now = t
+            cb()
+        return self.now
+
+    def run_process(self, gen: ProcessGen, name: str = "") -> Any:
+        """Convenience: drive ``gen`` to completion and return its value."""
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(
+                f"process {proc.name!r} deadlocked: event heap drained while it waits"
+            )
+        return proc.value

@@ -1,0 +1,178 @@
+"""Machine profiles for the virtual-time cost models.
+
+The paper's testbed (Section V): Intel Core i9-7900X (10 cores / 20
+threads @ 3.3 GHz), 32 GB RAM, and two NVIDIA Titan XP GPUs (compute
+capability 6.1: 30 SMs, 2048 resident threads per SM, 64 K registers and
+96 KB shared memory per SM, 12 GB device memory).
+
+Specs carry *rate tables*: named work kinds (``"mandel_iter"``,
+``"sha1_byte"``, ...) mapped to throughput in work-units per second —
+per-thread for the CPU, device-wide-at-full-occupancy for a GPU.  The
+application cost models count real work (iterations executed, bytes
+hashed, match-search operations) and divide by these rates.  The rates
+were calibrated once against the paper's published absolute numbers
+(sequential Mandelbrot 400 s; GPU ladder 129 s -> 3.02 s) and are *not*
+meant to model silicon cycle-accurately; see DESIGN.md §2/§4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A multi-core CPU as seen by the cost model."""
+
+    name: str = "i9-7900X"
+    cores: int = 10
+    threads: int = 20
+    clock_ghz: float = 3.3
+    #: per-(hardware-)thread throughput for each named work kind [units/s]
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: cost of one bounded-queue push or pop between pipeline stages [s]
+    queue_op_s: float = 1.0e-6
+    #: host memcpy bandwidth [bytes/s]
+    memcpy_bps: float = 10.0e9
+
+    def rate(self, kind: str) -> float:
+        try:
+            return self.rates[kind]
+        except KeyError:
+            raise KeyError(
+                f"CPU spec {self.name!r} has no rate for work kind {kind!r}; "
+                f"known kinds: {sorted(self.rates)}"
+            ) from None
+
+    def seconds(self, kind: str, units: float) -> float:
+        """Virtual seconds for ``units`` of work of ``kind`` on one thread."""
+        return units / self.rate(kind)
+
+    def oversubscription_factor(self, active_threads: int) -> float:
+        """Mean-field slowdown when more software threads than hardware
+        threads are runnable (paper configs run 21-22 threads on 20)."""
+        if active_threads <= self.threads:
+            return 1.0
+        return active_threads / self.threads
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A CUDA-capable GPU as seen by the occupancy and timing models."""
+
+    name: str = "Titan XP"
+    compute_capability: str = "6.1"
+    sms: int = 30
+    max_threads_per_sm: int = 2048
+    max_warps_per_sm: int = 64
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    registers_per_sm: int = 64 * 1024
+    shared_mem_per_sm: int = 96 * 1024
+    max_threads_per_block: int = 1024
+    clock_ghz: float = 1.582
+    mem_bytes: int = 12 * 1024**3
+    #: device-wide throughput at full occupancy for each work kind [units/s]
+    rates: Dict[str, float] = field(default_factory=dict)
+    #: optional per-*lane* floor rate [units/s per thread].  Latency-bound
+    #: kernels (double-precision Mandelbrot) scale ~linearly with residency
+    #: and need no floor; ILP-rich integer kernels (SHA-1, byte compares)
+    #: keep a decent per-thread rate even at tiny grids — without a floor
+    #: the linear-residency model underestimates them ~100x.
+    lane_rates: Dict[str, float] = field(default_factory=dict)
+    #: resident warps per SM needed to reach peak throughput; below this the
+    #: device rate scales ~linearly with residency (latency-hiding model)
+    warps_for_peak_per_sm: int = 45
+    #: fixed kernel-launch latency [s]
+    launch_overhead_s: float = 8.0e-6
+    #: fixed per-copy latency [s] plus bandwidth terms below
+    copy_latency_s: float = 10.0e-6
+    h2d_bps: float = 11.0e9
+    d2h_bps: float = 11.0e9
+
+    def rate(self, kind: str) -> float:
+        try:
+            return self.rates[kind]
+        except KeyError:
+            raise KeyError(
+                f"GPU spec {self.name!r} has no rate for work kind {kind!r}; "
+                f"known kinds: {sorted(self.rates)}"
+            ) from None
+
+    @property
+    def resident_threads(self) -> int:
+        """Maximum resident threads across the whole board (paper: 61,440)."""
+        return self.sms * self.max_threads_per_sm
+
+    def copy_seconds(self, nbytes: int, to_device: bool) -> float:
+        bw = self.h2d_bps if to_device else self.d2h_bps
+        return self.copy_latency_s + nbytes / bw
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A host CPU plus zero or more GPUs."""
+
+    name: str
+    cpu: CpuSpec
+    gpus: List[GpuSpec] = field(default_factory=list)
+
+    def with_gpus(self, n: int) -> "MachineSpec":
+        """Same machine restricted to the first ``n`` GPUs."""
+        if n > len(self.gpus):
+            raise ValueError(f"machine {self.name!r} has only {len(self.gpus)} GPUs")
+        return replace(self, name=f"{self.name}[{n}gpu]", gpus=self.gpus[:n])
+
+
+# --------------------------------------------------------------------------
+# Calibrated paper machine.
+#
+# "mandel_iter": one z <- z^2 + p escape-time iteration (double precision).
+# "rabin_byte":  one input byte through the rolling Rabin fingerprint.
+# "sha1_byte":   one byte through SHA-1 (CPU: per thread; GPU: device peak,
+#                one thread per dedup block as in the paper's stage 2).
+# "lzss_matchop": one candidate byte comparison in LZSS FindMatch.
+# "lzss_emit_byte": CPU-side encoding of one output byte from match arrays.
+# "memcpy_byte" / "write_byte": buffer management and output writing.
+# "show_pixel":  the collector stage's per-pixel presentation cost
+#                (ShowLine in Listing 1).
+# --------------------------------------------------------------------------
+
+_CPU_RATES = {
+    "mandel_iter": 1.476e9,
+    "rabin_byte": 260.0e6,
+    "sha1_byte": 320.0e6,
+    "lzss_matchop": 4.0e9,
+    "lzss_emit_byte": 210.0e6,
+    "memcpy_byte": 10.0e9,
+    "write_byte": 1.4e9,
+    "show_pixel": 1.3333e6,
+    "generic_op": 1.0e9,
+}
+
+_TITAN_RATES = {
+    "mandel_iter": 1.03e11,
+    "sha1_byte": 21.0e9,
+    "lzss_matchop": 8.0e11,
+    "generic_op": 1.0e12,
+}
+
+_TITAN_LANE_RATES = {
+    # ~26 cycles/byte on one thread; FindMatch has no floor — its random
+    # window reads are latency-bound, which is exactly why the paper's
+    # per-block launches underutilized the GPU until batched (Listing 3)
+    "sha1_byte": 6.0e7,
+    "generic_op": 1.0e9,
+}
+
+TITAN_XP = GpuSpec(rates=dict(_TITAN_RATES), lane_rates=dict(_TITAN_LANE_RATES))
+
+I9_7900X = CpuSpec(rates=dict(_CPU_RATES))
+
+PAPER_MACHINE = MachineSpec(name="larcc-i9-2xtitanxp", cpu=I9_7900X, gpus=[TITAN_XP, TITAN_XP])
+
+
+def paper_machine(n_gpus: int = 2) -> MachineSpec:
+    """The paper's testbed with the first ``n_gpus`` GPUs enabled."""
+    return PAPER_MACHINE.with_gpus(n_gpus)

@@ -1,0 +1,92 @@
+"""Serially-reusable device timelines (GPU compute / copy engines).
+
+GPU asynchrony in the simulator is modeled the way profilers draw it: each
+hardware engine (a device's kernel-execution engine, its host-to-device
+copy engine, its device-to-host copy engine) is a *timeline* onto which
+operations are placed first-come-first-served.  A CUDA stream or an
+in-order OpenCL command queue is a *chain*: each op additionally starts no
+earlier than the end of the previous op pushed to the same chain.
+
+Issuing an op is instantaneous for the issuing (virtual) CPU thread — that
+is what makes ``cudaMemcpyAsync``/kernel launches asynchronous.  Blocking
+calls (``cudaStreamSynchronize``, ``clWaitForEvents``) advance the caller's
+:class:`~repro.sim.context.WorkCursor` to the op's end time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Op:
+    """A scheduled operation on a device timeline."""
+
+    kind: str
+    start: float
+    end: float
+    engine_name: str = ""
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """One hardware engine; ops are serialized in issue order."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.busy_until: float = 0.0
+        self.busy_time: float = 0.0
+        self.ops: list[Op] = []
+
+    def reserve(self, issue_time: float, duration: float, kind: str = "op", label: str = "") -> Op:
+        """Place an op: starts when both the engine and the issuer are ready."""
+        if duration < 0:
+            raise ValueError(f"negative op duration: {duration}")
+        start = max(issue_time, self.busy_until)
+        end = start + duration
+        self.busy_until = end
+        self.busy_time += duration
+        op = Op(kind=kind, start=start, end=end, engine_name=self.name, label=label)
+        self.ops.append(op)
+        return op
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of [0, horizon] this engine was busy."""
+        h = horizon if horizon is not None else self.busy_until
+        if h <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / h)
+
+    def reset(self) -> None:
+        self.busy_until = 0.0
+        self.busy_time = 0.0
+        self.ops.clear()
+
+
+@dataclass
+class StreamChain:
+    """FIFO dependency chain (CUDA stream / in-order OpenCL queue)."""
+
+    name: str = ""
+    tail: float = 0.0
+    ops: list[Op] = field(default_factory=list)
+
+    def push(self, engine: Timeline, issue_time: float, duration: float,
+             kind: str = "op", label: str = "",
+             after: float = 0.0) -> Op:
+        """Append an op honouring engine availability, chain order and an
+        optional extra dependency time (``after``, e.g. a recorded event)."""
+        ready = max(issue_time, self.tail, after)
+        op = engine.reserve(ready, duration, kind=kind, label=label)
+        self.tail = op.end
+        self.ops.append(op)
+        return op
+
+    def reset(self) -> None:
+        self.tail = 0.0
+        self.ops.clear()

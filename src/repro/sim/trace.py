@@ -1,0 +1,104 @@
+"""Execution traces: what the paper's profiling step sees.
+
+Section IV-A: "When profiling the application, we find out that the
+large number of launched kernels with small workloads impacts on the
+performance, as the GPU is not fully utilized."  This module is that
+profiler for the simulated devices: it collects the ops recorded on
+engine timelines and renders them as utilization summaries and an ASCII
+Gantt chart, so the under-utilization (and the effect of batching /
+overlap) is *visible*, not just a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.sim.timeline import Op, Timeline
+
+
+@dataclass
+class EngineTrace:
+    name: str
+    ops: List[Op]
+    horizon: float
+
+    @property
+    def busy_time(self) -> float:
+        return sum(op.duration for op in self.ops)
+
+    @property
+    def utilization(self) -> float:
+        return min(1.0, self.busy_time / self.horizon) if self.horizon > 0 else 0.0
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.ops)
+        return sum(1 for op in self.ops if op.kind == kind)
+
+
+@dataclass
+class Trace:
+    """A snapshot of every engine's activity over one run."""
+
+    engines: List[EngineTrace] = field(default_factory=list)
+
+    @staticmethod
+    def capture(timelines: Iterable[Timeline],
+                horizon: Optional[float] = None) -> "Trace":
+        tls = list(timelines)
+        h = horizon if horizon is not None else max(
+            (t.busy_until for t in tls), default=0.0)
+        return Trace([EngineTrace(t.name, list(t.ops), h) for t in tls])
+
+    @staticmethod
+    def of_devices(devices, horizon: Optional[float] = None) -> "Trace":
+        """Capture the compute/H2D/D2H engines of GPU devices."""
+        tls: List[Timeline] = []
+        for d in devices:
+            tls += [d.compute, d.h2d, d.d2h]
+        return Trace.capture(tls, horizon)
+
+    # -- reporting -------------------------------------------------------
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            e.name: {
+                "ops": e.count(),
+                "kernels": e.count("kernel"),
+                "busy_s": e.busy_time,
+                "utilization": e.utilization,
+            }
+            for e in self.engines
+        }
+
+    def render_gantt(self, width: int = 72, t0: float = 0.0,
+                     t1: Optional[float] = None) -> str:
+        """ASCII Gantt: one row per engine, '#' where the engine is busy.
+
+        Each column covers ``(t1-t0)/width`` seconds; a column is marked
+        if any op overlaps it.  Good enough to *see* launch-overhead
+        gaps vs a saturated engine.
+        """
+        if t1 is None:
+            t1 = max((e.horizon for e in self.engines), default=0.0)
+        span = max(t1 - t0, 1e-12)
+        label_w = max((len(e.name) for e in self.engines), default=4)
+        lines = [f"{'engine'.ljust(label_w)} |{'time ->'.ljust(width)}| util"]
+        for e in self.engines:
+            cells = [" "] * width
+            for op in e.ops:
+                if op.end <= t0 or op.start >= t1:
+                    continue
+                c0 = int((max(op.start, t0) - t0) / span * width)
+                c1 = int((min(op.end, t1) - t0) / span * width)
+                mark = "#" if op.kind == "kernel" else "="
+                for c in range(max(c0, 0), min(max(c1, c0 + 1), width)):
+                    if cells[c] == " " or mark == "#":
+                        cells[c] = mark
+            lines.append(
+                f"{e.name.ljust(label_w)} |{''.join(cells)}| "
+                f"{e.utilization * 100:5.1f}%"
+            )
+        lines.append(f"{'#'.rjust(label_w)} = kernel, = = transfer; "
+                     f"window [{t0:.4g}s, {t1:.4g}s]")
+        return "\n".join(lines)

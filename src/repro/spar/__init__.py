@@ -1,0 +1,45 @@
+"""SPar: the stream-parallelism annotation DSL (Section III-C).
+
+SPar expresses stream parallelism with five attributes — two identifiers
+(``ToStream``, ``Stage``) and three auxiliaries (``Input``, ``Output``,
+``Replicate``) — without rewriting the sequential code.  The Python
+rendering keeps that property: annotations are inert ``with`` blocks, so
+the function still runs sequentially as written; decorating it with
+:func:`parallelize` invokes the SPar compiler, which checks the schema
+and regenerates the function around a FastFlow pipeline (the same
+lowering the real SPar toolchain performs).
+
+Listing 1 of the paper, in this dialect::
+
+    @parallelize
+    def mandelbrot(dim, niter, init_a, init_b, range_, workers):
+        step = range_ / dim
+        with ToStream(Input('dim', 'init_a', 'init_b', 'step', 'niter')):
+            for i in range(dim):
+                im = init_b + step * i
+                with Stage(Input('i', 'im'), Output('img'),
+                           Replicate('workers')):
+                    img = compute_line(i, im, dim, init_a, step, niter)
+                with Stage(Input('img', 'i')):
+                    show_line(img, dim, i)
+"""
+
+from repro.spar.annotations import Input, Output, Replicate, Stage, Target, ToStream
+from repro.spar.compiler import SParCompiled, parallelize
+from repro.spar.errors import SParError, SParSemanticError, SParSyntaxError
+from repro.spar.runtime import SparGpuHandle
+
+__all__ = [
+    "ToStream",
+    "Stage",
+    "Input",
+    "Output",
+    "Replicate",
+    "Target",
+    "SparGpuHandle",
+    "parallelize",
+    "SParCompiled",
+    "SParError",
+    "SParSyntaxError",
+    "SParSemanticError",
+]

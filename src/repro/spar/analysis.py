@@ -1,0 +1,70 @@
+"""Static name-flow analysis for the SPar compiler.
+
+SPar's central productivity claim is that the compiler checks the
+annotation schema: every variable a stage touches must reach it through
+``Input``/``Output`` chains or be a stream-region constant.  These
+helpers compute assigned/loaded name sets from AST fragments so
+:mod:`repro.spar.compiler` can enforce that at decoration time.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable, Sequence, Set
+
+_BUILTINS = frozenset(dir(builtins))
+
+
+def assigned_names(nodes: Sequence[ast.stmt] | Iterable[ast.stmt]) -> Set[str]:
+    """Every name bound anywhere in the statements (over-approximate)."""
+    out: Set[str] = set()
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, (ast.Store, ast.Del)):
+                out.add(sub.id)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                out.add(sub.name)
+            elif isinstance(sub, ast.NamedExpr) and isinstance(sub.target, ast.Name):
+                out.add(sub.target.id)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                for alias in sub.names:
+                    out.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(sub, ast.ExceptHandler) and sub.name:
+                out.add(sub.name)
+    return out
+
+
+def loaded_names(nodes: Sequence[ast.stmt] | Iterable[ast.stmt]) -> Set[str]:
+    """Every name read anywhere in the statements (over-approximate)."""
+    out: Set[str] = set()
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                out.add(sub.id)
+    return out
+
+
+def loop_targets(node: ast.For) -> Set[str]:
+    """Names bound by the loop header (``for i, j in ...``)."""
+    out: Set[str] = set()
+    for sub in ast.walk(node.target):
+        if isinstance(sub, ast.Name):
+            out.add(sub.id)
+    return out
+
+
+def undeclared_uses(body: Sequence[ast.stmt], declared: Set[str],
+                    globals_: Set[str]) -> Set[str]:
+    """Names a stage body reads that neither flow in nor are ambient."""
+    loads = loaded_names(body)
+    local = assigned_names(body)
+    return loads - declared - local - globals_ - _BUILTINS
+
+
+def contains_return(nodes: Iterable[ast.stmt]) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Return):
+                return True
+    return False

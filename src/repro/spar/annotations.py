@@ -1,0 +1,128 @@
+"""The five SPar attributes as Python annotation objects.
+
+SPar's C++11 attributes (Section III-C) map to ``with`` blocks:
+
+====================  =============================================
+``[[spar::ToStream]]``  ``with ToStream(Input(...)): for ...:``
+``[[spar::Stage]]``     ``with Stage(Input(...), Output(...), Replicate(n)):``
+``[[spar::Input]]``     ``Input('a', 'b')`` — names of flowing variables
+``[[spar::Output]]``    ``Output('x')``
+``[[spar::Replicate]]`` ``Replicate(8)`` or ``Replicate('workers')``
+====================  =============================================
+
+The annotations are inert at runtime (``with`` no-ops), so an annotated
+function still runs sequentially when called undecorated — exactly like
+SPar source compiled without the SPar compiler.  The
+:func:`~repro.spar.compiler.parallelize` decorator is what parses them
+and generates the FastFlow pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+from repro.spar.errors import SParSyntaxError
+
+
+class Input:
+    """Variables flowing *into* the annotated region (by name)."""
+
+    def __init__(self, *names: str):
+        _check_names(names, "Input")
+        self.names: Tuple[str, ...] = names
+
+
+class Output:
+    """Variables flowing *out of* the annotated region (by name)."""
+
+    def __init__(self, *names: str):
+        _check_names(names, "Output")
+        self.names: Tuple[str, ...] = names
+
+
+class Replicate:
+    """Worker-replica count for a stateless stage: an int literal or the
+    name of a variable resolved when the pipeline runs."""
+
+    def __init__(self, n: Union[int, str] = 1):
+        if isinstance(n, int):
+            if n < 1:
+                raise SParSyntaxError(f"Replicate({n}): replica count must be >= 1")
+        elif not isinstance(n, str):
+            raise SParSyntaxError(
+                f"Replicate takes an int or a variable name, got {type(n).__name__}"
+            )
+        self.n = n
+
+
+class Target:
+    """Offload target for a stage — the paper's *future work* ("we intend
+    to automatically generate parallel OpenCL and CUDA code through the
+    SPar compilation toolchain"), prototyped here: ``Target('cuda')`` or
+    ``Target('opencl')`` makes the runtime hand the stage body a
+    ``spar_gpu`` handle with the per-replica device (round-robin), a
+    fresh per-item stream/queue, and automatic synchronization after the
+    body — the boilerplate Section IV-A catalogues, generated."""
+
+    VALID = ("cuda", "opencl")
+
+    def __init__(self, name: str):
+        if name not in self.VALID:
+            raise SParSyntaxError(
+                f"Target({name!r}): supported targets are {self.VALID}"
+            )
+        self.name = name
+
+
+class _Region:
+    def __init__(self, *attrs: Union[Input, Output, Replicate, Target]):
+        self.inputs: Tuple[str, ...] = ()
+        self.outputs: Tuple[str, ...] = ()
+        self.replicate: Union[int, str] = 1
+        self.target: str = ""
+        for a in attrs:
+            if isinstance(a, Input):
+                self.inputs += a.names
+            elif isinstance(a, Output):
+                self.outputs += a.names
+            elif isinstance(a, Replicate):
+                self.replicate = a.n
+            elif isinstance(a, Target):
+                self.target = a.name
+            else:
+                raise SParSyntaxError(
+                    f"{type(self).__name__} accepts Input/Output/Replicate/"
+                    f"Target, got {type(a).__name__}"
+                )
+
+    # Inert context manager: sequential semantics when not compiled.
+    def __enter__(self) -> "_Region":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+class ToStream(_Region):
+    """Marks the stream region; must wrap a single ``for`` loop."""
+
+    def __init__(self, *attrs: Union[Input, Output]):
+        super().__init__(*attrs)
+        if self.replicate != 1:
+            raise SParSyntaxError("Replicate is not valid on ToStream")
+        if self.target:
+            raise SParSyntaxError("Target is not valid on ToStream")
+
+
+class Stage(_Region):
+    """Marks one computing phase inside the stream region."""
+
+
+def _check_names(names: tuple, what: str) -> None:
+    if not names:
+        raise SParSyntaxError(f"{what}() needs at least one variable name")
+    for n in names:
+        if not isinstance(n, str) or not n.isidentifier():
+            raise SParSyntaxError(
+                f"{what} arguments must be variable names as strings, got {n!r}"
+            )

@@ -1,0 +1,492 @@
+"""The SPar source-to-source compiler.
+
+:func:`parallelize` is the Python analogue of running code through the
+SPar toolchain: it parses the decorated function's AST, locates the
+``ToStream``/``Stage`` annotation schema, performs the semantic checks
+the real compiler performs (stage placement, Input/Output dataflow,
+Replicate validity), and regenerates the function as a *driver* whose
+stream region became a FastFlow pipeline:
+
+* statements before the annotated loop stay as the driver prologue;
+* the loop header plus the statements before the first ``Stage`` become
+  the emitter (pipeline stage 0), yielding one tuple of the first
+  stage's ``Input`` variables per iteration;
+* each ``Stage`` block becomes a function receiving its ``Input`` tuple
+  and returning the next stage's ``Input`` tuple (the last stage returns
+  its ``Output`` tuple, collected into the run result);
+* ``Replicate`` turns a stage into an (ordered) farm;
+* statements after the loop run once the pipeline has drained.
+
+The generated source is kept on the wrapper (``.spar_source``) and
+registered with :mod:`linecache` so tracebacks point into it.
+"""
+
+from __future__ import annotations
+
+import ast
+import functools
+import inspect
+import linecache
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.config import ExecConfig
+from repro.core.metrics import RunResult
+from repro.spar.analysis import (
+    assigned_names,
+    contains_return,
+    loop_targets,
+    undeclared_uses,
+)
+from repro.spar.errors import SParSemanticError, SParSyntaxError
+from repro.spar.runtime import spar_run
+
+_INDENT = "    "
+
+
+# --------------------------------------------------------------------------
+# annotation recognition
+# --------------------------------------------------------------------------
+
+def _callee_name(call: ast.expr) -> Optional[str]:
+    if isinstance(call, ast.Call):
+        f = call.func
+        if isinstance(f, ast.Name):
+            return f.id
+        if isinstance(f, ast.Attribute):
+            return f.attr
+    return None
+
+
+def _annotation_kind(node: ast.stmt) -> Optional[str]:
+    """'ToStream' / 'Stage' if the statement is an annotated with-block."""
+    if not isinstance(node, ast.With) or len(node.items) != 1:
+        return None
+    name = _callee_name(node.items[0].context_expr)
+    return name if name in ("ToStream", "Stage") else None
+
+
+@dataclass
+class _RegionAttrs:
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    replicate: Union[int, str] = 1
+    target: str = ""
+
+
+def _parse_attrs(call: ast.Call, kind: str) -> _RegionAttrs:
+    attrs = _RegionAttrs()
+    for arg in call.args:
+        sub = _callee_name(arg)
+        if sub == "Input":
+            attrs.inputs += _string_args(arg, "Input")
+        elif sub == "Output":
+            attrs.outputs += _string_args(arg, "Output")
+        elif sub == "Replicate":
+            if kind == "ToStream":
+                raise SParSyntaxError("Replicate is not valid on ToStream")
+            attrs.replicate = _replicate_arg(arg)
+        elif sub == "Target":
+            if kind == "ToStream":
+                raise SParSyntaxError("Target is not valid on ToStream")
+            attrs.target = _target_arg(arg)
+        else:
+            raise SParSyntaxError(
+                f"line {call.lineno}: {kind} accepts Input/Output/Replicate/"
+                f"Target annotations, got {ast.unparse(arg)}"
+            )
+    if call.keywords:
+        raise SParSyntaxError(
+            f"line {call.lineno}: {kind} takes no keyword arguments"
+        )
+    return attrs
+
+
+def _string_args(call: ast.expr, what: str) -> Tuple[str, ...]:
+    assert isinstance(call, ast.Call)
+    names: List[str] = []
+    for a in call.args:
+        if not (isinstance(a, ast.Constant) and isinstance(a.value, str)
+                and a.value.isidentifier()):
+            raise SParSyntaxError(
+                f"line {call.lineno}: {what} arguments must be variable names "
+                f"as string literals, got {ast.unparse(a)}"
+            )
+        names.append(a.value)
+    if not names:
+        raise SParSyntaxError(f"line {call.lineno}: {what}() needs at least one name")
+    return tuple(names)
+
+
+def _target_arg(call: ast.expr) -> str:
+    assert isinstance(call, ast.Call)
+    from repro.spar.annotations import Target
+
+    if (len(call.args) != 1 or not isinstance(call.args[0], ast.Constant)
+            or call.args[0].value not in Target.VALID):
+        raise SParSyntaxError(
+            f"line {call.lineno}: Target takes one of "
+            f"{Target.VALID} as a string literal"
+        )
+    return call.args[0].value
+
+
+def _replicate_arg(call: ast.expr) -> Union[int, str]:
+    assert isinstance(call, ast.Call)
+    if len(call.args) != 1:
+        raise SParSyntaxError(f"line {call.lineno}: Replicate takes exactly one argument")
+    a = call.args[0]
+    if isinstance(a, ast.Constant) and isinstance(a.value, int):
+        if a.value < 1:
+            raise SParSyntaxError(f"line {call.lineno}: Replicate({a.value}) must be >= 1")
+        return a.value
+    if isinstance(a, ast.Constant) and isinstance(a.value, str):
+        return a.value
+    if isinstance(a, ast.Name):
+        return a.id
+    raise SParSyntaxError(
+        f"line {call.lineno}: Replicate takes an int literal or a variable "
+        f"name, got {ast.unparse(a)}"
+    )
+
+
+# --------------------------------------------------------------------------
+# schema extraction
+# --------------------------------------------------------------------------
+
+@dataclass
+class _StageInfo:
+    attrs: _RegionAttrs
+    body: List[ast.stmt]
+    lineno: int
+
+
+@dataclass
+class _Schema:
+    prologue: List[ast.stmt]
+    epilogue: List[ast.stmt]
+    region: _RegionAttrs
+    loop: ast.For
+    emitter_stmts: List[ast.stmt]
+    stages: List[_StageInfo] = field(default_factory=list)
+
+
+def _extract_schema(fd: ast.FunctionDef) -> _Schema:
+    # Locate the single top-level ToStream.
+    ts_indices = [i for i, st in enumerate(fd.body) if _annotation_kind(st) == "ToStream"]
+    # Detect misplaced annotations anywhere else in the function.
+    for i, st in enumerate(fd.body):
+        for sub in ast.walk(st):
+            kind = _annotation_kind(sub)  # type: ignore[arg-type]
+            if kind == "ToStream" and (i not in ts_indices or sub is not fd.body[i]):
+                raise SParSyntaxError(
+                    f"line {sub.lineno}: ToStream must be a top-level statement "
+                    "of the annotated function"
+                )
+    if not ts_indices:
+        raise SParSyntaxError(
+            f"function {fd.name!r} has no ToStream region — nothing to parallelize"
+        )
+    if len(ts_indices) > 1:
+        raise SParSyntaxError(
+            f"function {fd.name!r} has {len(ts_indices)} ToStream regions; "
+            "exactly one is supported"
+        )
+    idx = ts_indices[0]
+    ts = fd.body[idx]
+    assert isinstance(ts, ast.With)
+    region = _parse_attrs(ts.items[0].context_expr, "ToStream")  # type: ignore[arg-type]
+
+    # Stage annotations are only legal directly inside the ToStream loop.
+    for i, st in enumerate(fd.body):
+        if i == idx:
+            continue
+        for sub in ast.walk(st):
+            if _annotation_kind(sub) == "Stage":  # type: ignore[arg-type]
+                raise SParSyntaxError(
+                    f"line {sub.lineno}: Stage annotation outside the ToStream region"
+                )
+
+    if len(ts.body) != 1 or not isinstance(ts.body[0], ast.For):
+        raise SParSyntaxError(
+            f"line {ts.lineno}: the ToStream region must contain exactly one "
+            "for loop (the stream iteration)"
+        )
+    loop = ts.body[0]
+    if loop.orelse:
+        raise SParSyntaxError(f"line {loop.lineno}: for/else is not supported in ToStream")
+    if contains_return(loop.body):
+        raise SParSyntaxError(
+            f"line {loop.lineno}: 'return' inside the stream region is not supported"
+        )
+
+    # Split the loop body: emitter statements, then contiguous Stage blocks.
+    emitter: List[ast.stmt] = []
+    stages: List[_StageInfo] = []
+    for st in loop.body:
+        kind = _annotation_kind(st)
+        if kind == "Stage":
+            assert isinstance(st, ast.With)
+            attrs = _parse_attrs(st.items[0].context_expr, "Stage")  # type: ignore[arg-type]
+            stages.append(_StageInfo(attrs=attrs, body=list(st.body), lineno=st.lineno))
+        elif stages:
+            raise SParSyntaxError(
+                f"line {st.lineno}: statements are not allowed between or after "
+                "Stage blocks inside the ToStream loop"
+            )
+        else:
+            for sub in ast.walk(st):
+                if _annotation_kind(sub) == "Stage":  # type: ignore[arg-type]
+                    raise SParSyntaxError(
+                        f"line {sub.lineno}: Stage must be an immediate child of "
+                        "the ToStream loop body"
+                    )
+            emitter.append(st)
+    if not stages:
+        raise SParSyntaxError(
+            f"line {ts.lineno}: a ToStream region must contain at least one Stage"
+        )
+    for stg in stages:
+        if contains_return(stg.body):
+            raise SParSyntaxError(
+                f"line {stg.lineno}: 'return' inside a Stage is not supported"
+            )
+
+    return _Schema(
+        prologue=fd.body[:idx],
+        epilogue=fd.body[idx + 1:],
+        region=region,
+        loop=loop,
+        emitter_stmts=emitter,
+        stages=stages,
+    )
+
+
+# --------------------------------------------------------------------------
+# semantic checks
+# --------------------------------------------------------------------------
+
+def _param_names(fd: ast.FunctionDef) -> Set[str]:
+    a = fd.args
+    names = {p.arg for p in a.posonlyargs + a.args + a.kwonlyargs}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    return names
+
+
+def _check_schema(fd: ast.FunctionDef, schema: _Schema, globals_: Set[str],
+                  strict: bool) -> None:
+    region = set(schema.region.inputs)
+    params = _param_names(fd)
+    prologue_vars = assigned_names(schema.prologue) | params
+    missing_region = region - prologue_vars - globals_
+    if missing_region:
+        raise SParSemanticError(
+            f"ToStream Input names not defined before the stream region: "
+            f"{sorted(missing_region)}"
+        )
+
+    emitter_scope = (prologue_vars | region | loop_targets(schema.loop)
+                     | assigned_names(schema.emitter_stmts))
+    stages = schema.stages
+    first_missing = set(stages[0].attrs.inputs) - emitter_scope - globals_
+    if first_missing:
+        raise SParSemanticError(
+            f"stage 1 Input variables not produced by the stream emitter: "
+            f"{sorted(first_missing)}"
+        )
+    for i in range(1, len(stages)):
+        prev, cur = stages[i - 1], stages[i]
+        avail = (set(prev.attrs.inputs) | set(prev.attrs.outputs)
+                 | assigned_names(prev.body) | region)
+        missing = set(cur.attrs.inputs) - avail - globals_
+        if missing:
+            raise SParSemanticError(
+                f"stage {i + 1} Input variables do not flow from stage {i} "
+                f"(not in its Input/Output/assignments): {sorted(missing)}"
+            )
+    last = stages[-1]
+    out_avail = set(last.attrs.inputs) | assigned_names(last.body) | region
+    missing_out = set(last.attrs.outputs) - out_avail - globals_
+    if missing_out:
+        raise SParSemanticError(
+            f"last stage Output variables are never produced: {sorted(missing_out)}"
+        )
+
+    if strict:
+        for i, stg in enumerate(stages, start=1):
+            declared = set(stg.attrs.inputs) | region
+            if stg.attrs.target:
+                declared.add("spar_gpu")  # injected by the GPU target runtime
+            bad = undeclared_uses(stg.body, declared, globals_)
+            if bad:
+                raise SParSemanticError(
+                    f"stage {i} uses variables that neither flow in through "
+                    f"Input nor are stream-region constants: {sorted(bad)} "
+                    "(declare them in Input, in ToStream's Input, or compile "
+                    "with strict=False)"
+                )
+
+    for i, stg in enumerate(stages, start=1):
+        rep = stg.attrs.replicate
+        if isinstance(rep, str) and rep not in (prologue_vars | globals_):
+            raise SParSemanticError(
+                f"stage {i}: Replicate({rep!r}) does not name a parameter, "
+                "prologue variable or global"
+            )
+
+
+# --------------------------------------------------------------------------
+# code generation
+# --------------------------------------------------------------------------
+
+def _tuple_text(names: Sequence[str]) -> str:
+    if not names:
+        return "()"
+    return "(" + ", ".join(names) + ("," if len(names) == 1 else "") + ")"
+
+
+def _emit_block(stmts: Sequence[ast.stmt], indent: int) -> List[str]:
+    lines: List[str] = []
+    pad = _INDENT * indent
+    for st in stmts:
+        for line in ast.unparse(st).splitlines():
+            lines.append(pad + line)
+    if not stmts:
+        lines.append(pad + "pass")
+    return lines
+
+
+def _generate_source(fd: ast.FunctionDef, schema: _Schema, ordered: bool) -> str:
+    sig = ast.unparse(fd.args)
+    if not sig:
+        sig_full = "*, _spar_config=None, _spar_holder=None"
+    elif fd.args.vararg or fd.args.kwonlyargs or fd.args.kwarg:
+        sig_full = f"{sig}, _spar_config=None, _spar_holder=None"
+    else:
+        sig_full = f"{sig}, *, _spar_config=None, _spar_holder=None"
+
+    lines: List[str] = [f"def {fd.name}({sig_full}):"]
+    lines += _emit_block(schema.prologue, 1) if schema.prologue else []
+
+    stages = schema.stages
+    first_inputs = _tuple_text(stages[0].attrs.inputs)
+
+    lines.append(f"{_INDENT}def __spar_emitter__():")
+    lines.append(f"{_INDENT*2}for {ast.unparse(schema.loop.target)} in "
+                 f"{ast.unparse(schema.loop.iter)}:")
+    lines += _emit_block(schema.emitter_stmts, 3)
+    lines.append(f"{_INDENT*3}yield {first_inputs}")
+
+    for i, stg in enumerate(stages, start=1):
+        extra = ", spar_gpu=None" if stg.attrs.target else ""
+        lines.append(f"{_INDENT}def __spar_stage_{i}__(__spar_item__{extra}):")
+        lines.append(f"{_INDENT*2}{_tuple_text(stg.attrs.inputs)} = __spar_item__")
+        lines += _emit_block(stg.body, 2)
+        if i < len(stages):
+            nxt = _tuple_text(stages[i].attrs.inputs)
+            lines.append(f"{_INDENT*2}return {nxt}")
+        elif stg.attrs.outputs:
+            lines.append(f"{_INDENT*2}return {_tuple_text(stg.attrs.outputs)}")
+        else:
+            lines.append(f"{_INDENT*2}return None")
+
+    descs = []
+    for i, stg in enumerate(stages, start=1):
+        rep = stg.attrs.replicate
+        rep_expr = rep if isinstance(rep, str) else str(rep)
+        descs.append(f"(__spar_stage_{i}__, {rep_expr}, {ordered}, "
+                     f"{stg.attrs.target!r})")
+    lines.append(f"{_INDENT}__spar_stages__ = [{', '.join(descs)}]")
+    lines.append(f"{_INDENT}__spar_run__(__spar_emitter__, __spar_stages__, "
+                 "_spar_config, _spar_holder)")
+
+    lines += _emit_block(schema.epilogue, 1) if schema.epilogue else []
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# public entry point
+# --------------------------------------------------------------------------
+
+class SParCompiled:
+    """A SPar-compiled function: call it like the original.
+
+    Attributes: ``sequential`` (the original function — annotations are
+    inert, so it runs the unmodified sequential semantics),
+    ``spar_source`` (the generated driver), ``last_run`` (the
+    :class:`~repro.core.metrics.RunResult` of the most recent call),
+    ``stage_count`` and ``replicates``.
+    """
+
+    def __init__(self, func: Callable, driver: Callable, source: str,
+                 schema: _Schema, default_config: Optional[ExecConfig]):
+        functools.update_wrapper(self, func)
+        self.sequential = func
+        self._driver = driver
+        self.spar_source = source
+        self.stage_count = len(schema.stages)
+        self.replicates = tuple(s.attrs.replicate for s in schema.stages)
+        self.default_config = default_config
+        self.last_run: Optional[RunResult] = None
+
+    def __call__(self, *args: Any, _spar_config: Optional[ExecConfig] = None,
+                 **kwargs: Any) -> Any:
+        holder: dict = {}
+        cfg = _spar_config if _spar_config is not None else self.default_config
+        ret = self._driver(*args, _spar_config=cfg, _spar_holder=holder, **kwargs)
+        self.last_run = holder.get("result")
+        return ret
+
+
+def parallelize(func: Optional[Callable] = None, *,
+                config: Optional[ExecConfig] = None,
+                ordered: bool = True,
+                strict: bool = True) -> Any:
+    """Compile a ToStream/Stage-annotated function into a stream pipeline.
+
+    Usable bare (``@parallelize``) or with options
+    (``@parallelize(config=..., ordered=False, strict=False)``).
+    ``ordered`` controls whether replicated stages preserve stream order
+    (SPar's default behaviour); ``strict`` enables the full Input/Output
+    dataflow check.
+    """
+    if func is None:
+        return lambda f: parallelize(f, config=config, ordered=ordered, strict=strict)
+
+    if getattr(func, "__closure__", None):
+        raise SParSemanticError(
+            f"{func.__qualname__}: functions with closures cannot be "
+            "SPar-compiled; pass data through parameters instead"
+        )
+
+    try:
+        source = textwrap.dedent(inspect.getsource(func))
+    except (OSError, TypeError) as exc:
+        raise SParSyntaxError(
+            f"cannot read the source of {func!r} (defined in a REPL?)"
+        ) from exc
+    tree = ast.parse(source)
+    fd = next((n for n in tree.body if isinstance(n, ast.FunctionDef)), None)
+    if fd is None:
+        raise SParSyntaxError(f"no function definition found in {func.__qualname__}")
+    fd.decorator_list = []
+
+    schema = _extract_schema(fd)
+    _check_schema(fd, schema, set(func.__globals__), strict)
+    gen_source = _generate_source(fd, schema, ordered)
+
+    filename = f"<spar:{func.__module__}.{func.__qualname__}>"
+    linecache.cache[filename] = (
+        len(gen_source), None, gen_source.splitlines(keepends=True), filename,
+    )
+    namespace = dict(func.__globals__)
+    namespace["__spar_run__"] = spar_run
+    code = compile(gen_source, filename, "exec")
+    exec(code, namespace)  # noqa: S102 - deliberate codegen
+    driver = namespace[fd.name]
+
+    return SParCompiled(func, driver, gen_source, schema, config)

@@ -1,0 +1,21 @@
+"""SPar compilation errors.
+
+The real SPar compiler rejects ill-formed annotation schemas at C++
+compile time; we do the same at decoration time, with messages naming
+the offending construct.
+"""
+
+from __future__ import annotations
+
+
+class SParError(Exception):
+    """Base class for SPar DSL errors."""
+
+
+class SParSyntaxError(SParError):
+    """Structural misuse of the annotations (e.g. Stage outside ToStream)."""
+
+
+class SParSemanticError(SParError):
+    """Dataflow problem (e.g. a stage uses a variable that does not flow
+    into it through Input/Output and is not a stream-region constant)."""

@@ -1,0 +1,181 @@
+"""Runtime support for compiled SPar pipelines.
+
+The SPar compiler (like the real one, which emits FastFlow C++) lowers
+annotated functions onto :mod:`repro.fastflow` building blocks: the
+stream region's loop becomes an emitter node, every ``Stage`` a node or
+an ordered farm.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.config import ExecConfig
+from repro.core.items import EOS
+from repro.core.metrics import RunResult
+from repro.fastflow import ff_farm, ff_node, ff_ofarm, ff_pipeline
+from repro.spar.errors import SParSemanticError
+
+#: (stage_fn, resolved replicate count, ordered[, target])
+StageDesc = Tuple[Callable[[Any], Any], int, bool]
+
+
+class _EmitterNode(ff_node):
+    """Drives the generated ``__spar_emitter__`` generator."""
+
+    def __init__(self, make_iter: Callable[[], Iterator[Any]]):
+        super().__init__()
+        self._make_iter = make_iter
+        self._it: Optional[Iterator[Any]] = None
+
+    def svc(self, _):
+        if self._it is None:
+            self._it = iter(self._make_iter())
+        try:
+            return next(self._it)
+        except StopIteration:
+            return EOS
+
+
+class _StageFnNode(ff_node):
+    """Runs one generated ``__spar_stage_k__`` function per item."""
+
+    def __init__(self, fn: Callable[[Any], Any]):
+        super().__init__()
+        self.fn = fn
+
+    def svc(self, item):
+        return self.fn(item)
+
+
+class SparGpuHandle:
+    """What a ``Target('cuda'|'opencl')`` stage body receives as
+    ``spar_gpu``: the replica's device plus a fresh per-item stream or
+    command queue.  The runtime synchronizes after the body returns, so
+    downstream stages may read results immediately — the exact
+    boilerplate Section IV-A says programmers must hand-write today."""
+
+    __slots__ = ("api", "device_index", "cuda", "stream", "ctx", "queue",
+                 "program")
+
+    def __init__(self, api: str, device_index: int, cuda=None, stream=None,
+                 ctx=None, queue=None, program=None):
+        self.api = api
+        self.device_index = device_index
+        self.cuda = cuda
+        self.stream = stream
+        self.ctx = ctx
+        self.queue = queue
+        self.program = program
+
+    def synchronize(self) -> None:
+        if self.api == "cuda":
+            self.cuda.stream_synchronize(self.stream)
+        else:
+            self.queue.finish()
+
+
+class _GpuTargetSupport:
+    """Shared per-run GPU state for Target stages (one runtime, lazily)."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._cuda = None
+        self._ocl = None
+
+    def cuda_runtime(self):
+        if self._cuda is None:
+            from repro.gpu.cuda import CudaRuntime
+
+            self._cuda = CudaRuntime(self.machine)
+        return self._cuda
+
+    def opencl(self):
+        if self._ocl is None:
+            from repro.gpu.opencl import OpenCLRuntime
+
+            rt = OpenCLRuntime(self.machine)
+            devices = rt.get_platforms()[0].get_devices()
+            self._ocl = (rt, devices, rt.create_context(devices))
+        return self._ocl
+
+    @property
+    def n_devices(self) -> int:
+        return max(1, len(self.machine.gpus))
+
+
+class _GpuStageFnNode(ff_node):
+    """Target-stage replica: owns a device (round-robin by replica id),
+    builds a fresh stream/queue per item, synchronizes after the body."""
+
+    def __init__(self, fn: Callable[..., Any], target: str,
+                 support: _GpuTargetSupport):
+        super().__init__()
+        self.fn = fn
+        self.target = target
+        self.support = support
+        self.device_index = 0
+
+    def svc_init(self) -> None:
+        self.device_index = self.get_my_id % self.support.n_devices
+        if self.target == "cuda":
+            # cudaSetDevice has thread-side effects: call it here, in the
+            # replica's own (logical) thread.
+            self.support.cuda_runtime().set_device(self.device_index)
+
+    def svc(self, item):
+        if self.target == "cuda":
+            cuda = self.support.cuda_runtime()
+            cuda.set_device(self.device_index)
+            handle = SparGpuHandle("cuda", self.device_index, cuda=cuda,
+                                   stream=cuda.stream_create())
+        else:
+            _rt, devices, ctx = self.support.opencl()
+            dev = devices[self.device_index % len(devices)]
+            handle = SparGpuHandle("opencl", self.device_index, ctx=ctx,
+                                   queue=ctx.create_queue(dev))
+        result = self.fn(item, spar_gpu=handle)
+        handle.synchronize()
+        return result
+
+
+def spar_run(emitter: Callable[[], Iterator[Any]],
+             stages: Sequence[Union[StageDesc, tuple]],
+             config: Optional[ExecConfig] = None,
+             holder: Optional[dict] = None) -> RunResult:
+    """Build and run the FastFlow pipeline for one compiled SPar call."""
+    pipe = ff_pipeline(_EmitterNode(emitter), name="spar_pipeline")
+    gpu_support: Optional[_GpuTargetSupport] = None
+    for i, desc in enumerate(stages, start=1):
+        fn, replicate, ordered = desc[0], int(desc[1]), desc[2]
+        target = desc[3] if len(desc) > 3 else ""
+        if replicate < 1:
+            raise SParSemanticError(
+                f"stage {i}: Replicate resolved to {replicate}; must be >= 1"
+            )
+        if target:
+            if gpu_support is None:
+                machine = (config.machine if config is not None
+                           else ExecConfig().machine)
+                gpu_support = _GpuTargetSupport(machine)
+            sup = gpu_support
+
+            def make_gpu(fn=fn, target=target, sup=sup):
+                return _GpuStageFnNode(fn, target, sup)
+
+            if replicate == 1:
+                pipe.add_stage(make_gpu())
+            else:
+                farm_cls = ff_ofarm if ordered else ff_farm
+                pipe.add_stage(farm_cls(make_gpu, replicas=replicate,
+                                        name=f"spar_gpu_stage{i}"))
+        elif replicate == 1:
+            pipe.add_stage(_StageFnNode(fn))
+        else:
+            farm_cls = ff_ofarm if ordered else ff_farm
+            pipe.add_stage(farm_cls(lambda fn=fn: _StageFnNode(fn),
+                                    replicas=replicate, name=f"spar_stage{i}"))
+    result = pipe.run_and_wait_end(config)
+    if holder is not None:
+        holder["result"] = result
+    return result

@@ -1,0 +1,39 @@
+"""TBB-style library (Section III-B): pipeline, tasks, parallel_for.
+
+The pieces the paper relies on are here with their TBB names:
+
+* :func:`parallel_pipeline` with :func:`make_filter` and
+  :class:`filter_mode` (``parallel`` / ``serial_in_order`` /
+  ``serial_out_of_order``) plus ``max_number_of_live_tokens`` — the
+  knob the paper had to fine-tune (38 tokens CPU-only, 50 with GPUs);
+* :class:`global_control` to bound worker parallelism;
+* a real work-stealing task scheduler (:mod:`repro.tbb.scheduler`)
+  backing :func:`parallel_for` / :func:`parallel_reduce` over
+  :class:`blocked_range`.
+"""
+
+from repro.tbb.pipeline import (
+    filter_mode,
+    flow_control,
+    global_control,
+    make_filter,
+    parallel_pipeline,
+)
+from repro.tbb.range import blocked_range
+from repro.tbb.parallel_for import parallel_for, parallel_reduce
+from repro.tbb.parallel_scan import parallel_scan
+from repro.tbb.scheduler import WorkStealingPool, task_group
+
+__all__ = [
+    "filter_mode",
+    "flow_control",
+    "make_filter",
+    "parallel_pipeline",
+    "global_control",
+    "blocked_range",
+    "parallel_for",
+    "parallel_reduce",
+    "parallel_scan",
+    "WorkStealingPool",
+    "task_group",
+]

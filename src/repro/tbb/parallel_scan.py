@@ -1,0 +1,59 @@
+"""``parallel_scan``: TBB's parallel prefix computation.
+
+The paper lists scan among TBB's common parallel patterns (Section
+III-B).  Classic two-pass formulation: leaves are pre-scanned in
+parallel to get partial sums, an exclusive prefix over the partial sums
+runs serially, and a final parallel pass re-scans each leaf with its
+correct initial value.
+
+``body(subrange, initial, final)`` must accumulate over the subrange
+starting from ``initial`` and return the resulting running value; when
+``final`` is true it must also publish its per-element results (write
+the output array).  ``combine(a, b)`` merges two running values (TBB's
+``reverse_join``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.tbb.range import blocked_range
+from repro.tbb.scheduler import WorkStealingPool, task_group
+
+
+def _leaves(r: blocked_range) -> List[blocked_range]:
+    if not r.is_divisible:
+        return [r]
+    a, b = r.split()
+    return _leaves(a) + _leaves(b)
+
+
+def parallel_scan(range_: blocked_range, identity: Any,
+                  body: Callable[[blocked_range, Any, bool], Any],
+                  combine: Callable[[Any, Any], Any],
+                  pool: Optional[WorkStealingPool] = None) -> Any:
+    """Run the two-pass parallel prefix; returns the total."""
+    from repro.tbb.parallel_for import _get_pool
+
+    p = pool if pool is not None else _get_pool()
+    leaves = _leaves(range_)
+    n = len(leaves)
+    partial: List[Any] = [None] * n
+
+    group = task_group(p)
+    for i, leaf in enumerate(leaves):
+        group.run(lambda i=i, leaf=leaf: partial.__setitem__(
+            i, body(leaf, identity, False)))
+    group.wait()
+
+    prefix: List[Any] = [identity] * n
+    acc = identity
+    for i in range(n):
+        prefix[i] = acc
+        acc = combine(acc, partial[i])
+
+    group2 = task_group(p)
+    for i, leaf in enumerate(leaves):
+        group2.run(lambda i=i, leaf=leaf: body(leaf, prefix[i], True))
+    group2.wait()
+    return acc

@@ -1,0 +1,167 @@
+"""``parallel_pipeline``: TBB's token-based stream pipeline.
+
+Matches the TBB API shape the paper's Mandelbrot/Dedup TBB versions use::
+
+    def make_source(fc):
+        if done: fc.stop(); return None
+        return next_item
+
+    parallel_pipeline(
+        max_number_of_live_tokens=38,
+        make_filter(filter_mode.serial_in_order, make_source),
+        make_filter(filter_mode.parallel, compute),
+        make_filter(filter_mode.serial_in_order, show),
+    )
+
+``max_number_of_live_tokens`` bounds in-flight items; a ``parallel``
+filter runs as a farm whose width is the active ``global_control``
+parallelism (TBB spawns as many as tokens/threads allow); serial filters
+are single replicas, in-order ones consuming in original stream order.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import replace
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
+from repro.core.metrics import RunResult
+from repro.core.run import run_graph
+from repro.core.stage import FunctionStage, Source, StageContext
+
+
+class filter_mode(enum.Enum):
+    parallel = "parallel"
+    serial_in_order = "serial_in_order"
+    serial_out_of_order = "serial_out_of_order"
+
+
+class flow_control:
+    """Passed to the first filter; ``stop()`` ends the stream."""
+
+    def __init__(self) -> None:
+        self._stopped = False
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+
+class _Filter:
+    def __init__(self, mode: filter_mode, fn: Callable[..., Any], name: str):
+        self.mode = mode
+        self.fn = fn
+        self.name = name
+
+
+def make_filter(mode: filter_mode, fn: Callable[..., Any],
+                name: str = "") -> _Filter:
+    return _Filter(mode, fn, name or getattr(fn, "__name__", "filter"))
+
+
+class global_control:
+    """TBB's ``global_control(max_allowed_parallelism, n)``.
+
+    A context manager; nesting takes the innermost value.  The active
+    value sizes parallel filters and the default work-stealing pool.
+    """
+
+    _stack: List[int] = []
+    _lock = threading.Lock()
+
+    def __init__(self, max_allowed_parallelism: int):
+        if max_allowed_parallelism < 1:
+            raise ValueError("max_allowed_parallelism must be >= 1")
+        self.value = max_allowed_parallelism
+
+    def __enter__(self) -> "global_control":
+        with global_control._lock:
+            global_control._stack.append(self.value)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with global_control._lock:
+            global_control._stack.remove(self.value)
+
+    @classmethod
+    def active_parallelism(cls) -> Optional[int]:
+        with cls._lock:
+            return cls._stack[-1] if cls._stack else None
+
+
+class _FilterSource(Source):
+    """First filter -> core Source (fn(flow_control) until stop)."""
+
+    def __init__(self, fn: Callable[[flow_control], Any]):
+        self.fn = fn
+
+    def generate(self, ctx: StageContext) -> Iterator[Any]:
+        fc = flow_control()
+        while True:
+            item = self.fn(fc)
+            if fc.stopped:
+                return
+            yield item
+
+
+def _pipeline_graph(filters: tuple[_Filter, ...], parallelism: int,
+                    name: str) -> PipelineGraph:
+    if len(filters) < 2:
+        raise ValueError("parallel_pipeline needs at least two filters")
+    first = filters[0]
+    if first.mode is filter_mode.parallel:
+        raise ValueError("the input (first) filter cannot be parallel")
+    source = SourceSpec(factory=lambda f=first: _FilterSource(f.fn), name="tbb_input")
+    specs: List[StageSpec] = []
+    rest = filters[1:]
+    for i, f in enumerate(rest):
+        if f.mode is filter_mode.parallel:
+            # Ordered collection iff the next serial filter is in-order
+            # (or this is the last filter, where in-order output is the
+            # TBB default expectation for collected results).
+            ordered = True
+            for g in rest[i + 1:]:
+                if g.mode is filter_mode.parallel:
+                    continue
+                ordered = g.mode is filter_mode.serial_in_order
+                break
+            specs.append(StageSpec(
+                factory=lambda f=f: FunctionStage(f.fn),
+                name=f"{f.name}@{i + 1}",
+                replicas=parallelism,
+                ordered=ordered,
+                scheduling=Scheduling.ON_DEMAND,  # work-stealing-ish greed
+            ))
+        else:
+            specs.append(StageSpec(
+                factory=lambda f=f: FunctionStage(f.fn),
+                name=f"{f.name}@{i + 1}",
+                replicas=1,
+            ))
+    g = PipelineGraph(source=source, stages=specs, name=name)
+    g.validate()
+    return g
+
+
+def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
+                      config: Optional[ExecConfig] = None,
+                      parallelism: Optional[int] = None,
+                      name: str = "tbb_pipeline") -> RunResult:
+    """Run the filter chain; returns the run result (TBB returns void).
+
+    ``parallelism`` defaults to the active :class:`global_control` value,
+    else the configured machine's hardware threads.
+    """
+    if max_number_of_live_tokens < 1:
+        raise ValueError("max_number_of_live_tokens must be >= 1")
+    cfg = config if config is not None else ExecConfig()
+    width = parallelism or global_control.active_parallelism() or cfg.machine.cpu.threads
+    graph = _pipeline_graph(tuple(filters), width, name)
+    cfg = replace(cfg, max_tokens=max_number_of_live_tokens)
+    return run_graph(graph, cfg)

@@ -1,0 +1,44 @@
+"""``blocked_range``: TBB's splittable iteration space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class blocked_range:
+    """Half-open index range ``[begin, end)`` with a splitting grainsize.
+
+    ``is_divisible`` and ``split`` implement TBB's recursive-splitting
+    protocol used by ``parallel_for``'s divide-and-conquer tasks.
+    """
+
+    begin: int
+    end: int
+    grainsize: int = 1
+
+    def __post_init__(self) -> None:
+        if self.end < self.begin:
+            raise ValueError(f"range end {self.end} < begin {self.begin}")
+        if self.grainsize < 1:
+            raise ValueError("grainsize must be >= 1")
+
+    def __len__(self) -> int:
+        return self.end - self.begin
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.begin, self.end))
+
+    @property
+    def is_divisible(self) -> bool:
+        return len(self) > self.grainsize
+
+    def split(self) -> Tuple["blocked_range", "blocked_range"]:
+        if not self.is_divisible:
+            raise ValueError("range is not divisible")
+        mid = self.begin + len(self) // 2
+        return (
+            blocked_range(self.begin, mid, self.grainsize),
+            blocked_range(mid, self.end, self.grainsize),
+        )

@@ -1,0 +1,196 @@
+"""Work-stealing task scheduler (TBB's execution engine, in miniature).
+
+Each worker owns a deque: it pushes and pops spawned tasks LIFO at the
+bottom (cache-friendly depth-first) and steals FIFO from the *top* of a
+random victim's deque when its own runs dry — the classic Blumofe-
+Leiserson discipline TBB implements.  A :class:`task_group` gives the
+``run``/``wait`` interface; :mod:`repro.tbb.parallel_for` builds its
+recursive range-splitting on top.
+
+This scheduler is a real concurrent component (native threads); the
+pipeline facade does not use it — pipelines lower to
+:mod:`repro.core` so they can also run on virtual time.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+import threading
+from typing import Any, Callable, List, Optional
+
+_POLL = 0.001
+
+
+class _Deque:
+    """A lock-protected work-stealing deque (bottom = owner, top = thieves)."""
+
+    def __init__(self) -> None:
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+
+    def push_bottom(self, task) -> None:
+        with self._lock:
+            self._items.append(task)
+
+    def pop_bottom(self):
+        with self._lock:
+            return self._items.pop() if self._items else None
+
+    def steal_top(self):
+        with self._lock:
+            return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _Task:
+    __slots__ = ("fn", "group")
+
+    def __init__(self, fn: Callable[[], None], group: "task_group"):
+        self.fn = fn
+        self.group = group
+
+
+class WorkStealingPool:
+    """Fixed pool of workers, each with its own deque."""
+
+    def __init__(self, n_workers: int, seed: int = 0x5EED):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self._deques = [_Deque() for _ in range(n_workers)]
+        self._rng = random.Random(seed)
+        self._shutdown = threading.Event()
+        self._errors: List[BaseException] = []
+        self._error_lock = threading.Lock()
+        self._outstanding = 0
+        self._count_lock = threading.Lock()
+        self._idle = threading.Condition()
+        self._tls = threading.local()
+        self.steals = 0
+        self._threads = [
+            threading.Thread(target=self._worker, args=(i,), daemon=True,
+                             name=f"tbb-worker-{i}")
+            for i in range(n_workers)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission -----------------------------------------------------
+    def spawn(self, task: _Task) -> None:
+        with self._count_lock:
+            self._outstanding += 1
+        wid = getattr(self._tls, "wid", None)
+        if wid is None:
+            wid = self._rng.randrange(self.n_workers)
+        self._deques[wid].push_bottom(task)
+        with self._idle:
+            self._idle.notify()
+
+    # -- worker loop ---------------------------------------------------------
+    def _worker(self, wid: int) -> None:
+        self._tls.wid = wid
+        my = self._deques[wid]
+        rng = random.Random(wid * 7919 + 13)
+        while not self._shutdown.is_set():
+            task = my.pop_bottom()
+            if task is None:
+                task = self._try_steal(wid, rng)
+            if task is None:
+                with self._idle:
+                    self._idle.wait(timeout=_POLL)
+                continue
+            try:
+                task.fn()
+            except BaseException as exc:  # noqa: BLE001
+                with self._error_lock:
+                    self._errors.append(exc)
+                task.group._note_error(exc)
+            finally:
+                with self._count_lock:
+                    self._outstanding -= 1
+                task.group._task_done()
+
+    def _try_steal(self, wid: int, rng: random.Random):
+        order = list(range(self.n_workers))
+        rng.shuffle(order)
+        for victim in order:
+            if victim == wid:
+                continue
+            task = self._deques[victim].steal_top()
+            if task is not None:
+                self.steals += 1
+                return task
+        return None
+
+    # -- shutdown -----------------------------------------------------------
+    def shutdown(self) -> None:
+        self._shutdown.set()
+        with self._idle:
+            self._idle.notify_all()
+        for t in self._threads:
+            t.join(timeout=2.0)
+
+    def __enter__(self) -> "WorkStealingPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class task_group:
+    """TBB's ``task_group``: spawn tasks, then ``wait()`` for all."""
+
+    def __init__(self, pool: WorkStealingPool):
+        self.pool = pool
+        self._pending = 0
+        self._cv = threading.Condition()
+        self._error: Optional[BaseException] = None
+
+    def run(self, fn: Callable[[], Any]) -> None:
+        with self._cv:
+            self._pending += 1
+        self.pool.spawn(_Task(fn, self))
+
+    def _task_done(self) -> None:
+        with self._cv:
+            self._pending -= 1
+            if self._pending == 0:
+                self._cv.notify_all()
+
+    def _note_error(self, exc: BaseException) -> None:
+        with self._cv:
+            if self._error is None:
+                self._error = exc
+
+    def wait(self) -> None:
+        """Help execute tasks while waiting (TBB workers are not wasted)."""
+        wid = getattr(self.pool._tls, "wid", None)
+        while True:
+            with self._cv:
+                if self._pending == 0:
+                    break
+            if wid is not None:
+                # A worker waiting inside a task must keep executing others
+                # or recursion deadlocks.
+                task = self.pool._deques[wid].pop_bottom()
+                if task is None:
+                    task = self.pool._try_steal(wid, random.Random())
+                if task is not None:
+                    try:
+                        task.fn()
+                    except BaseException as exc:  # noqa: BLE001
+                        task.group._note_error(exc)
+                    finally:
+                        with self.pool._count_lock:
+                            self.pool._outstanding -= 1
+                        task.group._task_done()
+                    continue
+            with self._cv:
+                if self._pending == 0:
+                    break
+                self._cv.wait(timeout=_POLL)
+        if self._error is not None:
+            raise self._error

@@ -1,0 +1,223 @@
+"""Dedup component tests: SHA-1, Rabin/Gear chunking, store, container."""
+
+import hashlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.dedup.chunkstore import ChunkStore
+from repro.apps.dedup.container import (
+    Archive,
+    ArchiveError,
+    BlockRecord,
+    restore,
+    verify_archive,
+)
+from repro.apps.dedup.rabin import (
+    BATCH_SIZE,
+    GearChunker,
+    RabinChunker,
+    WINDOW,
+    make_batches,
+)
+from repro.apps.dedup.sha1 import (
+    sha1_batch,
+    sha1_fast,
+    sha1_hex,
+    sha1_scalar,
+    sha1_work_units,
+)
+from repro.apps.lzss.reference import compress_block
+
+
+# -- SHA-1 -------------------------------------------------------------------
+
+KNOWN = [
+    (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+    (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    (b"The quick brown fox jumps over the lazy dog",
+     "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"),
+]
+
+
+@pytest.mark.parametrize("msg,digest", KNOWN)
+def test_sha1_known_vectors(msg, digest):
+    assert sha1_hex(msg) == digest
+
+
+@pytest.mark.parametrize("n", [0, 1, 55, 56, 63, 64, 65, 119, 120, 1000])
+def test_sha1_padding_boundaries(n):
+    msg = bytes(range(256)) * (n // 256 + 1)
+    msg = msg[:n]
+    assert sha1_scalar(msg) == hashlib.sha1(msg).digest()
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.binary(max_size=300))
+def test_sha1_scalar_property_vs_hashlib(msg):
+    assert sha1_scalar(msg) == hashlib.sha1(msg).digest()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.binary(max_size=200), max_size=8))
+def test_sha1_batch_property(messages):
+    expected = [hashlib.sha1(m).digest() for m in messages]
+    assert sha1_batch(messages) == expected
+    assert [sha1_fast(m) for m in messages] == expected
+
+
+def test_sha1_batch_mixed_lengths_lockstep():
+    msgs = [b"", b"a" * 500, b"b" * 64, b"c" * 63]
+    assert sha1_batch(msgs) == [hashlib.sha1(m).digest() for m in msgs]
+
+
+def test_sha1_work_units_counts_padded_chunks():
+    units = sha1_work_units([b"", b"a" * 56, b"b" * 64])
+    assert list(units) == [64.0, 128.0, 128.0]
+
+
+# -- chunking ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def sample_data():
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 256, 120_000, dtype=np.uint8).tobytes()
+
+
+@pytest.mark.parametrize("cls", [RabinChunker, GearChunker])
+def test_chunker_respects_min_max(cls, sample_data):
+    ck = cls(mask_bits=9, min_block=200, max_block=2000)
+    cuts = ck.cut_points(sample_data)
+    assert cuts[0] == 0
+    sizes = np.diff(cuts + [len(sample_data)])
+    assert (sizes[:-1] >= 200).all()
+    assert (sizes <= 2000).all()
+
+
+@pytest.mark.parametrize("cls", [RabinChunker, GearChunker])
+def test_chunker_deterministic(cls, sample_data):
+    ck1, ck2 = cls(mask_bits=9), cls(mask_bits=9)
+    assert ck1.cut_points(sample_data) == ck2.cut_points(sample_data)
+
+
+@pytest.mark.parametrize("cls", [RabinChunker, GearChunker])
+def test_content_defined_boundaries_realign_after_insertion(cls, sample_data):
+    """The whole point of Rabin chunking: a local edit shifts boundaries
+    only locally; downstream cuts land on the same content."""
+    ck = cls(mask_bits=9, min_block=200, max_block=2000)
+    base = sample_data[:40_000]
+    edited = base[:1000] + b"INSERTED" + base[1000:]
+    cuts1 = set(ck.cut_points(base))
+    cuts2 = {c - 8 for c in ck.cut_points(edited)}
+    far1 = {c for c in cuts1 if c > 5000}
+    far2 = {c for c in cuts2 if c > 5000}
+    assert far1, "test needs boundaries past the edit"
+    overlap = len(far1 & far2) / len(far1)
+    assert overlap > 0.8
+
+
+def test_rabin_fingerprint_is_windowed():
+    """Equal windows -> equal fingerprints regardless of earlier bytes."""
+    ck = RabinChunker()
+    tail = bytes(range(100, 100 + WINDOW))
+    a = b"\x00" * 64 + tail
+    b = b"\xff" * 64 + tail
+    assert ck.fingerprints(a)[-1] == ck.fingerprints(b)[-1]
+
+
+def test_gear_fingerprint_is_windowed():
+    ck = GearChunker()
+    tail = bytes(range(128, 192))  # 64 bytes: gear's full memory
+    a = b"\x00" * 64 + tail
+    b = b"\xff" * 64 + tail
+    assert ck.fingerprints(a)[-1] == ck.fingerprints(b)[-1]
+
+
+def test_make_batches_fixed_size_and_indexes(sample_data):
+    batches = make_batches(sample_data, GearChunker(mask_bits=9, min_block=200,
+                                                    max_block=2000),
+                           batch_size=32_768)
+    assert len(batches) == -(-len(sample_data) // 32_768)
+    assert all(len(b.data) == 32_768 for b in batches[:-1])
+    reassembled = b"".join(b.data for b in batches)
+    assert reassembled == sample_data
+    for b in batches:
+        assert b.start_positions[0] == 0
+        assert b"".join(b.blocks()) == b.data
+        assert b.n_blocks == len(b.start_positions)
+
+
+def test_default_batch_size_is_1mb():
+    assert BATCH_SIZE == 1 << 20  # the paper's fixed batch size
+
+
+# -- chunk store ---------------------------------------------------------------------------
+
+def test_chunkstore_dedup_accounting():
+    store = ChunkStore()
+    d1, d2 = b"x" * 20, b"y" * 20
+    assert store.check(d1, 100) == (False, 0)
+    assert store.check(d2, 50) == (False, 1)
+    dup, ref = store.check(d1, 100)
+    assert dup and ref == 0
+    assert store.unique_blocks == 2
+    assert store.duplicate_blocks == 1
+    assert store.dedup_ratio() == pytest.approx(100 / 250)
+
+
+# -- container -------------------------------------------------------------------------------
+
+def test_archive_roundtrip_with_all_record_kinds():
+    arc = Archive()
+    blk_a = b"hello world, hello world, hello world"
+    blk_b = bytes(np.random.default_rng(1).integers(0, 256, 64, dtype=np.uint8))
+    ia = arc.add_unique(blk_a, compress_block(blk_a, 0, len(blk_a)))
+    arc.add_unique(blk_b, compress_block(blk_b, 0, len(blk_b)))  # raw fallback
+    arc.add_duplicate(ia, len(blk_a))
+    arc.input_bytes = 2 * len(blk_a) + len(blk_b)
+    restored = restore(arc)
+    assert restored == blk_a + blk_b + blk_a
+    assert verify_archive(arc, blk_a + blk_b + blk_a)
+    assert arc.compression_ratio() < 1.5
+
+
+def test_archive_raw_fallback_when_lzss_expands():
+    arc = Archive()
+    incompressible = bytes(np.random.default_rng(2).integers(0, 256, 128,
+                                                             dtype=np.uint8))
+    comp = compress_block(incompressible, 0, len(incompressible))
+    arc.add_unique(incompressible, comp)
+    assert arc.records[0].kind == 1  # KIND_RAW
+    assert restore(arc) == incompressible
+
+
+def test_archive_serialization_roundtrip():
+    arc = Archive()
+    blk = b"abcabcabcabcabc" * 10
+    i = arc.add_unique(blk, compress_block(blk, 0, len(blk)))
+    arc.add_duplicate(i, len(blk))
+    blob = arc.serialize()
+    arc2 = Archive.deserialize(blob)
+    assert restore(arc2) == blk + blk
+    assert arc2.serialize() == blob
+
+
+def test_archive_rejects_bad_references():
+    arc = Archive()
+    with pytest.raises(ArchiveError):
+        arc.add_duplicate(0, 10)
+    arc.records.append(BlockRecord(2, 10, ref_index=5))
+    with pytest.raises(ArchiveError):
+        restore(arc)
+
+
+def test_archive_deserialize_validation():
+    with pytest.raises(ArchiveError, match="magic"):
+        Archive.deserialize(b"XXXX\x00\x00\x00\x00")
+    arc = Archive()
+    arc.add_unique(b"abc", None)
+    blob = arc.serialize()
+    with pytest.raises(ArchiveError, match="trailing"):
+        Archive.deserialize(blob + b"z")

@@ -1,0 +1,226 @@
+"""Mandelbrot application tests: math, pipelines, GPU ladder, hybrids.
+
+Everything asserts bit-identical images across versions — the paper's
+implicit correctness contract when comparing their performance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mandelbrot import (
+    GpuVariant,
+    MandelParams,
+    fastflow_mandelbrot,
+    hybrid_mandelbrot,
+    mandelbrot_grid,
+    mandelbrot_line,
+    mandelbrot_sequential,
+    reference_line_scalar,
+    run_gpu,
+    sequential_stats,
+    spar_mandelbrot,
+    tbb_mandelbrot,
+)
+from repro.apps.mandelbrot.gpu_single import sequential_virtual_time
+from repro.apps.mandelbrot.sequential import (
+    colors_from_counts,
+    iteration_counts,
+    work_from_counts,
+)
+from repro.core.config import ExecConfig, ExecMode
+from repro.sim.machine import paper_machine
+
+SMALL = MandelParams(dim=48, niter=150)
+
+
+# -- math ---------------------------------------------------------------------
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        MandelParams(dim=0)
+    with pytest.raises(ValueError):
+        MandelParams(niter=0)
+    with pytest.raises(ValueError):
+        MandelParams(range_=-1.0)
+    assert MandelParams(dim=100, range_=2.0).step == pytest.approx(0.02)
+
+
+@pytest.mark.parametrize("line", [0, 17, 47])
+def test_vectorized_matches_scalar_reference(line):
+    img_ref, counts_ref = reference_line_scalar(SMALL, line)
+    img, work = mandelbrot_line(SMALL, line)
+    assert (img == img_ref).all()
+    assert (work == np.minimum(counts_ref + 1, SMALL.niter)).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(-2.0, 1.0), st.floats(-1.5, 1.5), st.integers(1, 60))
+def test_iteration_counts_property_vs_pointwise(cr, ci, niter):
+    """The compacting vectorized loop equals a direct scalar evaluation."""
+    a = b = 0.0
+    a, b = cr, ci
+    k_scalar = niter
+    for k in range(niter):
+        a2, b2 = a * a, b * b
+        if a2 + b2 > 4.0:
+            k_scalar = k
+            break
+        b = 2 * a * b + ci
+        a = a2 - b2 + cr
+    counts = iteration_counts(np.array([cr]), np.array([ci]), niter)
+    assert counts[0] == k_scalar
+
+
+def test_colors_formula_matches_listing1():
+    counts = np.array([0, 10, 150])
+    colors = colors_from_counts(counts, 150)
+    assert colors[0] == 255
+    assert colors[2] == 0  # interior pixel: 255 - 255
+
+
+def test_interior_work_is_niter():
+    w = work_from_counts(np.array([150, 3]), 150)
+    assert list(w) == [150, 4]
+
+
+def test_grid_memoization_returns_same_array():
+    assert mandelbrot_grid(SMALL) is mandelbrot_grid(SMALL)
+
+
+def test_sequential_stats_keys():
+    s = sequential_stats(SMALL)
+    assert 0 < s["interior_fraction"] < 1
+    assert s["max_iterations"] <= SMALL.niter
+
+
+# -- CPU pipelines -----------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def reference():
+    return mandelbrot_sequential(SMALL)
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_spar_pipeline_bit_identical(reference, mode):
+    img, result = spar_mandelbrot(SMALL, workers=4, config=ExecConfig(mode=mode))
+    assert (img == reference).all()
+    assert result.items_emitted == SMALL.dim
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_tbb_pipeline_bit_identical(reference, mode):
+    img, _ = tbb_mandelbrot(SMALL, workers=4, tokens=8, config=ExecConfig(mode=mode))
+    assert (img == reference).all()
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_fastflow_pipeline_bit_identical(reference, mode):
+    img, _ = fastflow_mandelbrot(SMALL, workers=4, config=ExecConfig(mode=mode))
+    assert (img == reference).all()
+
+
+def test_cpu_farm_scales_in_virtual_time():
+    # compute-heavy parameters so the farm (not ShowLine) is the bottleneck
+    heavy = MandelParams(dim=32, niter=20_000)
+    _, r1 = spar_mandelbrot(heavy, workers=1,
+                            config=ExecConfig(mode=ExecMode.SIMULATED))
+    _, r8 = spar_mandelbrot(heavy, workers=8,
+                            config=ExecConfig(mode=ExecMode.SIMULATED))
+    assert r1.makespan / r8.makespan > 4.0
+
+
+# -- GPU ladder -------------------------------------------------------------------------
+
+ALL_VARIANTS = [
+    GpuVariant(batch_size=1),
+    GpuVariant(batch_size=1, layout="2d"),
+    GpuVariant(batch_size=8),
+    GpuVariant(batch_size=8, mem_spaces=2),
+    GpuVariant(batch_size=8, mem_spaces=4),
+    GpuVariant(batch_size=8, mem_spaces=2, n_gpus=2),
+    GpuVariant(api="opencl", batch_size=8),
+    GpuVariant(api="opencl", batch_size=8, mem_spaces=4, n_gpus=2),
+    GpuVariant(api="opencl", batch_size=1, layout="2d"),
+]
+
+
+@pytest.mark.parametrize("variant", ALL_VARIANTS, ids=lambda v: v.label)
+def test_gpu_variants_bit_identical(reference, variant):
+    out = run_gpu(SMALL, variant)
+    assert (out.image == reference).all()
+    assert out.elapsed > 0
+
+
+def test_gpu_variant_validation():
+    with pytest.raises(ValueError):
+        GpuVariant(api="vulkan")
+    with pytest.raises(ValueError):
+        GpuVariant(layout="3d")
+    with pytest.raises(ValueError):
+        GpuVariant(n_gpus=2, mem_spaces=1)
+
+
+def test_batching_reduces_launches_and_time():
+    naive = run_gpu(SMALL, GpuVariant(batch_size=1))
+    batched = run_gpu(SMALL, GpuVariant(batch_size=8))
+    assert naive.kernel_launches == SMALL.dim
+    assert batched.kernel_launches == -(-SMALL.dim // 8)
+    assert batched.elapsed < naive.elapsed
+
+
+def test_2d_layout_is_slower_than_1d():
+    d1 = run_gpu(SMALL, GpuVariant(batch_size=1))
+    d2 = run_gpu(SMALL, GpuVariant(batch_size=1, layout="2d"))
+    assert d2.elapsed > d1.elapsed
+
+
+def test_overlap_improves_on_sync():
+    sync = run_gpu(SMALL, GpuVariant(batch_size=8))
+    overlap = run_gpu(SMALL, GpuVariant(batch_size=8, mem_spaces=2))
+    assert overlap.elapsed < sync.elapsed
+    assert overlap.host_bytes == 2 * sync.host_bytes
+
+
+def test_two_gpus_beat_one():
+    one = run_gpu(SMALL, GpuVariant(batch_size=8, mem_spaces=2))
+    two = run_gpu(SMALL, GpuVariant(batch_size=8, mem_spaces=4, n_gpus=2))
+    assert two.elapsed < one.elapsed
+
+
+def test_cuda_and_opencl_agree_closely():
+    c = run_gpu(SMALL, GpuVariant(batch_size=8, mem_spaces=2))
+    o = run_gpu(SMALL, GpuVariant(api="opencl", batch_size=8, mem_spaces=2))
+    assert o.elapsed == pytest.approx(c.elapsed, rel=0.1)
+
+
+def test_sequential_virtual_time_positive():
+    assert sequential_virtual_time(SMALL) > 0
+
+
+# -- hybrids ---------------------------------------------------------------------------------
+
+@pytest.mark.parametrize("model", ["spar", "tbb", "fastflow"])
+@pytest.mark.parametrize("api", ["cuda", "opencl"])
+def test_hybrid_combinations_bit_identical(reference, model, api):
+    img, result = hybrid_mandelbrot(
+        SMALL, model=model, api=api, workers=3, batch_size=8,
+        config=ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(1)))
+    assert (img == reference).all()
+    assert result.makespan > 0
+
+
+def test_hybrid_multi_gpu(reference):
+    img, _ = hybrid_mandelbrot(
+        SMALL, model="spar", api="cuda", workers=3, n_gpus=2, batch_size=8,
+        machine=paper_machine(2),
+        config=ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(2)))
+    assert (img == reference).all()
+
+
+def test_hybrid_rejects_unknown_model_api():
+    with pytest.raises(ValueError):
+        hybrid_mandelbrot(SMALL, model="mpi", api="cuda")
+    with pytest.raises(ValueError):
+        hybrid_mandelbrot(SMALL, model="spar", api="metal")

@@ -1,0 +1,37 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.lzss import cache as lzss_cache
+from repro.core.config import ExecConfig, ExecMode
+from repro.sim.machine import paper_machine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_lzss_cache():
+    """Isolate the content-keyed LZSS memo between tests."""
+    lzss_cache.clear()
+    yield
+    lzss_cache.clear()
+
+
+@pytest.fixture
+def machine2():
+    return paper_machine(2)
+
+
+@pytest.fixture
+def machine1():
+    return paper_machine(1)
+
+
+@pytest.fixture
+def native_config():
+    return ExecConfig(mode=ExecMode.NATIVE, queue_capacity=16)
+
+
+@pytest.fixture
+def sim_config():
+    return ExecConfig(mode=ExecMode.SIMULATED, queue_capacity=16)

@@ -1,0 +1,63 @@
+"""Graph construction and configuration validation."""
+
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.graph import GraphError, PipelineGraph, SourceSpec, StageSpec, linear_graph
+from repro.core.stage import FunctionStage, IterSource, Stage
+
+
+class _Noop(Stage):
+    def process(self, item, ctx):
+        return item
+
+
+def test_linear_graph_accepts_source_instance():
+    g = linear_graph(IterSource([1, 2]), StageSpec(_Noop, "a"))
+    assert g.stage_names() == ["a"]
+    assert g.total_threads == 2
+
+
+def test_graph_requires_stages():
+    with pytest.raises(GraphError, match="no stages"):
+        PipelineGraph(source=SourceSpec(lambda: IterSource([]))).validate()
+
+
+def test_graph_rejects_duplicate_stage_names():
+    with pytest.raises(GraphError, match="duplicate"):
+        linear_graph(IterSource([]), StageSpec(_Noop, "x"), StageSpec(_Noop, "x"))
+
+
+def test_stage_replicas_validation():
+    with pytest.raises(GraphError):
+        StageSpec(_Noop, "bad", replicas=0)
+
+
+def test_stage_instance_allowed_only_serial():
+    inst = _Noop()
+    spec = StageSpec(inst, "serial")
+    assert spec.factory() is inst
+    with pytest.raises(GraphError, match="factory"):
+        StageSpec(_Noop(), "farm", replicas=2)
+
+
+def test_total_threads_counts_replicas():
+    g = linear_graph(IterSource([]), StageSpec(_Noop, "a", replicas=7),
+                     StageSpec(_Noop, "b"))
+    assert g.total_threads == 1 + 7 + 1
+
+
+def test_exec_config_validation():
+    with pytest.raises(ValueError):
+        ExecConfig(queue_capacity=0)
+    with pytest.raises(ValueError):
+        ExecConfig(max_tokens=0)
+    cfg = ExecConfig(max_tokens=4, scheduling=Scheduling.ON_DEMAND)
+    assert cfg.mode is ExecMode.NATIVE
+
+
+def test_function_stage_adapts_plain_callable():
+    fs = FunctionStage(lambda x: x + 1)
+    assert fs.process(1, None) == 2
+    fs2 = FunctionStage(lambda x, ctx: (x, ctx), wants_ctx=True)
+    assert fs2.process(1, "CTX") == (1, "CTX")

@@ -1,0 +1,123 @@
+"""Items, EOS and reorder-buffer tests (incl. property tests)."""
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.items import EOS, Envelope, Multi, is_eos
+from repro.core.ordering import OrderingError, ReorderBuffer, SimpleReorderBuffer
+
+
+def test_eos_is_singleton_even_through_pickle():
+    assert is_eos(EOS)
+    assert pickle.loads(pickle.dumps(EOS)) is EOS
+    assert repr(EOS) == "EOS"
+
+
+def test_multi_freezes_items():
+    m = Multi([1, 2, 3])
+    assert m.items == (1, 2, 3)
+    m2 = Multi(x for x in "ab")
+    assert m2.items == ("a", "b")
+
+
+def test_envelope_key():
+    assert Envelope(3, 1, "x").key() == (3, 1)
+
+
+# -- SimpleReorderBuffer -----------------------------------------------------
+
+def test_simple_reorder_in_order_passthrough():
+    rob = SimpleReorderBuffer()
+    out = []
+    for i in range(5):
+        out.extend(rob.push(i, f"v{i}"))
+    assert out == [f"v{i}" for i in range(5)]
+    assert rob.pending == 0
+
+
+def test_simple_reorder_out_of_order():
+    rob = SimpleReorderBuffer()
+    assert list(rob.push(2, "c")) == []
+    assert list(rob.push(0, "a")) == ["a"]
+    assert rob.pending == 1
+    assert list(rob.push(1, "b")) == ["b", "c"]
+
+
+def test_simple_reorder_skip():
+    rob = SimpleReorderBuffer()
+    assert list(rob.push(1, "b")) == []
+    assert list(rob.skip(0)) == ["b"]
+
+
+def test_simple_reorder_rejects_delivered_seq():
+    rob = SimpleReorderBuffer()
+    list(rob.push(0, "a"))
+    with pytest.raises(OrderingError):
+        list(rob.push(0, "again"))
+
+
+def test_simple_reorder_tracks_max_held():
+    rob = SimpleReorderBuffer()
+    for i in (4, 3, 2, 1):
+        list(rob.push(i, i))
+    assert rob.max_held == 4
+    assert list(rob.push(0, 0)) == [0, 1, 2, 3, 4]
+
+
+@given(st.permutations(list(range(30))))
+def test_simple_reorder_any_permutation_restores_order(perm):
+    rob = SimpleReorderBuffer()
+    out = []
+    for seq in perm:
+        out.extend(rob.push(seq, seq))
+    assert out == sorted(perm)
+    assert rob.pending == 0
+
+
+# -- ReorderBuffer (seq, sub) --------------------------------------------------
+
+def test_reorder_buffer_multi_sub_items():
+    rob = ReorderBuffer()
+    out = []
+    out.extend(rob.push(Envelope(0, 1, "a1")))
+    out.extend(rob.push(Envelope(0, 0, "a0")))
+    assert out == ["a0", "a1"]
+    out.extend(rob.close_seq(0))
+    out.extend(rob.push(Envelope(1, 0, "b0")))
+    assert out == ["a0", "a1", "b0"]
+
+
+def test_reorder_buffer_duplicate_key_raises():
+    rob = ReorderBuffer()
+    list(rob.push(Envelope(0, 0, "x")))
+    with pytest.raises(OrderingError):
+        list(rob.push(Envelope(0, 0, "y")))
+
+
+def test_reorder_buffer_close_out_of_order_raises():
+    rob = ReorderBuffer()
+    with pytest.raises(OrderingError):
+        list(rob.close_seq(2))
+
+
+@given(st.lists(st.integers(0, 4), min_size=0, max_size=5).map(
+    lambda counts: [(s, k) for s, n in enumerate(counts) for k in range(n)]))
+def test_reorder_buffer_property(pairs):
+    """Any arrival order of (seq, sub) keys drains in lexicographic order."""
+    import random
+
+    rng = random.Random(1234)
+    shuffled = list(pairs)
+    rng.shuffle(shuffled)
+    rob = ReorderBuffer()
+    out = []
+    for seq, sub in shuffled:
+        out.extend(rob.push(Envelope(seq, sub, (seq, sub))))
+    max_seq = max((s for s, _ in pairs), default=-1)
+    for s in range(max_seq + 1):
+        out.extend(rob.close_seq(s))
+    assert out == sorted(pairs)
+    assert rob.pending == 0

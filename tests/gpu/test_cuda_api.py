@@ -1,0 +1,180 @@
+"""CUDA facade tests: streams, events, async semantics, multi-GPU."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gpu.cuda import CudaRuntime
+from repro.gpu.errors import DeviceMismatchError, GpuError, PendingTransferError
+from repro.gpu.kernel import Kernel, KernelWork
+from repro.sim.context import WorkCursor, use_cursor
+from repro.sim.machine import paper_machine
+
+
+def scale_kernel():
+    def fn(ts, src, dst, factor, n):
+        gid = ts.flat_global_id()
+        valid = gid < n
+        idx = gid[valid]
+        dst.view(np.float64)[idx] = src.view(np.float64)[idx] * factor
+        return KernelWork("generic_op", np.where(valid, 10.0, 0.0))
+
+    return Kernel(fn, name="scale", registers_per_thread=18)
+
+
+@pytest.fixture
+def cuda():
+    return CudaRuntime(paper_machine(2))
+
+
+def run_scaled(cuda, n=256, factor=3.0):
+    k = scale_kernel()
+    h = cuda.malloc_host(8 * n)
+    h.raw.view(np.float64)[:] = np.arange(n)
+    d_in, d_out = cuda.malloc(8 * n), cuda.malloc(8 * n)
+    hout = cuda.malloc_host(8 * n)
+    st = cuda.stream_create()
+    cuda.memcpy_h2d_async(d_in, h, st)
+    cuda.launch(k, -(-n // 256), 256, d_in, d_out, factor, n, stream=st)
+    cuda.memcpy_d2h_async(hout, d_out, st)
+    return st, hout
+
+
+def test_functional_result(cuda):
+    st, hout = run_scaled(cuda)
+    cuda.stream_synchronize(st)
+    assert np.allclose(hout.array.view(np.float64), 3.0 * np.arange(256))
+
+
+def test_reading_before_sync_raises(cuda):
+    _st, hout = run_scaled(cuda)
+    with pytest.raises(PendingTransferError):
+        _ = hout.array
+
+
+def test_event_synchronize_clears_pending(cuda):
+    st, hout = run_scaled(cuda)
+    ev = cuda.event_create()
+    cuda.event_record(ev, st)
+    cuda.event_synchronize(ev)
+    assert hout.array is not None
+
+
+def test_unrecorded_event_sync_raises(cuda):
+    ev = cuda.event_create()
+    with pytest.raises(GpuError):
+        cuda.event_synchronize(ev)
+
+
+def test_pageable_async_copy_degrades_to_sync(cuda):
+    """cudaMemcpyAsync from non-pinned memory is synchronous."""
+    from repro.gpu.memory import HostBuffer
+
+    n = 256
+    k = scale_kernel()
+    h = HostBuffer(8 * n, pinned=False)
+    h.raw.view(np.float64)[:] = np.arange(n)
+    d_in, d_out = cuda.malloc(8 * n), cuda.malloc(8 * n)
+    hout = HostBuffer(8 * n, pinned=False)
+    st = cuda.stream_create()
+    cursor = WorkCursor(0.0, cpu_spec=paper_machine(1).cpu)
+    with use_cursor(cursor):
+        cuda.memcpy_h2d_async(d_in, h, st)
+        t_after_h2d = cursor.now
+        cuda.launch(k, 1, 256, d_in, d_out, 2.0, n, stream=st)
+        cuda.memcpy_d2h_async(hout, d_out, st)
+        t_after_d2h = cursor.now
+    # the pageable copies advanced the CPU clock to their completion
+    assert t_after_h2d >= cuda.devices[0].spec.copy_latency_s
+    assert t_after_d2h > t_after_h2d
+    _ = hout.array  # no pending flag: it was a synchronous copy
+
+
+def test_per_thread_set_device(cuda):
+    results = {}
+
+    def worker(idx):
+        cuda.set_device(idx)
+        results[idx] = cuda.get_device()
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results == {0: 0, 1: 1}
+    assert cuda.get_device() == 0  # this thread never called set_device
+
+
+def test_set_device_out_of_range(cuda):
+    with pytest.raises(GpuError):
+        cuda.set_device(5)
+
+
+def test_stream_device_mismatch_rejected(cuda):
+    cuda.set_device(0)
+    st0 = cuda.stream_create()
+    cuda.set_device(1)
+    buf1 = cuda.malloc(64)
+    h = cuda.malloc_host(64)
+    with pytest.raises(DeviceMismatchError):
+        cuda.memcpy_h2d_async(buf1, h, st0)
+
+
+def test_overlap_two_streams_beats_one(cuda):
+    """Virtual-time check: compute in stream B overlaps copies in A."""
+    n = 1 << 16
+    k = scale_kernel()
+
+    def run(n_streams):
+        rt = CudaRuntime(paper_machine(1))
+        cursor = WorkCursor(0.0, cpu_spec=paper_machine(1).cpu)
+        with use_cursor(cursor):
+            streams = [rt.stream_create() for _ in range(n_streams)]
+            for i in range(4):
+                st = streams[i % n_streams]
+                h = rt.malloc_host(8 * n)
+                d_in, d_out = rt.malloc(8 * n), rt.malloc(8 * n)
+                ho = rt.malloc_host(8 * n)
+                rt.memcpy_h2d_async(d_in, h, st)
+                rt.launch(k, -(-n // 256), 256, d_in, d_out, 1.0, n, stream=st)
+                rt.memcpy_d2h_async(ho, d_out, st)
+            for st in streams:
+                rt.stream_synchronize(st)
+        return cursor.now
+
+    assert run(2) < run(1)
+
+
+def test_stream_wait_event_chains_across_streams(cuda):
+    st_a = cuda.stream_create()
+    st_b = cuda.stream_create()
+    n = 1 << 14
+    k = scale_kernel()
+    d_in, d_out = cuda.malloc(8 * n), cuda.malloc(8 * n)
+    h = cuda.malloc_host(8 * n)
+    cuda.memcpy_h2d_async(d_in, h, st_a)
+    cuda.launch(k, -(-n // 256), 256, d_in, d_out, 1.0, n, stream=st_a)
+    ev = cuda.event_create()
+    cuda.event_record(ev, st_a)
+    before = st_b.chain.tail
+    cuda.stream_wait_event(st_b, ev)
+    assert st_b.chain.tail >= ev.time > before
+
+
+def test_device_synchronize_advances_past_all_work(cuda):
+    cursor = WorkCursor(0.0, cpu_spec=paper_machine(1).cpu)
+    with use_cursor(cursor):
+        st, hout = run_scaled(cuda)
+        cuda.device_synchronize()
+    assert cursor.now >= st.chain.tail
+    _ = hout.array
+
+
+def test_machine_without_gpus_rejected():
+    from dataclasses import replace
+
+    m = replace(paper_machine(1), gpus=[])
+    with pytest.raises(GpuError):
+        CudaRuntime(m)

@@ -1,0 +1,115 @@
+"""Device/host buffer semantics and device-memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import GpuDevice, build_devices
+from repro.gpu.errors import (
+    DeviceMismatchError,
+    OutOfMemoryError,
+    PendingTransferError,
+    PinnedMemoryError,
+)
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.sim.machine import GpuSpec, paper_machine
+
+
+def small_device(mem=1024) -> GpuDevice:
+    return GpuDevice(GpuSpec(mem_bytes=mem, rates={"generic_op": 1e9}), 0)
+
+
+def test_device_memory_accounting_and_oom():
+    dev = small_device(mem=1000)
+    a = DeviceBuffer(dev, 600)
+    with pytest.raises(OutOfMemoryError):
+        DeviceBuffer(dev, 500)
+    a.free()
+    b = DeviceBuffer(dev, 900)  # fits after the free
+    assert dev.mem_used == 900
+    b.free()
+    assert dev.mem_used == 0
+
+
+def test_device_buffer_double_free_is_idempotent():
+    dev = small_device()
+    buf = DeviceBuffer(dev, 100)
+    buf.free()
+    buf.free()
+    assert dev.mem_used == 0
+
+
+def test_device_buffer_use_after_free():
+    dev = small_device()
+    buf = DeviceBuffer(dev, 100)
+    buf.free()
+    with pytest.raises(OutOfMemoryError):
+        _ = buf.array
+
+
+def test_host_buffer_pending_blocks_reads():
+    h = HostBuffer(64, pinned=True)
+    h.mark_pending(5.0, label="d2h")
+    with pytest.raises(PendingTransferError, match="d2h"):
+        _ = h.array
+    # the runtime's own machinery may still touch it
+    assert h.raw.nbytes == 64
+    h.clear_pending()
+    assert h.array.nbytes == 64
+
+
+def test_pinned_realloc_raises_like_cuda():
+    # Section V-B: "Dedup uses realloc in a memory buffer, which is not
+    # supported by CUDA" for page-locked memory.
+    h = HostBuffer(64, pinned=True)
+    with pytest.raises(PinnedMemoryError):
+        h.realloc(128)
+
+
+def test_pageable_realloc_preserves_prefix():
+    h = HostBuffer(8, pinned=False)
+    h.array[:] = np.arange(8, dtype=np.uint8)
+    h.realloc(16)
+    assert list(h.array[:8]) == list(range(8))
+    assert h.nbytes == 16
+    h.realloc(4)
+    assert list(h.array) == [0, 1, 2, 3]
+
+
+def test_host_buffer_free():
+    h = HostBuffer(16)
+    h.free()
+    with pytest.raises(PendingTransferError):
+        _ = h.array
+
+
+def test_copy_validates_sizes():
+    dev = small_device(mem=4096)
+    d = DeviceBuffer(dev, 16)
+    h = HostBuffer(8)
+    with pytest.raises(ValueError):
+        dev.copy_h2d(d, h, nbytes=12, issue_time=0.0)
+
+
+def test_copy_moves_real_bytes_and_reserves_time():
+    dev = small_device(mem=4096)
+    d = DeviceBuffer(dev, 16)
+    h = HostBuffer(16)
+    h.raw[:] = np.arange(16, dtype=np.uint8)
+    op = dev.copy_h2d(d, h, None, issue_time=0.0)
+    assert list(d.array) == list(range(16))
+    assert op.end > op.start >= 0.0
+    assert dev.h2d.busy_time == pytest.approx(op.duration)
+
+
+def test_cross_device_buffer_rejected():
+    m = paper_machine(2)
+    d0, d1 = build_devices(m)
+    buf = d0.malloc(16)
+    with pytest.raises(DeviceMismatchError):
+        buf.check_same_device(d1)
+
+
+def test_build_devices_names_and_indices():
+    devs = build_devices(paper_machine(2))
+    assert [d.index for d in devs] == [0, 1]
+    assert devs[0].name != devs[1].name

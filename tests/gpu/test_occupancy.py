@@ -1,0 +1,71 @@
+"""Occupancy calculator tests against CC-6.1 arithmetic."""
+
+import pytest
+
+from repro.gpu.errors import KernelLaunchError
+from repro.gpu.occupancy import occupancy
+from repro.sim.machine import TITAN_XP
+
+
+def test_paper_kernel_not_register_limited():
+    # Section IV-A: Listing 2 "uses only 18 registers, thus it is not a
+    # limiting factor for achieving maximum GPU utilization".
+    occ = occupancy(TITAN_XP, 256, registers_per_thread=18)
+    assert occ.warps_per_sm == TITAN_XP.max_warps_per_sm == 64
+    assert occ.limiting_factor != "registers"
+    assert occ.threads_per_sm() == 2048
+
+
+def test_full_occupancy_gives_61440_threads_device_wide():
+    occ = occupancy(TITAN_XP, 256, registers_per_thread=18)
+    assert occ.threads_per_sm() * TITAN_XP.sms == 61_440
+
+
+def test_register_limited_kernel():
+    # 128 regs/thread, 256-thread blocks: 256 threads * 128 regs = 32768
+    # regs/block -> only 2 blocks fit in the 64K register file.
+    occ = occupancy(TITAN_XP, 256, registers_per_thread=128)
+    assert occ.limiting_factor == "registers"
+    assert occ.blocks_per_sm == 2
+
+
+def test_shared_memory_limited_kernel():
+    occ = occupancy(TITAN_XP, 64, registers_per_thread=16,
+                    shared_mem_per_block=48 * 1024)
+    assert occ.limiting_factor == "shared_mem"
+    assert occ.blocks_per_sm == 2
+
+
+def test_block_count_limited_for_tiny_blocks():
+    # 32-thread blocks: warp limit would allow 64 blocks but CC 6.1 caps
+    # resident blocks at 32.
+    occ = occupancy(TITAN_XP, 32, registers_per_thread=16)
+    assert occ.limiting_factor == "blocks"
+    assert occ.blocks_per_sm == 32
+    assert occ.warps_per_sm == 32
+
+
+def test_warp_granularity_rounding():
+    # 33-thread blocks consume 2 warps each.
+    occ = occupancy(TITAN_XP, 33, registers_per_thread=16)
+    assert occ.warps_per_block == 2
+
+
+def test_fraction():
+    occ = occupancy(TITAN_XP, 256, registers_per_thread=18)
+    assert occ.fraction(TITAN_XP) == pytest.approx(1.0)
+
+
+def test_block_too_large_raises():
+    with pytest.raises(KernelLaunchError):
+        occupancy(TITAN_XP, 2048)
+
+
+def test_impossible_shared_memory_raises():
+    with pytest.raises(KernelLaunchError):
+        occupancy(TITAN_XP, 256, shared_mem_per_block=200 * 1024)
+
+
+def test_invalid_threads_raises():
+    with pytest.raises(KernelLaunchError):
+        occupancy(TITAN_XP, 0)

@@ -1,0 +1,156 @@
+"""OpenCL facade tests: discovery workflow, kernels, events, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gpu.errors import (
+    DeviceMismatchError,
+    GpuError,
+    KernelLaunchError,
+    PendingTransferError,
+    ThreadSafetyError,
+)
+from repro.gpu.kernel import Kernel, KernelWork
+from repro.gpu.opencl import OpenCLRuntime, wait_for_events
+from repro.sim.machine import paper_machine
+
+
+def add_kernel():
+    def fn(ts, a, b, out, n):
+        gid = ts.flat_global_id()
+        valid = gid < n
+        idx = gid[valid]
+        out.view(np.float64)[idx] = a.view(np.float64)[idx] + b.view(np.float64)[idx]
+        return KernelWork("generic_op", np.where(valid, 4.0, 0.0))
+
+    return Kernel(fn, name="vadd", registers_per_thread=16)
+
+
+@pytest.fixture
+def ocl():
+    return OpenCLRuntime(paper_machine(2))
+
+
+def test_discovery_workflow(ocl):
+    # step 1 of the paper's quoted OpenCL workflow
+    platforms = ocl.get_platforms()
+    assert len(platforms) == 1
+    devices = platforms[0].get_devices()
+    assert len(devices) == 2
+    assert devices[0].global_mem_size == 12 * 1024**3
+    assert devices[0].max_work_group_size == 1024
+
+
+def test_end_to_end_vadd(ocl):
+    ctx = ocl.create_context()
+    q = ctx.create_queue()
+    prog = ctx.create_program([add_kernel()])
+    assert prog.kernel_names() == ["vadd"]
+    k = prog.create_kernel("vadd")
+    n = 300
+    ha = ctx.alloc_host(8 * 512)
+    hb = ctx.alloc_host(8 * 512)
+    ha.raw.view(np.float64)[:n] = np.arange(n)
+    hb.raw.view(np.float64)[:n] = 1000.0
+    da, db, dout = (ctx.create_buffer(8 * 512) for _ in range(3))
+    q.enqueue_write_buffer(da, ha)
+    q.enqueue_write_buffer(db, hb)
+    for i, v in enumerate((da, db, dout, n)):
+        k.set_arg(i, v)
+    q.enqueue_nd_range_kernel(k, 512, 256)
+    hout = ctx.alloc_host(8 * 512)
+    ev = q.enqueue_read_buffer(hout, dout, blocking=False)
+    with pytest.raises(PendingTransferError):
+        _ = hout.array
+    wait_for_events([ev])
+    assert np.allclose(hout.array.view(np.float64)[:n], np.arange(n) + 1000.0)
+
+
+def test_queue_finish_completes_everything(ocl):
+    ctx = ocl.create_context()
+    q = ctx.create_queue()
+    prog = ctx.create_program([add_kernel()])
+    k = prog.create_kernel("vadd")
+    da, db, dout = (ctx.create_buffer(8 * 256) for _ in range(3))
+    for i, v in enumerate((da, db, dout, 256)):
+        k.set_arg(i, v)
+    q.enqueue_nd_range_kernel(k, 256, 256)
+    hout = ctx.alloc_host(8 * 256)
+    q.enqueue_read_buffer(hout, dout, blocking=False)
+    q.finish()
+    _ = hout.array  # readable
+
+
+def test_cl_kernel_not_thread_safe(ocl):
+    # Section IV-A: "The cl_kernel objects of OpenCL library are not
+    # thread-safe and must be allocated for each thread."
+    ctx = ocl.create_context()
+    prog = ctx.create_program([add_kernel()])
+    k = prog.create_kernel("vadd")
+    k.set_arg(0, 1.0)  # binds to this thread
+    failures = []
+
+    def other_thread():
+        try:
+            k.set_arg(1, 2.0)
+        except ThreadSafetyError as exc:
+            failures.append(exc)
+
+    t = threading.Thread(target=other_thread)
+    t.start()
+    t.join()
+    assert len(failures) == 1
+    # separate kernel objects are the fix the paper applies
+    k2 = prog.create_kernel("vadd")
+    t2 = threading.Thread(target=lambda: k2.set_arg(0, 1.0))
+    t2.start()
+    t2.join()
+
+
+def test_unset_args_rejected(ocl):
+    ctx = ocl.create_context()
+    q = ctx.create_queue()
+    prog = ctx.create_program([add_kernel()])
+    k = prog.create_kernel("vadd")
+    k.set_arg(0, ctx.create_buffer(64))
+    k.set_arg(3, 8)  # args 1, 2 missing
+    with pytest.raises(KernelLaunchError, match=r"\[1, 2\]"):
+        q.enqueue_nd_range_kernel(k, 32, 32)
+
+
+def test_work_size_validation(ocl):
+    ctx = ocl.create_context()
+    q = ctx.create_queue()
+    prog = ctx.create_program([add_kernel()])
+    k = prog.create_kernel("vadd")
+    with pytest.raises(KernelLaunchError, match="multiple"):
+        q.enqueue_nd_range_kernel(k, 100, 32)
+    with pytest.raises(KernelLaunchError, match="rank"):
+        q.enqueue_nd_range_kernel(k, (128, 2), 32)
+
+
+def test_unknown_kernel_name(ocl):
+    ctx = ocl.create_context()
+    prog = ctx.create_program([add_kernel()])
+    with pytest.raises(GpuError, match="vadd"):
+        prog.create_kernel("missing")
+
+
+def test_multi_device_context_and_mismatch(ocl):
+    devices = ocl.get_platforms()[0].get_devices()
+    ctx0 = ocl.create_context([devices[0]])
+    with pytest.raises(DeviceMismatchError):
+        ctx0.create_queue(devices[1])
+
+
+def test_empty_context_rejected(ocl):
+    from repro.gpu.opencl.api import CLContext
+
+    with pytest.raises(GpuError):
+        CLContext([])
+
+
+def test_wait_for_events_empty_noop():
+    wait_for_events([])

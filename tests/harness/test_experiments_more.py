@@ -1,0 +1,70 @@
+"""Small-scale runs of the remaining experiments + misc coverage."""
+
+import pytest
+
+from repro.apps.datasets import DatasetSpec
+from repro.core.config import ExecConfig
+from repro.core.metrics import RunResult
+from repro.core.run import run_graph
+
+
+def test_fig4_small_scale_facts():
+    from repro.harness.experiments import fig4
+
+    rep = fig4.run(scale="small", cpu_workers=4, gpu_workers=3)
+    t = {r.label: r.value for r in rep.rows}
+    # the three CPU models stay within a few percent of each other
+    cpu = [t["SPar"], t["TBB"], t["FastFlow"]]
+    assert max(cpu) / min(cpu) < 1.15
+    # every configuration actually ran
+    assert len(rep.rows) == 1 + 3 + 2 * 8
+    assert all(v > 0 for v in t.values())
+
+
+def test_ablations_small_scale_shapes():
+    from repro.harness.experiments import ablations
+
+    rep = ablations.run(scale="small", workers=4)
+    t = {r.label: r.value for r in rep.rows}
+    assert t["batch size 1 lines/kernel"] > t["batch size 32 lines/kernel"]
+    # token starvation: far fewer tokens than the farm can use is never faster
+    assert t["TBB tokens=5 (4 workers)"] >= t["TBB tokens=38 (4 workers)"] * 0.99
+
+
+def test_run_graph_rejects_unknown_mode():
+    from repro.core.graph import StageSpec, linear_graph
+    from repro.core.stage import FunctionStage, IterSource
+
+    g = linear_graph(IterSource([1]), StageSpec(FunctionStage(lambda x: x), "s"))
+    cfg = ExecConfig()
+    object.__setattr__(cfg, "mode", "bogus") if hasattr(cfg, "__dataclass_fields__") else None
+    cfg.mode = "bogus"
+    with pytest.raises(ValueError, match="unknown execution mode"):
+        run_graph(g, cfg)
+
+
+def test_run_result_throughput_and_units():
+    r = RunResult(makespan=2.0, items_emitted=10)
+    assert r.throughput() == pytest.approx(5.0)
+    assert r.throughput(units=100.0) == pytest.approx(50.0)
+    assert RunResult(makespan=0.0).throughput() == 0.0
+
+
+def test_dataset_spec_builds():
+    data = DatasetSpec("silesia", size=32 * 1024).build()
+    assert len(data) == 32 * 1024
+    seeded = DatasetSpec("linux_src", size=32 * 1024, seed=4).build()
+    assert seeded != DatasetSpec("linux_src", size=32 * 1024, seed=5).build()
+
+
+def test_thread_identity_distinguishes_logical_threads():
+    from repro.gpu.identity import current_thread_identity
+    from repro.sim.context import WorkCursor, use_cursor
+
+    base = current_thread_identity()
+    with use_cursor(WorkCursor(0.0, thread_id="stage[0]")):
+        a = current_thread_identity()
+    with use_cursor(WorkCursor(0.0, thread_id="stage[1]")):
+        b = current_thread_identity()
+    assert a != b != base and a != base
+    assert a == ("sim", "stage[0]")

@@ -1,0 +1,108 @@
+"""Harness tests: runner statistics, report rendering, small experiments."""
+
+import json
+
+import pytest
+
+from repro.harness.report import render_table
+from repro.harness.runner import ExperimentReport, Measurement, Row, measure
+
+
+def test_measurement_stats():
+    m = Measurement([1.0, 2.0, 3.0])
+    assert m.mean == pytest.approx(2.0)
+    assert m.std == pytest.approx(1.0)
+    assert Measurement([5.0]).std == 0.0
+
+
+def test_measure_collects_reps():
+    vals = iter([1.0, 2.0, 3.0])
+    m = measure(lambda: next(vals), reps=3)
+    assert m.samples == [1.0, 2.0, 3.0]
+
+
+def test_report_speedups_lower_is_better():
+    rep = ExperimentReport("x", "t", "s")
+    rep.add(Row("base", 10.0))
+    rep.add(Row("fast", 2.0))
+    rep.compute_speedups("base")
+    assert rep.row("fast").speedup == pytest.approx(5.0)
+    assert rep.row("base").speedup == pytest.approx(1.0)
+
+
+def test_report_speedups_higher_is_better():
+    rep = ExperimentReport("x", "t", "MB/s")
+    rep.add(Row("base", 10.0))
+    rep.add(Row("fast", 30.0))
+    rep.compute_speedups("base", higher_is_better=True)
+    assert rep.row("fast").speedup == pytest.approx(3.0)
+
+
+def test_report_unknown_row():
+    rep = ExperimentReport("x", "t", "s")
+    with pytest.raises(KeyError):
+        rep.row("missing")
+
+
+def test_render_table_contains_rows_and_bars():
+    rep = ExperimentReport("figX", "demo", "s", meta={"k": "v"})
+    rep.add(Row("alpha", 1.0, paper_value=1.1, paper_speedup=2.0))
+    rep.add(Row("beta", 100.0))
+    rep.add(Row("gamma", 10000.0))
+    text = render_table(rep)
+    assert "figX" in text and "alpha" in text and "k: v" in text
+    assert "log scale" in text  # spans > 2 decades
+    text2 = render_table(rep, bars=False)
+    assert "log scale" not in text2
+
+
+def test_report_as_dict_json_serializable():
+    rep = ExperimentReport("figX", "demo", "s")
+    rep.add(Row("a", 1.0, extra={"n": 3}))
+    blob = json.dumps(rep.as_dict())
+    assert "figX" in blob
+
+
+def test_fig1_small_scale_runs_and_orders():
+    from repro.harness.experiments import fig1
+
+    rep = fig1.run(scale="small", apis=("cuda",), cpu_workers=4)
+    labels = [r.label for r in rep.rows]
+    assert labels[0] == "sequential"
+    t = {r.label: r.value for r in rep.rows}
+    assert t["cuda batch 32 lines"] < t["cuda 1 thread/pixel-row (1D)"]
+    assert all(r.value > 0 for r in rep.rows)
+    assert rep.rows[0].speedup == pytest.approx(1.0)
+
+
+def test_fig1_rejects_unknown_scale():
+    from repro.harness.experiments import fig1
+
+    with pytest.raises(ValueError):
+        fig1.workload("enormous")
+
+
+def test_fig5_single_dataset_small():
+    from repro.harness.experiments import fig5
+
+    rep = fig5.run(scale="small", datasets=("silesia",), replicas=4,
+                   verify=True)
+    by_label = {r.label: r for r in rep.rows}
+    cpu = by_label["silesia: SPar CPU (4 replicas)"]
+    best = by_label["silesia: spar cuda batch"]
+    nobatch = by_label["silesia: single cuda no-batch"]
+    batch = by_label["silesia: single cuda batch"]
+    assert best.value > cpu.value
+    assert batch.value > nobatch.value
+    assert all(r.extra.get("verified") in (True, None) for r in rep.rows)
+
+
+def test_cli_main_runs_fig1_json(capsys):
+    from repro.harness.__main__ import main
+
+    rc = main(["fig1", "--scale", "small", "--json"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["experiment"] == "fig1"
+    assert len(data["rows"]) > 5

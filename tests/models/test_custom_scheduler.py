@@ -1,0 +1,74 @@
+"""Custom farm scheduling policy (FastFlow's attach-your-own-scheduler)."""
+
+import threading
+
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.fastflow import EOS, ff_farm, ff_node, ff_ofarm, ff_pipeline
+
+
+class Emit(ff_node):
+    def __init__(self, n):
+        super().__init__()
+        self.n = n
+        self.i = 0
+
+    def svc(self, _):
+        if self.i >= self.n:
+            return EOS
+        self.i += 1
+        return self.i - 1
+
+
+class TagWorker(ff_node):
+    def svc(self, x):
+        return (x, self.get_my_id)
+
+
+class Collect(ff_node):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def svc(self, item):
+        self.got.append(item)
+        return None
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_policy_controls_item_placement(mode):
+    """Route even seqs to replica 0, odd to replica 1."""
+    c = Collect()
+    farm = ff_ofarm(TagWorker, replicas=2).set_scheduling_policy(
+        lambda seq, replicas: seq % 2)
+    pipe = ff_pipeline(Emit(20), farm, c)
+    pipe.run_and_wait_end(ExecConfig(mode=mode))
+    assert [x for x, _ in c.got] == list(range(20))
+    for x, replica in c.got:
+        assert replica == x % 2
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_policy_all_to_one_replica(mode):
+    c = Collect()
+    farm = ff_ofarm(TagWorker, replicas=4).set_scheduling_policy(
+        lambda seq, replicas: 3)
+    pipe = ff_pipeline(Emit(12), farm, c)
+    pipe.run_and_wait_end(ExecConfig(mode=mode))
+    assert all(replica == 3 for _, replica in c.got)
+
+
+def test_policy_index_wrapped_into_range():
+    c = Collect()
+    farm = ff_farm(TagWorker, replicas=3).set_scheduling_policy(
+        lambda seq, replicas: seq * 7)  # out of range on purpose
+    pipe = ff_pipeline(Emit(9), farm, c)
+    pipe.run_and_wait_end()
+    assert sorted(x for x, _ in c.got) == list(range(9))
+    assert {r for _, r in c.got} <= {0, 1, 2}
+
+
+def test_policy_must_be_callable():
+    with pytest.raises(TypeError):
+        ff_farm(TagWorker, replicas=2).set_scheduling_policy("nope")

@@ -1,0 +1,193 @@
+"""FastFlow facade tests."""
+
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.fastflow import EOS, GO_ON, ff_farm, ff_node, ff_ofarm, ff_pipeline
+
+
+class Emit(ff_node):
+    def __init__(self, n):
+        super().__init__()
+        self.n = n
+        self.i = 0
+
+    def svc(self, _):
+        if self.i >= self.n:
+            return EOS
+        self.i += 1
+        return self.i - 1
+
+
+class Square(ff_node):
+    def svc(self, x):
+        return x * x
+
+
+class Collect(ff_node):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def svc(self, x):
+        self.got.append(x)
+        return None
+
+
+def test_pipeline_of_plain_nodes():
+    c = Collect()
+    pipe = ff_pipeline(Emit(10), Square(), c)
+    r = pipe.run_and_wait_end()
+    assert c.got == [i * i for i in range(10)]
+    assert pipe.ffTime() == r.makespan > 0
+
+
+def test_ordered_farm_preserves_order():
+    c = Collect()
+    pipe = ff_pipeline(Emit(50), ff_ofarm(Square, replicas=4), c)
+    pipe.run_and_wait_end()
+    assert c.got == [i * i for i in range(50)]
+
+
+def test_unordered_farm_delivers_everything():
+    c = Collect()
+    pipe = ff_pipeline(Emit(50), ff_farm(Square, replicas=4), c)
+    pipe.run_and_wait_end()
+    assert sorted(c.got) == [i * i for i in range(50)]
+
+
+def test_worker_vector_like_the_paper():
+    # "a vector of instances of the stage class in FastFlow"
+    workers = [Square() for _ in range(3)]
+    c = Collect()
+    pipe = ff_pipeline(Emit(20), ff_ofarm(workers), c)
+    pipe.run_and_wait_end()
+    assert c.got == [i * i for i in range(20)]
+
+
+def test_worker_vector_single_use():
+    farm = ff_farm([Square(), Square()])
+    f = farm.worker_factory()
+    f(), f()
+    with pytest.raises(RuntimeError, match="exhausted"):
+        f()
+
+
+def test_farm_validation():
+    with pytest.raises(ValueError):
+        ff_farm(Square)  # factory without replicas
+    with pytest.raises(ValueError):
+        ff_farm([])
+    with pytest.raises(ValueError):
+        ff_farm([Square()], replicas=3)
+
+
+def test_ff_send_out_multi_output():
+    class Dup(ff_node):
+        def svc(self, x):
+            self.ff_send_out(x)
+            self.ff_send_out(x)
+            return GO_ON
+
+    c = Collect()
+    pipe = ff_pipeline(Emit(5), Dup(), c)
+    pipe.run_and_wait_end()
+    assert c.got == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4]
+
+
+def test_go_on_filters():
+    class DropOdd(ff_node):
+        def svc(self, x):
+            return x if x % 2 == 0 else GO_ON
+
+    c = Collect()
+    pipe = ff_pipeline(Emit(10), DropOdd(), c)
+    pipe.run_and_wait_end()
+    assert c.got == [0, 2, 4, 6, 8]
+
+
+def test_svc_init_and_end_hooks():
+    log = []
+
+    class Hooked(ff_node):
+        def svc_init(self):
+            log.append("init")
+
+        def svc(self, x):
+            return x
+
+        def svc_end(self):
+            log.append("end")
+
+    c = Collect()
+    ff_pipeline(Emit(3), Hooked(), c).run_and_wait_end()
+    assert log == ["init", "end"]
+
+
+def test_svc_end_can_emit_final_outputs():
+    class Tail(ff_node):
+        def svc(self, x):
+            return x
+
+        def svc_end(self):
+            self.ff_send_out("final")
+
+    c = Collect()
+    ff_pipeline(Emit(2), Tail(), c).run_and_wait_end()
+    assert c.got == [0, 1, "final"]
+
+
+def test_get_my_id_in_farm():
+    ids = set()
+    import threading
+
+    lock = threading.Lock()
+
+    class WhoAmI(ff_node):
+        def svc(self, x):
+            with lock:
+                ids.add(self.get_my_id)
+            return x
+
+    c = Collect()
+    ff_pipeline(Emit(40), ff_ofarm(WhoAmI, replicas=4), c).run_and_wait_end()
+    assert ids == {0, 1, 2, 3}
+
+
+def test_source_eos_from_middle_stage_rejected():
+    class BadMiddle(ff_node):
+        def svc(self, x):
+            return EOS
+
+    with pytest.raises(RuntimeError, match="EOS"):
+        ff_pipeline(Emit(3), BadMiddle(), Collect()).run_and_wait_end()
+
+
+def test_pipeline_needs_two_stages():
+    with pytest.raises(ValueError):
+        ff_pipeline(Emit(1)).to_graph()
+
+
+def test_first_stage_cannot_be_farm():
+    with pytest.raises(ValueError, match="first"):
+        ff_pipeline(ff_farm(Square, replicas=2), Collect()).to_graph()
+
+
+def test_simulated_run_charges_virtual_time():
+    class Costly(ff_node):
+        def svc(self, x):
+            self.charge("generic_op", 1_000_000)
+            return x
+
+    c = Collect()
+    pipe = ff_pipeline(Emit(16), ff_ofarm(Costly, replicas=4), c)
+    r = pipe.run_simulated()
+    assert c.got == list(range(16))
+    # 16 ms of work over 4 replicas: about 4 ms of virtual makespan
+    assert 0.003 < r.makespan < 0.008
+
+
+def test_blocking_mode_flag_plumbs_through():
+    pipe = ff_pipeline(Emit(4), Square(), Collect()).set_blocking_mode(False)
+    r = pipe.run_and_wait_end(ExecConfig(mode=ExecMode.SIMULATED))
+    assert r.mode == "simulated"

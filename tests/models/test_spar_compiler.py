@@ -1,0 +1,218 @@
+"""SPar compiler tests: codegen, execution, and sequential equivalence."""
+
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.spar import (
+    Input,
+    Output,
+    Replicate,
+    SParCompiled,
+    Stage,
+    ToStream,
+    parallelize,
+)
+
+# module-level helpers visible as globals to the compiled drivers ------------
+
+def _double(x):
+    return 2 * x
+
+
+def _record(sink, value):
+    sink.append(value)
+
+
+# -- basic compilation ----------------------------------------------------------
+
+@parallelize
+def two_stage(n, sink, workers):
+    with ToStream(Input('n', 'sink')):
+        for i in range(n):
+            j = i + 10
+            with Stage(Input('j'), Output('v'), Replicate('workers')):
+                v = _double(j)
+            with Stage(Input('v')):
+                _record(sink, v)
+
+
+def test_two_stage_pipeline_runs_in_order():
+    sink = []
+    two_stage(25, sink, 4)
+    assert sink == [2 * (i + 10) for i in range(25)]
+    assert isinstance(two_stage, SParCompiled)
+    assert two_stage.stage_count == 2
+    assert two_stage.replicates == ("workers", 1)
+    assert two_stage.last_run is not None
+    assert two_stage.last_run.items_emitted == 25
+
+
+def test_sequential_semantics_preserved():
+    # the annotations are inert: the *undecorated* function still works
+    sink = []
+    two_stage.sequential(5, sink, 99)
+    assert sink == [2 * (i + 10) for i in range(5)]
+
+
+def test_generated_source_is_kept_and_valid():
+    src = two_stage.spar_source
+    assert "__spar_emitter__" in src
+    assert "__spar_stage_1__" in src and "__spar_stage_2__" in src
+    compile(src, "<check>", "exec")  # still valid python
+
+
+def test_runs_simulated():
+    sink = []
+    two_stage(10, sink, 4, _spar_config=ExecConfig(mode=ExecMode.SIMULATED))
+    assert sink == [2 * (i + 10) for i in range(10)]
+    assert two_stage.last_run.mode == "simulated"
+
+
+# -- single stage, literal replicate ------------------------------------------------
+
+@parallelize
+def one_stage(items, sink):
+    with ToStream(Input('items', 'sink')):
+        for x in items:
+            with Stage(Input('x'), Replicate(3)):
+                _record(sink, _double(x))
+
+
+def test_single_stage_with_literal_replicate():
+    sink = []
+    one_stage([5, 6, 7], sink)
+    assert sorted(sink) == [10, 12, 14]
+    assert one_stage.replicates == (3,)
+
+
+# -- prologue/epilogue and return value ------------------------------------------------
+
+@parallelize
+def with_prologue_epilogue(n, sink):
+    scale = 3           # prologue
+    total_items = n
+    with ToStream(Input('scale', 'sink')):
+        for i in range(total_items):
+            with Stage(Input('i'), Replicate(2)):
+                _record(sink, i * scale)
+    done = "processed"  # epilogue, runs after the pipeline drains
+    return (done, total_items)
+
+
+def test_prologue_epilogue_and_return():
+    sink = []
+    ret = with_prologue_epilogue(7, sink)
+    assert ret == ("processed", 7)
+    assert sorted(sink) == [3 * i for i in range(7)]
+
+
+# -- last-stage Output collected -------------------------------------------------------
+
+@parallelize
+def producing(n, workers):
+    with ToStream(Input('n')):
+        for i in range(n):
+            with Stage(Input('i'), Output('y'), Replicate('workers')):
+                y = i * i
+
+
+def test_last_stage_output_collected_in_run_result():
+    producing(6, 3)
+    outs = producing.last_run.outputs
+    assert outs == [(i * i,) for i in range(6)]
+
+
+# -- region constants are readable everywhere -------------------------------------------
+
+@parallelize
+def uses_region_constant(n, base, sink):
+    with ToStream(Input('n', 'base', 'sink')):
+        for i in range(n):
+            with Stage(Input('i'), Output('v'), Replicate(2)):
+                v = base + i          # `base` flows as a region constant
+            with Stage(Input('v')):
+                sink.append(v + base)
+
+
+def test_region_constants_visible_in_all_stages():
+    sink = []
+    uses_region_constant(4, 100, sink)
+    assert sink == [2 * 100 + i for i in range(4)]
+
+
+# -- emitter with control flow ---------------------------------------------------------
+
+@parallelize
+def emitter_filters(n, sink):
+    with ToStream(Input('n', 'sink')):
+        for i in range(n):
+            if i % 2 == 0:
+                continue
+            j = i * 10
+            with Stage(Input('j'), Replicate(2)):
+                sink.append(j)
+
+
+def test_emitter_may_use_continue():
+    sink = []
+    emitter_filters(10, sink)
+    assert sorted(sink) == [10 * i for i in range(10) if i % 2]
+
+
+# -- ordering with heavy skew -----------------------------------------------------------
+
+@parallelize
+def skewed(n, sink, workers):
+    with ToStream(Input('n', 'sink')):
+        for i in range(n):
+            with Stage(Input('i'), Output('r'), Replicate('workers')):
+                # make early items artificially slow
+                import time
+                time.sleep(0.002 if i < 3 else 0.0)
+                r = i
+            with Stage(Input('r')):
+                sink.append(r)
+
+
+def test_ordered_collection_despite_skew():
+    sink = []
+    skewed(20, sink, 6)
+    assert sink == list(range(20))
+
+
+# -- unordered option ----------------------------------------------------------------------
+
+@parallelize(ordered=False)
+def unordered_fn(n, sink):
+    with ToStream(Input('n', 'sink')):
+        for i in range(n):
+            with Stage(Input('i'), Replicate(4)):
+                sink.append(i)
+
+
+def test_unordered_compilation_delivers_all():
+    sink = []
+    unordered_fn(30, sink)
+    assert sorted(sink) == list(range(30))
+
+
+# -- wrapper metadata ------------------------------------------------------------------------
+
+def test_wrapper_preserves_function_metadata():
+    assert two_stage.__name__ == "two_stage"
+    assert callable(two_stage)
+
+
+def test_config_via_decorator():
+    cfg = ExecConfig(mode=ExecMode.SIMULATED)
+
+    @parallelize(config=cfg)
+    def f(n, sink):
+        with ToStream(Input('n', 'sink')):
+            for i in range(n):
+                with Stage(Input('i'), Replicate(2)):
+                    sink.append(i)
+
+    sink = []
+    f(5, sink)
+    assert f.last_run.mode == "simulated"

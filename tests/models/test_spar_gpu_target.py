@@ -1,0 +1,152 @@
+"""Tests for Target('cuda'|'opencl'): SPar-generated GPU plumbing
+(the paper's future work, prototyped — DESIGN.md §7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.gpu.kernel import Kernel, KernelWork
+from repro.sim.machine import paper_machine
+from repro.spar import (
+    Input,
+    Output,
+    Replicate,
+    SParSyntaxError,
+    Stage,
+    Target,
+    ToStream,
+    parallelize,
+)
+
+N = 64
+
+
+def _square_kernel():
+    def fn(ts, src, dst, n):
+        gid = ts.flat_global_id()
+        valid = gid < n
+        idx = gid[valid]
+        dst.view(np.float64)[idx] = src.view(np.float64)[idx] ** 2
+        return KernelWork("generic_op", np.where(valid, 5.0, 0.0))
+
+    return Kernel(fn, name="sq", registers_per_thread=16)
+
+
+KER = _square_kernel()
+
+
+def gpu_square(values, spar_gpu):
+    """Stage body using the injected handle: no manual set_device, no
+    stream bookkeeping, no explicit synchronize."""
+    cuda = spar_gpu.cuda
+    h = cuda.malloc_host(8 * N)
+    h.raw.view(np.float64)[: len(values)] = values
+    d_in, d_out = cuda.malloc(8 * N), cuda.malloc(8 * N)
+    out = cuda.malloc_host(8 * N)
+    cuda.memcpy_h2d_async(d_in, h, spar_gpu.stream)
+    cuda.launch(KER, 1, N, d_in, d_out, len(values), stream=spar_gpu.stream)
+    cuda.memcpy_d2h_async(out, d_out, spar_gpu.stream)
+    # NOTE: no stream_synchronize here — the runtime does it after the body
+    return out
+
+
+@parallelize
+def spar_cuda_targets(chunks, n, sink, workers):
+    with ToStream(Input('chunks', 'n', 'sink')):
+        for ci in range(n):
+            values = chunks[ci]
+            with Stage(Input('values'), Output('out'), Replicate('workers'),
+                       Target('cuda')):
+                out = gpu_square(values, spar_gpu)  # noqa: F821 - injected
+            with Stage(Input('out', 'values')):
+                sink.append((values, out.array.view(np.float64)[: len(values)].copy()))
+
+
+@pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
+def test_cuda_target_end_to_end(mode):
+    chunks = [np.arange(N, dtype=np.float64) + 100 * c for c in range(6)]
+    sink = []
+    cfg = ExecConfig(mode=mode, machine=paper_machine(2))
+    spar_cuda_targets(chunks, len(chunks), sink, 2, _spar_config=cfg)
+    assert len(sink) == 6
+    for values, out in sink:
+        assert np.allclose(out, values ** 2)
+
+
+def test_injected_name_satisfies_strict_check():
+    # would have raised SParSemanticError at decoration time otherwise
+    assert spar_cuda_targets.stage_count == 2
+
+
+def _opencl_square(values, spar_gpu):
+    ctx = spar_gpu.ctx
+    q = spar_gpu.queue
+    prog = ctx.create_program([KER])
+    k = prog.create_kernel("sq")
+    h = ctx.alloc_host(8 * N)
+    h.raw.view(np.float64)[: len(values)] = values
+    d_in, d_out = ctx.create_buffer(8 * N), ctx.create_buffer(8 * N)
+    out = ctx.alloc_host(8 * N)
+    q.enqueue_write_buffer(d_in, h)
+    k.set_arg(0, d_in)
+    k.set_arg(1, d_out)
+    k.set_arg(2, len(values))
+    q.enqueue_nd_range_kernel(k, N, N)
+    q.enqueue_read_buffer(out, d_out, blocking=False)
+    # runtime calls queue.finish() after the body
+    return out
+
+
+
+@parallelize
+def spar_opencl_target(chunks, n, sink):
+    with ToStream(Input('chunks', 'n', 'sink')):
+        for ci in range(n):
+            values = chunks[ci]
+            with Stage(Input('values'), Output('res'), Replicate(2),
+                       Target('opencl')):
+                res = _opencl_square(values, spar_gpu)  # noqa: F821
+            with Stage(Input('res', 'values')):
+                sink.append((values, res))
+
+
+def test_opencl_target_end_to_end():
+    chunks = [np.arange(N, dtype=np.float64) + 7 * c for c in range(4)]
+    sink = []
+    spar_opencl_target(chunks, len(chunks), sink,
+                       _spar_config=ExecConfig(machine=paper_machine(1)))
+    for values, out in sink:
+        assert np.allclose(out.array.view(np.float64)[: len(values)], values ** 2)
+
+
+def test_target_validation():
+    with pytest.raises(SParSyntaxError):
+        Target("vulkan")
+    with pytest.raises(SParSyntaxError):
+        ToStream(Target("cuda"))
+    with pytest.raises(SParSyntaxError, match="Target"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n'), Target('cuda')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        print(i)
+
+
+def test_target_literal_must_be_valid_in_source():
+    with pytest.raises(SParSyntaxError, match="Target takes one of"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), Target('fpga')):
+                        print(i)
+
+
+def test_replicas_round_robin_devices():
+    """With 2 devices and 4 replicas, both GPUs receive work."""
+    chunks = [np.arange(N, dtype=np.float64)] * 8
+    sink = []
+    cfg = ExecConfig(mode=ExecMode.SIMULATED, machine=paper_machine(2))
+    spar_cuda_targets(chunks, len(chunks), sink, 4, _spar_config=cfg)
+    assert len(sink) == 8

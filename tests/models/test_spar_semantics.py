@@ -1,0 +1,297 @@
+"""SPar semantic/syntactic error detection (the compiler's checks)."""
+
+import pytest
+
+from repro.spar import (
+    Input,
+    Output,
+    Replicate,
+    SParSemanticError,
+    SParSyntaxError,
+    Stage,
+    ToStream,
+    parallelize,
+)
+from repro.spar.analysis import assigned_names, loaded_names, undeclared_uses
+import ast
+
+
+# -- annotation objects -------------------------------------------------------
+
+def test_input_requires_identifier_strings():
+    with pytest.raises(SParSyntaxError):
+        Input()
+    with pytest.raises(SParSyntaxError):
+        Input("not an identifier!")
+    with pytest.raises(SParSyntaxError):
+        Input(42)
+
+
+def test_replicate_validation():
+    with pytest.raises(SParSyntaxError):
+        Replicate(0)
+    with pytest.raises(SParSyntaxError):
+        Replicate(3.5)
+    Replicate("workers")
+    Replicate(4)
+
+
+def test_tostream_rejects_replicate():
+    with pytest.raises(SParSyntaxError):
+        ToStream(Replicate(2))
+
+
+def test_annotations_are_inert_context_managers():
+    with ToStream(Input('x')):
+        pass
+    with Stage(Input('x'), Output('y'), Replicate(2)):
+        pass
+
+
+# -- structural errors ------------------------------------------------------------
+
+def test_missing_tostream():
+    with pytest.raises(SParSyntaxError, match="no ToStream"):
+        @parallelize
+        def f(n):
+            return n
+
+
+def test_two_tostream_regions():
+    with pytest.raises(SParSyntaxError, match="exactly one"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        pass
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        pass
+
+
+def test_tostream_must_wrap_single_for_loop():
+    with pytest.raises(SParSyntaxError, match="exactly one"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                x = 1
+                for i in range(n):
+                    with Stage(Input('i')):
+                        pass
+
+
+def test_tostream_without_stage():
+    with pytest.raises(SParSyntaxError, match="at least one Stage"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    print(i)
+
+
+def test_stage_outside_tostream():
+    with pytest.raises(SParSyntaxError, match="outside"):
+        @parallelize
+        def f(n):
+            with Stage(Input('n')):
+                pass
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        pass
+
+
+def test_statements_between_stages_rejected():
+    with pytest.raises(SParSyntaxError, match="between or after"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), Output('j')):
+                        j = i
+                    k = j + 1  # not allowed here
+                    with Stage(Input('k')):
+                        print(k)
+
+
+def test_nested_stage_rejected():
+    with pytest.raises(SParSyntaxError, match="immediate child"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    if i > 0:
+                        with Stage(Input('i')):
+                            print(i)
+                    with Stage(Input('i')):
+                        print(i)
+
+
+def test_return_inside_stream_region_rejected():
+    with pytest.raises(SParSyntaxError, match="return"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        return i
+
+
+def test_for_else_rejected():
+    with pytest.raises(SParSyntaxError, match="for/else"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        print(i)
+                else:
+                    pass
+
+
+# -- dataflow errors ------------------------------------------------------------------
+
+def test_stage_input_not_produced_by_emitter():
+    with pytest.raises(SParSemanticError, match="stage 1 Input"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('ghost')):
+                        print(ghost)  # noqa: F821
+
+
+def test_stage_chain_input_must_flow():
+    with pytest.raises(SParSemanticError, match="stage 2 Input"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), Output('v')):
+                        v = i
+                    with Stage(Input('w')):  # w never flows from stage 1
+                        print(w)  # noqa: F821
+
+
+def test_undeclared_variable_use_in_strict_mode():
+    with pytest.raises(SParSemanticError, match="neither flow in"):
+        @parallelize
+        def f(n, secret):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        print(i + secret)  # secret not declared anywhere
+
+
+def test_strict_false_allows_closure_style_reads():
+    @parallelize(strict=False)
+    def f(n, bonus, sink):
+        with ToStream(Input('n', 'sink')):
+            for i in range(n):
+                with Stage(Input('i')):
+                    sink.append(i + bonus)  # resolved via driver closure
+
+    sink = []
+    f(3, 100, sink)
+    assert sink == [100, 101, 102]
+
+
+def test_tostream_input_must_exist():
+    with pytest.raises(SParSemanticError, match="not defined before"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('missing_thing')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        print(i)
+
+
+def test_replicate_name_must_resolve():
+    with pytest.raises(SParSemanticError, match="Replicate"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), Replicate('nope')):
+                        print(i)
+
+
+def test_last_stage_output_must_be_produced():
+    with pytest.raises(SParSemanticError, match="never produced"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), Output('phantom')):
+                        v = i
+
+
+def test_replicate_resolving_below_one_raises_at_run():
+    @parallelize
+    def f(n, workers):
+        with ToStream(Input('n')):
+            for i in range(n):
+                with Stage(Input('i'), Replicate('workers')):
+                    print(i)
+
+    with pytest.raises(SParSemanticError, match=">= 1"):
+        f(3, 0)
+
+
+def test_closure_functions_rejected():
+    bonus = 5
+
+    def make():
+        def g(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i')):
+                        print(i + bonus)
+        return g
+
+    with pytest.raises(SParSemanticError, match="closure"):
+        parallelize(make())
+
+
+def test_unknown_annotation_argument():
+    with pytest.raises(SParSyntaxError, match="accepts Input/Output/Replicate"):
+        @parallelize
+        def f(n):
+            with ToStream(Input('n')):
+                for i in range(n):
+                    with Stage(Input('i'), print("nope")):
+                        pass
+
+
+# -- analysis helpers ---------------------------------------------------------------------
+
+def _body(src):
+    return ast.parse(src).body
+
+
+def test_assigned_names_covers_binding_forms():
+    src = (
+        "x = 1\n"
+        "y, z = 1, 2\n"
+        "for q in r:\n    pass\n"
+        "with open('f') as fh:\n    pass\n"
+        "def fn():\n    pass\n"
+        "import os.path\n"
+        "from sys import argv as args\n"
+        "(w := 3)\n"
+        "try:\n    pass\nexcept ValueError as err:\n    pass\n"
+    )
+    names = assigned_names(_body(src))
+    assert {"x", "y", "z", "q", "fh", "fn", "os", "args", "w", "err"} <= names
+
+
+def test_loaded_names():
+    assert loaded_names(_body("a = b + c(d)")) == {"b", "c", "d"}
+
+
+def test_undeclared_uses_subtracts_everything_known():
+    body = _body("out = helper(x) + y + len(z)")
+    bad = undeclared_uses(body, declared={"x"}, globals_={"helper"})
+    assert bad == {"y", "z"}

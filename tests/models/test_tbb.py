@@ -1,0 +1,270 @@
+"""TBB facade tests: pipeline, ranges, parallel_for, work stealing."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.tbb import (
+    WorkStealingPool,
+    blocked_range,
+    filter_mode,
+    global_control,
+    make_filter,
+    parallel_for,
+    parallel_pipeline,
+    parallel_reduce,
+    task_group,
+)
+
+
+# -- blocked_range ------------------------------------------------------------
+
+def test_blocked_range_basics():
+    r = blocked_range(0, 10, 3)
+    assert len(r) == 10 and list(r) == list(range(10))
+    assert r.is_divisible
+    left, right = r.split()
+    assert (left.begin, left.end) == (0, 5)
+    assert (right.begin, right.end) == (5, 10)
+
+
+def test_blocked_range_not_divisible_at_grainsize():
+    r = blocked_range(0, 3, 4)
+    assert not r.is_divisible
+    with pytest.raises(ValueError):
+        r.split()
+
+
+def test_blocked_range_validation():
+    with pytest.raises(ValueError):
+        blocked_range(5, 2)
+    with pytest.raises(ValueError):
+        blocked_range(0, 5, 0)
+
+
+def test_recursive_split_covers_range_exactly():
+    pieces = []
+
+    def descend(r):
+        if not r.is_divisible:
+            pieces.append((r.begin, r.end))
+            return
+        a, b = r.split()
+        descend(a)
+        descend(b)
+
+    descend(blocked_range(0, 1000, 7))
+    pieces.sort()
+    assert pieces[0][0] == 0 and pieces[-1][1] == 1000
+    for (a1, e1), (a2, _e2) in zip(pieces, pieces[1:]):
+        assert e1 == a2  # contiguous, no overlap
+
+
+# -- pipeline -------------------------------------------------------------------
+
+def _counter_source(n):
+    it = iter(range(n))
+
+    def source(fc):
+        try:
+            return next(it)
+        except StopIteration:
+            fc.stop()
+            return None
+
+    return source
+
+
+def test_parallel_pipeline_in_order():
+    out = []
+    r = parallel_pipeline(
+        8,
+        make_filter(filter_mode.serial_in_order, _counter_source(40)),
+        make_filter(filter_mode.parallel, lambda x: x * 2),
+        make_filter(filter_mode.serial_in_order, lambda x: out.append(x) or None),
+        parallelism=4,
+    )
+    assert out == [2 * i for i in range(40)]
+    assert r.items_emitted == 40
+
+
+def test_serial_out_of_order_filter_gets_everything():
+    out = []
+    parallel_pipeline(
+        8,
+        make_filter(filter_mode.serial_in_order, _counter_source(40)),
+        make_filter(filter_mode.parallel, lambda x: x),
+        make_filter(filter_mode.serial_out_of_order, lambda x: out.append(x) or None),
+        parallelism=4,
+    )
+    assert sorted(out) == list(range(40))
+
+
+def test_first_filter_cannot_be_parallel():
+    with pytest.raises(ValueError):
+        parallel_pipeline(
+            4,
+            make_filter(filter_mode.parallel, lambda fc: None),
+            make_filter(filter_mode.serial_in_order, lambda x: x),
+        )
+
+
+def test_token_count_must_be_positive():
+    with pytest.raises(ValueError):
+        parallel_pipeline(0, make_filter(filter_mode.serial_in_order,
+                                         _counter_source(1)))
+
+
+def test_global_control_sets_default_parallelism():
+    with global_control(max_allowed_parallelism=3):
+        assert global_control.active_parallelism() == 3
+        out = []
+        parallel_pipeline(
+            6,
+            make_filter(filter_mode.serial_in_order, _counter_source(12)),
+            make_filter(filter_mode.parallel, lambda x: x + 1),
+            make_filter(filter_mode.serial_in_order, lambda x: out.append(x) or None),
+        )
+        assert out == [i + 1 for i in range(12)]
+    assert global_control.active_parallelism() is None
+
+
+def test_pipeline_simulated_mode():
+    out = []
+    r = parallel_pipeline(
+        10,
+        make_filter(filter_mode.serial_in_order, _counter_source(20)),
+        make_filter(filter_mode.parallel, lambda x: x),
+        make_filter(filter_mode.serial_in_order, lambda x: out.append(x) or None),
+        parallelism=5,
+        config=ExecConfig(mode=ExecMode.SIMULATED),
+    )
+    assert out == list(range(20))
+    assert r.mode == "simulated"
+
+
+# -- scheduler / parallel_for -------------------------------------------------------
+
+def test_parallel_for_covers_all_indices():
+    flags = np.zeros(5000, dtype=np.int64)
+    with WorkStealingPool(4) as pool:
+        parallel_for(blocked_range(0, 5000, 64),
+                     lambda r: flags.__setitem__(slice(r.begin, r.end),
+                                                 flags[r.begin:r.end] + 1),
+                     pool=pool)
+    assert (flags == 1).all()  # every index touched exactly once
+
+
+def test_parallel_for_exception_propagates():
+    def body(r):
+        if r.begin <= 1234 < r.end:
+            raise RuntimeError("body failed")
+
+    with WorkStealingPool(4) as pool:
+        with pytest.raises(RuntimeError, match="body failed"):
+            parallel_for(blocked_range(0, 5000, 16), body, pool=pool)
+
+
+def test_parallel_reduce_sum():
+    with WorkStealingPool(4) as pool:
+        total = parallel_reduce(
+            blocked_range(0, 10_000, 128), 0,
+            lambda r, acc: acc + sum(range(r.begin, r.end)),
+            lambda a, b: a + b,
+            pool=pool,
+        )
+    assert total == sum(range(10_000))
+
+
+def test_task_group_runs_nested_tasks():
+    with WorkStealingPool(3) as pool:
+        hits = []
+        lock = threading.Lock()
+        group = task_group(pool)
+
+        def outer():
+            inner_group = task_group(pool)
+            for i in range(5):
+                inner_group.run(lambda i=i: hits.append(i))
+            inner_group.wait()
+
+        group.run(outer)
+        group.wait()
+        assert sorted(hits) == list(range(5))
+
+
+def test_work_stealing_actually_steals():
+    """All work spawned from one task must spread across workers."""
+    seen = set()
+    lock = threading.Lock()
+
+    def body(r):
+        import time
+
+        with lock:
+            seen.add(threading.current_thread().name)
+        time.sleep(0.002)
+
+    with WorkStealingPool(4) as pool:
+        parallel_for(blocked_range(0, 256, 4), body, pool=pool)
+        assert pool.steals > 0
+    assert len(seen) > 1
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        WorkStealingPool(0)
+
+
+# -- parallel_scan -------------------------------------------------------------
+
+def test_parallel_scan_prefix_sum():
+    from repro.tbb import parallel_scan
+
+    n = 5000
+    data = list(range(n))
+    out = [0] * n
+
+    def body(r, initial, final):
+        acc = initial
+        for i in range(r.begin, r.end):
+            acc += data[i]
+            if final:
+                out[i] = acc
+        return acc
+
+    with WorkStealingPool(4) as pool:
+        total = parallel_scan(blocked_range(0, n, 64), 0, body,
+                              lambda a, b: a + b, pool=pool)
+    assert total == sum(data)
+    expected = []
+    acc = 0
+    for v in data:
+        acc += v
+        expected.append(acc)
+    assert out == expected
+
+
+def test_parallel_scan_non_commutative_combine():
+    """String concatenation: order of combination must be preserved."""
+    from repro.tbb import parallel_scan
+
+    words = [chr(ord('a') + (i % 26)) for i in range(300)]
+    out = [None] * len(words)
+
+    def body(r, initial, final):
+        acc = initial
+        for i in range(r.begin, r.end):
+            acc = acc + words[i]
+            if final:
+                out[i] = acc
+        return acc
+
+    with WorkStealingPool(3) as pool:
+        total = parallel_scan(blocked_range(0, len(words), 16), "", body,
+                              lambda a, b: a + b, pool=pool)
+    assert total == "".join(words)
+    assert out[-1] == total
+    assert out[0] == words[0]

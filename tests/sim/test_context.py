@@ -1,0 +1,80 @@
+"""WorkCursor / ambient-cursor tests."""
+
+import pytest
+
+from repro.sim.context import (
+    WorkCursor,
+    charge_cpu,
+    charge_cpu_seconds,
+    current_cursor,
+    use_cursor,
+)
+from repro.sim.machine import CpuSpec
+
+
+def test_cursor_accumulates_named_work():
+    cpu = CpuSpec(rates={"op": 1000.0})
+    c = WorkCursor(10.0, cpu_spec=cpu)
+    c.cpu("op", 500)
+    assert c.now == pytest.approx(10.5)
+    assert c.elapsed == pytest.approx(0.5)
+    assert c.cpu_busy == pytest.approx(0.5)
+
+
+def test_cursor_oversubscription_scales_cpu_time():
+    cpu = CpuSpec(rates={"op": 1000.0})
+    c = WorkCursor(0.0, cpu_spec=cpu, oversubscription=2.0)
+    c.cpu("op", 1000)
+    assert c.now == pytest.approx(2.0)
+
+
+def test_advance_to_never_goes_backwards():
+    c = WorkCursor(5.0)
+    c.advance_to(3.0)
+    assert c.now == 5.0
+    c.advance_to(8.0)
+    assert c.now == 8.0
+    assert c.cpu_busy == 0.0  # waiting is not CPU work
+
+
+def test_negative_charge_rejected():
+    c = WorkCursor(0.0)
+    with pytest.raises(ValueError):
+        c.cpu_seconds(-1.0)
+
+
+def test_named_charge_without_spec_raises():
+    c = WorkCursor(0.0)
+    with pytest.raises(RuntimeError):
+        c.cpu("op", 1)
+
+
+def test_ambient_cursor_stack():
+    assert current_cursor() is None
+    outer = WorkCursor(0.0)
+    inner = WorkCursor(1.0)
+    with use_cursor(outer):
+        assert current_cursor() is outer
+        with use_cursor(inner):
+            assert current_cursor() is inner
+        assert current_cursor() is outer
+    assert current_cursor() is None
+
+
+def test_global_charge_helpers_are_noops_without_cursor():
+    charge_cpu("anything", 1e9)  # must not raise
+    charge_cpu_seconds(1e9)
+
+
+def test_global_charge_helpers_hit_active_cursor():
+    cpu = CpuSpec(rates={"op": 10.0})
+    c = WorkCursor(0.0, cpu_spec=cpu)
+    with use_cursor(c):
+        charge_cpu("op", 5)
+        charge_cpu_seconds(0.25)
+    assert c.now == pytest.approx(0.75)
+
+
+def test_thread_id_carried():
+    c = WorkCursor(0.0, thread_id="stage[3]")
+    assert c.thread_id == "stage[3]"

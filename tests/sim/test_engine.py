@@ -1,0 +1,274 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, Interrupt, SimulationError, Store
+
+
+def test_timeout_advances_virtual_time():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.5)
+        yield eng.timeout(2.5)
+        return eng.now
+
+    assert eng.run_process(proc()) == pytest.approx(4.0)
+    assert eng.now == pytest.approx(4.0)
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_events_fire_in_time_then_fifo_order():
+    eng = Engine()
+    log = []
+    eng.schedule(2.0, lambda: log.append("b"))
+    eng.schedule(1.0, lambda: log.append("a"))
+    eng.schedule(2.0, lambda: log.append("c"))  # same time: insertion order
+    eng.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1)
+        return "done"
+
+    assert eng.run_process(proc()) == "done"
+
+
+def test_process_exception_propagates_via_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1)
+        raise ValueError("boom")
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.triggered and not p.ok
+    with pytest.raises(ValueError, match="boom"):
+        p.value
+
+
+def test_event_manual_trigger_wakes_waiter():
+    eng = Engine()
+    ev = eng.event("sync")
+    out = []
+
+    def waiter():
+        val = yield ev
+        out.append((eng.now, val))
+
+    def trigger():
+        yield eng.timeout(3)
+        ev.trigger(42)
+
+    eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert out == [(3.0, 42)]
+
+
+def test_event_double_trigger_raises():
+    eng = Engine()
+    ev = eng.event()
+    ev.trigger(1)
+    with pytest.raises(SimulationError):
+        ev.trigger(2)
+
+
+def test_event_failure_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    eng.process(waiter())
+    eng.call_soon(lambda: ev.fail(RuntimeError("dead")))
+    eng.run()
+    assert caught == ["dead"]
+
+
+def test_store_fifo_order():
+    eng = Engine()
+    store = eng.store(capacity=None)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+            yield eng.timeout(1)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_capacity_blocks_producer():
+    eng = Engine()
+    store = eng.store(capacity=2)
+    times = []
+
+    def producer():
+        for i in range(4):
+            yield store.put(i)
+            times.append(eng.now)
+
+    def consumer():
+        yield eng.timeout(10)
+        for _ in range(4):
+            yield store.get()
+            yield eng.timeout(10)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    # puts 0,1 immediate; put 2 unblocks at t=10 (first get), put 3 at t=20
+    assert times == [0.0, 0.0, 10.0, 20.0]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = eng.store()
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((eng.now, item))
+
+    def producer():
+        yield eng.timeout(5)
+        yield store.put("x")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == [(5.0, "x")]
+
+
+def test_store_try_get_try_put():
+    eng = Engine()
+    store = eng.store(capacity=1)
+    ok, _ = store.try_get()
+    assert not ok
+    assert store.try_put("a")
+    assert not store.try_put("b")  # full
+    ok, item = store.try_get()
+    assert ok and item == "a"
+
+
+def test_store_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.store(capacity=0)
+
+
+def test_all_of_collects_values():
+    eng = Engine()
+    values = []
+
+    def proc():
+        evs = [eng.timeout(3, "a"), eng.timeout(1, "b")]
+        vals = yield eng.all_of(evs)
+        values.append((eng.now, vals))
+
+    eng.process(proc())
+    eng.run()
+    assert values == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_triggers_immediately():
+    eng = Engine()
+
+    def proc():
+        vals = yield eng.all_of([])
+        return vals
+
+    assert eng.run_process(proc()) == []
+
+
+def test_interrupt_wakes_blocked_process():
+    eng = Engine()
+    store = eng.store()
+    log = []
+
+    def victim():
+        try:
+            yield store.get()
+        except Interrupt as intr:
+            log.append((eng.now, intr.cause))
+
+    p = eng.process(victim())
+
+    def killer():
+        yield eng.timeout(2)
+        p.interrupt("timeout")
+
+    eng.process(killer())
+    eng.run()
+    assert log == [(2.0, "timeout")]
+
+
+def test_run_process_detects_deadlock():
+    eng = Engine()
+    store = eng.store()
+
+    def stuck():
+        yield store.get()  # nobody ever puts
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_process(stuck())
+
+
+def test_process_must_yield_sim_events():
+    eng = Engine()
+
+    def bad():
+        yield 42
+
+    p = eng.process(bad())
+    eng.run()
+    with pytest.raises(SimulationError, match="must yield SimEvent"):
+        p.value
+
+
+def test_run_until_stops_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(5.0, lambda: fired.append(1))
+    eng.run(until=2.0)
+    assert eng.now == 2.0 and not fired
+    eng.run()
+    assert fired == [1]
+
+
+def test_nested_process_join():
+    eng = Engine()
+
+    def child():
+        yield eng.timeout(4)
+        return "payload"
+
+    def parent():
+        result = yield eng.process(child())
+        return (eng.now, result)
+
+    assert eng.run_process(parent()) == (4.0, "payload")

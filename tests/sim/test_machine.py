@@ -1,0 +1,64 @@
+"""Machine-profile tests."""
+
+import pytest
+
+from repro.sim.machine import (
+    PAPER_MACHINE,
+    TITAN_XP,
+    CpuSpec,
+    GpuSpec,
+    paper_machine,
+)
+
+
+def test_paper_machine_matches_section_v():
+    m = PAPER_MACHINE
+    assert m.cpu.cores == 10 and m.cpu.threads == 20
+    assert m.cpu.clock_ghz == pytest.approx(3.3)
+    assert len(m.gpus) == 2
+    for g in m.gpus:
+        assert g.compute_capability == "6.1"
+        assert g.sms == 30
+        assert g.max_threads_per_sm == 2048
+        assert g.mem_bytes == 12 * 1024**3
+
+
+def test_titan_resident_threads_is_61440():
+    # Section IV-A: "up to 61,440 resident threads across the entire board"
+    assert TITAN_XP.resident_threads == 61_440
+
+
+def test_with_gpus_restricts():
+    assert len(paper_machine(1).gpus) == 1
+    assert len(paper_machine(2).gpus) == 2
+    with pytest.raises(ValueError):
+        PAPER_MACHINE.with_gpus(3)
+
+
+def test_cpu_rate_lookup_and_seconds():
+    cpu = CpuSpec(rates={"x": 100.0})
+    assert cpu.rate("x") == 100.0
+    assert cpu.seconds("x", 50.0) == pytest.approx(0.5)
+    with pytest.raises(KeyError, match="unknown|no rate"):
+        cpu.rate("nope")
+
+
+def test_gpu_rate_lookup_error_lists_known_kinds():
+    g = GpuSpec(rates={"a": 1.0})
+    with pytest.raises(KeyError, match="'a'"):
+        g.rate("b")
+
+
+def test_oversubscription_factor():
+    cpu = PAPER_MACHINE.cpu
+    assert cpu.oversubscription_factor(20) == 1.0
+    assert cpu.oversubscription_factor(5) == 1.0
+    assert cpu.oversubscription_factor(22) == pytest.approx(1.1)
+
+
+def test_copy_seconds_has_latency_floor():
+    g = TITAN_XP
+    tiny = g.copy_seconds(1, to_device=True)
+    assert tiny >= g.copy_latency_s
+    big = g.copy_seconds(11 * 10**9, to_device=False)
+    assert big == pytest.approx(g.copy_latency_s + 1.0)

@@ -1,0 +1,70 @@
+"""Unit tests for device timelines and stream chains."""
+
+import pytest
+
+from repro.sim.timeline import StreamChain, Timeline
+
+
+def test_reserve_serializes_in_issue_order():
+    t = Timeline("compute")
+    a = t.reserve(0.0, 5.0)
+    b = t.reserve(1.0, 2.0)  # issued while busy: queued behind a
+    assert (a.start, a.end) == (0.0, 5.0)
+    assert (b.start, b.end) == (5.0, 7.0)
+
+
+def test_reserve_idle_gap():
+    t = Timeline()
+    t.reserve(0.0, 1.0)
+    op = t.reserve(10.0, 1.0)  # engine idle 1..10
+    assert op.start == 10.0
+    assert t.busy_time == pytest.approx(2.0)
+    assert t.utilization() == pytest.approx(2.0 / 11.0)
+
+
+def test_negative_duration_rejected():
+    t = Timeline()
+    with pytest.raises(ValueError):
+        t.reserve(0.0, -1.0)
+
+
+def test_chain_orders_across_engines():
+    compute = Timeline("compute")
+    copy = Timeline("d2h")
+    chain = StreamChain("stream0")
+    k = chain.push(compute, 0.0, 5.0, kind="kernel")
+    c = chain.push(copy, 0.0, 1.0, kind="d2h")  # copy engine free, but chained
+    assert k.end == 5.0
+    assert c.start == 5.0 and c.end == 6.0
+    assert chain.tail == 6.0
+
+
+def test_independent_chains_overlap_on_different_engines():
+    compute = Timeline()
+    copy = Timeline()
+    s1, s2 = StreamChain("s1"), StreamChain("s2")
+    k1 = s1.push(compute, 0.0, 5.0)
+    c1 = s1.push(copy, 0.0, 1.0)
+    k2 = s2.push(compute, 0.0, 5.0)   # serialized on compute engine
+    c2 = s2.push(copy, 0.0, 1.0)      # overlaps k2's wait? starts after k2
+    assert k2.start == 5.0            # compute engine busy with k1
+    assert c1.start == 5.0            # after k1 in its chain
+    assert c2.start == 10.0           # after k2 in its chain
+    # the copy engine was free between 6 and 10: transfers overlapped compute
+    assert c1.end == 6.0 and c2.end == 11.0
+
+
+def test_chain_after_dependency():
+    compute = Timeline()
+    chain = StreamChain()
+    op = chain.push(compute, 0.0, 1.0, after=42.0)
+    assert op.start == 42.0
+
+
+def test_reset():
+    t = Timeline()
+    chain = StreamChain()
+    chain.push(t, 0.0, 3.0)
+    t.reset()
+    chain.reset()
+    assert t.busy_until == 0.0 and chain.tail == 0.0 and not t.ops

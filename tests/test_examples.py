@@ -1,0 +1,49 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=600, cwd=None):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout, cwd=cwd,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "ordered OK" in out
+    assert "simulated machine" in out
+
+
+def test_gpu_offload_example():
+    out = run_example("gpu_offload.py")
+    assert "61,440" in out
+    assert "results verified" in out
+
+
+def test_mandelbrot_example(tmp_path):
+    out = run_example("mandelbrot_stream.py", "--dim", "64", "--niter", "200",
+                      "--workers", "3", cwd=tmp_path)
+    assert "bit-identical" in out
+    assert "SPar+CUDA hybrid" in out
+
+
+def test_dedup_example():
+    out = run_example("dedup_archive.py", "--mb", "0.5", "--replicas", "3")
+    assert out.count("bit-exact OK") == 2
+    assert "round-trips" in out
+
+
+def test_spar_gpu_target_example():
+    out = run_example("spar_gpu_target.py")
+    assert "results verified" in out
+    assert "__spar_stage_1__" in out  # the generated driver is printed
