@@ -12,7 +12,7 @@ from repro.apps.dedup.sha1 import sha1_batch, sha1_scalar
 from repro.apps.lzss.reference import compress_block
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import StageSpec, linear_graph
-from repro.core.run import run_graph
+from repro.core.run import execute
 from repro.core.stage import FunctionStage, IterSource
 from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, kernel_duration
 from repro.sim.engine import Engine
@@ -65,7 +65,7 @@ def test_bench_pipeline_item_rate(benchmark, mode):
             StageSpec(FunctionStage(lambda x: x + 1), "inc", replicas=4),
             StageSpec(FunctionStage(lambda x: x), "sink"),
         )
-        return run_graph(g, ExecConfig(mode=mode))
+        return execute(g, ExecConfig(mode=mode))
 
     r = benchmark(run)
     assert r.items_emitted == 500

@@ -13,10 +13,26 @@ Quick tour::
     from repro.apps import mandelbrot, dedup, lzss
     from repro.harness import experiments
 
+:func:`repro.run` is the one front door for executing any runtime's
+pipeline object (a core graph, an ``ff_pipeline``, a TBB filter chain, a
+bound SPar invocation)::
+
+    result = repro.run(pipeline, mode="simulated", tracer=recorder)
+
 See README.md and DESIGN.md for the architecture, EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.metrics import RunResult
+from repro.core.run import run
+
 __version__ = "1.0.0"
 
-__all__ = ["core", "sim", "gpu", "fastflow", "tbb", "spar", "apps", "harness"]
+__all__ = [
+    "run",
+    "ExecConfig",
+    "ExecMode",
+    "RunResult",
+    "core", "sim", "obs", "gpu", "fastflow", "tbb", "spar", "apps", "harness",
+]

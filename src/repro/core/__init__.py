@@ -22,7 +22,7 @@ from repro.core.graph import PipelineGraph, SourceSpec, StageSpec, linear_graph
 from repro.core.config import ExecConfig, ExecMode, Scheduling
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import ReorderBuffer
-from repro.core.run import run_graph
+from repro.core.run import execute, run, run_graph
 
 __all__ = [
     "EOS",
@@ -43,5 +43,7 @@ __all__ = [
     "RunResult",
     "StageMetrics",
     "ReorderBuffer",
+    "run",
+    "execute",
     "run_graph",
 ]

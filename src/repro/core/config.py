@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
 
 from repro.sim.machine import MachineSpec, PAPER_MACHINE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 class ExecMode(enum.Enum):
@@ -30,9 +34,14 @@ class ExecConfig:
     ``max_tokens`` models TBB's ``max_number_of_live_tokens``: the source
     is throttled so at most that many items are in flight; ``None`` means
     no token limit (FastFlow relies on bounded queues instead).
+
+    ``mode`` also accepts the strings ``"native"``/``"simulated"``.
+    ``tracer`` attaches a :class:`repro.obs.Tracer` to the run; ``None``
+    falls back to the ambient tracer (the no-op one unless installed via
+    :func:`repro.obs.use_tracer`).
     """
 
-    mode: ExecMode = ExecMode.NATIVE
+    mode: Union[ExecMode, str] = ExecMode.NATIVE
     queue_capacity: int = 512
     max_tokens: Optional[int] = None
     scheduling: Scheduling = Scheduling.ROUND_ROBIN
@@ -42,9 +51,23 @@ class ExecConfig:
     machine: MachineSpec = field(default_factory=lambda: PAPER_MACHINE)
     #: collect payloads flowing out of the last stage into RunResult.outputs
     collect_outputs: bool = True
+    #: observability sink for this run (None = ambient tracer)
+    tracer: Optional["Tracer"] = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.mode, str):
+            try:
+                self.mode = ExecMode(self.mode.lower())
+            except ValueError:
+                raise ValueError(
+                    f"unknown execution mode: {self.mode!r} "
+                    f"(expected one of {[m.value for m in ExecMode]})"
+                ) from None
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if self.max_tokens is not None and self.max_tokens < 1:
             raise ValueError("max_tokens must be >= 1 or None")
+
+    def replace(self, **kwargs) -> "ExecConfig":
+        """A copy with the given fields replaced (validation re-runs)."""
+        return dataclasses.replace(self, **kwargs)

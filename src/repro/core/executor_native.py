@@ -32,8 +32,20 @@ from repro.core.items import EOS, Multi
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
 from repro.core.stage import StageContext
+from repro.obs.clock import WallClock
+from repro.obs.tracer import (
+    CAT_COLLECTOR,
+    CAT_QUEUE,
+    CAT_STAGE,
+    CAT_TOKEN,
+    current_tracer,
+    use_tracer,
+)
 
 _POLL = 0.05
+#: don't record queue/token wait spans shorter than this (wall seconds);
+#: an uncontended queue op returns in microseconds and would only add noise
+_MIN_WAIT = 1e-4
 
 
 class PipelineAborted(RuntimeError):
@@ -87,28 +99,41 @@ class _TokenPool:
 
 
 class Edge:
-    """P producers -> C consumers with correct EOS aggregation."""
+    """P producers -> C consumers with correct EOS aggregation.
+
+    When ``tracer`` is set, every completed put/get samples the queue's
+    occupancy as a counter event (backpressure becomes visible over time).
+    """
 
     def __init__(self, producers: int, consumers: int, capacity: int,
                  per_consumer_queues: bool, errors: _ErrorBox,
-                 placement=None):
+                 placement=None, name: str = "", tracer=None, clock=None):
         self.producers = producers
         self.consumers = consumers
         self.errors = errors
         self._placement = placement
+        self._tracer = tracer
+        self._clock = clock
         self._eos_lock = threading.Lock()
         self._eos_seen = 0
         if per_consumer_queues:
             self._queues = [queue.Queue(maxsize=capacity) for _ in range(consumers)]
             self._rr = itertools.cycle(range(consumers))
             self._shared = False
+            self._tracks = [f"q:{name}.{i}" for i in range(consumers)]
         else:
             self._queues = [queue.Queue(maxsize=capacity)]
             self._shared = True
+            self._tracks = [f"q:{name}"]
+
+    def _sample(self, idx: int) -> None:
+        self._tracer.counter(self._tracks[idx], "occupancy",
+                             self._clock.now(), self._queues[idx].qsize())
 
     # producer side ------------------------------------------------------
     def put(self, item: Any, consumer_hint: Optional[int] = None) -> None:
         if self._shared:
+            idx = 0
             q = self._queues[0]
         else:
             if consumer_hint is None and self._placement is not None:
@@ -120,6 +145,8 @@ class Edge:
         while True:
             try:
                 q.put(item, timeout=_POLL)
+                if self._tracer is not None:
+                    self._sample(idx)
                 return
             except queue.Full:
                 if self.errors.failed.is_set():
@@ -141,10 +168,14 @@ class Edge:
 
     # consumer side ------------------------------------------------------
     def get(self, consumer_idx: int) -> Any:
-        q = self._queues[0] if self._shared else self._queues[consumer_idx]
+        idx = 0 if self._shared else consumer_idx
+        q = self._queues[idx]
         while True:
             try:
-                return q.get(timeout=_POLL)
+                item = q.get(timeout=_POLL)
+                if self._tracer is not None:
+                    self._sample(idx)
+                return item
             except queue.Empty:
                 if self.errors.failed.is_set():
                     raise PipelineAborted() from None
@@ -171,6 +202,10 @@ class NativeExecutor:
         self._outputs: List[Any] = []
         self._output_lock = threading.Lock()
         self._items_emitted = 0
+        tracer = config.tracer if config.tracer is not None else current_tracer()
+        #: None on the untraced fast path — all hooks hide behind this
+        self._tracer = tracer if tracer.enabled else None
+        self._clock = WallClock()  # re-zeroed at run start
 
     # -- helpers ---------------------------------------------------------
     def _record(self, name: str, replicas: int, service: float, emitted: int) -> None:
@@ -186,14 +221,27 @@ class NativeExecutor:
 
     # -- thread bodies ----------------------------------------------------
     def _source_loop(self, out_edge: Edge) -> None:
-        ctx = StageContext(self.graph.source.name, 0, 1)
+        tr, clock = self._tracer, self._clock
+        track = self.graph.source.name
+        ctx = StageContext(self.graph.source.name, 0, 1, tracer=tr)
         src = self.graph.source.factory()
         seq = 0
         try:
             src.on_start(ctx)
             for payload in src.generate(ctx):
-                self._tokens.acquire()
-                out_edge.put(Env(seq, (payload,)))
+                if tr is None:
+                    self._tokens.acquire()
+                    out_edge.put(Env(seq, (payload,)))
+                else:
+                    t0 = clock.now()
+                    self._tokens.acquire()
+                    t1 = clock.now()
+                    if t1 - t0 > _MIN_WAIT:
+                        tr.span(CAT_TOKEN, track, "token_wait", t0, t1)
+                    out_edge.put(Env(seq, (payload,)))
+                    t2 = clock.now()
+                    if t2 - t1 > _MIN_WAIT:
+                        tr.span(CAT_QUEUE, track, "put_wait", t1, t2)
                 seq += 1
             src.on_end(ctx)
         finally:
@@ -209,7 +257,9 @@ class NativeExecutor:
         right after an ordered replicated stage: envelopes are re-sequenced
         before processing.
         """
-        ctx = StageContext(spec.name, replica, spec.replicas)
+        tr, clock = self._tracer, self._clock
+        track = f"{spec.name}[{replica}]"
+        ctx = StageContext(spec.name, replica, spec.replicas, tracer=tr)
         logic = spec.factory()
         logic.on_start(ctx)
         rob = SimpleReorderBuffer() if reorder_upstream else None
@@ -228,21 +278,32 @@ class NativeExecutor:
                 outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = time.perf_counter() - t0
             self._record(spec.name, spec.replicas, service, len(outs))
+            if tr is not None:
+                end = clock.now()
+                tr.span(CAT_STAGE, track, spec.name, end - service, end,
+                        args={"seq": env.seq})
             if outs:
                 new_env = Env(env.seq if keep_seq else out_seq, outs,
                               tokened=env.tokened)
                 out_seq += 1
-                self._emit(new_env, out_edge)
+                self._emit(new_env, out_edge, track)
             elif keep_seq and spec.ordered:
                 # Filtered in an ordered farm: forward an empty envelope so
                 # the downstream reorder point does not stall on this seq.
-                self._emit(Env(env.seq, (), tokened=env.tokened), out_edge)
+                self._emit(Env(env.seq, (), tokened=env.tokened), out_edge, track)
             elif env.tokened:
                 self._tokens.release()
 
         try:
             while True:
-                item = in_edge.get(replica)
+                if tr is None:
+                    item = in_edge.get(replica)
+                else:
+                    t0 = clock.now()
+                    item = in_edge.get(replica)
+                    t1 = clock.now()
+                    if t1 - t0 > _MIN_WAIT and item is not EOS:
+                        tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
                 if item is EOS:
                     break
                 env: Env = item
@@ -268,14 +329,23 @@ class NativeExecutor:
                 handle(env)
             final = _normalize_outputs(logic.on_end(ctx))
             if final:
-                self._emit(Env(-1, final, tokened=False), out_edge)
+                self._emit(Env(-1, final, tokened=False), out_edge, track)
         finally:
             if out_edge is not None:
                 out_edge.put_eos()
 
-    def _emit(self, env: Env, out_edge: Optional[Edge]) -> None:
+    def _emit(self, env: Env, out_edge: Optional[Edge],
+              track: Optional[str] = None) -> None:
         if out_edge is not None:
-            out_edge.put(env)
+            tr = self._tracer
+            if tr is None:
+                out_edge.put(env)
+            else:
+                t0 = self._clock.now()
+                out_edge.put(env)
+                t1 = self._clock.now()
+                if t1 - t0 > _MIN_WAIT and track is not None:
+                    tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
             return
         # Last stage: collect outputs and release the token.
         if self.config.collect_outputs:
@@ -287,9 +357,12 @@ class NativeExecutor:
     def _sequencer_loop(self, name: str, upstream_ordered: bool,
                         in_edge: Edge, out_edge: Edge) -> None:
         """Reorder (if needed) and re-number between two replicated stages."""
+        tr, clock = self._tracer, self._clock
+        track = f"seq:{name}"
         rob = SimpleReorderBuffer() if upstream_ordered else None
         out_seq = 0
         tail: List[Env] = []
+        held: dict[int, float] = {}  # seq -> arrival time in the reorder buffer
         try:
             while True:
                 item = in_edge.get(0)
@@ -302,9 +375,20 @@ class NativeExecutor:
                 elif not env.tokened:
                     tail.append(env)
                 else:
+                    if tr is not None and env.seq not in held:
+                        held[env.seq] = clock.now()
                     for ordered in rob.push(env.seq, env):
                         out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
                         out_seq += 1
+                        if tr is not None:
+                            t_in = held.pop(ordered.seq, None)
+                            now = clock.now()
+                            if t_in is not None and now - t_in > _MIN_WAIT:
+                                tr.span(CAT_COLLECTOR, track, "reorder_hold",
+                                        t_in, now, args={"seq": ordered.seq})
+                    if tr is not None:
+                        # out-of-order arrivals held back, over time
+                        tr.counter(track, "rob_pending", clock.now(), rob.pending)
             for env in tail:
                 out_edge.put(Env(out_seq, env.payloads, env.tokened))
                 out_seq += 1
@@ -315,12 +399,20 @@ class NativeExecutor:
     def run(self) -> RunResult:
         stages = self.graph.stages
         errors = self._errors
+        tracer = self._tracer
         threads: List[threading.Thread] = []
 
         def spawn(fn, *args, name: str) -> None:
             def body() -> None:
                 try:
-                    fn(*args)
+                    if tracer is not None:
+                        # context vars don't cross thread boundaries;
+                        # re-install the tracer for ambient consumers
+                        # (GPU device model, user stage code)
+                        with use_tracer(tracer):
+                            fn(*args)
+                    else:
+                        fn(*args)
                 except PipelineAborted:
                     pass
                 except BaseException as exc:  # noqa: BLE001 - must capture all
@@ -329,11 +421,22 @@ class NativeExecutor:
             t = threading.Thread(target=body, name=name, daemon=True)
             threads.append(t)
 
+        if tracer is not None:
+            self._clock = WallClock()  # zero the run's time axis
+            tracer.begin_run(self.graph.name, "native", self._clock)
+
         cap = self.config.queue_capacity
+
+        def edge(producers: int, consumers: int, per_consumer: bool,
+                 name: str, placement=None) -> Edge:
+            return Edge(producers, consumers, cap, per_consumer, errors,
+                        placement=placement, name=name, tracer=tracer,
+                        clock=self._clock)
         in_edges: List[Edge] = []          # stage i's input edge
         targets: List[Edge] = []           # where stage i-1 (or source) writes
         reorder: List[bool] = []           # stage i must reorder its input
-        sequencers: List[tuple[Edge, Edge, bool]] = []  # (mid, out, ordered)
+        #: (mid, out, upstream ordered, downstream stage name)
+        sequencers: List[tuple[Edge, Edge, bool, str]] = []
         prev_reps = 1
         prev_ordered_farm = False
         for spec in stages:
@@ -342,15 +445,15 @@ class NativeExecutor:
                 sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
             if prev_reps > 1 and spec.replicas > 1:
                 # farm -> farm: a sequencer merges (and maybe reorders).
-                mid = Edge(prev_reps, 1, cap, False, errors)
-                stage_in = Edge(1, spec.replicas, cap, per_consumer, errors,
+                mid = edge(prev_reps, 1, False, f"{spec.name}.mid")
+                stage_in = edge(1, spec.replicas, per_consumer, spec.name,
                                 placement=spec.placement)
-                sequencers.append((mid, stage_in, prev_ordered_farm))
+                sequencers.append((mid, stage_in, prev_ordered_farm, spec.name))
                 targets.append(mid)
                 reorder.append(False)
             else:
-                stage_in = Edge(prev_reps, spec.replicas, cap, per_consumer,
-                                errors, placement=spec.placement)
+                stage_in = edge(prev_reps, spec.replicas, per_consumer,
+                                spec.name, placement=spec.placement)
                 targets.append(stage_in)
                 reorder.append(prev_ordered_farm and spec.replicas == 1)
             in_edges.append(stage_in)
@@ -358,8 +461,8 @@ class NativeExecutor:
             prev_ordered_farm = spec.replicas > 1 and spec.ordered
 
         spawn(self._source_loop, targets[0], name="source")
-        for (mid, stage_in, ordered) in sequencers:
-            spawn(self._sequencer_loop, "sequencer", ordered, mid, stage_in,
+        for (mid, stage_in, ordered, downstream) in sequencers:
+            spawn(self._sequencer_loop, downstream, ordered, mid, stage_in,
                   name="sequencer")
         for i, spec in enumerate(stages):
             out_edge = targets[i + 1] if i + 1 < len(stages) else None
@@ -373,6 +476,8 @@ class NativeExecutor:
         for t in threads:
             t.join()
         makespan = time.perf_counter() - t_start
+        if tracer is not None:
+            tracer.end_run(makespan)
 
         if errors.error is not None:
             raise errors.error

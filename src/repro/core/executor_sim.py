@@ -19,13 +19,21 @@ from __future__ import annotations
 import time
 from typing import Any, List, Optional
 
-from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.config import ExecConfig, Scheduling
 from repro.core.executor_native import Env, _normalize_outputs
 from repro.core.graph import PipelineGraph, StageSpec
 from repro.core.items import EOS
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
 from repro.core.stage import StageContext
+from repro.obs.clock import SimClock
+from repro.obs.tracer import (
+    CAT_QUEUE,
+    CAT_STAGE,
+    CAT_TOKEN,
+    current_tracer,
+    use_tracer,
+)
 from repro.sim.context import WorkCursor, use_cursor
 from repro.sim.engine import Engine, Store
 
@@ -34,29 +42,40 @@ _BLOCKING_WAKE_S = 2.0e-6
 
 
 class SimEdge:
-    """P producers -> C consumers over engine stores, with EOS counting."""
+    """P producers -> C consumers over engine stores, with EOS counting.
+
+    When ``tracer`` is set, every put/get samples the store's occupancy
+    at the engine's virtual now — never perturbing virtual time itself.
+    """
 
     def __init__(self, engine: Engine, producers: int, consumers: int,
                  capacity: int, per_consumer_queues: bool, name: str = "",
-                 placement=None):
+                 placement=None, tracer=None):
         self.engine = engine
         self.producers = producers
         self.consumers = consumers
         self._eos_seen = 0
         self._placement = placement
+        self._tracer = tracer
         if per_consumer_queues:
             self._stores = [engine.store(capacity, name=f"{name}.{i}")
                             for i in range(consumers)]
             self._rr = 0
             self._shared = False
+            self._tracks = [f"q:{name}.{i}" for i in range(consumers)]
         else:
             self._stores = [engine.store(capacity, name=name)]
             self._shared = True
+            self._tracks = [f"q:{name}"]
+
+    def _sample(self, idx: int) -> None:
+        self._tracer.counter(self._tracks[idx], "occupancy",
+                             self.engine.now, len(self._stores[idx].items))
 
     def put(self, item: Any, consumer_hint: Optional[int] = None):
         """Returns a SimEvent to yield on (completes when space exists)."""
         if self._shared:
-            store = self._stores[0]
+            idx = 0
         else:
             if consumer_hint is None and self._placement is not None:
                 consumer_hint = self._placement(item.seq, self.consumers) \
@@ -64,8 +83,11 @@ class SimEdge:
             if consumer_hint is None:
                 consumer_hint = self._rr
                 self._rr = (self._rr + 1) % self.consumers
-            store = self._stores[consumer_hint]
-        return store.put(item)
+            idx = consumer_hint
+        ev = self._stores[idx].put(item)
+        if self._tracer is not None:
+            self._sample(idx)
+        return ev
 
     def put_eos(self):
         """Generator: call as ``yield from edge.put_eos()``."""
@@ -80,8 +102,11 @@ class SimEdge:
                 yield self._stores[i].put(EOS)
 
     def get(self, consumer_idx: int):
-        store = self._stores[0] if self._shared else self._stores[consumer_idx]
-        return store.get()
+        idx = 0 if self._shared else consumer_idx
+        ev = self._stores[idx].get()
+        if self._tracer is not None:
+            self._sample(idx)
+        return ev
 
 
 class SimExecutor:
@@ -103,6 +128,9 @@ class SimExecutor:
         self._threads = graph.total_threads + extra
         self._oversub = machine.cpu.oversubscription_factor(self._threads)
         self._queue_op = machine.cpu.queue_op_s * self._oversub
+        tracer = config.tracer if config.tracer is not None else current_tracer()
+        #: None on the untraced fast path — all hooks hide behind this
+        self._tracer = tracer if tracer.enabled else None
         self._tokens: Optional[Store] = None
         if config.max_tokens is not None:
             self._tokens = self.engine.store(capacity=None, name="tokens")
@@ -134,20 +162,28 @@ class SimExecutor:
     # -- process bodies ---------------------------------------------------
     def _source_proc(self, out_edge: SimEdge):
         tid = self.graph.source.name
+        tr = self._tracer
+        engine = self.engine
         ctx_cursor = self._make_cursor(tid)
         ctx = StageContext(self.graph.source.name, 0, 1, cursor=ctx_cursor,
-                           machine=self.config.machine)
+                           machine=self.config.machine, tracer=tr)
         src = self.graph.source.factory()
         seq = 0
         with use_cursor(ctx_cursor):
             src.on_start(ctx)
         for payload in self._iterate_source(src, ctx):
             if self._tokens is not None:
+                t0 = engine.now
                 yield self._tokens.get()
+                if tr is not None and engine.now > t0:
+                    tr.span(CAT_TOKEN, tid, "token_wait", t0, engine.now)
             ctx_cursor = ctx.cursor  # refreshed by _iterate_source
             if ctx_cursor.elapsed > 0:
                 yield self.engine.timeout(ctx_cursor.elapsed)
+            t0 = engine.now
             yield out_edge.put(Env(seq, (payload,)))
+            if tr is not None and engine.now > t0:
+                tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
             yield self.engine.timeout(self._queue_op)
             seq += 1
         cursor = self._make_cursor(tid)
@@ -177,9 +213,11 @@ class SimExecutor:
     def _stage_proc(self, spec: StageSpec, replica: int, in_edge: SimEdge,
                     out_edge: Optional[SimEdge], reorder_upstream: bool):
         tid = f"{spec.name}[{replica}]"
+        tr = self._tracer
+        engine = self.engine
         cursor0 = self._make_cursor(tid)
         ctx = StageContext(spec.name, replica, spec.replicas, cursor=cursor0,
-                           machine=self.config.machine)
+                           machine=self.config.machine, tracer=tr)
         logic = spec.factory()
         with use_cursor(cursor0):
             logic.on_start(ctx)
@@ -210,7 +248,10 @@ class SimExecutor:
 
         def emit(env: Env):
             if out_edge is not None:
+                t0 = engine.now
                 yield out_edge.put(env)
+                if tr is not None and engine.now > t0:
+                    tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
                 yield self.engine.timeout(self._queue_op)
             else:
                 if self.config.collect_outputs:
@@ -224,7 +265,10 @@ class SimExecutor:
 
         while True:
             gev = in_edge.get(replica)
+            t_wait = engine.now
             item = yield gev
+            if tr is not None and engine.now > t_wait and item is not EOS:
+                tr.span(CAT_QUEUE, tid, "get_wait", t_wait, engine.now)
             if item is EOS:
                 break
             yield self.engine.timeout(self._hop_cost(gev))
@@ -246,6 +290,9 @@ class SimExecutor:
                 service, ne = run_stage(e)
                 if service > 0:
                     yield self.engine.timeout(service)
+                if tr is not None:
+                    tr.span(CAT_STAGE, tid, spec.name, engine.now - service,
+                            engine.now, args={"seq": e.seq})
                 if ne is not None:
                     yield from emit(ne)
                 elif e.tokened:
@@ -259,6 +306,9 @@ class SimExecutor:
             service, ne = run_stage(env)
             if service > 0:
                 yield self.engine.timeout(service)
+            if tr is not None:
+                tr.span(CAT_STAGE, tid, spec.name, engine.now - service,
+                        engine.now, args={"seq": env.seq})
             if ne is not None:
                 yield from emit(ne)
         cursor = self._make_cursor(tid)
@@ -272,8 +322,10 @@ class SimExecutor:
         if out_edge is not None:
             yield from out_edge.put_eos()
 
-    def _sequencer_proc(self, upstream_ordered: bool, in_edge: SimEdge,
-                        out_edge: SimEdge):
+    def _sequencer_proc(self, name: str, upstream_ordered: bool,
+                        in_edge: SimEdge, out_edge: SimEdge):
+        tr = self._tracer
+        track = f"seq:{name}"
         rob = SimpleReorderBuffer() if upstream_ordered else None
         out_seq = 0
         tail: List[Env] = []
@@ -295,6 +347,8 @@ class SimExecutor:
                     yield out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
                     yield self.engine.timeout(self._queue_op)
                     out_seq += 1
+                if tr is not None:
+                    tr.counter(track, "rob_pending", self.engine.now, rob.pending)
         for env in tail:
             yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
             out_seq += 1
@@ -305,11 +359,12 @@ class SimExecutor:
         stages = self.graph.stages
         engine = self.engine
         cap = self.config.queue_capacity
+        tracer = self._tracer
 
         in_edges: List[SimEdge] = []
         targets: List[SimEdge] = []
         reorder: List[bool] = []
-        sequencers: List[tuple[SimEdge, SimEdge, bool]] = []
+        sequencers: List[tuple[SimEdge, SimEdge, bool, str]] = []
         prev_reps = 1
         prev_ordered_farm = False
         for spec in stages:
@@ -317,16 +372,18 @@ class SimExecutor:
             per_consumer = spec.replicas > 1 and (
                 sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
             if prev_reps > 1 and spec.replicas > 1:
-                mid = SimEdge(engine, prev_reps, 1, cap, False, name=f"{spec.name}.mid")
+                mid = SimEdge(engine, prev_reps, 1, cap, False,
+                              name=f"{spec.name}.mid", tracer=tracer)
                 stage_in = SimEdge(engine, 1, spec.replicas, cap, per_consumer,
-                                   name=spec.name, placement=spec.placement)
-                sequencers.append((mid, stage_in, prev_ordered_farm))
+                                   name=spec.name, placement=spec.placement,
+                                   tracer=tracer)
+                sequencers.append((mid, stage_in, prev_ordered_farm, spec.name))
                 targets.append(mid)
                 reorder.append(False)
             else:
                 stage_in = SimEdge(engine, prev_reps, spec.replicas, cap,
                                    per_consumer, name=spec.name,
-                                   placement=spec.placement)
+                                   placement=spec.placement, tracer=tracer)
                 targets.append(stage_in)
                 reorder.append(prev_ordered_farm and spec.replicas == 1)
             in_edges.append(stage_in)
@@ -334,9 +391,10 @@ class SimExecutor:
             prev_ordered_farm = spec.replicas > 1 and spec.ordered
 
         procs = [engine.process(self._source_proc(targets[0]), name="source")]
-        for (mid, stage_in, ordered) in sequencers:
+        for (mid, stage_in, ordered, downstream) in sequencers:
             procs.append(engine.process(
-                self._sequencer_proc(ordered, mid, stage_in), name="sequencer"))
+                self._sequencer_proc(downstream, ordered, mid, stage_in),
+                name="sequencer"))
         for i, spec in enumerate(stages):
             out_edge = targets[i + 1] if i + 1 < len(stages) else None
             for r in range(spec.replicas):
@@ -345,7 +403,16 @@ class SimExecutor:
                     name=f"{spec.name}[{r}]"))
 
         wall0 = time.perf_counter()
-        engine.run()
+        if tracer is not None:
+            # The ambient tracer so device models and user code deep in the
+            # call stack can emit events; the SimClock reads engine.now.
+            tracer.begin_run(self.graph.name, "simulated",
+                             SimClock(lambda: engine.now))
+            with use_tracer(tracer):
+                engine.run()
+            tracer.end_run(engine.now)
+        else:
+            engine.run()
         wall = time.perf_counter() - wall0
         for p in procs:
             if p.triggered:

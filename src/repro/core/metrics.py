@@ -2,29 +2,33 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 
 @dataclass
 class StageMetrics:
-    """Service statistics for one stage (aggregated over replicas)."""
+    """Service statistics for one stage (aggregated over replicas).
+
+    ``service_min`` is 0.0 (not ``inf``) for a stage that never processed
+    an item, so empty stages don't leak infinities into merged metrics or
+    report tables.
+    """
 
     name: str
     replicas: int = 1
     items_in: int = 0
     items_out: int = 0
     busy_time: float = 0.0
-    service_min: float = math.inf
+    service_min: float = 0.0
     service_max: float = 0.0
 
     def record(self, service_time: float, emitted: int) -> None:
+        if self.items_in == 0 or service_time < self.service_min:
+            self.service_min = service_time
         self.items_in += 1
         self.items_out += emitted
         self.busy_time += service_time
-        if service_time < self.service_min:
-            self.service_min = service_time
         if service_time > self.service_max:
             self.service_max = service_time
 
@@ -33,10 +37,12 @@ class StageMetrics:
         return self.busy_time / self.items_in if self.items_in else 0.0
 
     def merge(self, other: "StageMetrics") -> None:
+        if other.items_in:
+            self.service_min = (other.service_min if self.items_in == 0
+                                else min(self.service_min, other.service_min))
         self.items_in += other.items_in
         self.items_out += other.items_out
         self.busy_time += other.busy_time
-        self.service_min = min(self.service_min, other.service_min)
         self.service_max = max(self.service_max, other.service_max)
 
 

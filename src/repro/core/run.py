@@ -1,18 +1,39 @@
-"""Single entry point for running a pipeline graph under either executor."""
+"""The single front door for running pipelines, whichever runtime built them.
+
+:func:`run` accepts any of the programming models' top-level objects —
+a core :class:`~repro.core.graph.PipelineGraph`, a FastFlow
+``ff_pipeline``, a TBB filter chain, a bound SPar invocation — via a
+small protocol, resolved in order:
+
+1. ``target.__repro_run__(cfg)`` — the escape hatch for runtimes whose
+   graph depends on call-time state (SPar's generated driver): the
+   target runs itself under ``cfg`` and returns the
+   :class:`~repro.core.metrics.RunResult`.
+2. ``target.__repro_config__(cfg)`` — the target contributes its
+   configuration hints (FastFlow blocking/queue capacity, TBB token
+   budget) by returning an updated config; then
+3. the target is a :class:`PipelineGraph`, or provides ``to_graph()``.
+
+:func:`run_graph` survives as a thin deprecated alias.
+"""
 
 from __future__ import annotations
+
+import warnings
+from typing import Any, Optional, Union
 
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import PipelineGraph
 from repro.core.metrics import RunResult
 
 
-def run_graph(graph: PipelineGraph, config: ExecConfig | None = None) -> RunResult:
-    """Run ``graph`` under the executor selected by ``config.mode``.
+def execute(graph: PipelineGraph, cfg: ExecConfig) -> RunResult:
+    """Run a lowered ``graph`` under the executor selected by ``cfg.mode``.
 
-    With no config the graph runs natively (real threads) with defaults.
+    Internal workhorse behind :func:`run`; front-ends call this directly
+    so only genuinely deprecated external calls hit the warning in
+    :func:`run_graph`.
     """
-    cfg = config if config is not None else ExecConfig()
     if cfg.mode is ExecMode.NATIVE:
         from repro.core.executor_native import NativeExecutor
 
@@ -22,3 +43,53 @@ def run_graph(graph: PipelineGraph, config: ExecConfig | None = None) -> RunResu
 
         return SimExecutor(graph, cfg).run()
     raise ValueError(f"unknown execution mode: {cfg.mode!r}")
+
+
+def run(target: Any, config: Optional[ExecConfig] = None, *,
+        tracer: Any = None, mode: Optional[Union[ExecMode, str]] = None,
+        **overrides: Any) -> RunResult:
+    """Run any runtime's pipeline object (or a plain graph).
+
+    ``config`` defaults to ``ExecConfig()``; ``tracer``, ``mode`` (enum
+    or ``"native"``/``"simulated"``) and any further keyword overrides
+    are applied on top via :meth:`ExecConfig.replace`.
+
+    Examples::
+
+        repro.run(graph)                                  # core graph
+        repro.run(pipe, mode="simulated")                 # ff_pipeline
+        repro.run(chain, tracer=rec)                      # tbb filter chain
+        repro.run(compiled.bind(args), mode="simulated")  # SPar invocation
+    """
+    cfg = config if config is not None else ExecConfig()
+    if mode is not None:
+        overrides["mode"] = mode
+    if tracer is not None:
+        overrides["tracer"] = tracer
+    if overrides:
+        cfg = cfg.replace(**overrides)
+
+    runner = getattr(target, "__repro_run__", None)
+    if runner is not None:
+        return runner(cfg)
+    hint = getattr(target, "__repro_config__", None)
+    if hint is not None:
+        cfg = hint(cfg)
+    if isinstance(target, PipelineGraph):
+        return execute(target, cfg)
+    to_graph = getattr(target, "to_graph", None)
+    if to_graph is not None:
+        return execute(to_graph(), cfg)
+    raise TypeError(
+        f"repro.run() cannot execute {type(target).__name__!r}: expected a "
+        "PipelineGraph or an object implementing __repro_run__ / to_graph"
+    )
+
+
+def run_graph(graph: PipelineGraph, config: Optional[ExecConfig] = None) -> RunResult:
+    """Deprecated alias for :func:`run` on a plain graph."""
+    warnings.warn(
+        "run_graph() is deprecated; use repro.run(graph, config=...) instead",
+        DeprecationWarning, stacklevel=2,
+    )
+    return execute(graph, config if config is not None else ExecConfig())

@@ -24,15 +24,19 @@ from repro.sim.context import WorkCursor
 class StageContext:
     """Execution context handed to stage hooks."""
 
-    __slots__ = ("replica", "replicas", "stage_name", "cursor", "machine")
+    __slots__ = ("replica", "replicas", "stage_name", "cursor", "machine",
+                 "tracer")
 
     def __init__(self, stage_name: str, replica: int, replicas: int,
-                 cursor: Optional[WorkCursor] = None, machine: Any = None):
+                 cursor: Optional[WorkCursor] = None, machine: Any = None,
+                 tracer: Any = None):
         self.stage_name = stage_name
         self.replica = replica
         self.replicas = replicas
         self.cursor = cursor
         self.machine = machine
+        #: the run's Tracer when tracing is on, else None (no-op path)
+        self.tracer = tracer
 
     @property
     def simulated(self) -> bool:
@@ -51,6 +55,16 @@ class StageContext:
     def now(self) -> float:
         """Stage-local virtual time (0.0 when running natively)."""
         return self.cursor.now if self.cursor is not None else 0.0
+
+    def emit(self, name: str, **args: Any) -> None:
+        """Drop an instant marker on this replica's trace track.
+
+        No-op when the run is untraced, so stage code can emit markers
+        unconditionally.
+        """
+        if self.tracer is not None:
+            self.tracer.instant(f"{self.stage_name}[{self.replica}]", name,
+                                args=args or None)
 
 
 class Stage:

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.config import Scheduling
-from repro.fastflow.node import ff_node
+from repro.core.graph import StageSpec
+from repro.fastflow.node import _NodeStage, ff_node
 
 WorkerSpec = Union[Callable[[], ff_node], Sequence[ff_node]]
 
@@ -73,6 +74,24 @@ class ff_farm:
 
     def worker_factory(self) -> Callable[[], ff_node]:
         return self._factory
+
+    def to_stage_spec(self, index: int) -> StageSpec:
+        """Lower this farm to one replicated core stage.
+
+        The emitter/collector pair FastFlow materializes around the
+        workers is implicit here: the executor's edge fan-out plays
+        emitter (honoring ``set_scheduling_*``), and for an ordered farm
+        the downstream reorder point plays collector.
+        """
+        wf = self.worker_factory()
+        return StageSpec(
+            factory=lambda wf=wf: _NodeStage(wf()),
+            name=f"{self.name}@{index}",
+            replicas=self.replicas,
+            ordered=self.ordered,
+            scheduling=self.scheduling,
+            placement=self.placement,
+        )
 
 
 class ff_ofarm(ff_farm):

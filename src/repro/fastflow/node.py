@@ -73,6 +73,13 @@ class ff_node:
         self._out_buffer = []
         return outs
 
+    def to_stage_spec(self, index: int):
+        """Lower this node to a serial core stage."""
+        from repro.core.graph import StageSpec
+
+        return StageSpec(factory=lambda n=self: _NodeStage(n),
+                         name=f"stage@{index}", replicas=1)
+
 
 class _NodeStage(Stage):
     """Adapter: ff_node -> core Stage."""

@@ -2,17 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Any, Iterator, List, Optional, Union
 
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
 from repro.core.items import EOS
 from repro.core.metrics import RunResult
-from repro.core.run import run_graph
+from repro.core.run import run
 from repro.core.stage import Source, StageContext
 from repro.fastflow.farm import ff_farm
-from repro.fastflow.node import GO_ON, _NodeStage, ff_node
+from repro.fastflow.node import GO_ON, ff_node
 
 
 class _NodeSource(Source):
@@ -84,39 +83,26 @@ class ff_pipeline:
         source = SourceSpec(factory=lambda n=first: _NodeSource(n), name="ff_source")
         specs: List[StageSpec] = []
         for i, st in enumerate(self._stages[1:], start=1):
-            if isinstance(st, ff_farm):
-                wf = st.worker_factory()
-                specs.append(StageSpec(
-                    factory=lambda wf=wf: _NodeStage(wf()),
-                    name=f"{st.name}@{i}",
-                    replicas=st.replicas,
-                    ordered=st.ordered,
-                    scheduling=st.scheduling,
-                    placement=st.placement,
-                ))
-            elif isinstance(st, ff_node):
-                specs.append(StageSpec(
-                    factory=lambda n=st: _NodeStage(n),
-                    name=f"stage@{i}",
-                    replicas=1,
-                ))
-            else:
+            if not isinstance(st, (ff_farm, ff_node)):
                 raise TypeError(f"pipeline stage {i} is {type(st)}; expected ff_node/ff_farm")
+            specs.append(st.to_stage_spec(i))
         g = PipelineGraph(source=source, stages=specs, name=self.name)
         g.validate()
         return g
 
+    def __repro_config__(self, cfg: ExecConfig) -> ExecConfig:
+        """FastFlow's queue knobs, applied when run through ``repro.run``."""
+        return cfg.replace(blocking=self._blocking,
+                           queue_capacity=self._queue_capacity)
+
     # -- execution ---------------------------------------------------------------
     def run_and_wait_end(self, config: Optional[ExecConfig] = None) -> RunResult:
-        cfg = config if config is not None else ExecConfig()
-        cfg = replace(cfg, blocking=self._blocking, queue_capacity=self._queue_capacity)
-        self._last_result = run_graph(self.to_graph(), cfg)
+        self._last_result = run(self, config)
         return self._last_result
 
     def run_simulated(self, config: Optional[ExecConfig] = None) -> RunResult:
         cfg = config if config is not None else ExecConfig()
-        cfg = replace(cfg, mode=ExecMode.SIMULATED)
-        return self.run_and_wait_end(cfg)
+        return self.run_and_wait_end(cfg.replace(mode=ExecMode.SIMULATED))
 
     def ffTime(self) -> float:
         """Makespan of the last run, in (virtual or wall) seconds."""

@@ -16,8 +16,9 @@ from typing import List, Optional
 import numpy as np
 
 from repro.gpu.errors import OutOfMemoryError
-from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, kernel_duration
+from repro.gpu.kernel import Kernel, KernelWork, LaunchConfig, kernel_cost
 from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.obs.tracer import CAT_COPY, CAT_KERNEL, current_tracer
 from repro.sim.machine import GpuSpec, MachineSpec
 from repro.sim.timeline import Op, StreamChain, Timeline
 
@@ -59,11 +60,15 @@ class GpuDevice:
                        after: float = 0.0) -> tuple[KernelWork, Op]:
         """Run the kernel functionally *now*; model its execution time."""
         work = kernel.run(cfg, args)
-        duration = kernel_duration(self.spec, kernel, cfg, work)
+        duration, stats = kernel_cost(self.spec, kernel, cfg, work)
         ch = chain if chain is not None else self.default_chain
         op = ch.push(self.compute, issue_time, duration, kind="kernel",
                      label=kernel.name, after=after)
         self.kernel_launches += 1
+        tr = current_tracer()
+        if tr.enabled:
+            tr.span(CAT_KERNEL, self.compute.name, kernel.name,
+                    op.start, op.end, args=stats)
         return work, op
 
     def copy_h2d(self, dst: DeviceBuffer, src: HostBuffer, nbytes: Optional[int],
@@ -72,8 +77,10 @@ class GpuDevice:
         dst.check_same_device(self)
         n = self._do_copy(dst.array, src.raw, nbytes)
         ch = chain if chain is not None else self.default_chain
-        return ch.push(self.h2d, issue_time, self.spec.copy_seconds(n, True),
-                       kind="h2d", label=f"h2d:{n}B", after=after)
+        op = ch.push(self.h2d, issue_time, self.spec.copy_seconds(n, True),
+                     kind="h2d", label=f"h2d:{n}B", after=after)
+        self._trace_copy(self.h2d.name, "h2d", n, op)
+        return op
 
     def copy_d2h(self, dst: HostBuffer, src: DeviceBuffer, nbytes: Optional[int],
                  issue_time: float, chain: Optional[StreamChain] = None,
@@ -81,8 +88,10 @@ class GpuDevice:
         src.check_same_device(self)
         n = self._do_copy(dst.raw, src.array, nbytes)
         ch = chain if chain is not None else self.default_chain
-        return ch.push(self.d2h, issue_time, self.spec.copy_seconds(n, False),
-                       kind="d2h", label=f"d2h:{n}B", after=after)
+        op = ch.push(self.d2h, issue_time, self.spec.copy_seconds(n, False),
+                     kind="d2h", label=f"d2h:{n}B", after=after)
+        self._trace_copy(self.d2h.name, "d2h", n, op)
+        return op
 
     def copy_d2d(self, dst: DeviceBuffer, src: DeviceBuffer, nbytes: Optional[int],
                  issue_time: float, chain: Optional[StreamChain] = None) -> Op:
@@ -91,8 +100,16 @@ class GpuDevice:
         n = self._do_copy(dst.array, src.array, nbytes)
         ch = chain if chain is not None else self.default_chain
         # on-device copies run on the compute engine at memory bandwidth
-        return ch.push(self.compute, issue_time, n / (self.spec.h2d_bps * 20),
-                       kind="d2d", label=f"d2d:{n}B")
+        op = ch.push(self.compute, issue_time, n / (self.spec.h2d_bps * 20),
+                     kind="d2d", label=f"d2d:{n}B")
+        self._trace_copy(self.compute.name, "d2d", n, op)
+        return op
+
+    def _trace_copy(self, track: str, kind: str, nbytes: int, op: Op) -> None:
+        tr = current_tracer()
+        if tr.enabled:
+            tr.span(CAT_COPY, track, kind, op.start, op.end,
+                    args={"bytes": nbytes})
 
     @staticmethod
     def _do_copy(dst: np.ndarray, src: np.ndarray, nbytes: Optional[int]) -> int:

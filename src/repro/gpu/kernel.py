@@ -24,8 +24,8 @@ prices the launch:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
@@ -175,9 +175,15 @@ class Kernel:
         return result
 
 
-def kernel_duration(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
-                    work: KernelWork) -> float:
-    """Virtual seconds for one launch (see module docstring for the model)."""
+def kernel_cost(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
+                work: KernelWork) -> tuple[float, dict]:
+    """Virtual seconds for one launch plus the model's intermediate stats.
+
+    The stats dict (warps, busy warps, warp fill, resident warps,
+    theoretical occupancy, achieved rate) feeds trace spans so a Chrome
+    timeline can show *why* a launch took as long as it did.  See the
+    module docstring for the model itself.
+    """
     tpb = cfg.threads_per_block
     if tpb > spec.max_threads_per_block:
         raise KernelLaunchError(
@@ -198,8 +204,16 @@ def kernel_duration(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
     nonempty = warp_cost > 0
     n_warps = cfg.n_blocks * wpb
     n_nonempty = int(nonempty.sum())
+    stats = {
+        "threads": cfg.total_threads,
+        "warps": n_warps,
+        "busy_warps": n_nonempty,
+        "occupancy": occ.fraction(spec),
+        "fill": 0.0,
+        "rate": 0.0,
+    }
     if n_nonempty == 0:
-        return spec.launch_overhead_s
+        return spec.launch_overhead_s, stats
 
     fill = float(active.sum()) / (n_nonempty * warp)  # valid lanes per busy warp
     capacity = spec.sms * occ.warps_per_sm
@@ -213,4 +227,13 @@ def kernel_duration(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
         # ILP floor: every resident useful lane sustains at least `lane`
         # units/s regardless of occupancy (see GpuSpec.lane_rates).
         rate = min(peak, max(rate, lane * warp * resident * useful))
-    return spec.launch_overhead_s + warp * float(warp_cost.sum()) / rate
+    stats["fill"] = fill
+    stats["resident_warps"] = resident
+    stats["rate"] = rate
+    return spec.launch_overhead_s + warp * float(warp_cost.sum()) / rate, stats
+
+
+def kernel_duration(spec: GpuSpec, kernel: Kernel, cfg: LaunchConfig,
+                    work: KernelWork) -> float:
+    """Virtual seconds for one launch (duration part of :func:`kernel_cost`)."""
+    return kernel_cost(spec, kernel, cfg, work)[0]

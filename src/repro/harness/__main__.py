@@ -4,10 +4,17 @@ from __future__ import annotations
 
 import argparse
 import json
+import pathlib
 import sys
 
 from repro.harness.experiments import REGISTRY
 from repro.harness.report import render_table
+from repro.obs import (
+    SpanRecorder,
+    use_tracer,
+    write_chrome_trace,
+    write_trace_json,
+)
 
 
 def main(argv=None) -> int:
@@ -25,14 +32,34 @@ def main(argv=None) -> int:
                         help="emit machine-readable JSON instead of tables")
     parser.add_argument("--no-bars", action="store_true",
                         help="suppress the ASCII bar charts")
+    parser.add_argument("--trace", action="store_true",
+                        help="record an execution trace per experiment and "
+                             "write <name>.trace.json (Chrome trace_event, "
+                             "load in chrome://tracing or Perfetto) plus "
+                             "<name>.obs.json (metrics summary)")
+    parser.add_argument("--trace-dir", default=".", metavar="DIR",
+                        help="directory for trace artifacts (default: .)")
     args = parser.parse_args(argv)
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     default_scale = {"fig1": "paper", "fig4": "paper", "fig5": "small",
                      "ablations": "paper"}
+    trace_dir = pathlib.Path(args.trace_dir)
     for name in names:
         scale = args.scale or default_scale[name]
-        report = REGISTRY[name](scale=scale)
+        if args.trace:
+            trace_dir.mkdir(parents=True, exist_ok=True)
+            recorder = SpanRecorder()
+            with use_tracer(recorder):
+                report = REGISTRY[name](scale=scale)
+            chrome_path = trace_dir / f"{name}.trace.json"
+            summary_path = trace_dir / f"{name}.obs.json"
+            write_chrome_trace(recorder, chrome_path)
+            write_trace_json(recorder, summary_path)
+            report.meta["trace"] = str(chrome_path)
+            report.meta["trace_summary"] = str(summary_path)
+        else:
+            report = REGISTRY[name](scale=scale)
         if args.as_json:
             print(json.dumps(report.as_dict(), indent=2))
         else:

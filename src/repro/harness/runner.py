@@ -8,6 +8,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.tracer import Tracer, use_tracer
+
 
 @dataclass
 class Measurement:
@@ -25,9 +27,17 @@ class Measurement:
         return statistics.stdev(self.samples) if len(self.samples) > 1 else 0.0
 
 
-def measure(fn: Callable[[], float], reps: int = 1) -> Measurement:
-    """Collect ``reps`` samples of ``fn`` (fn returns the metric)."""
-    return Measurement([fn() for _ in range(reps)])
+def measure(fn: Callable[[], float], reps: int = 1,
+            tracer: Optional[Tracer] = None) -> Measurement:
+    """Collect ``reps`` samples of ``fn`` (fn returns the metric).
+
+    With a ``tracer``, every repetition runs under it (one trace run per
+    rep), so a traced experiment keeps rep boundaries in the timeline.
+    """
+    if tracer is None:
+        return Measurement([fn() for _ in range(reps)])
+    with use_tracer(tracer):
+        return Measurement([fn() for _ in range(reps)])
 
 
 @dataclass

@@ -1,0 +1,75 @@
+"""``repro.obs`` — the unified observability layer.
+
+One tracing subsystem shared by both executors behind an abstract
+:class:`~repro.obs.clock.Clock`: per-item spans (stage service, queue
+put/get wait, token gate, GPU kernel and copy-engine busy intervals),
+queue-occupancy counters, per-stage/replica latency histograms, and
+exporters to raw JSON and Chrome ``trace_event`` format.
+
+Typical use::
+
+    from repro.obs import SpanRecorder, write_chrome_trace
+    rec = SpanRecorder()
+    result = repro.run(pipeline, mode="simulated", tracer=rec)
+    write_chrome_trace(rec, "run.trace.json")   # open in chrome://tracing
+
+Tracing is zero-cost when disabled: the default tracer is
+:data:`~repro.obs.tracer.NOOP_TRACER` and every hook sits behind a
+hoisted ``enabled`` check.
+"""
+
+from repro.obs.clock import Clock, SimClock, WallClock
+from repro.obs.export import (
+    chrome_trace,
+    trace_summary,
+    write_chrome_trace,
+    write_trace_json,
+)
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.tracer import (
+    CAT_COLLECTOR,
+    CAT_COPY,
+    CAT_KERNEL,
+    CAT_QUEUE,
+    CAT_SPAR,
+    CAT_STAGE,
+    CAT_TOKEN,
+    CAT_USER,
+    NOOP_TRACER,
+    CounterEvent,
+    InstantEvent,
+    RunInfo,
+    SpanEvent,
+    SpanRecorder,
+    Tracer,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Clock",
+    "WallClock",
+    "SimClock",
+    "LatencyHistogram",
+    "Tracer",
+    "NOOP_TRACER",
+    "SpanRecorder",
+    "SpanEvent",
+    "CounterEvent",
+    "InstantEvent",
+    "RunInfo",
+    "current_tracer",
+    "use_tracer",
+    "chrome_trace",
+    "trace_summary",
+    "write_chrome_trace",
+    "write_trace_json",
+    "CAT_STAGE",
+    "CAT_QUEUE",
+    "CAT_TOKEN",
+    "CAT_COLLECTOR",
+    "CAT_KERNEL",
+    "CAT_COPY",
+    "CAT_SPAR",
+    "CAT_USER",
+]

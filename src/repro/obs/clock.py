@@ -1,0 +1,41 @@
+"""The single abstract clock behind both executors' tracing.
+
+Span timestamps must be comparable within one run but mean different
+things per executor: the native executor stamps wall-clock seconds since
+the run started (:class:`WallClock`), the simulated executor stamps the
+engine's virtual time (:class:`SimClock`).  The tracer only ever calls
+``now()``; everything downstream (histograms, Chrome export) is
+clock-agnostic.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Clock:
+    """Source of span timestamps, in seconds from the run's origin."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """Real time relative to construction (``time.perf_counter`` based)."""
+
+    def __init__(self) -> None:
+        self.origin = time.perf_counter()
+
+    def now(self) -> float:
+        return time.perf_counter() - self.origin
+
+
+class SimClock(Clock):
+    """Virtual time read from the discrete-event engine (or any callable)."""
+
+    def __init__(self, now_fn: Callable[[], float]):
+        self._now_fn = now_fn
+
+    def now(self) -> float:
+        return self._now_fn()

@@ -1,0 +1,104 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a raw summary JSON.
+
+The Chrome format (one ``{"traceEvents": [...]}`` object) loads directly
+in ``chrome://tracing`` or https://ui.perfetto.dev.  Mapping:
+
+* each executor run recorded by the tracer becomes one *process* (pid);
+* each track (stage replica, queue, GPU engine) becomes one *thread*
+  (tid), labeled via ``thread_name`` metadata events;
+* spans are complete events (``ph:"X"``), occupancy samples counter
+  events (``ph:"C"``), markers instant events (``ph:"i"``);
+* timestamps are microseconds — wall or virtual depending on the
+  executor's clock; both render fine since Chrome only needs a
+  monotonic axis.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.tracer import SpanRecorder
+
+
+def chrome_trace(recorder: SpanRecorder) -> Dict[str, Any]:
+    """Convert a recorder's events into a Chrome ``trace_event`` document."""
+    events: List[Dict[str, Any]] = []
+    tids: Dict[tuple, int] = {}
+
+    def tid_for(run: int, track: str) -> int:
+        key = (run, track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = tids[key] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": run, "tid": tid,
+                "args": {"name": track},
+            })
+        return tid
+
+    for info in recorder.runs:
+        events.append({
+            "ph": "M", "name": "process_name", "pid": info.index,
+            "args": {"name": f"{info.name} [{info.mode}]"},
+        })
+
+    for s in recorder.spans:
+        ev: Dict[str, Any] = {
+            "ph": "X", "cat": s.cat, "name": s.name, "pid": s.run,
+            "tid": tid_for(s.run, s.track),
+            "ts": s.start * 1e6, "dur": max((s.end - s.start) * 1e6, 0.0),
+        }
+        if s.args:
+            ev["args"] = s.args
+        events.append(ev)
+
+    for c in recorder.counters:
+        events.append({
+            "ph": "C", "name": c.track, "pid": c.run,
+            "ts": c.t * 1e6, "args": {c.name: c.value},
+        })
+
+    for i in recorder.instants:
+        ev = {
+            "ph": "i", "s": "t", "name": i.name, "pid": i.run,
+            "tid": tid_for(i.run, i.track), "ts": i.t * 1e6,
+        }
+        if i.args:
+            ev["args"] = i.args
+        events.append(ev)
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def trace_summary(recorder: SpanRecorder) -> Dict[str, Any]:
+    """Raw JSON-serializable dump: runs, span/counter counts, histograms."""
+    return {
+        "runs": [
+            {"index": r.index, "name": r.name, "mode": r.mode,
+             "makespan": r.makespan, **({"meta": r.meta} if r.meta else {})}
+            for r in recorder.runs
+        ],
+        "n_spans": len(recorder.spans),
+        "n_counters": len(recorder.counters),
+        "n_instants": len(recorder.instants),
+        "track_types": sorted(recorder.track_types()),
+        "histograms": {
+            f"{name}//{track}": h.as_dict()
+            for (name, track), h in sorted(recorder.histograms.items())
+        },
+    }
+
+
+def write_chrome_trace(recorder: SpanRecorder, path: str) -> str:
+    """Write the Chrome ``trace_event`` JSON to ``path``; returns it."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(chrome_trace(recorder), f)
+    return path
+
+
+def write_trace_json(recorder: SpanRecorder, path: str) -> str:
+    """Write the raw summary JSON to ``path``; returns it."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(trace_summary(recorder), f, indent=2)
+    return path

@@ -1,0 +1,99 @@
+"""Log-bucketed latency histograms aggregated per stage/replica.
+
+Service latencies in this codebase span nine orders of magnitude (a
+virtual queue op is ~25 ns, a Mandelbrot GPU batch is ~10 ms), so the
+buckets are logarithmic: bucket ``i`` holds values in
+``[LOW * GROWTH**i, LOW * GROWTH**(i+1))``.  With ``GROWTH = 2`` each
+bucket is one octave; percentile queries return the upper bound of the
+bucket that crosses the requested rank, which bounds the relative error
+by the growth factor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+#: lower bound of bucket 0 (1 ns — below any modeled latency)
+_LOW = 1e-9
+_GROWTH = 2.0
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+class LatencyHistogram:
+    """Counts of observed latencies in logarithmic buckets."""
+
+    __slots__ = ("counts", "n", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+        self.n = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+
+    @staticmethod
+    def bucket_of(value: float) -> int:
+        if value <= _LOW:
+            return 0
+        return int(math.log(value / _LOW) / _LOG_GROWTH) + 1
+
+    @staticmethod
+    def bucket_upper(index: int) -> float:
+        """Upper bound (seconds) of bucket ``index``."""
+        return _LOW * _GROWTH ** index
+
+    def add(self, value: float) -> None:
+        b = self.bucket_of(value)
+        self.counts[b] = self.counts.get(b, 0) + 1
+        if self.n == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.n += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate ``q``-th percentile (0 < q <= 100)."""
+        if not 0.0 < q <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        if self.n == 0:
+            return 0.0
+        rank = math.ceil(self.n * q / 100.0)
+        seen = 0
+        for b in sorted(self.counts):
+            seen += self.counts[b]
+            if seen >= rank:
+                return min(self.bucket_upper(b), self.max)
+        return self.max  # pragma: no cover - rank <= n always hits a bucket
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        if other.n == 0:
+            return
+        if self.n == 0 or other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self.n += other.n
+        self.total += other.total
+        for b, c in other.counts.items():
+            self.counts[b] = self.counts.get(b, 0) + c
+
+    def as_dict(self) -> Dict[str, object]:
+        buckets: List[Dict[str, float]] = [
+            {"le": self.bucket_upper(b), "count": self.counts[b]}
+            for b in sorted(self.counts)
+        ]
+        return {
+            "count": self.n,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "buckets": buckets,
+        }

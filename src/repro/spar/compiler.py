@@ -441,6 +441,41 @@ class SParCompiled:
         self.last_run = holder.get("result")
         return ret
 
+    def bind(self, *args: Any, **kwargs: Any) -> "SParInvocation":
+        """Freeze call arguments into an object :func:`repro.run` accepts.
+
+        A SPar pipeline's graph depends on the call's arguments (the
+        emitter closes over them), so the front-door protocol's
+        ``__repro_run__`` escape hatch is used instead of ``to_graph``::
+
+            result = repro.run(compiled.bind(dim, niter), mode="simulated")
+        """
+        return SParInvocation(self, args, kwargs)
+
+
+class SParInvocation:
+    """A compiled SPar function plus frozen call arguments.
+
+    Implements ``__repro_run__`` for :func:`repro.run`: executes the
+    generated driver (prologue, pipeline, epilogue) under the given
+    config and returns the pipeline's :class:`RunResult`.  The driver's
+    own return value is kept on :attr:`return_value`.
+    """
+
+    def __init__(self, compiled: SParCompiled, args: tuple, kwargs: dict):
+        self.compiled = compiled
+        self.args = args
+        self.kwargs = kwargs
+        self.return_value: Any = None
+
+    def __repro_run__(self, cfg: ExecConfig) -> RunResult:
+        self.return_value = self.compiled(
+            *self.args, _spar_config=cfg, **self.kwargs)
+        result = self.compiled.last_run
+        if result is None:  # pragma: no cover - driver always runs the pipeline
+            raise RuntimeError("SPar driver finished without running its pipeline")
+        return result
+
 
 def parallelize(func: Optional[Callable] = None, *,
                 config: Optional[ExecConfig] = None,

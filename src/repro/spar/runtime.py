@@ -8,12 +8,13 @@ an ordered farm.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core.config import ExecConfig
 from repro.core.items import EOS
 from repro.core.metrics import RunResult
 from repro.fastflow import ff_farm, ff_node, ff_ofarm, ff_pipeline
+from repro.obs.tracer import CAT_SPAR, current_tracer
 from repro.spar.errors import SParSemanticError
 
 #: (stage_fn, resolved replicate count, ordered[, target])
@@ -124,6 +125,8 @@ class _GpuStageFnNode(ff_node):
             self.support.cuda_runtime().set_device(self.device_index)
 
     def svc(self, item):
+        tr = current_tracer()
+        t0 = tr.now() if tr.enabled else 0.0
         if self.target == "cuda":
             cuda = self.support.cuda_runtime()
             cuda.set_device(self.device_index)
@@ -136,6 +139,10 @@ class _GpuStageFnNode(ff_node):
                                    queue=ctx.create_queue(dev))
         result = self.fn(item, spar_gpu=handle)
         handle.synchronize()
+        if tr.enabled:
+            tr.span(CAT_SPAR, f"spar_gpu[{self.get_my_id}]",
+                    f"{self.target}_stage", t0, tr.now(),
+                    args={"device": self.device_index})
         return result
 
 

@@ -13,6 +13,7 @@ The pieces the paper relies on are here with their TBB names:
 """
 
 from repro.tbb.pipeline import (
+    filter_chain,
     filter_mode,
     flow_control,
     global_control,
@@ -28,6 +29,7 @@ __all__ = [
     "filter_mode",
     "flow_control",
     "make_filter",
+    "filter_chain",
     "parallel_pipeline",
     "global_control",
     "blocked_range",

@@ -23,13 +23,12 @@ from __future__ import annotations
 
 import enum
 import threading
-from dataclasses import replace
 from typing import Any, Callable, Iterator, List, Optional
 
-from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.config import ExecConfig, Scheduling
 from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
 from repro.core.metrics import RunResult
-from repro.core.run import run_graph
+from repro.core.run import run
 from repro.core.stage import FunctionStage, Source, StageContext
 
 
@@ -149,6 +148,46 @@ def _pipeline_graph(filters: tuple[_Filter, ...], parallelism: int,
     return g
 
 
+class filter_chain:
+    """A declarative TBB pipeline: token budget plus a filter sequence.
+
+    The object form of :func:`parallel_pipeline` — build it once, then
+    hand it to :func:`repro.run` (it implements the ``to_graph()`` /
+    ``__repro_config__`` protocol)::
+
+        chain = filter_chain(38, make_filter(...), make_filter(...))
+        result = repro.run(chain, mode="simulated")
+
+    ``parallelism`` sizes parallel filters; it defaults to the active
+    :class:`global_control` value at lowering time, else the configured
+    machine's hardware threads.
+    """
+
+    def __init__(self, max_number_of_live_tokens: int, *filters: _Filter,
+                 parallelism: Optional[int] = None, name: str = "tbb_pipeline"):
+        if max_number_of_live_tokens < 1:
+            raise ValueError("max_number_of_live_tokens must be >= 1")
+        self.max_tokens = max_number_of_live_tokens
+        self.filters = tuple(filters)
+        self.parallelism = parallelism
+        self.name = name
+        #: width resolved by the last __repro_config__ call (the machine
+        #: in play is only known once a config exists)
+        self._width: Optional[int] = None
+
+    def __repro_config__(self, cfg: ExecConfig) -> ExecConfig:
+        """TBB's token gate, applied when run through ``repro.run``."""
+        self._width = (self.parallelism or global_control.active_parallelism()
+                       or cfg.machine.cpu.threads)
+        return cfg.replace(max_tokens=self.max_tokens)
+
+    def to_graph(self) -> PipelineGraph:
+        width = (self._width or self.parallelism
+                 or global_control.active_parallelism()
+                 or ExecConfig().machine.cpu.threads)
+        return _pipeline_graph(self.filters, width, self.name)
+
+
 def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
                       config: Optional[ExecConfig] = None,
                       parallelism: Optional[int] = None,
@@ -158,10 +197,6 @@ def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
     ``parallelism`` defaults to the active :class:`global_control` value,
     else the configured machine's hardware threads.
     """
-    if max_number_of_live_tokens < 1:
-        raise ValueError("max_number_of_live_tokens must be >= 1")
-    cfg = config if config is not None else ExecConfig()
-    width = parallelism or global_control.active_parallelism() or cfg.machine.cpu.threads
-    graph = _pipeline_graph(tuple(filters), width, name)
-    cfg = replace(cfg, max_tokens=max_number_of_live_tokens)
-    return run_graph(graph, cfg)
+    chain = filter_chain(max_number_of_live_tokens, *filters,
+                         parallelism=parallelism, name=name)
+    return run(chain, config)

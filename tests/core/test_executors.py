@@ -15,7 +15,7 @@ from hypothesis import strategies as st
 from repro.core.config import ExecConfig, ExecMode, Scheduling
 from repro.core.graph import StageSpec, linear_graph
 from repro.core.items import Multi
-from repro.core.run import run_graph
+from repro.core.run import execute
 from repro.core.stage import FunctionStage, IterSource, Source, Stage
 
 MODES = [ExecMode.NATIVE, ExecMode.SIMULATED]
@@ -25,7 +25,7 @@ def both_modes(graph_factory, **cfg_kwargs):
     outs = []
     for mode in MODES:
         g = graph_factory()
-        r = run_graph(g, ExecConfig(mode=mode, **cfg_kwargs))
+        r = execute(g, ExecConfig(mode=mode, **cfg_kwargs))
         outs.append(r.outputs)
     assert outs[0] == outs[1], "native and simulated outputs diverge"
     return outs[0]
@@ -50,7 +50,7 @@ class _Expander(Stage):
 @pytest.mark.parametrize("replicas", [1, 3])
 def test_identity_pipeline(mode, replicas):
     g = linear_graph(IterSource(range(50)), StageSpec(_Square, "sq", replicas=replicas))
-    r = run_graph(g, ExecConfig(mode=mode))
+    r = execute(g, ExecConfig(mode=mode))
     assert r.outputs == [i * i for i in range(50)]
     assert r.items_emitted == 50
 
@@ -87,7 +87,7 @@ def test_unordered_farm_delivers_all_items(mode):
         StageSpec(_Square, "sq", replicas=4, ordered=False),
         StageSpec(FunctionStage(lambda x: x), "sink"),
     )
-    r = run_graph(g, ExecConfig(mode=mode))
+    r = execute(g, ExecConfig(mode=mode))
     assert sorted(r.outputs) == sorted(i * i for i in range(64))
 
 
@@ -99,7 +99,7 @@ def test_scheduling_policies_preserve_results(mode, sched):
         StageSpec(_Square, "sq", replicas=3),
         StageSpec(FunctionStage(lambda x: x), "sink"),
     )
-    r = run_graph(g, ExecConfig(mode=mode, scheduling=sched))
+    r = execute(g, ExecConfig(mode=mode, scheduling=sched))
     assert r.outputs == [i * i for i in range(40)]
 
 
@@ -111,7 +111,7 @@ def test_farm_to_farm_needs_sequencer(mode):
         StageSpec(FunctionStage(lambda x: x + 1), "b", replicas=2),
         StageSpec(FunctionStage(lambda x: x), "sink"),
     )
-    r = run_graph(g, ExecConfig(mode=mode, max_tokens=16))
+    r = execute(g, ExecConfig(mode=mode, max_tokens=16))
     assert r.outputs == [i * i + 1 for i in range(48)]
 
 
@@ -121,7 +121,7 @@ def test_last_stage_replicated_ordered(mode):
         IterSource(range(32)),
         StageSpec(_Square, "sq", replicas=4),
     )
-    r = run_graph(g, ExecConfig(mode=mode))
+    r = execute(g, ExecConfig(mode=mode))
     assert r.outputs == [i * i for i in range(32)]
 
 
@@ -135,7 +135,7 @@ def test_stage_exception_propagates(mode):
 
     g = linear_graph(IterSource(range(100)), StageSpec(Boom, "boom", replicas=3))
     with pytest.raises(RuntimeError, match="unlucky"):
-        run_graph(g, ExecConfig(mode=mode, queue_capacity=4))
+        execute(g, ExecConfig(mode=mode, queue_capacity=4))
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -147,7 +147,7 @@ def test_source_exception_propagates(mode):
 
     g = linear_graph(BadSource(), StageSpec(_Square, "sq"))
     with pytest.raises(ValueError, match="source died"):
-        run_graph(g, ExecConfig(mode=mode))
+        execute(g, ExecConfig(mode=mode))
 
 
 @pytest.mark.parametrize("mode", MODES)
@@ -170,7 +170,7 @@ def test_on_start_on_end_called_per_replica(mode):
 
     g = linear_graph(IterSource(range(10)), StageSpec(Hooked, "h", replicas=3),
                      StageSpec(FunctionStage(lambda x: x), "sink"))
-    run_graph(g, ExecConfig(mode=mode))
+    execute(g, ExecConfig(mode=mode))
     assert sorted(e for e in events if e[0] == "start") == [("start", i) for i in range(3)]
     assert sorted(e for e in events if e[0] == "end") == [("end", i) for i in range(3)]
 
@@ -190,7 +190,7 @@ def test_on_end_outputs_flow_downstream(mode):
 
     g = linear_graph(IterSource(range(10)), StageSpec(Summer, "sum"),
                      StageSpec(FunctionStage(lambda x: x), "sink"))
-    r = run_graph(g, ExecConfig(mode=mode))
+    r = execute(g, ExecConfig(mode=mode))
     assert r.outputs == [("sum", 45)]
 
 
@@ -215,7 +215,7 @@ def test_token_limit_bounds_in_flight():
 
     g = linear_graph(IterSource(range(20)), StageSpec(Probe, "p", replicas=4),
                      StageSpec(FunctionStage(lambda x: x), "sink"))
-    r = run_graph(g, ExecConfig(mode=ExecMode.NATIVE, max_tokens=1))
+    r = execute(g, ExecConfig(mode=ExecMode.NATIVE, max_tokens=1))
     assert r.outputs == list(range(20))
     assert max(peak) == 1
 
@@ -230,7 +230,7 @@ def test_simulated_makespan_scales_with_replicas():
         g = linear_graph(IterSource(range(64)),
                          StageSpec(Costly, "c", replicas=replicas),
                          StageSpec(FunctionStage(lambda x: x), "sink"))
-        return run_graph(g, ExecConfig(mode=ExecMode.SIMULATED)).makespan
+        return execute(g, ExecConfig(mode=ExecMode.SIMULATED)).makespan
 
     t1, t8 = run_with(1), run_with(8)
     assert t1 / t8 == pytest.approx(8.0, rel=0.15)
@@ -246,7 +246,7 @@ def test_simulated_run_is_deterministic():
         g = linear_graph(IterSource(range(100)),
                          StageSpec(Costly, "c", replicas=5),
                          StageSpec(FunctionStage(lambda x: x), "sink"))
-        return run_graph(g, ExecConfig(mode=ExecMode.SIMULATED)).makespan
+        return execute(g, ExecConfig(mode=ExecMode.SIMULATED)).makespan
 
     assert once() == once()
 
@@ -260,14 +260,14 @@ def test_property_pipeline_is_order_preserving_map(items, replicas, tokens):
         StageSpec(_Square, "sq", replicas=replicas),
         StageSpec(FunctionStage(lambda x: x), "sink"),
     )
-    r = run_graph(g, ExecConfig(mode=ExecMode.SIMULATED, max_tokens=tokens))
+    r = execute(g, ExecConfig(mode=ExecMode.SIMULATED, max_tokens=tokens))
     assert r.outputs == [i * i for i in items]
 
 
 def test_metrics_recorded_per_stage():
     g = linear_graph(IterSource(range(25)), StageSpec(_Square, "sq", replicas=2),
                      StageSpec(FunctionStage(lambda x: x), "sink"))
-    r = run_graph(g, ExecConfig(mode=ExecMode.SIMULATED))
+    r = execute(g, ExecConfig(mode=ExecMode.SIMULATED))
     m = r.stage_metrics["sq"]
     assert m.items_in == 25 and m.items_out == 25
     assert r.stage_metrics["sink"].items_in == 25

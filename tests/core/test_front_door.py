@@ -1,0 +1,183 @@
+"""repro.run(): one entry point for every programming model.
+
+The acceptance scenario: the same Mandelbrot-shaped work expressed with
+the SPar, TBB, and FastFlow front-ends all executes through
+``repro.run()`` with no runtime-specific glue.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.run import run_graph
+from repro.core.stage import FunctionStage, IterSource
+from repro.fastflow import ff_node, ff_pipeline
+from repro.obs import CAT_STAGE, SpanRecorder
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+from repro.tbb import filter_chain, filter_mode, make_filter
+
+DIM = 16
+NITER = 30
+
+
+def _mandel_line(y):
+    """One line of the escape-time fractal (the paper's per-line item)."""
+    im = -1.0 + 2.0 * y / DIM
+    line = np.zeros(DIM, dtype=np.int32)
+    for x in range(DIM):
+        c = complex(-2.0 + 3.0 * x / DIM, im)
+        z = 0j
+        for it in range(NITER):
+            z = z * z + c
+            if abs(z) > 2.0:
+                break
+        line[x] = it
+    return line
+
+
+EXPECTED = [_mandel_line(y) for y in range(DIM)]
+
+
+def _check(rows):
+    assert len(rows) == DIM
+    for y, line in sorted(rows):
+        assert np.array_equal(line, EXPECTED[y])
+
+
+# -- plain graph ----------------------------------------------------------
+
+def _graph():
+    return linear_graph(
+        IterSource(range(DIM)),
+        StageSpec(FunctionStage(lambda y: (y, _mandel_line(y))), "mandel",
+                  replicas=2),
+        StageSpec(FunctionStage(lambda t: t), "sink"),
+    )
+
+
+def test_run_plain_graph():
+    r = repro.run(_graph(), mode="simulated")
+    assert r.items_emitted == DIM
+    _check(r.outputs)
+
+
+def test_run_mode_strings_and_overrides():
+    r = repro.run(_graph(), mode="native", queue_capacity=4)
+    assert r.mode == "native"
+    with pytest.raises(ValueError, match="unknown execution mode"):
+        repro.run(_graph(), mode="warp-speed")
+
+
+def test_run_tracer_kwarg_installs_tracer():
+    rec = SpanRecorder()
+    repro.run(_graph(), mode="simulated", tracer=rec)
+    assert rec.spans_by_cat(CAT_STAGE)
+
+
+def test_run_rejects_unknown_target():
+    with pytest.raises(TypeError, match="repro.run"):
+        repro.run(42)
+
+
+def test_run_graph_deprecated_but_works():
+    with pytest.warns(DeprecationWarning, match="run_graph"):
+        r = run_graph(_graph(), ExecConfig(mode=ExecMode.SIMULATED))
+    assert r.items_emitted == DIM
+
+
+# -- FastFlow front-end ---------------------------------------------------
+
+class _FFSource(ff_node):
+    def __init__(self):
+        super().__init__()
+        self.y = 0
+
+    def svc(self, _):
+        from repro.core.items import EOS
+
+        if self.y >= DIM:
+            return EOS
+        y, self.y = self.y, self.y + 1
+        return y
+
+
+class _FFMandel(ff_node):
+    def svc(self, y):
+        return (y, _mandel_line(y))
+
+
+class _FFSink(ff_node):
+    def __init__(self, out):
+        super().__init__()
+        self.out = out
+
+    def svc(self, t):
+        self.out.append(t)
+        return None
+
+
+def test_run_fastflow_pipeline():
+    out = []
+    pipe = ff_pipeline(_FFSource(), _FFMandel(), _FFSink(out))
+    pipe.set_queue_capacity(8)
+    r = repro.run(pipe, mode="simulated")
+    assert r.items_emitted == DIM
+    _check(out)
+
+
+# -- TBB front-end --------------------------------------------------------
+
+def test_run_tbb_filter_chain():
+    out = []
+    ys = iter(range(DIM))
+
+    def src(fc):
+        y = next(ys, None)
+        if y is None:
+            fc.stop()
+            return None
+        return y
+
+    chain = filter_chain(
+        8,
+        make_filter(filter_mode.serial_in_order, src),
+        make_filter(filter_mode.parallel, lambda y: (y, _mandel_line(y))),
+        make_filter(filter_mode.serial_in_order, out.append),
+        parallelism=2,
+    )
+    r = repro.run(chain, mode="simulated")
+    assert r.items_emitted == DIM
+    _check(out)
+    # the chain's token budget reached the executor via __repro_config__
+    assert r.details.get("max_tokens", 8) == 8
+
+
+# -- SPar front-end -------------------------------------------------------
+
+@parallelize
+def spar_mandel(dim, sink):
+    with ToStream(Input('dim', 'sink')):
+        for y in range(dim):
+            with Stage(Input('y'), Output('line'), Replicate(2)):
+                line = _mandel_line(y)
+            with Stage(Input('y', 'line')):
+                sink.append((y, line))
+
+
+def test_run_spar_bound_invocation():
+    sink = []
+    inv = spar_mandel.bind(DIM, sink)
+    r = repro.run(inv, mode="simulated")
+    assert r.items_emitted == DIM
+    _check(sink)
+    assert spar_mandel.last_run is r
+
+
+def test_spar_bind_reuses_cleanly():
+    s1, s2 = [], []
+    repro.run(spar_mandel.bind(DIM, s1), mode="simulated")
+    repro.run(spar_mandel.bind(DIM, s2), mode="simulated")
+    _check(s1)
+    _check(s2)

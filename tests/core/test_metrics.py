@@ -1,0 +1,80 @@
+"""StageMetrics / RunResult edge cases."""
+
+import pytest
+
+from repro.core.metrics import RunResult, StageMetrics
+
+
+def test_empty_stage_service_min_is_zero():
+    m = StageMetrics("idle")
+    assert m.service_min == 0.0
+    assert m.service_mean == 0.0
+    assert m.service_max == 0.0
+
+
+def test_record_tracks_min_even_above_zero():
+    m = StageMetrics("s")
+    m.record(5.0, 1)
+    assert m.service_min == 5.0  # first sample sets the min outright
+    m.record(2.0, 1)
+    m.record(9.0, 1)
+    assert m.service_min == 2.0
+    assert m.service_max == 9.0
+    assert m.service_mean == pytest.approx(16.0 / 3)
+
+
+def test_merge_with_empty_sides():
+    busy = StageMetrics("s")
+    busy.record(3.0, 1)
+    idle = StageMetrics("s")
+
+    # empty <- busy adopts the busy min (not min(0.0, 3.0) == 0.0)
+    acc = StageMetrics("s")
+    acc.merge(busy)
+    assert acc.service_min == 3.0
+    assert acc.items_in == 1
+
+    # busy <- empty keeps the busy min untouched
+    busy.merge(idle)
+    assert busy.service_min == 3.0
+    assert busy.items_in == 1
+
+
+def test_merge_takes_true_min_and_max():
+    a = StageMetrics("s")
+    a.record(4.0, 1)
+    b = StageMetrics("s")
+    b.record(1.0, 1)
+    b.record(7.0, 1)
+    a.merge(b)
+    assert a.service_min == 1.0
+    assert a.service_max == 7.0
+    assert a.items_in == 3
+    assert a.busy_time == pytest.approx(12.0)
+
+
+def test_throughput_zero_makespan():
+    r = RunResult(makespan=0.0, items_emitted=100)
+    assert r.throughput() == 0.0
+    assert r.throughput(units=1e6) == 0.0
+
+
+def test_throughput_items_and_units():
+    r = RunResult(makespan=2.0, items_emitted=100)
+    assert r.throughput() == pytest.approx(50.0)
+    assert r.throughput(units=8.0) == pytest.approx(4.0)
+
+
+def test_bottleneck_normalizes_by_replicas():
+    r = RunResult(makespan=1.0)
+    fat = StageMetrics("fat", replicas=4)
+    for _ in range(4):
+        fat.record(1.0, 1)          # 4s busy over 4 replicas -> 1s each
+    thin = StageMetrics("thin", replicas=1)
+    thin.record(2.0, 1)             # 2s busy on one replica
+    r.stage_metrics = {"fat": fat, "thin": thin}
+    assert r.bottleneck() == "thin"
+
+
+def test_bottleneck_empty_metrics():
+    assert RunResult(makespan=1.0).bottleneck() is None

@@ -5,7 +5,7 @@ import pytest
 from repro.apps.datasets import DatasetSpec
 from repro.core.config import ExecConfig
 from repro.core.metrics import RunResult
-from repro.core.run import run_graph
+from repro.core.run import execute
 
 
 def test_fig4_small_scale_facts():
@@ -40,7 +40,7 @@ def test_run_graph_rejects_unknown_mode():
     object.__setattr__(cfg, "mode", "bogus") if hasattr(cfg, "__dataclass_fields__") else None
     cfg.mode = "bogus"
     with pytest.raises(ValueError, match="unknown execution mode"):
-        run_graph(g, cfg)
+        execute(g, cfg)
 
 
 def test_run_result_throughput_and_units():

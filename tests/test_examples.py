@@ -1,18 +1,21 @@
 """Smoke tests: every example script runs to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
-
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
 
 def run_example(name, *args, timeout=600, cwd=None):
+    # An absolute PYTHONPATH so examples import repro regardless of cwd
+    # (the inherited value may be the relative "src").
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(EXAMPLES.parent / "src")
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout, cwd=cwd,
+        capture_output=True, text=True, timeout=timeout, cwd=cwd, env=env,
     )
     assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
     return proc.stdout
@@ -35,6 +38,13 @@ def test_mandelbrot_example(tmp_path):
                       "--workers", "3", cwd=tmp_path)
     assert "bit-identical" in out
     assert "SPar+CUDA hybrid" in out
+
+
+def test_trace_pipeline_example(tmp_path):
+    out = run_example("trace_pipeline.py", cwd=tmp_path)
+    assert "queue occupancy over time" in out
+    assert "bottleneck stage: heavy" in out
+    assert (tmp_path / "trace_pipeline.trace.json").exists()
 
 
 def test_dedup_example():
