@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""Pipeline throughput benchmark -> BENCH_pipeline.json.
+
+Runs the micro pipeline scenario (see ``test_bench_pipeline_item_rate``
+in ``benchmarks/test_micro.py``) through every runtime front-end — the
+core IR on both executors, FastFlow, TBB and SPar — plus the nested
+farm-of-pipelines topology, and writes throughput + makespan per runtime
+so CI tracks the perf trajectory over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py \
+        [--items 500] [--replicas 4] [--out BENCH_pipeline.json]
+
+Self-contained on purpose: no pytest-benchmark dependency, stdlib only,
+so the CI step is a plain script invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
+from repro.core.run import execute
+from repro.core.stage import FunctionStage, IterSource
+
+
+def _flat_graph(items: int, replicas: int):
+    return linear_graph(
+        IterSource(range(items)),
+        StageSpec(FunctionStage(lambda x: x + 1), "inc", replicas=replicas),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def _nested_graph(items: int, replicas: int):
+    worker = Pipe(StageSpec(FunctionStage(lambda x: x + 1), "inc"),
+                  StageSpec(FunctionStage(lambda x: x * 2), "dbl"))
+    return linear_graph(
+        IterSource(range(items)),
+        Farm(worker, replicas=replicas, ordered=True),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def _run_core(items: int, replicas: int, mode: ExecMode, topology: str):
+    graph = (_flat_graph if topology == "flat" else _nested_graph)(
+        items, replicas)
+    wall0 = time.perf_counter()
+    result = execute(graph, ExecConfig(mode=mode))
+    wall = time.perf_counter() - wall0
+    assert result.items_emitted == items
+    return result.makespan, wall
+
+
+def _run_fastflow(items: int, replicas: int, mode: ExecMode, topology: str):
+    from repro.fastflow import EOS, ff_node, ff_ofarm, ff_pipeline
+
+    class Emit(ff_node):
+        def __init__(self, n):
+            super().__init__()
+            self.n, self.i = n, 0
+
+        def svc(self, _):
+            if self.i >= self.n:
+                return EOS
+            self.i += 1
+            return self.i - 1
+
+    class Inc(ff_node):
+        def svc(self, x):
+            return x + 1
+
+    class Dbl(ff_node):
+        def svc(self, x):
+            return x * 2
+
+    class Sink(ff_node):
+        def svc(self, x):
+            return None
+
+    if topology == "flat":
+        farm = ff_ofarm(Inc, replicas=replicas)
+    else:
+        farm = ff_ofarm(lambda: ff_pipeline(Inc(), Dbl()), replicas=replicas)
+    pipe = ff_pipeline(Emit(items), farm, Sink())
+    wall0 = time.perf_counter()
+    result = pipe.run_and_wait_end(ExecConfig(mode=mode))
+    wall = time.perf_counter() - wall0
+    assert result.items_emitted == items
+    return result.makespan, wall
+
+
+def _run_tbb(items: int, replicas: int, mode: ExecMode, topology: str):
+    from repro.tbb import filter_chain, filter_mode, make_filter
+    from repro.core.run import run
+
+    state = {"i": 0}
+
+    def source(fc):
+        if state["i"] >= items:
+            fc.stop()
+            return None
+        state["i"] += 1
+        return state["i"] - 1
+
+    chain = filter_chain(
+        2 * replicas,
+        make_filter(filter_mode.serial_in_order, source, name="input"),
+        make_filter(filter_mode.parallel, lambda x: x + 1, name="inc"),
+        make_filter(filter_mode.serial_in_order, lambda x: x, name="sink"),
+        parallelism=replicas,
+    )
+    wall0 = time.perf_counter()
+    result = run(chain, ExecConfig(mode=mode))
+    wall = time.perf_counter() - wall0
+    assert result.items_emitted == items
+    return result.makespan, wall
+
+
+def _spar_bench_body(n, sink, replicas):
+    # module-level: SPar's source-to-source compiler rejects closures
+    from repro.spar import Input, Output, Replicate, Stage, ToStream
+
+    with ToStream(Input('n', 'sink', 'replicas')):
+        for i in range(n):
+            with Stage(Input('i'), Output('v'), Replicate('replicas')):
+                v = i + 1
+            with Stage(Input('v')):
+                sink.append(v)
+
+
+_SPAR_COMPILED = None
+
+
+def _run_spar(items: int, replicas: int, mode: ExecMode, topology: str):
+    from repro.spar import parallelize
+
+    global _SPAR_COMPILED
+    if _SPAR_COMPILED is None:
+        _SPAR_COMPILED = parallelize(_spar_bench_body)
+    sink = []
+    wall0 = time.perf_counter()
+    _SPAR_COMPILED(items, sink, replicas, _spar_config=ExecConfig(mode=mode))
+    wall = time.perf_counter() - wall0
+    result = _SPAR_COMPILED.last_run
+    assert result.items_emitted == items
+    return result.makespan, wall
+
+
+SCENARIOS = [
+    # (runtime, topology, runner, supports_nested)
+    ("core", "flat", _run_core),
+    ("core", "farm-of-pipelines", _run_core),
+    ("fastflow", "flat", _run_fastflow),
+    ("fastflow", "farm-of-pipelines", _run_fastflow),
+    ("tbb", "flat", _run_tbb),
+    ("spar", "flat", _run_spar),
+]
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--items", type=int, default=500)
+    ap.add_argument("--replicas", type=int, default=4)
+    ap.add_argument("--out", default="BENCH_pipeline.json")
+    args = ap.parse_args(argv)
+
+    rows = []
+    for runtime, topology, runner in SCENARIOS:
+        for mode in (ExecMode.NATIVE, ExecMode.SIMULATED):
+            makespan, wall = runner(args.items, args.replicas, mode, topology)
+            rows.append({
+                "runtime": runtime,
+                "topology": topology,
+                "mode": mode.value,
+                "items": args.items,
+                "replicas": args.replicas,
+                "makespan_s": makespan,
+                "throughput_items_per_s": (args.items / makespan
+                                           if makespan > 0 else None),
+                "wall_seconds": wall,
+            })
+            print(f"{runtime:9s} {topology:18s} {mode.value:9s} "
+                  f"makespan={makespan:.6f}s wall={wall:.3f}s")
+
+    doc = {
+        "benchmark": "pipeline",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": rows,
+    }
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2)
+    print(f"wrote {args.out} ({len(rows)} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,7 +32,7 @@ from repro.apps.dedup.container import (
     restore,
     verify_archive,
 )
-from repro.apps.dedup.pipeline_cpu import dedup_cpu
+from repro.apps.dedup.pipeline_cpu import dedup_cpu, dedup_cpu_nested
 from repro.apps.dedup.pipeline_gpu import dedup_gpu
 
 __all__ = [
@@ -49,5 +49,6 @@ __all__ = [
     "restore",
     "verify_archive",
     "dedup_cpu",
+    "dedup_cpu_nested",
     "dedup_gpu",
 ]

@@ -25,6 +25,7 @@ from repro.apps.dedup.sha1 import sha1_fast, sha1_work_units
 from repro.apps.lzss.reference import compress_block
 from repro.core.config import ExecConfig
 from repro.core.metrics import RunResult
+from repro.fastflow import EOS, ff_node, ff_ofarm, ff_pipeline
 from repro.sim.context import charge_cpu
 from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
 
@@ -120,3 +121,93 @@ def dedup_cpu(data: bytes, replicas: int = 19, chunker=None,
                 _spar_config=config)
     return DedupOutcome(archive=writer.archive, result=_spar_dedup.last_run,
                         store=store)
+
+
+# ---------------------------------------------------------------------------
+# FastFlow farm-of-pipelines version (nested composition)
+# ---------------------------------------------------------------------------
+
+class _BatchEmitter(ff_node):
+    """Stage 1: the fragmenting emitter (owns the Rabin cost)."""
+
+    def __init__(self, batches: List[Batch]):
+        super().__init__()
+        self.batches = batches
+        self.i = 0
+
+    def svc(self, _):
+        if self.i >= len(self.batches):
+            return EOS
+        batch = self.batches[self.i]
+        self.i += 1
+        self.charge("rabin_byte", len(batch.data))
+        return batch
+
+
+class _HashNode(ff_node):
+    """Worker chain stage a: SHA-1 + duplicate check per block."""
+
+    def __init__(self, store: ChunkStore):
+        super().__init__()
+        self.store = store
+
+    def svc(self, batch: Batch):
+        blocks = batch.blocks()
+        self.charge("sha1_byte", float(sha1_work_units(blocks).sum()))
+        tagged = []
+        for blk in blocks:
+            digest = sha1_fast(blk)
+            dup, _ = self.store.check(digest, len(blk))
+            tagged.append((digest, blk, dup))
+        return tagged
+
+
+class _CompressNode(ff_node):
+    """Worker chain stage b: LZSS for the blocks stage a deemed unique."""
+
+    def svc(self, tagged) -> List[BlockResult]:
+        return [
+            (digest, blk,
+             None if dup else compress_block(blk, 0, len(blk)))
+            for digest, blk, dup in tagged
+        ]
+
+
+class _WriterNode(ff_node):
+    """Stage 3: order-authoritative writer (after the ordered collector)."""
+
+    def __init__(self, writer: StreamWriter):
+        super().__init__()
+        self.writer = writer
+
+    def svc(self, results):
+        self.writer.write(results)
+        return None
+
+
+def dedup_cpu_nested(data: bytes, replicas: int = 19, chunker=None,
+                     config: Optional[ExecConfig] = None,
+                     prechunked: Optional[List[Batch]] = None) -> DedupOutcome:
+    """Dedup as a FastFlow farm-of-pipelines.
+
+    Same three logical stages as :func:`dedup_cpu`, but stage 2 is split
+    into its two natural phases — hash/duplicate-check and compress —
+    composed as a worker *pipeline* replicated by an ordered farm::
+
+        emitter -> ofarm( hash -> compress ) x replicas -> writer
+
+    Each replica runs a private hash->compress chain; the ordered farm
+    restores stream order before the writer, so the output archive is
+    byte-identical in restore to the sequential baseline.
+    """
+    ck = chunker if chunker is not None else GearChunker()
+    batches = prechunked if prechunked is not None else make_batches(data, ck)
+    store = ChunkStore()
+    writer = StreamWriter()
+    farm = ff_ofarm(
+        lambda: ff_pipeline(_HashNode(store), _CompressNode(), name="worker"),
+        replicas=replicas, name="dedup_worker")
+    pipe = ff_pipeline(_BatchEmitter(batches), farm, _WriterNode(writer),
+                       name="dedup_nested")
+    result = pipe.run_and_wait_end(config)
+    return DedupOutcome(archive=writer.archive, result=result, store=store)

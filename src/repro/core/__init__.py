@@ -1,12 +1,18 @@
 """Core stream-processing runtime shared by the programming-model facades.
 
 The FastFlow, TBB and SPar front-ends (:mod:`repro.fastflow`,
-:mod:`repro.tbb`, :mod:`repro.spar`) all lower to the pipeline graph
-defined here.  A graph is a linear chain: one source followed by stages,
-any of which may be replicated (a *farm* in FastFlow terms, a *parallel
-filter* in TBB terms, ``spar::Replicate`` in SPar terms).
+:mod:`repro.tbb`, :mod:`repro.spar`) all lower to the composable graph
+IR defined here: a source followed by :class:`~repro.core.graph.Pipe`,
+:class:`~repro.core.graph.Farm` and leaf
+:class:`~repro.core.graph.StageSpec` nodes.  A farm replicates its
+worker — a leaf or a whole pipeline (farm-of-pipelines) — over the
+stream (a *farm* in FastFlow terms, a *parallel filter* in TBB terms,
+``spar::Replicate`` in SPar terms).
 
-Graphs run on one of two executors sharing identical semantics:
+Any graph is lowered once by :func:`~repro.core.plan.build_plan` into an
+:class:`~repro.core.plan.ExecutionPlan` — the explicit list of worker
+units, channels and sequencer points — which both executors consume with
+identical semantics:
 
 * :class:`~repro.core.executor_native.NativeExecutor` — real Python
   threads and bounded queues; used for functional testing and genuinely
@@ -18,10 +24,19 @@ Graphs run on one of two executors sharing identical semantics:
 
 from repro.core.items import EOS, Multi, is_eos
 from repro.core.stage import FunctionStage, IterSource, Source, Stage, StageContext
-from repro.core.graph import PipelineGraph, SourceSpec, StageSpec, linear_graph
+from repro.core.graph import (
+    Farm,
+    GraphError,
+    Pipe,
+    PipelineGraph,
+    SourceSpec,
+    StageSpec,
+    linear_graph,
+)
 from repro.core.config import ExecConfig, ExecMode, Scheduling
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import ReorderBuffer
+from repro.core.plan import ExecutionPlan, build_plan
 from repro.core.run import execute, run, run_graph
 
 __all__ = [
@@ -35,8 +50,13 @@ __all__ = [
     "StageContext",
     "PipelineGraph",
     "linear_graph",
+    "Pipe",
+    "Farm",
+    "GraphError",
     "StageSpec",
     "SourceSpec",
+    "ExecutionPlan",
+    "build_plan",
     "ExecConfig",
     "ExecMode",
     "Scheduling",

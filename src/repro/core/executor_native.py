@@ -1,10 +1,9 @@
-"""Threaded executor: runs a pipeline graph on real Python threads.
+"""Threaded executor: runs an execution plan on real Python threads.
 
-Lowering (mirrors FastFlow's): one thread for the source, one per stage
-replica, plus an implicit *sequencer* thread between two consecutive
-replicated stages when the upstream one is ordered.  Edges are bounded
-queues; a replicated stage's input edge is either one shared queue
-(on-demand scheduling) or one queue per replica fed round-robin.
+The lowering itself lives in :mod:`repro.core.plan` — this executor
+consumes an :class:`~repro.core.plan.ExecutionPlan` verbatim: one thread
+per plan unit (source, every stage replica, every implicit sequencer),
+one bounded-queue :class:`Edge` per channel spec.
 
 Internal protocol: payloads travel in :class:`Env` envelopes —
 ``(seq, payloads_tuple)``.  Every stage consumes one envelope and emits
@@ -26,12 +25,13 @@ import threading
 import time
 from typing import Any, List, Optional, Sequence
 
-from repro.core.config import ExecConfig, Scheduling
-from repro.core.graph import PipelineGraph, StageSpec
+from repro.core.config import ExecConfig
+from repro.core.graph import PipelineGraph
 from repro.core.items import EOS, Multi
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
-from repro.core.stage import StageContext
+from repro.core.plan import ExecutionPlan, SequencerUnit, StageUnit, build_plan
+from repro.core.stage import Stage, StageContext
 from repro.obs.clock import WallClock
 from repro.obs.tracer import (
     CAT_COLLECTOR,
@@ -192,9 +192,9 @@ def _normalize_outputs(result: Any) -> tuple[Any, ...]:
 
 class NativeExecutor:
     def __init__(self, graph: PipelineGraph, config: ExecConfig):
-        graph.validate()
         self.graph = graph
         self.config = config
+        self.plan: ExecutionPlan = build_plan(graph, config)
         self._errors = _ErrorBox()
         self._tokens = _TokenPool(config.max_tokens, self._errors)
         self._metrics_lock = threading.Lock()
@@ -216,15 +216,13 @@ class NativeExecutor:
                 self._metrics[name] = m
             m.record(service, emitted)
 
-    def _scheduling_for(self, spec: StageSpec) -> Scheduling:
-        return spec.scheduling if spec.scheduling is not None else self.config.scheduling
-
     # -- thread bodies ----------------------------------------------------
     def _source_loop(self, out_edge: Edge) -> None:
         tr, clock = self._tracer, self._clock
-        track = self.graph.source.name
-        ctx = StageContext(self.graph.source.name, 0, 1, tracer=tr)
-        src = self.graph.source.factory()
+        src_spec = self.plan.source.spec
+        track = src_spec.name
+        ctx = StageContext(src_spec.name, 0, 1, tracer=tr)
+        src = src_spec.factory()
         seq = 0
         try:
             src.on_start(ctx)
@@ -249,24 +247,20 @@ class NativeExecutor:
                 self._items_emitted = seq
             out_edge.put_eos()
 
-    def _stage_loop(self, spec: StageSpec, replica: int, in_edge: Edge,
-                    out_edge: Optional[Edge], reorder_upstream: bool) -> None:
-        """Body for one replica of a stage.
-
-        ``reorder_upstream`` is set on the (single-consumer) stage placed
-        right after an ordered replicated stage: envelopes are re-sequenced
-        before processing.
-        """
+    def _stage_loop(self, unit: StageUnit, logic: Stage, in_edge: Edge,
+                    out_edge: Optional[Edge]) -> None:
+        """Body for one stage worker unit of the plan."""
         tr, clock = self._tracer, self._clock
-        track = f"{spec.name}[{replica}]"
-        ctx = StageContext(spec.name, replica, spec.replicas, tracer=tr)
-        logic = spec.factory()
+        spec = unit.spec
+        track = unit.track
+        ctx = StageContext(spec.name, unit.replica, unit.replicas, tracer=tr)
         logic.on_start(ctx)
-        rob = SimpleReorderBuffer() if reorder_upstream else None
-        # A farm replica keeps the upstream sequence number so the next
-        # (collector) stage can restore order; a serial stage renumbers so
-        # its own output edge always carries a contiguous 0..n sequence.
-        keep_seq = spec.replicas > 1
+        rob = SimpleReorderBuffer() if unit.reorder_input else None
+        # A unit inside a replicated segment keeps the upstream sequence
+        # number so the downstream reorder point can restore order; a
+        # serial stage renumbers so its own output edge always carries a
+        # contiguous 0..n sequence.
+        keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
 
@@ -277,7 +271,7 @@ class NativeExecutor:
             for payload in env.payloads:
                 outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = time.perf_counter() - t0
-            self._record(spec.name, spec.replicas, service, len(outs))
+            self._record(unit.metric_name, unit.replicas, service, len(outs))
             if tr is not None:
                 end = clock.now()
                 tr.span(CAT_STAGE, track, spec.name, end - service, end,
@@ -287,9 +281,10 @@ class NativeExecutor:
                               tokened=env.tokened)
                 out_seq += 1
                 self._emit(new_env, out_edge, track)
-            elif keep_seq and spec.ordered:
-                # Filtered in an ordered farm: forward an empty envelope so
-                # the downstream reorder point does not stall on this seq.
+            elif unit.forward_empty:
+                # Filtered in an ordered replicated segment: forward an
+                # empty envelope so the downstream reorder point does not
+                # stall on this seq.
                 self._emit(Env(env.seq, (), tokened=env.tokened), out_edge, track)
             elif env.tokened:
                 self._tokens.release()
@@ -297,10 +292,10 @@ class NativeExecutor:
         try:
             while True:
                 if tr is None:
-                    item = in_edge.get(replica)
+                    item = in_edge.get(unit.consumer_index)
                 else:
                     t0 = clock.now()
-                    item = in_edge.get(replica)
+                    item = in_edge.get(unit.consumer_index)
                     t1 = clock.now()
                     if t1 - t0 > _MIN_WAIT and item is not EOS:
                         tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
@@ -308,6 +303,14 @@ class NativeExecutor:
                     break
                 env: Env = item
                 if rob is None:
+                    if not env.payloads:
+                        # Skip-marker travelling through a worker chain:
+                        # pass it along untouched (no metrics, no span).
+                        if keep_seq:
+                            self._emit(env, out_edge, track)
+                        elif env.tokened:
+                            self._tokens.release()
+                        continue
                     handle(env)
                 else:
                     if not env.tokened:
@@ -354,12 +357,12 @@ class NativeExecutor:
         if env.tokened:
             self._tokens.release()
 
-    def _sequencer_loop(self, name: str, upstream_ordered: bool,
-                        in_edge: Edge, out_edge: Edge) -> None:
-        """Reorder (if needed) and re-number between two replicated stages."""
+    def _sequencer_loop(self, unit: SequencerUnit, in_edge: Edge,
+                        out_edge: Edge) -> None:
+        """Reorder (if needed) and re-number between two replicated segments."""
         tr, clock = self._tracer, self._clock
-        track = f"seq:{name}"
-        rob = SimpleReorderBuffer() if upstream_ordered else None
+        track = unit.track
+        rob = SimpleReorderBuffer() if unit.ordered else None
         out_seq = 0
         tail: List[Env] = []
         held: dict[int, float] = {}  # seq -> arrival time in the reorder buffer
@@ -397,7 +400,7 @@ class NativeExecutor:
 
     # -- orchestration -----------------------------------------------------
     def run(self) -> RunResult:
-        stages = self.graph.stages
+        plan = self.plan
         errors = self._errors
         tracer = self._tracer
         threads: List[threading.Thread] = []
@@ -423,52 +426,28 @@ class NativeExecutor:
 
         if tracer is not None:
             self._clock = WallClock()  # zero the run's time axis
-            tracer.begin_run(self.graph.name, "native", self._clock)
+            tracer.begin_run(plan.graph_name, "native", self._clock)
 
         cap = self.config.queue_capacity
+        edges = {
+            cs.name: Edge(cs.producers, cs.consumers, cap, cs.per_consumer,
+                          errors, placement=cs.placement, name=cs.name,
+                          tracer=tracer, clock=self._clock)
+            for cs in plan.channels.values()
+        }
 
-        def edge(producers: int, consumers: int, per_consumer: bool,
-                 name: str, placement=None) -> Edge:
-            return Edge(producers, consumers, cap, per_consumer, errors,
-                        placement=placement, name=name, tracer=tracer,
-                        clock=self._clock)
-        in_edges: List[Edge] = []          # stage i's input edge
-        targets: List[Edge] = []           # where stage i-1 (or source) writes
-        reorder: List[bool] = []           # stage i must reorder its input
-        #: (mid, out, upstream ordered, downstream stage name)
-        sequencers: List[tuple[Edge, Edge, bool, str]] = []
-        prev_reps = 1
-        prev_ordered_farm = False
-        for spec in stages:
-            sched = self._scheduling_for(spec)
-            per_consumer = spec.replicas > 1 and (
-                sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
-            if prev_reps > 1 and spec.replicas > 1:
-                # farm -> farm: a sequencer merges (and maybe reorders).
-                mid = edge(prev_reps, 1, False, f"{spec.name}.mid")
-                stage_in = edge(1, spec.replicas, per_consumer, spec.name,
-                                placement=spec.placement)
-                sequencers.append((mid, stage_in, prev_ordered_farm, spec.name))
-                targets.append(mid)
-                reorder.append(False)
-            else:
-                stage_in = edge(prev_reps, spec.replicas, per_consumer,
-                                spec.name, placement=spec.placement)
-                targets.append(stage_in)
-                reorder.append(prev_ordered_farm and spec.replicas == 1)
-            in_edges.append(stage_in)
-            prev_reps = spec.replicas
-            prev_ordered_farm = spec.replicas > 1 and spec.ordered
-
-        spawn(self._source_loop, targets[0], name="source")
-        for (mid, stage_in, ordered, downstream) in sequencers:
-            spawn(self._sequencer_loop, downstream, ordered, mid, stage_in,
-                  name="sequencer")
-        for i, spec in enumerate(stages):
-            out_edge = targets[i + 1] if i + 1 < len(stages) else None
-            for r in range(spec.replicas):
-                spawn(self._stage_loop, spec, r, in_edges[i], out_edge,
-                      reorder[i], name=f"{spec.name}[{r}]")
+        spawn(self._source_loop, edges[plan.source.out_channel], name="source")
+        for squ in plan.sequencers:
+            spawn(self._sequencer_loop, squ, edges[squ.in_channel],
+                  edges[squ.out_channel], name=squ.track)
+        for unit in plan.stages:
+            # Instantiate stage logic here, in the orchestration thread:
+            # factories may be stateful (FastFlow worker vectors, pipeline
+            # workers) and must be called in deterministic plan order.
+            logic = unit.spec.factory()
+            out_edge = edges[unit.out_channel] if unit.out_channel else None
+            spawn(self._stage_loop, unit, logic, edges[unit.in_channel],
+                  out_edge, name=unit.track)
 
         t_start = time.perf_counter()
         for t in threads:
@@ -482,12 +461,11 @@ class NativeExecutor:
         if errors.error is not None:
             raise errors.error
 
-        # Deliver sink outputs: ordered by envelope seq if the last stage is
-        # replicated+ordered, else in arrival order; on_end extras last.
-        last = stages[-1]
+        # Deliver sink outputs: ordered by envelope seq if the last segment
+        # is replicated+ordered, else in arrival order; on_end extras last.
         envs = self._outputs
         ordered_out: List[Any] = []
-        if last.replicas > 1 and last.ordered:
+        if plan.sort_output:
             keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
             extras = [e for e in envs if not e.tokened]
             for e in keyed + extras:

@@ -1,13 +1,16 @@
 """Simulated executor: the same pipeline semantics on virtual time.
 
-Topology, sequence numbering, ordering, token accounting and EOS handling
-mirror :mod:`repro.core.executor_native` exactly — integration tests
-assert the two executors produce identical output streams.  The
-difference is *when*: each replica is a generator process on the
-discrete-event engine; a stage invocation runs functionally at dispatch
-time while a :class:`~repro.sim.context.WorkCursor` accumulates the
-virtual cost (named CPU work charged by the stage's cost model plus GPU
-waits), and the process then sleeps for that long.
+Runs the same :class:`~repro.core.plan.ExecutionPlan` as the native
+executor — one engine process per plan unit, one :class:`SimEdge` per
+channel spec — so topology, sequence numbering, ordering, token
+accounting and EOS handling mirror :mod:`repro.core.executor_native`
+exactly; integration tests assert the two executors produce identical
+output streams and structurally identical traces.  The difference is
+*when*: each unit is a generator process on the discrete-event engine; a
+stage invocation runs functionally at dispatch time while a
+:class:`~repro.sim.context.WorkCursor` accumulates the virtual cost
+(named CPU work charged by the stage's cost model plus GPU waits), and
+the process then sleeps for that long.
 
 Per-hop costs: every queue push/pop charges the machine's ``queue_op_s``;
 blocking (non-spinning) queues add a wake-up latency on hand-offs that
@@ -19,13 +22,14 @@ from __future__ import annotations
 import time
 from typing import Any, List, Optional
 
-from repro.core.config import ExecConfig, Scheduling
+from repro.core.config import ExecConfig
 from repro.core.executor_native import Env, _normalize_outputs
-from repro.core.graph import PipelineGraph, StageSpec
+from repro.core.graph import PipelineGraph
 from repro.core.items import EOS
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
-from repro.core.stage import StageContext
+from repro.core.plan import ExecutionPlan, SequencerUnit, StageUnit, build_plan
+from repro.core.stage import Stage, StageContext
 from repro.obs.clock import SimClock
 from repro.obs.tracer import (
     CAT_QUEUE,
@@ -111,21 +115,18 @@ class SimEdge:
 
 class SimExecutor:
     def __init__(self, graph: PipelineGraph, config: ExecConfig):
-        graph.validate()
         self.graph = graph
         self.config = config
+        self.plan: ExecutionPlan = build_plan(graph, config)
         self.engine = Engine()
         self._metrics: dict[str, StageMetrics] = {}
         self._outputs: List[Env] = []
         self._items_emitted = 0
         machine = config.machine
-        # Sequencer threads also occupy a hardware thread.
-        extra = sum(
-            1 for a, b in zip([1] + [s.replicas for s in graph.stages],
-                              [s.replicas for s in graph.stages])
-            if a > 1 and b > 1
-        )
-        self._threads = graph.total_threads + extra
+        # The plan counts every unit — source, stage replicas (farm
+        # workers times their chain length) and implicit sequencers — so
+        # simulated oversubscription sees the real thread pressure.
+        self._threads = self.plan.total_threads
         self._oversub = machine.cpu.oversubscription_factor(self._threads)
         self._queue_op = machine.cpu.queue_op_s * self._oversub
         tracer = config.tracer if config.tracer is not None else current_tracer()
@@ -145,9 +146,6 @@ class SimExecutor:
             self._metrics[name] = m
         m.record(service, emitted)
 
-    def _scheduling_for(self, spec: StageSpec) -> Scheduling:
-        return spec.scheduling if spec.scheduling is not None else self.config.scheduling
-
     def _make_cursor(self, thread_id: Optional[str] = None) -> WorkCursor:
         return WorkCursor(self.engine.now, cpu_spec=self.config.machine.cpu,
                           oversubscription=self._oversub, thread_id=thread_id)
@@ -161,13 +159,14 @@ class SimExecutor:
 
     # -- process bodies ---------------------------------------------------
     def _source_proc(self, out_edge: SimEdge):
-        tid = self.graph.source.name
+        src_spec = self.plan.source.spec
+        tid = src_spec.name
         tr = self._tracer
         engine = self.engine
         ctx_cursor = self._make_cursor(tid)
-        ctx = StageContext(self.graph.source.name, 0, 1, cursor=ctx_cursor,
+        ctx = StageContext(src_spec.name, 0, 1, cursor=ctx_cursor,
                            machine=self.config.machine, tracer=tr)
-        src = self.graph.source.factory()
+        src = src_spec.factory()
         seq = 0
         with use_cursor(ctx_cursor):
             src.on_start(ctx)
@@ -210,21 +209,22 @@ class SimExecutor:
                     return
             yield item
 
-    def _stage_proc(self, spec: StageSpec, replica: int, in_edge: SimEdge,
-                    out_edge: Optional[SimEdge], reorder_upstream: bool):
-        tid = f"{spec.name}[{replica}]"
+    def _stage_proc(self, unit: StageUnit, logic: Stage, in_edge: SimEdge,
+                    out_edge: Optional[SimEdge]):
+        spec = unit.spec
+        tid = unit.track
         tr = self._tracer
         engine = self.engine
         cursor0 = self._make_cursor(tid)
-        ctx = StageContext(spec.name, replica, spec.replicas, cursor=cursor0,
-                           machine=self.config.machine, tracer=tr)
-        logic = spec.factory()
+        ctx = StageContext(spec.name, unit.replica, unit.replicas,
+                           cursor=cursor0, machine=self.config.machine,
+                           tracer=tr)
         with use_cursor(cursor0):
             logic.on_start(ctx)
         if cursor0.elapsed > 0:
             yield self.engine.timeout(cursor0.elapsed)
-        rob = SimpleReorderBuffer() if reorder_upstream else None
-        keep_seq = spec.replicas > 1
+        rob = SimpleReorderBuffer() if unit.reorder_input else None
+        keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []
 
@@ -237,12 +237,12 @@ class SimExecutor:
                 for payload in env.payloads:
                     outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = cursor.elapsed
-            self._record(spec.name, spec.replicas, service, len(outs))
+            self._record(unit.metric_name, unit.replicas, service, len(outs))
             if outs:
                 ne = Env(env.seq if keep_seq else out_seq, outs, tokened=env.tokened)
                 out_seq += 1
                 return service, ne
-            if keep_seq and spec.ordered:
+            if unit.forward_empty:
                 return service, Env(env.seq, (), tokened=env.tokened)
             return service, None
 
@@ -264,7 +264,7 @@ class SimExecutor:
                 yield self._tokens.put(object())
 
         while True:
-            gev = in_edge.get(replica)
+            gev = in_edge.get(unit.consumer_index)
             t_wait = engine.now
             item = yield gev
             if tr is not None and engine.now > t_wait and item is not EOS:
@@ -275,6 +275,14 @@ class SimExecutor:
             env: Env = item
             pending: List[Env] = []
             if rob is None:
+                if not env.payloads:
+                    # Skip-marker travelling through a worker chain: pass
+                    # it along untouched (no service, no metrics).
+                    if keep_seq:
+                        yield from emit(env)
+                    elif env.tokened:
+                        yield from release_token()
+                    continue
                 pending.append(env)
             elif not env.tokened:
                 tail.append(env)
@@ -322,11 +330,11 @@ class SimExecutor:
         if out_edge is not None:
             yield from out_edge.put_eos()
 
-    def _sequencer_proc(self, name: str, upstream_ordered: bool,
-                        in_edge: SimEdge, out_edge: SimEdge):
+    def _sequencer_proc(self, unit: SequencerUnit, in_edge: SimEdge,
+                        out_edge: SimEdge):
         tr = self._tracer
-        track = f"seq:{name}"
-        rob = SimpleReorderBuffer() if upstream_ordered else None
+        track = unit.track
+        rob = SimpleReorderBuffer() if unit.ordered else None
         out_seq = 0
         tail: List[Env] = []
         while True:
@@ -356,57 +364,40 @@ class SimExecutor:
 
     # -- orchestration -----------------------------------------------------
     def run(self) -> RunResult:
-        stages = self.graph.stages
+        plan = self.plan
         engine = self.engine
         cap = self.config.queue_capacity
         tracer = self._tracer
 
-        in_edges: List[SimEdge] = []
-        targets: List[SimEdge] = []
-        reorder: List[bool] = []
-        sequencers: List[tuple[SimEdge, SimEdge, bool, str]] = []
-        prev_reps = 1
-        prev_ordered_farm = False
-        for spec in stages:
-            sched = self._scheduling_for(spec)
-            per_consumer = spec.replicas > 1 and (
-                sched is Scheduling.ROUND_ROBIN or spec.placement is not None)
-            if prev_reps > 1 and spec.replicas > 1:
-                mid = SimEdge(engine, prev_reps, 1, cap, False,
-                              name=f"{spec.name}.mid", tracer=tracer)
-                stage_in = SimEdge(engine, 1, spec.replicas, cap, per_consumer,
-                                   name=spec.name, placement=spec.placement,
-                                   tracer=tracer)
-                sequencers.append((mid, stage_in, prev_ordered_farm, spec.name))
-                targets.append(mid)
-                reorder.append(False)
-            else:
-                stage_in = SimEdge(engine, prev_reps, spec.replicas, cap,
-                                   per_consumer, name=spec.name,
-                                   placement=spec.placement, tracer=tracer)
-                targets.append(stage_in)
-                reorder.append(prev_ordered_farm and spec.replicas == 1)
-            in_edges.append(stage_in)
-            prev_reps = spec.replicas
-            prev_ordered_farm = spec.replicas > 1 and spec.ordered
+        edges = {
+            cs.name: SimEdge(engine, cs.producers, cs.consumers, cap,
+                             cs.per_consumer, name=cs.name,
+                             placement=cs.placement, tracer=tracer)
+            for cs in plan.channels.values()
+        }
 
-        procs = [engine.process(self._source_proc(targets[0]), name="source")]
-        for (mid, stage_in, ordered, downstream) in sequencers:
+        procs = [engine.process(self._source_proc(edges[plan.source.out_channel]),
+                                name="source")]
+        for squ in plan.sequencers:
             procs.append(engine.process(
-                self._sequencer_proc(downstream, ordered, mid, stage_in),
+                self._sequencer_proc(squ, edges[squ.in_channel],
+                                     edges[squ.out_channel]),
                 name="sequencer"))
-        for i, spec in enumerate(stages):
-            out_edge = targets[i + 1] if i + 1 < len(stages) else None
-            for r in range(spec.replicas):
-                procs.append(engine.process(
-                    self._stage_proc(spec, r, in_edges[i], out_edge, reorder[i]),
-                    name=f"{spec.name}[{r}]"))
+        for unit in plan.stages:
+            # Instantiate stage logic here, in deterministic plan order:
+            # factories may be stateful (FastFlow worker vectors, pipeline
+            # workers) and the native executor calls them in the same order.
+            logic = unit.spec.factory()
+            out_edge = edges[unit.out_channel] if unit.out_channel else None
+            procs.append(engine.process(
+                self._stage_proc(unit, logic, edges[unit.in_channel], out_edge),
+                name=unit.track))
 
         wall0 = time.perf_counter()
         if tracer is not None:
             # The ambient tracer so device models and user code deep in the
             # call stack can emit events; the SimClock reads engine.now.
-            tracer.begin_run(self.graph.name, "simulated",
+            tracer.begin_run(plan.graph_name, "simulated",
                              SimClock(lambda: engine.now))
             with use_tracer(tracer):
                 engine.run()
@@ -421,10 +412,9 @@ class SimExecutor:
             if not p.triggered:
                 raise RuntimeError(f"simulated pipeline deadlocked in {p.name!r}")
 
-        last = stages[-1]
         envs = self._outputs
         ordered_out: List[Any] = []
-        if last.replicas > 1 and last.ordered:
+        if plan.sort_output:
             keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
             extras = [e for e in envs if not e.tokened]
             for e in keyed + extras:

@@ -1,9 +1,30 @@
-"""Pipeline graph description: a source followed by a chain of stages."""
+"""Composable stream-graph IR: pipes, farms and leaf stages.
+
+The IR mirrors FastFlow's skeleton algebra: a :class:`Pipe` is an
+ordered composition of nodes, a :class:`Farm` replicates a worker
+sub-graph over the stream, and a :class:`StageSpec` is the leaf unit of
+user code.  Nodes nest — a farm's worker may itself be a pipeline
+(FastFlow's farm-of-pipelines) and a pipeline may contain farms or
+further pipelines (pipeline-of-farms).
+
+``PipelineGraph`` is the top-level object both executors accept: a
+source followed by a list of IR nodes.  It is *declarative only* — the
+executable form (worker units, channels, sequencer points) is derived
+once by :func:`repro.core.plan.build_plan`, which both executors
+consume.
+
+Degenerate nestings are flattened by :meth:`PipelineGraph.flattened`:
+pipes splice into their parent, single-stage worker pipes collapse to
+plain leaves, and ``Farm(..., replicas=1)`` degenerates to its serial
+worker chain.  One restriction is enforced (matching what the plan
+layer can lower today): replication cannot nest — a farm's worker chain
+must consist of serial leaves only.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.core.config import Scheduling
 from repro.core.stage import FunctionStage, Source, Stage
@@ -23,7 +44,7 @@ class SourceSpec:
 
 @dataclass
 class StageSpec:
-    """One pipeline stage; ``replicas > 1`` makes it a farm.
+    """One leaf stage; ``replicas > 1`` is shorthand for a farm of it.
 
     ``ordered`` controls whether the stage's output is re-sequenced into
     input order before reaching the next stage (FastFlow ordered farm /
@@ -59,33 +80,178 @@ class StageSpec:
 
 
 @dataclass
+class Pipe:
+    """Ordered composition of nodes (FastFlow ``ff_pipeline``)."""
+
+    children: List["Node"] = field(default_factory=list)
+    name: str = "pipe"
+
+    def __init__(self, *children: Union["Node", Sequence["Node"]],
+                 name: str = "pipe"):
+        # Accept Pipe(a, b, c) and Pipe([a, b, c]).
+        if len(children) == 1 and isinstance(children[0], (list, tuple)):
+            children = tuple(children[0])
+        self.children = list(children)
+        self.name = name
+        for c in self.children:
+            if not isinstance(c, (StageSpec, Pipe, Farm)):
+                raise GraphError(
+                    f"pipe {self.name!r}: child {c!r} is not a graph node"
+                )
+
+
+@dataclass
+class Farm:
+    """Replicate a worker sub-graph over the stream (FastFlow ``ff_farm``).
+
+    ``worker`` is a :class:`StageSpec` or a :class:`Pipe` of serial
+    leaves — each of the ``replicas`` workers runs its own private copy
+    of the whole chain (farm-of-pipelines).  ``ordered`` re-sequences
+    the farm's merged output into input order; ``scheduling`` and
+    ``placement`` configure the implicit emitter exactly as on a
+    replicated :class:`StageSpec`.
+    """
+
+    worker: Union[StageSpec, Pipe]
+    replicas: int
+    ordered: bool = True
+    scheduling: Optional[Scheduling] = None
+    placement: Optional[Callable[[int, int], int]] = None
+    name: str = "farm"
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise GraphError(f"farm {self.name!r}: replicas must be >= 1")
+        if not isinstance(self.worker, (StageSpec, Pipe)):
+            raise GraphError(
+                f"farm {self.name!r}: worker must be a StageSpec or Pipe, "
+                f"got {type(self.worker).__name__}"
+            )
+
+
+#: Any node of the composable IR.
+Node = Union[StageSpec, Pipe, Farm]
+
+
+def _flatten_top(node: Node, out: List[Union[StageSpec, Farm]]) -> None:
+    """Splice ``node`` into ``out`` as top-level StageSpec/Farm elements."""
+    if isinstance(node, StageSpec):
+        out.append(node)
+    elif isinstance(node, Pipe):
+        for c in node.children:
+            _flatten_top(c, out)
+    elif isinstance(node, Farm):
+        chain = _worker_chain(node)
+        if node.replicas == 1:
+            # Degenerate farm: just its serial worker chain.
+            out.extend(chain)
+        elif len(chain) == 1:
+            out.append(Farm(worker=chain[0], replicas=node.replicas,
+                            ordered=node.ordered, scheduling=node.scheduling,
+                            placement=node.placement, name=node.name))
+        else:
+            out.append(Farm(worker=Pipe(chain, name=node.worker.name
+                                        if isinstance(node.worker, Pipe)
+                                        else node.name),
+                            replicas=node.replicas, ordered=node.ordered,
+                            scheduling=node.scheduling,
+                            placement=node.placement, name=node.name))
+    else:  # pragma: no cover - guarded by constructors
+        raise GraphError(f"unknown graph node {node!r}")
+
+
+def _worker_chain(farm: Farm) -> List[StageSpec]:
+    """Flatten a farm's worker into a chain of serial leaves."""
+    chain: List[StageSpec] = []
+
+    def walk(node: Node) -> None:
+        if isinstance(node, StageSpec):
+            if node.replicas > 1:
+                raise GraphError(
+                    f"farm {farm.name!r}: worker stage {node.name!r} is "
+                    "replicated — nested replication is not supported; "
+                    "replicate the outer farm instead"
+                )
+            chain.append(node)
+        elif isinstance(node, Pipe):
+            for c in node.children:
+                walk(c)
+        elif isinstance(node, Farm):
+            raise GraphError(
+                f"farm {farm.name!r}: worker contains farm {node.name!r} — "
+                "nested replication is not supported; replicate the outer "
+                "farm instead"
+            )
+
+    walk(farm.worker)
+    if not chain:
+        raise GraphError(f"farm {farm.name!r}: worker pipe is empty")
+    return chain
+
+
+@dataclass
 class PipelineGraph:
-    """A linear pipeline: source -> stage_1 -> ... -> stage_n."""
+    """A stream graph: a source followed by composable IR nodes.
+
+    ``stages`` accepts any mix of :class:`StageSpec`, :class:`Pipe` and
+    :class:`Farm` — a flat list of StageSpecs (the historical linear
+    chain) remains the common case and is unchanged.
+    """
 
     source: SourceSpec
-    stages: List[StageSpec] = field(default_factory=list)
+    stages: List[Node] = field(default_factory=list)
     name: str = "pipeline"
 
+    def flattened(self) -> List[Union[StageSpec, Farm]]:
+        """Top-level elements with degenerate nestings spliced away.
+
+        Every element of the result is either a serial/replicated
+        :class:`StageSpec` or a :class:`Farm` whose worker is a leaf or
+        a :class:`Pipe` of serial leaves.
+        """
+        out: List[Union[StageSpec, Farm]] = []
+        for node in self.stages:
+            _flatten_top(node, out)
+        return out
+
+    def leaves(self) -> List[StageSpec]:
+        """Every leaf stage, in stream order (farm workers in chain order)."""
+        result: List[StageSpec] = []
+        for el in self.flattened():
+            if isinstance(el, StageSpec):
+                result.append(el)
+            else:
+                result.extend(_worker_chain(el))
+        return result
+
     def validate(self) -> None:
-        if not self.stages:
+        flat = self.flattened()
+        if not flat:
             raise GraphError(f"pipeline {self.name!r} has no stages")
         seen: set[str] = {self.source.name}
-        for spec in self.stages:
+        for spec in self.leaves():
             if spec.name in seen:
                 raise GraphError(f"duplicate stage name {spec.name!r}")
             seen.add(spec.name)
 
     @property
     def total_threads(self) -> int:
-        """Thread count in the FastFlow lowering: source + every replica."""
-        return 1 + sum(s.replicas for s in self.stages)
+        """Thread count of the FastFlow lowering, derived from the plan.
+
+        Counts the source, every worker-unit replica (farm workers times
+        their chain length) and the implicit sequencer threads the
+        executors spawn between consecutive replicated segments.
+        """
+        from repro.core.plan import build_plan
+
+        return build_plan(self).total_threads
 
     def stage_names(self) -> list[str]:
-        return [s.name for s in self.stages]
+        return [s.name for s in self.leaves()]
 
 
 def linear_graph(source: Source | SourceSpec | Callable[[], Source],
-                 *stages: StageSpec, name: str = "pipeline") -> PipelineGraph:
+                 *stages: Node, name: str = "pipeline") -> PipelineGraph:
     """Convenience constructor accepting a Source instance or factory."""
     if isinstance(source, SourceSpec):
         src = source

@@ -76,25 +76,36 @@ class SimpleReorderBuffer:
     def __init__(self, start: int = 0) -> None:
         self._heap: List[Tuple[int, Any]] = []
         self._next = start
+        self._held: set[int] = set()
         self.max_held = 0
 
-    def push(self, seq: int, payload: Any) -> Iterator[Any]:
+    def _check(self, seq: int) -> None:
         if seq < self._next:
             raise OrderingError(f"sequence {seq} already delivered")
+        if seq in self._held:
+            # A second arrival would stall the drain loop forever; fail
+            # loudly instead (a duplicate means a numbering bug upstream).
+            raise OrderingError(f"duplicate sequence {seq}")
+
+    def push(self, seq: int, payload: Any) -> Iterator[Any]:
+        self._check(seq)
+        self._held.add(seq)
         heappush(self._heap, (seq, payload))
         self.max_held = max(self.max_held, len(self._heap))
         while self._heap and self._heap[0][0] == self._next:
-            _, out = heappop(self._heap)
+            s, out = heappop(self._heap)
+            self._held.discard(s)
             self._next += 1
             yield out
 
     def skip(self, seq: int) -> Iterator[Any]:
         """Declare that ``seq`` produced no output (filtered item)."""
-        if seq < self._next:
-            raise OrderingError(f"sequence {seq} already delivered")
+        self._check(seq)
+        self._held.add(seq)
         heappush(self._heap, (seq, _SKIP))
         while self._heap and self._heap[0][0] == self._next:
-            _, out = heappop(self._heap)
+            s, out = heappop(self._heap)
+            self._held.discard(s)
             self._next += 1
             if out is not _SKIP:
                 yield out

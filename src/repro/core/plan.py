@@ -1,0 +1,264 @@
+"""Execution plan: the one lowering from the graph IR to worker units.
+
+:func:`build_plan` turns any :class:`~repro.core.graph.PipelineGraph`
+into an explicit :class:`ExecutionPlan` — the list of worker units
+(source, stage replicas, implicit sequencers), the channels connecting
+them (producer/consumer counts, fan-out policy, placement hooks) and
+the ordering/token bookkeeping each unit performs.  Both executors
+consume the plan verbatim; neither walks the graph itself.  The plan is
+therefore the single source of truth for thread counts, tracing span
+names and metrics identity — a native and a simulated run of the same
+graph execute the *same* plan and so agree structurally.
+
+Lowering rules (FastFlow's):
+
+* the source is one unit feeding the first segment's input channel;
+* each top-level element is a *segment*: a serial stage (one unit), a
+  replicated leaf (``replicas`` units) or a farm-of-pipelines
+  (``replicas`` private chains of units linked by per-chain channels);
+* a replicated segment's input channel plays the farm emitter: one
+  queue per worker under round-robin/placement, one shared queue under
+  on-demand scheduling;
+* between two consecutive replicated segments an implicit *sequencer*
+  unit merges (and, when the upstream segment is ordered, reorders) the
+  stream and renumbers it — FastFlow's collector+emitter pair;
+* an ordered replicated segment followed by a serial stage makes that
+  stage the reorder point (``reorder_input``);
+* units inside a replicated segment keep the upstream sequence number
+  (``keep_seq``) so the downstream reorder point can restore order, and
+  forward empty envelopes for filtered items (``forward_empty``) so it
+  never stalls; serial segments renumber their output stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.core.config import ExecConfig, Scheduling
+from repro.core.graph import (
+    Farm,
+    PipelineGraph,
+    SourceSpec,
+    StageSpec,
+    _worker_chain,
+)
+
+
+@dataclass
+class ChannelSpec:
+    """One edge of the plan: P producers -> C consumers.
+
+    ``per_consumer`` selects one bounded queue per consumer (fed
+    round-robin or by ``placement``) over a single shared queue.
+    Capacity comes from the run's :class:`ExecConfig` at execution time.
+    """
+
+    name: str
+    producers: int
+    consumers: int
+    per_consumer: bool = False
+    placement: Optional[Callable[[int, int], int]] = None
+
+
+@dataclass
+class SourceUnit:
+    """The stream-generator thread."""
+
+    spec: SourceSpec
+    out_channel: str
+
+    @property
+    def track(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class StageUnit:
+    """One worker thread: a replica of a leaf stage.
+
+    ``consumer_index`` is the unit's slot on its input channel;
+    ``keep_seq`` preserves upstream sequence numbers (replicated
+    segments) versus renumbering (serial segments); ``forward_empty``
+    makes a filtered item leave an empty envelope behind so the
+    downstream reorder point does not stall; ``reorder_input``
+    re-sequences the input before processing (the unit is the reorder
+    point after an ordered farm).
+    """
+
+    spec: StageSpec
+    replica: int
+    replicas: int
+    in_channel: str
+    consumer_index: int
+    out_channel: Optional[str]
+    reorder_input: bool = False
+    keep_seq: bool = False
+    forward_empty: bool = False
+
+    @property
+    def track(self) -> str:
+        """Span/thread track name; identical across executors."""
+        return f"{self.spec.name}[{self.replica}]"
+
+    @property
+    def metric_name(self) -> str:
+        return self.spec.name
+
+
+@dataclass
+class SequencerUnit:
+    """Implicit collector+emitter between two replicated segments."""
+
+    name: str          #: downstream segment name (trace track ``seq:{name}``)
+    ordered: bool      #: reorder (upstream farm was ordered) vs merge only
+    in_channel: str
+    out_channel: str
+
+    @property
+    def track(self) -> str:
+        return f"seq:{self.name}"
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything an executor needs to run a graph."""
+
+    graph_name: str
+    source: SourceUnit
+    stages: List[StageUnit] = field(default_factory=list)
+    sequencers: List[SequencerUnit] = field(default_factory=list)
+    channels: Dict[str, ChannelSpec] = field(default_factory=dict)
+    #: last segment is replicated+ordered: sink outputs sort by seq
+    sort_output: bool = False
+
+    @property
+    def total_threads(self) -> int:
+        """Thread count of the lowering: source + workers + sequencers."""
+        return 1 + len(self.stages) + len(self.sequencers)
+
+    @property
+    def tracks(self) -> List[str]:
+        """Every unit's track name, in spawn order."""
+        return ([self.source.track]
+                + [s.track for s in self.sequencers]
+                + [u.track for u in self.stages])
+
+    def metric_replicas(self) -> Dict[str, int]:
+        """Metrics identity: stage metric name -> replica width."""
+        return {u.metric_name: u.replicas for u in self.stages}
+
+
+@dataclass
+class _Segment:
+    """Normalized top-level element: a (possibly replicated) chain."""
+
+    chain: List[StageSpec]
+    replicas: int
+    ordered: bool
+    scheduling: Scheduling
+    placement: Optional[Callable[[int, int], int]]
+
+    @property
+    def name(self) -> str:
+        # Channel/sequencer naming anchors on the chain head so flat
+        # graphs keep their historical trace-track names.
+        return self.chain[0].name
+
+    @property
+    def replicated(self) -> bool:
+        return self.replicas > 1
+
+
+def _segments(graph: PipelineGraph, config: ExecConfig) -> List[_Segment]:
+    segs: List[_Segment] = []
+    for el in graph.flattened():
+        if isinstance(el, StageSpec):
+            sched = el.scheduling if el.scheduling is not None else config.scheduling
+            segs.append(_Segment([el], el.replicas, el.ordered, sched,
+                                 el.placement))
+        else:
+            assert isinstance(el, Farm)
+            sched = el.scheduling if el.scheduling is not None else config.scheduling
+            segs.append(_Segment(_worker_chain(el), el.replicas, el.ordered,
+                                 sched, el.placement))
+    return segs
+
+
+def build_plan(graph: PipelineGraph,
+               config: Optional[ExecConfig] = None) -> ExecutionPlan:
+    """Lower ``graph`` into an :class:`ExecutionPlan`.
+
+    ``config`` only resolves per-stage scheduling defaults (which decide
+    channel fan-out policy); the plan's structure — units, channels,
+    sequencer points, thread count — is config-independent.
+    """
+    cfg = config if config is not None else ExecConfig()
+    graph.validate()
+    segs = _segments(graph, cfg)
+
+    plan = ExecutionPlan(graph_name=graph.name,
+                         source=SourceUnit(graph.source, out_channel=""))
+
+    def channel(name: str, producers: int, consumers: int,
+                per_consumer: bool = False, placement=None) -> str:
+        plan.channels[name] = ChannelSpec(name, producers, consumers,
+                                          per_consumer, placement)
+        return name
+
+    # Pass 1: segment boundaries — entry channels, sequencers, reorder flags.
+    entry: List[str] = []      # channel each segment reads from
+    target: List[str] = []     # channel the previous segment writes to
+    reorder: List[bool] = []   # segment's first unit reorders its input
+    prev_reps = 1
+    prev_ordered = False
+    for seg in segs:
+        per_consumer = seg.replicated and (
+            seg.scheduling is Scheduling.ROUND_ROBIN or seg.placement is not None)
+        if prev_reps > 1 and seg.replicated:
+            # farm -> farm: a sequencer merges (and maybe reorders).
+            mid = channel(f"{seg.name}.mid", prev_reps, 1)
+            stage_in = channel(seg.name, 1, seg.replicas, per_consumer,
+                               seg.placement)
+            plan.sequencers.append(SequencerUnit(
+                seg.name, prev_ordered, in_channel=mid, out_channel=stage_in))
+            target.append(mid)
+            reorder.append(False)
+        else:
+            stage_in = channel(seg.name, prev_reps, seg.replicas,
+                               per_consumer, seg.placement)
+            target.append(stage_in)
+            reorder.append(prev_ordered and not seg.replicated)
+        entry.append(stage_in)
+        prev_reps = seg.replicas
+        prev_ordered = seg.replicated and seg.ordered
+
+    plan.source.out_channel = target[0]
+
+    # Pass 2: worker units (replica chains with private per-chain channels).
+    for i, seg in enumerate(segs):
+        seg_out = target[i + 1] if i + 1 < len(segs) else None
+        keep_seq = seg.replicated
+        forward_empty = keep_seq and seg.ordered
+        for r in range(seg.replicas):
+            upstream = entry[i]
+            consumer = r
+            for j, spec in enumerate(seg.chain):
+                last_in_chain = j + 1 == len(seg.chain)
+                if last_in_chain:
+                    out = seg_out
+                else:
+                    # Private hop to the next stage of this worker's chain.
+                    out = channel(f"{seg.chain[j + 1].name}.w{r}", 1, 1)
+                plan.stages.append(StageUnit(
+                    spec=spec, replica=r, replicas=seg.replicas,
+                    in_channel=upstream, consumer_index=consumer,
+                    out_channel=out,
+                    reorder_input=reorder[i] and j == 0,
+                    keep_seq=keep_seq, forward_empty=forward_empty,
+                ))
+                upstream, consumer = out, 0
+
+    last = segs[-1]
+    plan.sort_output = last.replicated and last.ordered
+    return plan

@@ -1,14 +1,16 @@
-"""``ff_farm``: replicate a worker node over the stream."""
+"""``ff_farm``: replicate a worker node — or a worker pipeline — over
+the stream."""
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.config import Scheduling
-from repro.core.graph import StageSpec
+from repro.core.graph import Farm, Node, Pipe, StageSpec
 from repro.fastflow.node import _NodeStage, ff_node
 
-WorkerSpec = Union[Callable[[], ff_node], Sequence[ff_node]]
+WorkerSpec = Union[Callable[[], "ff_node"], Sequence["ff_node"]]
 
 
 class ff_farm:
@@ -21,6 +23,16 @@ class ff_farm:
 
         ff_farm(Worker, replicas=19)
         ff_farm([Worker() for _ in range(19)])
+
+    The worker may also be a whole pipeline (FastFlow's
+    farm-of-pipelines): each replica then runs its own private copy of
+    the chain::
+
+        ff_farm(lambda: ff_pipeline(Hash(), Compress()), replicas=8)
+
+    A worker vector is kept intact across runs — FastFlow reuses the
+    node vector, so a second ``run_and_wait_end()`` sees the same
+    (stateful) workers again.
 
     ``set_scheduling_ondemand()`` switches the emitter from the default
     round-robin to on-demand (a shared queue).
@@ -37,8 +49,8 @@ class ff_farm:
             if replicas is None or replicas < 1:
                 raise ValueError("ff_farm(factory) needs replicas >= 1")
             self.replicas = replicas
-            self._factory: Callable[[], ff_node] = workers  # type: ignore[assignment]
-            self._pool: Optional[List[ff_node]] = None
+            self._factory: Optional[Callable[[], object]] = workers
+            self._pool: Optional[List[object]] = None
         else:
             pool = list(workers)
             if not pool:
@@ -47,16 +59,7 @@ class ff_farm:
                 raise ValueError("replicas disagrees with worker vector length")
             self.replicas = len(pool)
             self._pool = pool
-            self._factory = self._next_from_pool
-
-    def _next_from_pool(self) -> ff_node:
-        assert self._pool is not None
-        if not self._pool:
-            raise RuntimeError(
-                f"farm {self.name!r}: worker vector exhausted; a node vector "
-                "can back at most one run"
-            )
-        return self._pool.pop(0)
+            self._factory = None
 
     def set_scheduling_ondemand(self) -> "ff_farm":
         self.scheduling = Scheduling.ON_DEMAND
@@ -72,26 +75,120 @@ class ff_farm:
         self.placement = policy
         return self
 
-    def worker_factory(self) -> Callable[[], ff_node]:
-        return self._factory
+    # -- worker plumbing --------------------------------------------------
+    def _worker_at(self) -> Callable[[int], object]:
+        """One lowering's worker supply: call number -> worker instance.
 
-    def to_stage_spec(self, index: int) -> StageSpec:
-        """Lower this farm to one replicated core stage.
+        Pool-backed farms cycle the vector (the c-th request wraps, so
+        every run reuses the same instances in the same order); factory
+        farms memoize per call number so the stages of one replica's
+        chain resolve to the *same* pipeline instance, while a new run's
+        higher call numbers still get fresh instances.
+        """
+        if self._pool is not None:
+            pool = self._pool
+            return lambda c: pool[c % len(pool)]
+        made: List[object] = []
+        factory = self._factory
+        assert factory is not None
+
+        def at(c: int) -> object:
+            while len(made) <= c:
+                made.append(factory())
+            return made[c]
+
+        return at
+
+    def _probe_worker(self) -> object:
+        """A representative worker, to detect node vs pipeline workers.
+
+        For factory farms this constructs one instance; it is discarded
+        (svc_init — the real setup hook — only runs on workers the
+        executor actually uses).
+        """
+        if self._pool is not None:
+            return self._pool[0]
+        assert self._factory is not None
+        return self._factory()
+
+    # -- lowering ---------------------------------------------------------
+    def to_ir(self, index: int) -> Node:
+        """Lower this farm to a core IR node.
 
         The emitter/collector pair FastFlow materializes around the
         workers is implicit here: the executor's edge fan-out plays
         emitter (honoring ``set_scheduling_*``), and for an ordered farm
-        the downstream reorder point plays collector.
+        the downstream reorder point plays collector.  A leaf worker
+        lowers to a replicated :class:`StageSpec`; a pipeline worker to
+        a :class:`Farm` whose worker is a :class:`Pipe` of the chain's
+        nodes (each replica gets a private chain instance).
         """
-        wf = self.worker_factory()
+        from repro.fastflow.pipeline import ff_pipeline
+
+        if isinstance(self._probe_worker(), ff_pipeline):
+            return self._pipeline_worker_ir(index)
+        at = self._worker_at()
+        counter = itertools.count()
         return StageSpec(
-            factory=lambda wf=wf: _NodeStage(wf()),
+            factory=lambda: _NodeStage(at(next(counter))),
             name=f"{self.name}@{index}",
             replicas=self.replicas,
             ordered=self.ordered,
             scheduling=self.scheduling,
             placement=self.placement,
         )
+
+    def _pipeline_worker_ir(self, index: int) -> Farm:
+        from repro.fastflow.pipeline import ff_pipeline
+
+        at = self._worker_at()
+        proto = at(0)
+        assert isinstance(proto, ff_pipeline)
+        chain_nodes = proto._flat_nodes(
+            context=f"farm {self.name!r} worker pipeline")
+        n = len(chain_nodes)
+
+        def node_factory(j: int) -> Callable[[], _NodeStage]:
+            # The executors call stage factories in plan order — once per
+            # replica for each chain position — so the c-th call for any
+            # position belongs to chain instance c.
+            counter = itertools.count()
+
+            def make() -> _NodeStage:
+                chain = at(next(counter))
+                nodes = chain._flat_nodes(
+                    context=f"farm {self.name!r} worker pipeline")
+                if len(nodes) != n:
+                    raise ValueError(
+                        f"farm {self.name!r}: worker pipelines disagree on "
+                        f"length ({len(nodes)} vs {n})"
+                    )
+                return _NodeStage(nodes[j])
+
+            return make
+
+        specs = [
+            StageSpec(factory=node_factory(j),
+                      name=f"{self.name}@{index}.s{j}", replicas=1)
+            for j in range(n)
+        ]
+        return Farm(
+            worker=Pipe(specs, name=f"{self.name}@{index}"),
+            replicas=self.replicas,
+            ordered=self.ordered,
+            scheduling=self.scheduling,
+            placement=self.placement,
+            name=f"{self.name}@{index}",
+        )
+
+    def to_stage_spec(self, index: int) -> StageSpec:
+        """Back-compat shim: lowering for leaf-worker farms only."""
+        ir = self.to_ir(index)
+        if not isinstance(ir, StageSpec):
+            raise TypeError(
+                f"farm {self.name!r} has a pipeline worker; use to_ir()"
+            )
+        return ir
 
 
 class ff_ofarm(ff_farm):

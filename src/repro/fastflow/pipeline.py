@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Optional, Union
 
 from repro.core.config import ExecConfig, ExecMode
-from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
+from repro.core.graph import Node, PipelineGraph, SourceSpec
 from repro.core.items import EOS
 from repro.core.metrics import RunResult
 from repro.core.run import run
@@ -46,23 +46,57 @@ class _NodeSource(Source):
 
 
 class ff_pipeline:
-    """A linear composition of ``ff_node``/``ff_farm`` stages.
+    """A composition of ``ff_node``/``ff_farm``/``ff_pipeline`` stages.
 
-    ``run_and_wait_end()`` executes and returns the
+    Nested pipelines splice into their parent (FastFlow composes
+    ``ff_pipeline`` objects freely), and an inner pipeline may itself
+    contain farms.  ``run_and_wait_end()`` executes and returns the
     :class:`~repro.core.metrics.RunResult`; :meth:`ffTime` then reports
     the makespan (FastFlow's ``ffTime(STOP_TIME)``).
     """
 
-    def __init__(self, *stages: Union[ff_node, ff_farm], name: str = "ff_pipeline"):
+    def __init__(self, *stages: Union[ff_node, ff_farm, "ff_pipeline"],
+                 name: str = "ff_pipeline"):
         self.name = name
-        self._stages: List[Union[ff_node, ff_farm]] = list(stages)
+        self._stages: List[Union[ff_node, ff_farm, "ff_pipeline"]] = list(stages)
         self._blocking = True
         self._queue_capacity = 512
         self._last_result: Optional[RunResult] = None
 
-    def add_stage(self, stage: Union[ff_node, ff_farm]) -> "ff_pipeline":
+    def add_stage(self, stage: Union[ff_node, ff_farm, "ff_pipeline"]) -> "ff_pipeline":
         self._stages.append(stage)
         return self
+
+    # -- composition helpers ------------------------------------------------
+    def _flat_stages(self) -> List[Union[ff_node, ff_farm]]:
+        """Stages with nested pipelines spliced in, recursively."""
+        flat: List[Union[ff_node, ff_farm]] = []
+        for st in self._stages:
+            if isinstance(st, ff_pipeline):
+                flat.extend(st._flat_stages())
+            else:
+                flat.append(st)
+        return flat
+
+    def _flat_nodes(self, context: str = "pipeline") -> List[ff_node]:
+        """The pipeline as a plain node chain — required of farm workers.
+
+        A farm worker's chain is replicated wholesale, so it may not
+        contain further farms (nested replication); core validation
+        would reject it too, but the error is clearer here.
+        """
+        nodes: List[ff_node] = []
+        for st in self._flat_stages():
+            if isinstance(st, ff_farm):
+                raise TypeError(
+                    f"{context}: contains farm {st.name!r} — nested "
+                    "replication is not supported; replicate the outer "
+                    "farm instead"
+                )
+            nodes.append(st)
+        if not nodes:
+            raise ValueError(f"{context}: pipeline is empty")
+        return nodes
 
     def set_blocking_mode(self, blocking: bool) -> "ff_pipeline":
         """Blocking vs non-blocking (spinning) queue hand-offs."""
@@ -75,18 +109,22 @@ class ff_pipeline:
 
     # -- lowering -------------------------------------------------------------
     def to_graph(self) -> PipelineGraph:
-        if len(self._stages) < 2:
+        stages = self._flat_stages()
+        if len(stages) < 2:
             raise ValueError("ff_pipeline needs at least a source node and one stage")
-        first = self._stages[0]
+        first = stages[0]
         if isinstance(first, ff_farm):
             raise ValueError("the first pipeline stage must be an ff_node (the stream source)")
         source = SourceSpec(factory=lambda n=first: _NodeSource(n), name="ff_source")
-        specs: List[StageSpec] = []
-        for i, st in enumerate(self._stages[1:], start=1):
-            if not isinstance(st, (ff_farm, ff_node)):
+        nodes: List[Node] = []
+        for i, st in enumerate(stages[1:], start=1):
+            if isinstance(st, ff_farm):
+                nodes.append(st.to_ir(i))
+            elif isinstance(st, ff_node):
+                nodes.append(st.to_stage_spec(i))
+            else:
                 raise TypeError(f"pipeline stage {i} is {type(st)}; expected ff_node/ff_farm")
-            specs.append(st.to_stage_spec(i))
-        g = PipelineGraph(source=source, stages=specs, name=self.name)
+        g = PipelineGraph(source=source, stages=nodes, name=self.name)
         g.validate()
         return g
 

@@ -26,7 +26,7 @@ import threading
 from typing import Any, Callable, Iterator, List, Optional
 
 from repro.core.config import ExecConfig, Scheduling
-from repro.core.graph import PipelineGraph, SourceSpec, StageSpec
+from repro.core.graph import Farm, Node, PipelineGraph, SourceSpec, StageSpec
 from repro.core.metrics import RunResult
 from repro.core.run import run
 from repro.core.stage import FunctionStage, Source, StageContext
@@ -117,7 +117,7 @@ def _pipeline_graph(filters: tuple[_Filter, ...], parallelism: int,
     if first.mode is filter_mode.parallel:
         raise ValueError("the input (first) filter cannot be parallel")
     source = SourceSpec(factory=lambda f=first: _FilterSource(f.fn), name="tbb_input")
-    specs: List[StageSpec] = []
+    nodes: List[Node] = []
     rest = filters[1:]
     for i, f in enumerate(rest):
         if f.mode is filter_mode.parallel:
@@ -130,20 +130,21 @@ def _pipeline_graph(filters: tuple[_Filter, ...], parallelism: int,
                     continue
                 ordered = g.mode is filter_mode.serial_in_order
                 break
-            specs.append(StageSpec(
-                factory=lambda f=f: FunctionStage(f.fn),
-                name=f"{f.name}@{i + 1}",
+            nodes.append(Farm(
+                worker=StageSpec(factory=lambda f=f: FunctionStage(f.fn),
+                                 name=f"{f.name}@{i + 1}"),
                 replicas=parallelism,
                 ordered=ordered,
                 scheduling=Scheduling.ON_DEMAND,  # work-stealing-ish greed
+                name=f"{f.name}@{i + 1}",
             ))
         else:
-            specs.append(StageSpec(
+            nodes.append(StageSpec(
                 factory=lambda f=f: FunctionStage(f.fn),
                 name=f"{f.name}@{i + 1}",
                 replicas=1,
             ))
-    g = PipelineGraph(source=source, stages=specs, name=name)
+    g = PipelineGraph(source=source, stages=nodes, name=name)
     g.validate()
     return g
 

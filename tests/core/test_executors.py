@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.config import ExecConfig, ExecMode, Scheduling
-from repro.core.graph import StageSpec, linear_graph
+from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
 from repro.core.items import Multi
 from repro.core.run import execute
 from repro.core.stage import FunctionStage, IterSource, Source, Stage
@@ -192,6 +192,105 @@ def test_on_end_outputs_flow_downstream(mode):
                      StageSpec(FunctionStage(lambda x: x), "sink"))
     r = execute(g, ExecConfig(mode=mode))
     assert r.outputs == [("sum", 45)]
+
+
+# -- nested farms (farm-of-pipelines) ----------------------------------------
+
+def _fop(replicas=3, ordered=True, tail_serial=True):
+    """source -> Farm(square -> neg) -> [sink]"""
+    worker = Pipe(StageSpec(_Square, "sq"),
+                  StageSpec(FunctionStage(lambda x: -x), "neg"))
+    stages = [Farm(worker, replicas=replicas, ordered=ordered)]
+    if tail_serial:
+        stages.append(StageSpec(FunctionStage(lambda x: x), "sink"))
+    return linear_graph(IterSource(range(40)), *stages)
+
+
+def test_farm_of_pipelines_ordered_equivalence():
+    out = both_modes(lambda: _fop(), max_tokens=8, queue_capacity=4)
+    assert out == [-(i * i) for i in range(40)]
+
+
+def test_farm_of_pipelines_as_last_segment():
+    out = both_modes(lambda: _fop(tail_serial=False))
+    assert out == [-(i * i) for i in range(40)]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_farm_of_pipelines_unordered_delivers_all(mode):
+    r = execute(_fop(ordered=False), ExecConfig(mode=mode))
+    assert sorted(r.outputs) == sorted(-(i * i) for i in range(40))
+
+
+def test_filter_inside_worker_chain_keeps_order():
+    # A None return deep inside an ordered farm's chain must leave a
+    # skip-marker that traverses the rest of the chain, or the reorder
+    # point downstream stalls.
+    def build():
+        worker = Pipe(StageSpec(_OddFilter, "odd"),
+                      StageSpec(FunctionStage(lambda x: x * 10), "x10"))
+        return linear_graph(IterSource(range(30)),
+                            Farm(worker, replicas=4),
+                            StageSpec(FunctionStage(lambda x: x), "sink"))
+
+    out = both_modes(build, max_tokens=6)
+    assert out == [i * 10 for i in range(30) if i % 2]
+
+
+def test_expander_inside_worker_chain():
+    def build():
+        worker = Pipe(StageSpec(_Expander, "expand"),
+                      StageSpec(FunctionStage(lambda x: x + 100), "add"))
+        return linear_graph(IterSource(range(24)),
+                            Farm(worker, replicas=3),
+                            StageSpec(FunctionStage(lambda x: x), "sink"))
+
+    expected = [i + 100 for i in range(24) for _ in range(i % 3)]
+    assert both_modes(build) == expected
+
+
+def test_farm_of_pipelines_feeding_a_farm():
+    # chain farm -> plain farm: the implicit sequencer merges the chain
+    # tails and renumbers before the next fan-out.
+    def build():
+        worker = Pipe(StageSpec(_Square, "sq"),
+                      StageSpec(FunctionStage(lambda x: x + 1), "inc"))
+        return linear_graph(IterSource(range(36)),
+                            Farm(worker, replicas=3),
+                            StageSpec(FunctionStage(lambda x: -x), "neg",
+                                      replicas=2),
+                            StageSpec(FunctionStage(lambda x: x), "sink"))
+
+    out = both_modes(build, max_tokens=12)
+    assert out == [-(i * i + 1) for i in range(36)]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_worker_chain_stage_exception_propagates(mode):
+    class Boom(Stage):
+        def process(self, item, ctx):
+            if item == 7:
+                raise RuntimeError("chain boom")
+            return item
+
+    worker = Pipe(StageSpec(FunctionStage(lambda x: x), "head"),
+                  StageSpec(Boom, "boom"))
+    g = linear_graph(IterSource(range(20)), Farm(worker, replicas=2),
+                     StageSpec(FunctionStage(lambda x: x), "sink"))
+    with pytest.raises(RuntimeError, match="chain boom"):
+        execute(g, ExecConfig(mode=mode, queue_capacity=4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.integers(-100, 100), max_size=40),
+       st.integers(1, 4), st.integers(1, 6))
+def test_property_farm_of_pipelines_order_preserving(items, replicas, tokens):
+    worker = Pipe(StageSpec(_Square, "sq"),
+                  StageSpec(FunctionStage(lambda x: x - 1), "dec"))
+    g = linear_graph(IterSource(list(items)), Farm(worker, replicas=replicas),
+                     StageSpec(FunctionStage(lambda x: x), "sink"))
+    r = execute(g, ExecConfig(mode=ExecMode.SIMULATED, max_tokens=tokens))
+    assert r.outputs == [i * i - 1 for i in items]
 
 
 def test_token_limit_bounds_in_flight():

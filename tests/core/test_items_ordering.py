@@ -77,6 +77,87 @@ def test_simple_reorder_any_permutation_restores_order(perm):
     assert rob.pending == 0
 
 
+def test_simple_reorder_out_of_order_burst_at_capacity():
+    # A full out-of-order burst: everything but seq 0 arrives first, so
+    # the buffer holds n-1 items, then drains completely in one push.
+    n = 256
+    rob = SimpleReorderBuffer()
+    for seq in range(n - 1, 0, -1):
+        assert list(rob.push(seq, seq)) == []
+    assert rob.pending == n - 1
+    assert rob.max_held == n - 1
+    assert list(rob.push(0, 0)) == list(range(n))
+    assert rob.pending == 0
+
+
+def test_simple_reorder_duplicate_held_seq_raises():
+    # A duplicate of a not-yet-delivered sequence must raise, not stall.
+    rob = SimpleReorderBuffer()
+    assert list(rob.push(2, "c")) == []
+    with pytest.raises(OrderingError, match="duplicate"):
+        list(rob.push(2, "c-again"))
+    # the buffer is still usable and drains correctly afterwards
+    assert list(rob.push(0, "a")) == ["a"]
+    assert list(rob.push(1, "b")) == ["b", "c"]
+
+
+def test_simple_reorder_duplicate_skip_raises():
+    rob = SimpleReorderBuffer()
+    assert list(rob.skip(1)) == []
+    with pytest.raises(OrderingError, match="duplicate"):
+        list(rob.skip(1))
+    with pytest.raises(OrderingError, match="duplicate"):
+        list(rob.push(1, "x"))
+
+
+def test_simple_reorder_eos_with_gaps_outstanding():
+    # Stream ends while sequence 1 never arrived: the held items stay
+    # pending — the executors turn this into a loud failure at EOS.
+    rob = SimpleReorderBuffer()
+    assert list(rob.push(0, "a")) == ["a"]
+    assert list(rob.push(2, "c")) == []
+    assert list(rob.push(3, "d")) == []
+    assert rob.pending == 2
+
+
+def test_executor_detects_gap_at_eos():
+    # End-to-end version of the gap case: a replicated ordered stage
+    # whose envelopes skip a sequence number stalls the reorder point;
+    # both executors must fail loudly rather than hang or drop items.
+    from repro.core.config import ExecConfig, ExecMode
+    from repro.core.executor_native import Env, NativeExecutor
+    from repro.core.graph import StageSpec, linear_graph
+    from repro.core.stage import Stage, IterSource
+
+    class Renumber(Stage):
+        """Corrupt the stream by emitting a gapped sequence."""
+
+        def process(self, item, ctx):
+            return item
+
+    g = linear_graph(IterSource(range(4)),
+                     StageSpec(Renumber, "farmed", replicas=2),
+                     StageSpec(Renumber, "sink"))
+    ex = NativeExecutor(g, ExecConfig(mode=ExecMode.NATIVE))
+    orig = ex._stage_loop
+
+    def corrupting(unit, logic, in_edge, out_edge):
+        if unit.spec.name == "farmed":
+            real_put = out_edge.put
+
+            def gapped_put(env, hint=None):
+                if isinstance(env, Env) and env.tokened and env.seq == 1:
+                    return  # drop seq 1: the sink's buffer can never drain
+                real_put(env, hint)
+
+            out_edge.put = gapped_put
+        return orig(unit, logic, in_edge, out_edge)
+
+    ex._stage_loop = corrupting
+    with pytest.raises(RuntimeError, match="reorder buffer at EOS"):
+        ex.run()
+
+
 # -- ReorderBuffer (seq, sub) --------------------------------------------------
 
 def test_reorder_buffer_multi_sub_items():

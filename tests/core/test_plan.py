@@ -1,0 +1,179 @@
+"""Execution-plan lowering tests: units, channels, sequencers, threads."""
+
+import pytest
+
+from repro.core.config import ExecConfig, Scheduling
+from repro.core.graph import (
+    Farm,
+    GraphError,
+    Pipe,
+    PipelineGraph,
+    SourceSpec,
+    StageSpec,
+    linear_graph,
+)
+from repro.core.plan import build_plan
+from repro.core.stage import IterSource, Stage
+
+
+class _Noop(Stage):
+    def process(self, item, ctx):
+        return item
+
+
+def _graph(*stages, name="g"):
+    return linear_graph(IterSource([]), *stages, name=name)
+
+
+def test_flat_chain_plan_shape():
+    g = _graph(StageSpec(_Noop, "a"), StageSpec(_Noop, "b"))
+    plan = build_plan(g)
+    assert [u.track for u in plan.stages] == ["a[0]", "b[0]"]
+    assert plan.sequencers == []
+    assert plan.source.out_channel == "a"
+    assert plan.stages[0].out_channel == "b"
+    assert plan.stages[1].out_channel is None
+    assert plan.total_threads == 3
+    assert not plan.sort_output
+
+
+def test_replicated_stage_fans_out():
+    g = _graph(StageSpec(_Noop, "w", replicas=4), StageSpec(_Noop, "sink"))
+    plan = build_plan(g)
+    ch = plan.channels["w"]
+    assert (ch.producers, ch.consumers) == (1, 4)
+    assert ch.per_consumer  # round-robin default: one queue per worker
+    workers = [u for u in plan.stages if u.spec.name == "w"]
+    assert [u.consumer_index for u in workers] == [0, 1, 2, 3]
+    assert all(u.keep_seq and u.forward_empty for u in workers)
+    # ordered farm -> serial stage: the sink is the reorder point
+    sink = next(u for u in plan.stages if u.spec.name == "sink")
+    assert sink.reorder_input and not sink.keep_seq
+
+
+def test_on_demand_uses_shared_queue():
+    g = _graph(StageSpec(_Noop, "w", replicas=3, scheduling=Scheduling.ON_DEMAND),
+               StageSpec(_Noop, "sink"))
+    assert not build_plan(g).channels["w"].per_consumer
+    # config default scheduling resolves when the spec leaves it unset
+    g2 = _graph(StageSpec(_Noop, "w", replicas=3), StageSpec(_Noop, "sink"))
+    plan2 = build_plan(g2, ExecConfig(scheduling=Scheduling.ON_DEMAND))
+    assert not plan2.channels["w"].per_consumer
+
+
+def test_farm_to_farm_inserts_sequencer():
+    g = _graph(StageSpec(_Noop, "a", replicas=2),
+               StageSpec(_Noop, "b", replicas=3))
+    plan = build_plan(g)
+    assert [s.track for s in plan.sequencers] == ["seq:b"]
+    squ = plan.sequencers[0]
+    assert squ.ordered  # upstream farm is ordered by default
+    assert squ.in_channel == "b.mid" and squ.out_channel == "b"
+    assert plan.channels["b.mid"].producers == 2
+    assert plan.channels["b"].consumers == 3
+    # source + 2 + 3 workers + 1 sequencer
+    assert plan.total_threads == 7
+    assert plan.sort_output  # last segment replicated + ordered
+
+
+def test_total_threads_counts_sequencers():
+    # The satellite fix: graph.total_threads must include the implicit
+    # sequencer thread between consecutive replicated stages.
+    g = _graph(StageSpec(_Noop, "a", replicas=2),
+               StageSpec(_Noop, "b", replicas=2),
+               StageSpec(_Noop, "sink"))
+    assert g.total_threads == 1 + 2 + 2 + 1 + 1  # src, a, b, seq:b, sink
+
+
+def test_farm_of_pipelines_lowering():
+    worker = Pipe(StageSpec(_Noop, "hash"), StageSpec(_Noop, "comp"))
+    g = _graph(Farm(worker, replicas=2), StageSpec(_Noop, "sink"))
+    plan = build_plan(g)
+    tracks = [u.track for u in plan.stages]
+    assert tracks == ["hash[0]", "comp[0]", "hash[1]", "comp[1]", "sink[0]"]
+    # farm entry channel fans out to the two chain heads
+    assert plan.channels["hash"].consumers == 2
+    # private per-replica hop between the chain stages
+    assert plan.channels["comp.w0"].producers == 1
+    assert plan.channels["comp.w0"].consumers == 1
+    assert "comp.w1" in plan.channels
+    # both chain tails feed the sink's channel
+    assert plan.channels["sink"].producers == 2
+    # all chain units keep the farm's sequence numbers
+    chain_units = [u for u in plan.stages if u.spec.name != "sink"]
+    assert all(u.keep_seq for u in chain_units)
+    assert all(u.replicas == 2 for u in chain_units)
+    # only the chain head would reorder (and here it doesn't: it follows
+    # the serial source)
+    assert not any(u.reorder_input for u in plan.stages if u.spec.name == "comp")
+    assert plan.total_threads == 1 + 4 + 1
+
+
+def test_degenerate_farm_is_serial_chain():
+    worker = Pipe(StageSpec(_Noop, "x"), StageSpec(_Noop, "y"))
+    g = _graph(Farm(worker, replicas=1))
+    plan = build_plan(g)
+    assert [u.track for u in plan.stages] == ["x[0]", "y[0]"]
+    assert not any(u.keep_seq for u in plan.stages)
+
+
+def test_nested_pipes_splice():
+    inner = Pipe(StageSpec(_Noop, "b"), Pipe(StageSpec(_Noop, "c")))
+    g = _graph(StageSpec(_Noop, "a"), inner)
+    assert g.stage_names() == ["a", "b", "c"]
+    assert build_plan(g).total_threads == 4
+
+
+def test_nested_replication_rejected():
+    inner_farm = Farm(StageSpec(_Noop, "w"), replicas=2)
+    with pytest.raises(GraphError, match="nested replication"):
+        _graph(Farm(Pipe(inner_farm), replicas=2))
+    with pytest.raises(GraphError, match="nested replication"):
+        _graph(Farm(StageSpec(_Noop, "w", replicas=2), replicas=2))
+
+
+def test_empty_farm_worker_rejected():
+    with pytest.raises(GraphError, match="empty"):
+        _graph(Farm(Pipe(), replicas=2))
+
+
+def test_duplicate_leaf_names_rejected_across_nesting():
+    with pytest.raises(GraphError, match="duplicate"):
+        _graph(StageSpec(_Noop, "x"),
+               Farm(Pipe(StageSpec(_Noop, "x"), StageSpec(_Noop, "y")),
+                    replicas=2))
+
+
+def test_plan_tracks_and_metric_replicas():
+    g = _graph(Farm(Pipe(StageSpec(_Noop, "h"), StageSpec(_Noop, "c")),
+                    replicas=2),
+               StageSpec(_Noop, "sink"))
+    plan = build_plan(g)
+    assert plan.metric_replicas() == {"h": 2, "c": 2, "sink": 1}
+    assert set(plan.tracks) == {
+        "source", "h[0]", "h[1]", "c[0]", "c[1]", "sink[0]"}
+
+
+def test_placement_channel_is_per_consumer():
+    g = _graph(StageSpec(_Noop, "w", replicas=2,
+                         scheduling=Scheduling.ON_DEMAND,
+                         placement=lambda seq, n: seq % n),
+               StageSpec(_Noop, "sink"))
+    ch = build_plan(g).channels["w"]
+    assert ch.per_consumer and ch.placement is not None
+
+
+def test_unordered_farm_to_serial_does_not_reorder():
+    g = _graph(StageSpec(_Noop, "w", replicas=3, ordered=False),
+               StageSpec(_Noop, "sink"))
+    plan = build_plan(g)
+    sink = next(u for u in plan.stages if u.spec.name == "sink")
+    assert not sink.reorder_input
+    workers = [u for u in plan.stages if u.spec.name == "w"]
+    assert all(not u.forward_empty for u in workers)
+
+
+def test_graph_source_factory_instance():
+    src = SourceSpec(factory=lambda: IterSource([1]))
+    g = PipelineGraph(source=src, stages=[StageSpec(_Noop, "s")])
+    assert build_plan(g).source.spec is src

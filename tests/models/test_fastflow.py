@@ -65,12 +65,109 @@ def test_worker_vector_like_the_paper():
     assert c.got == [i * i for i in range(20)]
 
 
-def test_worker_vector_single_use():
-    farm = ff_farm([Square(), Square()])
-    f = farm.worker_factory()
-    f(), f()
-    with pytest.raises(RuntimeError, match="exhausted"):
-        f()
+def test_worker_vector_reused_across_runs():
+    # FastFlow keeps the node vector: a second run sees the same workers.
+    class Count(ff_node):
+        def __init__(self):
+            super().__init__()
+            self.seen = 0
+
+        def svc(self, x):
+            self.seen += 1
+            return x
+
+    workers = [Count() for _ in range(2)]
+    farm = ff_ofarm(workers)
+    c1, c2 = Collect(), Collect()
+    ff_pipeline(Emit(10), farm, c1).run_and_wait_end()
+    ff_pipeline(Emit(10), farm, c2).run_and_wait_end()
+    assert c1.got == list(range(10))
+    assert c2.got == list(range(10))
+    assert sum(w.seen for w in workers) == 20
+    assert all(w.seen > 0 for w in workers)
+
+
+def test_farm_of_pipelines_ordered():
+    # FastFlow farm-of-pipelines: each replica runs a private chain.
+    class AddTag(ff_node):
+        def svc(self, x):
+            return (x, self.get_my_id)
+
+    class SquareFirst(ff_node):
+        def svc(self, pair):
+            x, rep = pair
+            return (x * x, rep)
+
+    c = Collect()
+    farm = ff_ofarm(lambda: ff_pipeline(AddTag(), SquareFirst()), replicas=3)
+    ff_pipeline(Emit(30), farm, c).run_and_wait_end()
+    assert [x for x, _ in c.got] == [i * i for i in range(30)]
+    # The work really spread over the replicas.
+    assert {rep for _, rep in c.got} == {0, 1, 2}
+
+
+def test_farm_of_pipelines_chain_is_private_per_replica():
+    # Both chain stages of one replica must share the same pipeline
+    # instance, and replicas must not share state.
+    class Mark(ff_node):
+        def __init__(self):
+            super().__init__()
+            self.items = []
+
+        def svc(self, x):
+            self.items.append(x)
+            return (x, id(self))
+
+    class Check(ff_node):
+        def __init__(self, mark):
+            super().__init__()
+            self.mark = mark
+
+        def svc(self, pair):
+            x, mark_id = pair
+            assert mark_id == id(self.mark), "chain stages from different instances"
+            return x
+
+    def make_worker():
+        m = Mark()
+        return ff_pipeline(m, Check(m))
+
+    c = Collect()
+    ff_pipeline(Emit(24), ff_ofarm(make_worker, replicas=4), c).run_and_wait_end()
+    assert c.got == list(range(24))
+
+
+def test_farm_of_pipelines_simulated():
+    class Half(ff_node):
+        def svc(self, x):
+            self.charge("generic_op", 500_000)
+            return x
+
+    class Rest(ff_node):
+        def svc(self, x):
+            self.charge("generic_op", 500_000)
+            return x
+
+    c = Collect()
+    farm = ff_ofarm(lambda: ff_pipeline(Half(), Rest()), replicas=4)
+    pipe = ff_pipeline(Emit(16), farm, c)
+    r = pipe.run_simulated()
+    assert c.got == list(range(16))
+    assert r.makespan > 0
+
+
+def test_nested_ff_pipeline_splices():
+    c = Collect()
+    inner = ff_pipeline(Square(), name="inner")
+    pipe = ff_pipeline(Emit(8), inner, c)
+    pipe.run_and_wait_end()
+    assert c.got == [i * i for i in range(8)]
+
+
+def test_worker_pipeline_with_farm_rejected():
+    with pytest.raises(TypeError, match="nested replication"):
+        worker = lambda: ff_pipeline(ff_farm(Square, replicas=2))  # noqa: E731
+        ff_pipeline(Emit(4), ff_farm(worker, replicas=2), Collect()).to_graph()
 
 
 def test_farm_validation():

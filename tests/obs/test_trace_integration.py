@@ -13,7 +13,8 @@ import pytest
 
 import repro
 from repro.core.config import ExecConfig, ExecMode, Scheduling
-from repro.core.graph import StageSpec, linear_graph
+from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
+from repro.core.plan import build_plan
 from repro.core.run import execute
 from repro.core.stage import FunctionStage, IterSource
 from repro.gpu.kernel import Kernel, KernelWork
@@ -57,6 +58,45 @@ def test_native_and_sim_traces_structurally_identical():
     # timestamps differ between wall and virtual clocks
     assert shapes[ExecMode.NATIVE] == shapes[ExecMode.SIMULATED]
     assert len(shapes[ExecMode.NATIVE]) == 3 * 12
+
+
+def _farm_of_pipelines_graph():
+    worker = Pipe(
+        StageSpec(FunctionStage(lambda x: x + 1, name="inc"), "inc"),
+        StageSpec(FunctionStage(lambda x: x * 2, name="dbl"), "dbl"),
+    )
+    return linear_graph(
+        IterSource(range(10)),
+        Farm(worker, replicas=2, ordered=True),
+        StageSpec(FunctionStage(lambda x: x, name="sink"), "sink"),
+    )
+
+
+def test_nested_farm_traces_structurally_identical():
+    """The acceptance bar for the plan layer: a farm-of-pipelines runs on
+    both executors with the *same* span tracks and metric identities,
+    because both execute the same ExecutionPlan."""
+    shapes = {}
+    metrics = {}
+    for mode in (ExecMode.NATIVE, ExecMode.SIMULATED):
+        rec = SpanRecorder()
+        r = execute(_farm_of_pipelines_graph(),
+                    ExecConfig(mode=mode, tracer=rec))
+        assert r.outputs == [(i + 1) * 2 for i in range(10)]
+        shapes[mode] = _stage_shape(rec)
+        metrics[mode] = {name: (m.replicas, m.items_in, m.items_out)
+                         for name, m in r.stage_metrics.items()}
+    assert shapes[ExecMode.NATIVE] == shapes[ExecMode.SIMULATED]
+    # every item crosses both chain stages and the sink
+    assert len(shapes[ExecMode.NATIVE]) == 3 * 10
+    assert metrics[ExecMode.NATIVE] == metrics[ExecMode.SIMULATED]
+    assert metrics[ExecMode.NATIVE]["inc"] == (2, 10, 10)
+    # span tracks match the plan's declared track names
+    plan = build_plan(_farm_of_pipelines_graph())
+    for mode in shapes:
+        tracks = {t for t, _, _ in shapes[mode]}
+        assert tracks <= set(plan.tracks)
+        assert {"inc[0]", "inc[1]", "dbl[0]", "dbl[1]", "sink[0]"} <= tracks
 
 
 @pytest.mark.parametrize("mode", [ExecMode.NATIVE, ExecMode.SIMULATED])
