@@ -7,13 +7,20 @@ core IR on both executors, FastFlow, TBB and SPar — plus the nested
 farm-of-pipelines topology, and writes throughput + makespan per runtime
 so CI tracks the perf trajectory over time.
 
+A second section sweeps the native channel layer on the core runtime:
+``{blocking, spin} x {batch 1, batch N}`` over the SPSC-ring channels,
+against the pre-channel-layer ``queue.Queue`` baseline, recording each
+configuration's item rate and its speedup over that baseline.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
-        [--items 500] [--replicas 4] [--out BENCH_pipeline.json]
+        [--items 500] [--replicas 4] [--batch 16] [--reps 3] \
+        [--out BENCH_pipeline.json]
 
 Self-contained on purpose: no pytest-benchmark dependency, stdlib only,
-so the CI step is a plain script invocation.
+so the CI step is a plain script invocation.  Exits non-zero if any
+scenario crashes (failures are recorded in the JSON, not swallowed).
 """
 
 from __future__ import annotations
@@ -164,17 +171,89 @@ SCENARIOS = [
 ]
 
 
+def _channel_sweep_rows(items: int, replicas: int, batch: int, reps: int,
+                        errors: list) -> list:
+    """Native channel-layer sweep: modes x batching vs queue.Queue baseline.
+
+    Each configuration takes the best makespan of ``reps`` runs (the
+    micro pipeline is scheduler-noise-dominated at small item counts).
+    """
+    configs = [
+        # (label, backend, blocking, batch_size) — queue baseline first
+        ("queue-baseline", "queue", True, 1),
+        ("ring-blocking", "ring", True, 1),
+        (f"ring-blocking-batch{batch}", "ring", True, batch),
+        ("ring-spin", "ring", False, 1),
+        (f"ring-spin-batch{batch}", "ring", False, batch),
+    ]
+    rows = []
+    baseline_rate = None
+    for label, backend, blocking, batch_size in configs:
+        best = None
+        try:
+            for _ in range(reps):
+                graph = _flat_graph(items, replicas)
+                result = execute(graph, ExecConfig(
+                    mode=ExecMode.NATIVE, channel_backend=backend,
+                    blocking=blocking, batch_size=batch_size))
+                assert result.items_emitted == items
+                if best is None or result.makespan < best:
+                    best = result.makespan
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"channel-sweep {label}: {exc!r}")
+            rows.append({"kind": "channel-sweep", "config": label,
+                         "error": repr(exc)})
+            print(f"channel-sweep {label:24s} FAILED: {exc!r}")
+            continue
+        rate = items / best if best > 0 else None
+        if label == "queue-baseline":
+            baseline_rate = rate
+        speedup = (rate / baseline_rate
+                   if rate and baseline_rate else None)
+        rows.append({
+            "kind": "channel-sweep",
+            "config": label,
+            "backend": backend,
+            "discipline": "blocking" if blocking else "spin",
+            "batch_size": batch_size,
+            "items": items,
+            "replicas": replicas,
+            "reps": reps,
+            "makespan_s": best,
+            "throughput_items_per_s": rate,
+            "speedup_vs_queue_baseline": speedup,
+        })
+        extra = f" speedup={speedup:.2f}x" if speedup else ""
+        print(f"channel-sweep {label:24s} makespan={best:.6f}s "
+              f"rate={rate:,.0f} items/s{extra}")
+    return rows
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--items", type=int, default=500)
     ap.add_argument("--replicas", type=int, default=4)
+    ap.add_argument("--batch", type=int, default=16,
+                    help="batch size N for the channel-mode sweep")
+    ap.add_argument("--reps", type=int, default=3,
+                    help="repetitions per channel-sweep config (best-of)")
     ap.add_argument("--out", default="BENCH_pipeline.json")
     args = ap.parse_args(argv)
 
     rows = []
+    errors: list = []
     for runtime, topology, runner in SCENARIOS:
         for mode in (ExecMode.NATIVE, ExecMode.SIMULATED):
-            makespan, wall = runner(args.items, args.replicas, mode, topology)
+            try:
+                makespan, wall = runner(args.items, args.replicas, mode,
+                                        topology)
+            except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+                errors.append(f"{runtime}/{topology}/{mode.value}: {exc!r}")
+                rows.append({"runtime": runtime, "topology": topology,
+                             "mode": mode.value, "error": repr(exc)})
+                print(f"{runtime:9s} {topology:18s} {mode.value:9s} "
+                      f"FAILED: {exc!r}")
+                continue
             rows.append({
                 "runtime": runtime,
                 "topology": topology,
@@ -189,15 +268,22 @@ def main(argv=None) -> int:
             print(f"{runtime:9s} {topology:18s} {mode.value:9s} "
                   f"makespan={makespan:.6f}s wall={wall:.3f}s")
 
+    rows.extend(_channel_sweep_rows(args.items, args.replicas, args.batch,
+                                    args.reps, errors))
+
     doc = {
         "benchmark": "pipeline",
         "python": platform.python_version(),
         "platform": platform.platform(),
         "results": rows,
+        "errors": errors,
     }
     with open(args.out, "w") as f:
         json.dump(doc, f, indent=2)
     print(f"wrote {args.out} ({len(rows)} results)")
+    if errors:
+        print(f"{len(errors)} scenario(s) FAILED", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -46,8 +46,20 @@ class ExecConfig:
     max_tokens: Optional[int] = None
     scheduling: Scheduling = Scheduling.ROUND_ROBIN
     #: FastFlow blocking vs non-blocking (spinning) queue mode.  Spinning
-    #: costs virtual CPU but reduces per-item hand-off latency.
+    #: costs CPU (real or virtual) but reduces per-item hand-off latency.
+    #: Honored by both executors: native channels park on condition
+    #: variables or busy-wait accordingly; the simulator charges the
+    #: blocking wake-up latency on hand-offs that had to sleep.
     blocking: bool = True
+    #: FastFlow-style multi-push/multi-pop: producers hand envelopes to a
+    #: channel in groups of up to this many, and consumers drain what is
+    #: available in one synchronization episode.  1 disables batching.
+    #: Native-mode only; the simulator's hand-off semantics are unchanged.
+    batch_size: int = 1
+    #: native channel implementation: ``"ring"`` (SPSC ring buffers with a
+    #: lock-minimal MPMC fallback on shared edges) or ``"queue"`` (the
+    #: pre-channel-layer ``queue.Queue`` baseline, kept for benchmarking).
+    channel_backend: str = "ring"
     machine: MachineSpec = field(default_factory=lambda: PAPER_MACHINE)
     #: collect payloads flowing out of the last stage into RunResult.outputs
     collect_outputs: bool = True
@@ -67,6 +79,15 @@ class ExecConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.max_tokens is not None and self.max_tokens < 1:
             raise ValueError("max_tokens must be >= 1 or None")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        from repro.core.channel import CHANNEL_BACKENDS
+
+        if self.channel_backend not in CHANNEL_BACKENDS:
+            raise ValueError(
+                f"unknown channel_backend: {self.channel_backend!r} "
+                f"(expected one of {list(CHANNEL_BACKENDS)})"
+            )
 
     def replace(self, **kwargs) -> "ExecConfig":
         """A copy with the given fields replaced (validation re-runs)."""

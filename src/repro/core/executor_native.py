@@ -3,7 +3,14 @@
 The lowering itself lives in :mod:`repro.core.plan` — this executor
 consumes an :class:`~repro.core.plan.ExecutionPlan` verbatim: one thread
 per plan unit (source, every stage replica, every implicit sequencer),
-one bounded-queue :class:`Edge` per channel spec.
+one bounded-channel :class:`Edge` per channel spec.
+
+Hand-offs ride the purpose-built channels of :mod:`repro.core.channel`:
+SPSC ring buffers wherever the plan proves single-producer/single-
+consumer access (the common case), a lock-minimal MPMC fallback on
+shared edges, with FastFlow's blocking vs spinning disciplines selected
+by ``ExecConfig.blocking`` and multi-push/multi-pop batching by
+``ExecConfig.batch_size``.
 
 Internal protocol: payloads travel in :class:`Env` envelopes —
 ``(seq, payloads_tuple)``.  Every stage consumes one envelope and emits
@@ -12,25 +19,33 @@ token accounting is exact: a token is acquired per envelope at the
 source, transferred downstream, and released when the envelope is
 filtered or leaves the last stage.
 
-Failure semantics: an exception in any stage aborts the whole run; all
-threads are unblocked via polling puts/gets and the original exception
-is re-raised from :meth:`NativeExecutor.run`.
+Failure semantics: an exception in any stage aborts the whole run; the
+error box wakes every thread parked on a channel or the token pool
+immediately (event-driven, no polling interval) and the original
+exception is re-raised from :meth:`NativeExecutor.run`.
 """
 
 from __future__ import annotations
 
 import itertools
-import queue
 import threading
 import time
+from collections import deque
 from typing import Any, List, Optional, Sequence
 
+from repro.core.channel import Aborted, AbortSignal, make_channel
 from repro.core.config import ExecConfig
 from repro.core.graph import PipelineGraph
 from repro.core.items import EOS, Multi
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
-from repro.core.plan import ExecutionPlan, SequencerUnit, StageUnit, build_plan
+from repro.core.plan import (
+    ChannelSpec,
+    ExecutionPlan,
+    SequencerUnit,
+    StageUnit,
+    build_plan,
+)
 from repro.core.stage import Stage, StageContext
 from repro.obs.clock import WallClock
 from repro.obs.tracer import (
@@ -42,14 +57,12 @@ from repro.obs.tracer import (
     use_tracer,
 )
 
-_POLL = 0.05
 #: don't record queue/token wait spans shorter than this (wall seconds);
 #: an uncontended queue op returns in microseconds and would only add noise
 _MIN_WAIT = 1e-4
 
-
-class PipelineAborted(RuntimeError):
-    """Internal signal: another thread failed; unwind quietly."""
+#: another thread failed; unwind quietly (raised from channel waits)
+PipelineAborted = Aborted
 
 
 class Env:
@@ -66,91 +79,132 @@ class Env:
         return f"Env(seq={self.seq}, n={len(self.payloads)})"
 
 
-class _ErrorBox:
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.error: Optional[BaseException] = None
-        self.failed = threading.Event()
+class _ErrorBox(AbortSignal):
+    """First-error storage on top of the event-driven abort signal."""
 
-    def set(self, exc: BaseException) -> None:
-        with self._lock:
+    def __init__(self) -> None:
+        super().__init__()
+        self._err_lock = threading.Lock()
+        self.error: Optional[BaseException] = None
+
+    def fail(self, exc: BaseException) -> None:
+        with self._err_lock:
             if self.error is None:
                 self.error = exc
-        self.failed.set()
+        self.set()
 
 
 class _TokenPool:
-    """Counting semaphore with abort support; None limit = unlimited."""
+    """Counting token gate with event-driven abort; None limit = unlimited.
+
+    A blocked ``acquire`` parks on the pool's condition and is woken by a
+    ``release`` or by the error box failing — never by a poll timeout.
+    """
 
     def __init__(self, limit: Optional[int], errors: _ErrorBox):
-        self._sem = threading.Semaphore(limit) if limit is not None else None
+        self._limit = limit
         self._errors = errors
+        if limit is not None:
+            self._avail = limit
+            self._cond = threading.Condition()
+            errors.register(self._cond)
 
     def acquire(self) -> None:
-        if self._sem is None:
+        if self._limit is None:
             return
-        while not self._sem.acquire(timeout=_POLL):
-            if self._errors.failed.is_set():
-                raise PipelineAborted()
+        with self._cond:
+            while self._avail == 0:
+                if self._errors.is_set():
+                    raise PipelineAborted()
+                self._cond.wait()
+            self._avail -= 1
 
     def release(self) -> None:
-        if self._sem is not None:
-            self._sem.release()
+        if self._limit is None:
+            return
+        with self._cond:
+            self._avail += 1
+            self._cond.notify()
 
 
 class Edge:
     """P producers -> C consumers with correct EOS aggregation.
 
-    When ``tracer`` is set, every completed put/get samples the queue's
-    occupancy as a counter event (backpressure becomes visible over time).
+    Backed by one channel per consumer (per-consumer fan-out, fed
+    round-robin or by ``placement``) or one shared channel; each channel
+    is an SPSC ring wherever the spec proves single-producer/single-
+    consumer access.  When ``tracer`` is set, every completed put/get
+    samples the queue's occupancy as a counter event (backpressure
+    becomes visible over time).
     """
 
-    def __init__(self, producers: int, consumers: int, capacity: int,
-                 per_consumer_queues: bool, errors: _ErrorBox,
-                 placement=None, name: str = "", tracer=None, clock=None):
-        self.producers = producers
-        self.consumers = consumers
+    def __init__(self, spec: ChannelSpec, capacity: int, errors: _ErrorBox,
+                 blocking: bool = True, backend: str = "ring",
+                 tracer=None, clock=None):
+        self.producers = spec.producers
+        self.consumers = spec.consumers
         self.errors = errors
-        self._placement = placement
+        self._placement = spec.placement
         self._tracer = tracer
         self._clock = clock
         self._eos_lock = threading.Lock()
         self._eos_seen = 0
-        if per_consumer_queues:
-            self._queues = [queue.Queue(maxsize=capacity) for _ in range(consumers)]
-            self._rr = itertools.cycle(range(consumers))
+        spsc = spec.spsc_queues
+        if spec.per_consumer:
+            self._channels = [
+                make_channel(capacity, errors, blocking=blocking, spsc=spsc,
+                             backend=backend)
+                for _ in range(spec.consumers)
+            ]
+            self._rr = itertools.cycle(range(spec.consumers))
             self._shared = False
-            self._tracks = [f"q:{name}.{i}" for i in range(consumers)]
+            self._tracks = [f"q:{spec.name}.{i}" for i in range(spec.consumers)]
         else:
-            self._queues = [queue.Queue(maxsize=capacity)]
+            self._channels = [make_channel(capacity, errors, blocking=blocking,
+                                           spsc=spsc, backend=backend)]
             self._shared = True
-            self._tracks = [f"q:{name}"]
+            self._tracks = [f"q:{spec.name}"]
 
     def _sample(self, idx: int) -> None:
         self._tracer.counter(self._tracks[idx], "occupancy",
-                             self._clock.now(), self._queues[idx].qsize())
+                             self._clock.now(), self._channels[idx].qsize())
+
+    def _route(self, item: Any) -> int:
+        """Destination queue for one item on a per-consumer edge.
+
+        EOS is routed around the placement hook explicitly: the sentinel
+        has no sequence number (and must reach *every* consumer anyway,
+        which :meth:`put_eos` handles by direct per-channel puts).
+        """
+        if self._placement is not None and item is not EOS:
+            # FastFlow's customized-scheduler hook
+            return self._placement(item.seq, self.consumers) % self.consumers
+        return next(self._rr)
 
     # producer side ------------------------------------------------------
     def put(self, item: Any, consumer_hint: Optional[int] = None) -> None:
         if self._shared:
             idx = 0
-            q = self._queues[0]
         else:
-            if consumer_hint is None and self._placement is not None:
-                # FastFlow's customized-scheduler hook
-                consumer_hint = self._placement(item.seq, self.consumers) \
-                    % self.consumers
-            idx = next(self._rr) if consumer_hint is None else consumer_hint
-            q = self._queues[idx]
-        while True:
-            try:
-                q.put(item, timeout=_POLL)
-                if self._tracer is not None:
-                    self._sample(idx)
-                return
-            except queue.Full:
-                if self.errors.failed.is_set():
-                    raise PipelineAborted() from None
+            idx = self._route(item) if consumer_hint is None else consumer_hint
+        self._channels[idx].put(item)
+        if self._tracer is not None:
+            self._sample(idx)
+
+    def put_many(self, items: Sequence[Any]) -> None:
+        """Multi-push: one synchronization episode per destination queue."""
+        if self._shared or self.consumers == 1:
+            self._channels[0].put_many(items)
+            if self._tracer is not None:
+                self._sample(0)
+            return
+        buckets: dict[int, List[Any]] = {}
+        for item in items:
+            buckets.setdefault(self._route(item), []).append(item)
+        for idx, bucket in buckets.items():
+            self._channels[idx].put_many(bucket)
+            if self._tracer is not None:
+                self._sample(idx)
 
     def put_eos(self) -> None:
         """Called once per producer; last producer releases the consumers."""
@@ -160,25 +214,66 @@ class Edge:
         if not last:
             return
         if self._shared:
-            for _ in range(self.consumers):
-                self.put(EOS)
+            # one sentinel per consumer on the shared queue
+            self._channels[0].put_many([EOS] * self.consumers)
         else:
-            for idx in range(self.consumers):
-                self.put(EOS, consumer_hint=idx)
+            for ch in self._channels:
+                ch.put(EOS)
 
     # consumer side ------------------------------------------------------
     def get(self, consumer_idx: int) -> Any:
         idx = 0 if self._shared else consumer_idx
-        q = self._queues[idx]
-        while True:
-            try:
-                item = q.get(timeout=_POLL)
-                if self._tracer is not None:
-                    self._sample(idx)
-                return item
-            except queue.Empty:
-                if self.errors.failed.is_set():
-                    raise PipelineAborted() from None
+        item = self._channels[idx].get()
+        if self._tracer is not None:
+            self._sample(idx)
+        return item
+
+    def get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        """Multi-pop: at least one item; EOS only ever arrives alone."""
+        idx = 0 if self._shared else consumer_idx
+        items = self._channels[idx].get_many(max_n, stop=EOS)
+        if self._tracer is not None:
+            self._sample(idx)
+        return items
+
+
+class _Outbox:
+    """Producer-side multi-push: buffer envelopes, flush as one hand-off.
+
+    Amortizes per-envelope channel synchronization (FastFlow's
+    ``multipush``); the stage loop flushes before propagating EOS so no
+    envelope is ever stranded.
+    """
+
+    __slots__ = ("_edge", "_batch", "_buf", "_tr", "_clock", "_track")
+
+    def __init__(self, edge: Edge, batch: int, tr=None, clock=None,
+                 track: Optional[str] = None):
+        self._edge = edge
+        self._batch = batch
+        self._buf: List[Any] = []
+        self._tr = tr
+        self._clock = clock
+        self._track = track
+
+    def put(self, env: Env) -> None:
+        self._buf.append(env)
+        if len(self._buf) >= self._batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buf:
+            return
+        buf = self._buf
+        self._buf = []
+        if self._tr is None:
+            self._edge.put_many(buf)
+            return
+        t0 = self._clock.now()
+        self._edge.put_many(buf)
+        t1 = self._clock.now()
+        if t1 - t0 > _MIN_WAIT:
+            self._tr.span(CAT_QUEUE, self._track, "put_wait", t0, t1)
 
 
 def _normalize_outputs(result: Any) -> tuple[Any, ...]:
@@ -202,19 +297,32 @@ class NativeExecutor:
         self._outputs: List[Any] = []
         self._output_lock = threading.Lock()
         self._items_emitted = 0
+        #: consumer-side multi-pop width
+        self._batch = config.batch_size
+        #: producer-side buffering is exact-token-unsafe: buffered
+        #: envelopes hold live tokens without making progress, which can
+        #: starve the source below the flush threshold — so it is
+        #: disabled whenever a token gate is active (multi-pop stays on).
+        self._outbox_batch = 1 if config.max_tokens is not None else self._batch
         tracer = config.tracer if config.tracer is not None else current_tracer()
         #: None on the untraced fast path — all hooks hide behind this
         self._tracer = tracer if tracer.enabled else None
         self._clock = WallClock()  # re-zeroed at run start
 
-    # -- helpers ---------------------------------------------------------
-    def _record(self, name: str, replicas: int, service: float, emitted: int) -> None:
+    def _merge_metrics(self, local: StageMetrics) -> None:
         with self._metrics_lock:
-            m = self._metrics.get(name)
+            m = self._metrics.get(local.name)
             if m is None:
-                m = StageMetrics(name=name, replicas=replicas)
-                self._metrics[name] = m
-            m.record(service, emitted)
+                self._metrics[local.name] = local
+            else:
+                m.merge(local)
+
+    def _make_outbox(self, out_edge: Optional[Edge],
+                     track: str) -> Optional[_Outbox]:
+        if out_edge is None or self._outbox_batch <= 1:
+            return None
+        return _Outbox(out_edge, self._outbox_batch, self._tracer,
+                       self._clock, track)
 
     # -- thread bodies ----------------------------------------------------
     def _source_loop(self, out_edge: Edge) -> None:
@@ -223,28 +331,38 @@ class NativeExecutor:
         track = src_spec.name
         ctx = StageContext(src_spec.name, 0, 1, tracer=tr)
         src = src_spec.factory()
+        outbox = self._make_outbox(out_edge, track)
         seq = 0
         try:
             src.on_start(ctx)
             for payload in src.generate(ctx):
+                env = Env(seq, (payload,))
                 if tr is None:
                     self._tokens.acquire()
-                    out_edge.put(Env(seq, (payload,)))
+                    if outbox is None:
+                        out_edge.put(env)
+                    else:
+                        outbox.put(env)
                 else:
                     t0 = clock.now()
                     self._tokens.acquire()
                     t1 = clock.now()
                     if t1 - t0 > _MIN_WAIT:
                         tr.span(CAT_TOKEN, track, "token_wait", t0, t1)
-                    out_edge.put(Env(seq, (payload,)))
-                    t2 = clock.now()
-                    if t2 - t1 > _MIN_WAIT:
-                        tr.span(CAT_QUEUE, track, "put_wait", t1, t2)
+                    if outbox is None:
+                        out_edge.put(env)
+                        t2 = clock.now()
+                        if t2 - t1 > _MIN_WAIT:
+                            tr.span(CAT_QUEUE, track, "put_wait", t1, t2)
+                    else:
+                        outbox.put(env)  # emits its own put_wait spans
                 seq += 1
             src.on_end(ctx)
         finally:
             with self._metrics_lock:
                 self._items_emitted = seq
+            if outbox is not None:
+                outbox.flush()
             out_edge.put_eos()
 
     def _stage_loop(self, unit: StageUnit, logic: Stage, in_edge: Edge,
@@ -263,6 +381,34 @@ class NativeExecutor:
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
+        batch = self._batch
+        outbox = self._make_outbox(out_edge, track)
+        # Per-thread accumulation: service metrics and sink outputs are
+        # gathered locally and merged once at EOS, so the hot loop never
+        # touches the shared locks.
+        metrics = StageMetrics(name=unit.metric_name, replicas=unit.replicas)
+        sink: List[Env] = []
+        collect = self.config.collect_outputs
+        inbox: deque = deque()  # pre-fetched envelopes when batch > 1
+
+        def emit(env: Env) -> None:
+            if out_edge is not None:
+                if outbox is not None:
+                    outbox.put(env)
+                elif tr is None:
+                    out_edge.put(env)
+                else:
+                    t0 = clock.now()
+                    out_edge.put(env)
+                    t1 = clock.now()
+                    if t1 - t0 > _MIN_WAIT:
+                        tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
+                return
+            # Last stage: collect outputs and release the token.
+            if collect:
+                sink.append(env)
+            if env.tokened:
+                self._tokens.release()
 
         def handle(env: Env) -> None:
             nonlocal out_seq
@@ -271,7 +417,7 @@ class NativeExecutor:
             for payload in env.payloads:
                 outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = time.perf_counter() - t0
-            self._record(unit.metric_name, unit.replicas, service, len(outs))
+            metrics.record(service, len(outs))
             if tr is not None:
                 end = clock.now()
                 tr.span(CAT_STAGE, track, spec.name, end - service, end,
@@ -280,25 +426,40 @@ class NativeExecutor:
                 new_env = Env(env.seq if keep_seq else out_seq, outs,
                               tokened=env.tokened)
                 out_seq += 1
-                self._emit(new_env, out_edge, track)
+                emit(new_env)
             elif unit.forward_empty:
                 # Filtered in an ordered replicated segment: forward an
                 # empty envelope so the downstream reorder point does not
                 # stall on this seq.
-                self._emit(Env(env.seq, (), tokened=env.tokened), out_edge, track)
+                emit(Env(env.seq, (), tokened=env.tokened))
             elif env.tokened:
                 self._tokens.release()
 
-        try:
-            while True:
+        def next_item() -> Any:
+            if batch <= 1:
                 if tr is None:
-                    item = in_edge.get(unit.consumer_index)
+                    return in_edge.get(unit.consumer_index)
+                t0 = clock.now()
+                item = in_edge.get(unit.consumer_index)
+                t1 = clock.now()
+                if t1 - t0 > _MIN_WAIT and item is not EOS:
+                    tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                return item
+            if not inbox:
+                if tr is None:
+                    inbox.extend(in_edge.get_many(unit.consumer_index, batch))
                 else:
                     t0 = clock.now()
-                    item = in_edge.get(unit.consumer_index)
+                    items = in_edge.get_many(unit.consumer_index, batch)
                     t1 = clock.now()
-                    if t1 - t0 > _MIN_WAIT and item is not EOS:
+                    if t1 - t0 > _MIN_WAIT and items[0] is not EOS:
                         tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                    inbox.extend(items)
+            return inbox.popleft()
+
+        try:
+            while True:
+                item = next_item()
                 if item is EOS:
                     break
                 env: Env = item
@@ -307,7 +468,7 @@ class NativeExecutor:
                         # Skip-marker travelling through a worker chain:
                         # pass it along untouched (no metrics, no span).
                         if keep_seq:
-                            self._emit(env, out_edge, track)
+                            emit(env)
                         elif env.tokened:
                             self._tokens.release()
                         continue
@@ -332,30 +493,19 @@ class NativeExecutor:
                 handle(env)
             final = _normalize_outputs(logic.on_end(ctx))
             if final:
-                self._emit(Env(-1, final, tokened=False), out_edge, track)
+                emit(Env(-1, final, tokened=False))
         finally:
+            if metrics.items_in:
+                # a replica that saw no envelopes contributes no entry,
+                # matching the simulator's lazy metric creation
+                self._merge_metrics(metrics)
+            if sink:
+                with self._output_lock:
+                    self._outputs.extend(sink)
+            if outbox is not None:
+                outbox.flush()
             if out_edge is not None:
                 out_edge.put_eos()
-
-    def _emit(self, env: Env, out_edge: Optional[Edge],
-              track: Optional[str] = None) -> None:
-        if out_edge is not None:
-            tr = self._tracer
-            if tr is None:
-                out_edge.put(env)
-            else:
-                t0 = self._clock.now()
-                out_edge.put(env)
-                t1 = self._clock.now()
-                if t1 - t0 > _MIN_WAIT and track is not None:
-                    tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
-            return
-        # Last stage: collect outputs and release the token.
-        if self.config.collect_outputs:
-            with self._output_lock:
-                self._outputs.append(env)
-        if env.tokened:
-            self._tokens.release()
 
     def _sequencer_loop(self, unit: SequencerUnit, in_edge: Edge,
                         out_edge: Edge) -> None:
@@ -401,6 +551,7 @@ class NativeExecutor:
     # -- orchestration -----------------------------------------------------
     def run(self) -> RunResult:
         plan = self.plan
+        cfg = self.config
         errors = self._errors
         tracer = self._tracer
         threads: List[threading.Thread] = []
@@ -419,7 +570,7 @@ class NativeExecutor:
                 except PipelineAborted:
                     pass
                 except BaseException as exc:  # noqa: BLE001 - must capture all
-                    errors.set(exc)
+                    errors.fail(exc)
 
             t = threading.Thread(target=body, name=name, daemon=True)
             threads.append(t)
@@ -428,10 +579,9 @@ class NativeExecutor:
             self._clock = WallClock()  # zero the run's time axis
             tracer.begin_run(plan.graph_name, "native", self._clock)
 
-        cap = self.config.queue_capacity
         edges = {
-            cs.name: Edge(cs.producers, cs.consumers, cap, cs.per_consumer,
-                          errors, placement=cs.placement, name=cs.name,
+            cs.name: Edge(cs, cfg.queue_capacity, errors,
+                          blocking=cfg.blocking, backend=cfg.channel_backend,
                           tracer=tracer, clock=self._clock)
             for cs in plan.channels.values()
         }

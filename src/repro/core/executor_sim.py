@@ -15,6 +15,9 @@ the process then sleeps for that long.
 Per-hop costs: every queue push/pop charges the machine's ``queue_op_s``;
 blocking (non-spinning) queues add a wake-up latency on hand-offs that
 actually had to wait, matching FastFlow's blocking vs non-blocking modes.
+``ExecConfig.batch_size`` is a native-transport knob only: the simulator
+keeps per-envelope hand-off semantics (and costs) unchanged, so a
+batched native run and a simulated run still produce identical streams.
 """
 
 from __future__ import annotations

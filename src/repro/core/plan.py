@@ -60,6 +60,17 @@ class ChannelSpec:
     per_consumer: bool = False
     placement: Optional[Callable[[int, int], int]] = None
 
+    @property
+    def spsc_queues(self) -> bool:
+        """Each underlying queue has exactly one producer and one consumer.
+
+        True for every per-consumer fan-out (the lowering only emits
+        those with a single producer) and for 1→1 shared channels — the
+        common case after plan lowering, where the native executor can
+        use lock-free SPSC ring buffers instead of the MPMC fallback.
+        """
+        return self.producers == 1 and (self.per_consumer or self.consumers == 1)
+
 
 @dataclass
 class SourceUnit:

@@ -59,8 +59,11 @@ class ff_pipeline:
                  name: str = "ff_pipeline"):
         self.name = name
         self._stages: List[Union[ff_node, ff_farm, "ff_pipeline"]] = list(stages)
-        self._blocking = True
-        self._queue_capacity = 512
+        # None = inherit from the run's ExecConfig; the set_* methods pin
+        # a value that then wins over the config (FastFlow's runtime knobs)
+        self._blocking: Optional[bool] = None
+        self._queue_capacity: Optional[int] = None
+        self._batch_size: Optional[int] = None
         self._last_result: Optional[RunResult] = None
 
     def add_stage(self, stage: Union[ff_node, ff_farm, "ff_pipeline"]) -> "ff_pipeline":
@@ -107,6 +110,13 @@ class ff_pipeline:
         self._queue_capacity = capacity
         return self
 
+    def set_batching(self, batch_size: int) -> "ff_pipeline":
+        """Multi-push/multi-pop hand-off batching (FastFlow's multipush):
+        producers hand envelopes to a queue in groups of up to
+        ``batch_size``, amortizing synchronization per envelope."""
+        self._batch_size = batch_size
+        return self
+
     # -- lowering -------------------------------------------------------------
     def to_graph(self) -> PipelineGraph:
         stages = self._flat_stages()
@@ -129,9 +139,21 @@ class ff_pipeline:
         return g
 
     def __repro_config__(self, cfg: ExecConfig) -> ExecConfig:
-        """FastFlow's queue knobs, applied when run through ``repro.run``."""
-        return cfg.replace(blocking=self._blocking,
-                           queue_capacity=self._queue_capacity)
+        """FastFlow's queue knobs, applied when run through ``repro.run``.
+
+        Only knobs pinned via ``set_*`` override the caller's config, so
+        ``ExecConfig(blocking=False, batch_size=8)`` survives the trip
+        through an unconfigured pipeline (this matters for SPar, whose
+        generated driver funnels its ExecConfig through here).
+        """
+        overrides = {}
+        if self._blocking is not None:
+            overrides["blocking"] = self._blocking
+        if self._queue_capacity is not None:
+            overrides["queue_capacity"] = self._queue_capacity
+        if self._batch_size is not None:
+            overrides["batch_size"] = self._batch_size
+        return cfg.replace(**overrides) if overrides else cfg
 
     # -- execution ---------------------------------------------------------------
     def run_and_wait_end(self, config: Optional[ExecConfig] = None) -> RunResult:

@@ -10,17 +10,21 @@ empirical testing"):
   memory spaces does not provide performance improvements"),
 * TBB ``max_number_of_live_tokens`` (the paper tuned 38 / 50),
 * FastFlow blocking vs non-blocking queues,
-* farm scheduling policy (round-robin vs on-demand).
+* farm scheduling policy (round-robin vs on-demand),
+* native channel modes (ring vs queue.Queue, blocking vs spin, batching).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace as dc_replace
 
 from repro.apps.mandelbrot.gpu_single import GpuVariant, run_gpu
-from repro.apps.mandelbrot.params import MandelParams
 from repro.apps.mandelbrot.streaming import fastflow_mandelbrot, tbb_mandelbrot
 from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.run import execute
+from repro.core.stage import FunctionStage, IterSource
 from repro.harness.experiments.fig1 import workload
 from repro.harness.runner import ExperimentReport, Row
 from repro.sim.machine import paper_machine
@@ -28,6 +32,14 @@ from repro.sim.machine import paper_machine
 BATCH_SIZES = (1, 2, 8, 32, 128)
 MEM_SPACES = (1, 2, 4, 8)
 TOKEN_COUNTS = (5, 10, 19, 38, 76)
+#: (backend, blocking, batch_size) for the native channel-mode sweep
+CHANNEL_MODES = (
+    ("queue", True, 1),
+    ("ring", True, 1),
+    ("ring", True, 16),
+    ("ring", False, 1),
+    ("ring", False, 16),
+)
 
 
 def run(scale: str = "paper", workers: int = 19) -> ExperimentReport:
@@ -66,5 +78,28 @@ def run(scale: str = "paper", workers: int = 19) -> ExperimentReport:
         cfg = dc_replace(sim, scheduling=sched)
         _, r = fastflow_mandelbrot(params, workers, config=cfg)
         report.add(Row(f"FastFlow farm {sched.value} scheduling", r.makespan))
+
+    # Native channel modes: real threads on a transport-bound micro
+    # pipeline, where the channel layer (not the stage work) dominates.
+    items = 2000 if scale == "paper" else 300
+    for backend, blocking, batch in CHANNEL_MODES:
+        graph = linear_graph(
+            IterSource(range(items)),
+            StageSpec(FunctionStage(lambda x: x + 1), "inc", replicas=4),
+            StageSpec(FunctionStage(lambda x: x), "sink"),
+        )
+        t0 = time.perf_counter()
+        result = execute(graph, ExecConfig(
+            mode=ExecMode.NATIVE, channel_backend=backend,
+            blocking=blocking, batch_size=batch))
+        elapsed = time.perf_counter() - t0
+        mode = "blocking" if blocking else "spin"
+        report.add(Row(
+            f"native channels {backend} {mode} batch={batch}",
+            result.makespan,
+            extra={"items": items, "wall_s": elapsed,
+                   "items_per_s": items / result.makespan
+                   if result.makespan > 0 else None},
+        ))
 
     return report

@@ -165,13 +165,18 @@ class filter_chain:
     """
 
     def __init__(self, max_number_of_live_tokens: int, *filters: _Filter,
-                 parallelism: Optional[int] = None, name: str = "tbb_pipeline"):
+                 parallelism: Optional[int] = None, name: str = "tbb_pipeline",
+                 batch_size: Optional[int] = None):
         if max_number_of_live_tokens < 1:
             raise ValueError("max_number_of_live_tokens must be >= 1")
         self.max_tokens = max_number_of_live_tokens
         self.filters = tuple(filters)
         self.parallelism = parallelism
         self.name = name
+        #: optional multi-pop hand-off batch for the native channels
+        #: (producer-side buffering stays off under a token gate, so the
+        #: live-token bound is never exceeded or starved)
+        self.batch_size = batch_size
         #: width resolved by the last __repro_config__ call (the machine
         #: in play is only known once a config exists)
         self._width: Optional[int] = None
@@ -180,7 +185,10 @@ class filter_chain:
         """TBB's token gate, applied when run through ``repro.run``."""
         self._width = (self.parallelism or global_control.active_parallelism()
                        or cfg.machine.cpu.threads)
-        return cfg.replace(max_tokens=self.max_tokens)
+        cfg = cfg.replace(max_tokens=self.max_tokens)
+        if self.batch_size is not None:
+            cfg = cfg.replace(batch_size=self.batch_size)
+        return cfg
 
     def to_graph(self) -> PipelineGraph:
         width = (self._width or self.parallelism
@@ -192,12 +200,14 @@ class filter_chain:
 def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
                       config: Optional[ExecConfig] = None,
                       parallelism: Optional[int] = None,
-                      name: str = "tbb_pipeline") -> RunResult:
+                      name: str = "tbb_pipeline",
+                      batch_size: Optional[int] = None) -> RunResult:
     """Run the filter chain; returns the run result (TBB returns void).
 
     ``parallelism`` defaults to the active :class:`global_control` value,
     else the configured machine's hardware threads.
     """
     chain = filter_chain(max_number_of_live_tokens, *filters,
-                         parallelism=parallelism, name=name)
+                         parallelism=parallelism, name=name,
+                         batch_size=batch_size)
     return run(chain, config)

@@ -1,0 +1,311 @@
+"""The lock-minimal channel layer: rings, disciplines, batching, abort.
+
+Covers the :mod:`repro.core.channel` primitives directly, the
+:class:`~repro.core.executor_native.Edge` wrapper (EOS aggregation,
+placement routing), and the event-driven abort protocol — including the
+latency bar: a thread parked on a channel must observe an abort within
+25 ms, in both disciplines, on shared and per-consumer edges.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.channel import (
+    Aborted,
+    AbortSignal,
+    MpmcChannel,
+    QueueChannel,
+    SpscChannel,
+    make_channel,
+)
+from repro.core.config import ExecConfig, ExecMode
+from repro.core.executor_native import Edge, Env, _ErrorBox
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.items import EOS
+from repro.core.plan import ChannelSpec
+from repro.core.run import execute
+from repro.core.stage import FunctionStage, IterSource
+
+CHANNELS = [SpscChannel, MpmcChannel, QueueChannel]
+DISCIPLINES = [True, False]  # blocking, spin
+
+ABORT_LATENCY = 0.025  # seconds — the event-driven abort bar
+
+
+def _chan(cls, capacity=4, blocking=True, abort=None):
+    return cls(capacity, abort if abort is not None else AbortSignal(),
+               blocking)
+
+
+# -- basic semantics, all implementations x both disciplines -----------------
+
+@pytest.mark.parametrize("cls", CHANNELS)
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_fifo_roundtrip(cls, blocking):
+    ch = _chan(cls, capacity=8, blocking=blocking)
+    for i in range(5):
+        ch.put(i)
+    assert ch.qsize() == 5
+    assert [ch.get() for _ in range(5)] == list(range(5))
+    assert ch.qsize() == 0
+
+
+@pytest.mark.parametrize("cls", CHANNELS)
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_put_many_get_many_roundtrip(cls, blocking):
+    ch = _chan(cls, capacity=4, blocking=blocking)
+    items = list(range(11))
+    done = threading.Event()
+
+    def producer():
+        ch.put_many(items)  # > capacity: must chunk through the ring
+        done.set()
+
+    t = threading.Thread(target=producer, daemon=True)
+    t.start()
+    out = []
+    while len(out) < len(items):
+        out.extend(ch.get_many(4))
+    t.join(timeout=5)
+    assert done.is_set()
+    assert out == items
+
+
+@pytest.mark.parametrize("cls", CHANNELS)
+def test_get_many_respects_max_n(cls):
+    ch = _chan(cls, capacity=8)
+    ch.put_many([1, 2, 3, 4, 5])
+    out = ch.get_many(2)
+    assert 1 <= len(out) <= 2
+    assert out == [1, 2][: len(out)]
+
+
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel])
+def test_get_many_stop_sentinel_returned_alone(cls):
+    """A stop sentinel never rides in the middle of a batch: items before
+    it drain first, then the next call returns ``[stop]`` exactly."""
+    stop = object()
+    ch = _chan(cls, capacity=8)
+    ch.put_many([1, 2, stop, 3])
+    assert ch.get_many(8, stop=stop) == [1, 2]
+    assert ch.get_many(8, stop=stop) == [stop]
+    assert ch.get_many(8, stop=stop) == [3]
+
+
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel])
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_bounded_capacity_backpressure(cls, blocking):
+    """A producer past capacity blocks until the consumer makes space."""
+    ch = _chan(cls, capacity=2, blocking=blocking)
+    ch.put(0)
+    ch.put(1)
+    entered = threading.Event()
+    finished = threading.Event()
+
+    def producer():
+        entered.set()
+        ch.put(2)
+        finished.set()
+
+    t = threading.Thread(target=producer, daemon=True)
+    t.start()
+    entered.wait(1)
+    time.sleep(0.02)
+    assert not finished.is_set(), "put should block on a full channel"
+    assert ch.get() == 0
+    assert finished.wait(1)
+    assert [ch.get(), ch.get()] == [1, 2]
+    t.join(timeout=1)
+
+
+@pytest.mark.parametrize("cls", CHANNELS)
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_threaded_stream_transfers_everything(cls, blocking):
+    ch = _chan(cls, capacity=4, blocking=blocking)
+    n = 500
+
+    def producer():
+        for i in range(n):
+            ch.put(i)
+
+    t = threading.Thread(target=producer, daemon=True)
+    t.start()
+    assert [ch.get() for _ in range(n)] == list(range(n))
+    t.join(timeout=5)
+
+
+def test_make_channel_selection():
+    abort = AbortSignal()
+    assert isinstance(make_channel(4, abort, spsc=True), SpscChannel)
+    assert isinstance(make_channel(4, abort, spsc=False), MpmcChannel)
+    assert isinstance(make_channel(4, abort, spsc=True, backend="queue"),
+                      QueueChannel)
+    with pytest.raises(ValueError, match="backend"):
+        make_channel(4, abort, backend="bogus")
+    with pytest.raises(ValueError, match="capacity"):
+        SpscChannel(0, abort)
+
+
+def test_exec_config_validates_channel_knobs():
+    with pytest.raises(ValueError):
+        ExecConfig(batch_size=0)
+    with pytest.raises(ValueError):
+        ExecConfig(channel_backend="bogus")
+    ExecConfig(batch_size=8, channel_backend="queue")  # valid
+
+
+# -- abort protocol ----------------------------------------------------------
+
+def test_abort_signal_late_registration_wakes_immediately():
+    sig = AbortSignal()
+    sig.set()
+    ch = SpscChannel(2, sig)  # registered after the signal fired
+    with pytest.raises(Aborted):
+        ch.get()
+
+
+def _measure_abort_latency(blocked_op, abort):
+    """Run ``blocked_op`` in a thread, fire ``abort``, return wake latency."""
+    woke = []
+    started = threading.Event()
+
+    def body():
+        started.set()
+        try:
+            blocked_op()
+        except Aborted:
+            woke.append(time.perf_counter())
+
+    t = threading.Thread(target=body, daemon=True)
+    t.start()
+    started.wait(1)
+    time.sleep(0.05)  # let the thread actually park on the channel
+    t0 = time.perf_counter()
+    abort.set()
+    t.join(timeout=2)
+    assert not t.is_alive(), "aborted thread never woke"
+    assert woke, "thread exited without observing Aborted"
+    return woke[0] - t0
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel])
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_abort_wakes_blocked_get_within_latency_bar(cls, blocking):
+    abort = AbortSignal()
+    ch = _chan(cls, capacity=2, blocking=blocking, abort=abort)
+    latency = _measure_abort_latency(ch.get, abort)  # empty channel
+    assert latency < ABORT_LATENCY
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel])
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_abort_wakes_blocked_put_within_latency_bar(cls, blocking):
+    abort = AbortSignal()
+    ch = _chan(cls, capacity=1, blocking=blocking, abort=abort)
+    ch.put(0)  # full channel
+    latency = _measure_abort_latency(lambda: ch.put(1), abort)
+    assert latency < ABORT_LATENCY
+
+
+def _edge(producers=1, consumers=1, per_consumer=False, placement=None,
+          capacity=4, blocking=True):
+    errors = _ErrorBox()
+    spec = ChannelSpec("e", producers, consumers, per_consumer=per_consumer,
+                       placement=placement)
+    return Edge(spec, capacity, errors, blocking=blocking), errors
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("per_consumer", [False, True])
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_abort_wakes_edge_consumer_within_latency_bar(per_consumer, blocking):
+    """The latency bar holds at the Edge level too — shared and
+    per-consumer, blocking and spin."""
+    edge, errors = _edge(consumers=2, per_consumer=per_consumer,
+                         blocking=blocking)
+    latency = _measure_abort_latency(lambda: edge.get(1), errors)
+    assert latency < ABORT_LATENCY
+
+
+# -- Edge: EOS aggregation and placement routing -----------------------------
+
+def test_put_eos_routes_around_placement():
+    """Regression: EOS has no ``seq``, so a placement hook must never see
+    it — put_eos delivers the sentinel to every consumer directly."""
+    def placement(seq, n):  # crashes if handed EOS (no .seq attribute)
+        return seq % n
+
+    edge, _ = _edge(consumers=3, per_consumer=True, placement=placement)
+    edge.put(Env(0, (10,)))
+    edge.put(Env(1, (11,)))
+    edge.put_eos()  # must not call placement(EOS.seq, ...)
+    assert edge.get(0).payloads == (10,)
+    assert edge.get(1).payloads == (11,)
+    for consumer in range(3):
+        assert edge.get(consumer) is EOS
+
+
+def test_put_eos_shared_queue_one_sentinel_per_consumer():
+    edge, _ = _edge(producers=2, consumers=3)
+    edge.put_eos()  # first producer: not released yet
+    assert edge._channels[0].qsize() == 0
+    edge.put_eos()  # last producer fans out one EOS per consumer
+    for _ in range(3):
+        assert edge.get(0) is EOS
+
+
+def test_edge_put_many_buckets_by_placement():
+    edge, _ = _edge(consumers=2, per_consumer=True,
+                    placement=lambda seq, n: seq % n)
+    envs = [Env(i, (i,)) for i in range(6)]
+    edge.put_many(envs)
+    edge.put_eos()
+    got0 = [edge.get(0) for _ in range(4)]
+    got1 = [edge.get(1) for _ in range(4)]
+    assert [e.seq for e in got0[:-1]] == [0, 2, 4] and got0[-1] is EOS
+    assert [e.seq for e in got1[:-1]] == [1, 3, 5] and got1[-1] is EOS
+
+
+def test_edge_get_many_never_consumes_past_eos():
+    edge, _ = _edge(producers=1, consumers=2)  # shared queue, 2 consumers
+    edge.put(Env(0, (1,)))
+    edge.put_eos()  # two sentinels follow the item
+    batch = edge.get_many(0, max_n=8)
+    assert [e.seq for e in batch] == [0]
+    assert edge.get_many(0, max_n=8) == [EOS]
+    # the second consumer's sentinel is still there
+    assert edge.get_many(1, max_n=8) == [EOS]
+
+
+# -- executor integration: abort latency end-to-end --------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_pipeline_failure_aborts_blocked_source_quickly(blocking):
+    """A stage failing must tear the whole pipeline down fast even while
+    the source is parked on a full queue (the old polling executor paid
+    a 50 ms poll interval here)."""
+    class Boom:
+        def __call__(self, x):
+            time.sleep(0.02)  # let the source fill the queue and park
+            if x == 2:
+                raise RuntimeError("boom")
+            return x
+
+    g = linear_graph(
+        IterSource(range(10_000)),
+        StageSpec(FunctionStage(Boom()), "boom", replicas=1),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+    t0 = time.perf_counter()
+    with pytest.raises(RuntimeError, match="boom"):
+        execute(g, ExecConfig(mode=ExecMode.NATIVE, queue_capacity=2,
+                              blocking=blocking))
+    wall = time.perf_counter() - t0
+    # generous headroom over the two sleeps + scheduling noise; the old
+    # polling loops added multiples of 50 ms on top
+    assert wall < 1.0

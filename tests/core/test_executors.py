@@ -363,6 +363,77 @@ def test_property_pipeline_is_order_preserving_map(items, replicas, tokens):
     assert r.outputs == [i * i for i in items]
 
 
+# -- channel-layer knobs: spin discipline, batching, backends ----------------
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("cfg_kwargs", [
+    dict(blocking=False),
+    dict(batch_size=8),
+    dict(blocking=False, batch_size=8),
+    dict(channel_backend="queue"),
+])
+def test_channel_knobs_preserve_semantics(mode, cfg_kwargs):
+    """Spin mode, batched hand-off and the queue baseline are transport
+    choices: outputs and ordering are identical on both executors (the
+    simulator ignores them entirely)."""
+    g = linear_graph(
+        IterSource(range(60)),
+        StageSpec(_Square, "sq", replicas=3),
+        StageSpec(_OddFilter, "odd"),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+    r = execute(g, ExecConfig(mode=mode, queue_capacity=4, **cfg_kwargs))
+    assert r.outputs == [i * i for i in range(60) if (i * i) % 2]
+    assert r.items_emitted == 60
+
+
+def test_channel_knobs_farm_of_pipelines_equivalence():
+    def build():
+        return _fop()
+
+    out = both_modes(build, blocking=False, batch_size=4, queue_capacity=3)
+    assert out == [-(i * i) for i in range(40)]
+
+
+def test_token_limit_exact_with_batching():
+    """Producer-side buffering is disabled under a token gate (buffered
+    envelopes would hold tokens without progress); the bound must stay
+    exact with consumer-side multi-pop still on."""
+    active = []
+    peak = []
+    lock = threading.Lock()
+
+    class Probe(Stage):
+        def process(self, item, ctx):
+            with lock:
+                active.append(item)
+                peak.append(len(active))
+            with lock:
+                active.remove(item)
+            return item
+
+    g = linear_graph(IterSource(range(40)), StageSpec(Probe, "p", replicas=4),
+                     StageSpec(FunctionStage(lambda x: x), "sink"))
+    r = execute(g, ExecConfig(mode=ExecMode.NATIVE, max_tokens=2,
+                              batch_size=8))
+    assert r.outputs == list(range(40))
+    assert max(peak) <= 2
+
+
+@pytest.mark.parametrize("blocking", [True, False])
+def test_stage_exception_propagates_in_spin_and_batch(blocking):
+    class Boom(Stage):
+        def process(self, item, ctx):
+            if item == 13:
+                raise RuntimeError("unlucky")
+            return item
+
+    g = linear_graph(IterSource(range(100)), StageSpec(Boom, "boom", replicas=3))
+    with pytest.raises(RuntimeError, match="unlucky"):
+        execute(g, ExecConfig(mode=ExecMode.NATIVE, queue_capacity=4,
+                              blocking=blocking, batch_size=4))
+
+
 def test_metrics_recorded_per_stage():
     g = linear_graph(IterSource(range(25)), StageSpec(_Square, "sq", replicas=2),
                      StageSpec(FunctionStage(lambda x: x), "sink"))

@@ -117,6 +117,44 @@ def test_untraced_run_leaves_recorder_empty():
     assert rec.events == ()
 
 
+def test_native_channels_emit_wait_spans_and_occupancy():
+    """The purpose-built channels keep the observability contract: a
+    traced native run with backpressure still shows put_wait/get_wait
+    spans and q:* occupancy counter samples."""
+    import time as _time
+
+    rec = SpanRecorder()
+    g = linear_graph(
+        IterSource(range(30)),
+        StageSpec(FunctionStage(lambda x: (_time.sleep(0.002), x)[1],
+                                name="slow"), "slow"),
+        StageSpec(FunctionStage(lambda x: x, name="sink"), "sink"),
+    )
+    execute(g, ExecConfig(mode=ExecMode.NATIVE, queue_capacity=2, tracer=rec))
+    queue_spans = rec.spans_by_cat(CAT_QUEUE)
+    names = {s.name for s in queue_spans}
+    # the fast source blocks on the slow stage's full queue (put_wait);
+    # the sink starves behind the slow stage (get_wait)
+    assert "put_wait" in names
+    assert "get_wait" in names
+    occ = [c for c in rec.counters if c.name == "occupancy"]
+    assert occ and all(c.value >= 0 for c in occ)
+    assert any(c.track.startswith("q:") for c in occ)
+
+
+def test_native_batched_hand_off_keeps_trace_contract():
+    """Batching changes the transport, not the trace: per-item stage
+    spans and queue occupancy are still emitted with batch_size > 1."""
+    rec = SpanRecorder()
+    r = execute(_three_stage_graph(),
+                ExecConfig(mode=ExecMode.NATIVE, batch_size=4,
+                           queue_capacity=4, tracer=rec))
+    assert r.items_emitted == 12
+    assert len(_stage_shape(rec)) == 3 * 12
+    occ = [c for c in rec.counters if c.name == "occupancy"]
+    assert occ
+
+
 def test_sim_queue_occupancy_counters_emitted():
     rec = SpanRecorder()
     execute(_three_stage_graph(),
