@@ -160,6 +160,88 @@ def _run_spar(items: int, replicas: int, mode: ExecMode, topology: str):
     return result.makespan, wall
 
 
+class _MandelLineStage:
+    """Per-item Mandelbrot-line work: Listing 1's pure-Python inner loops.
+
+    Genuinely GIL-bound (no NumPy kernel to release the lock into), so a
+    thread farm serializes on one core while the process backend gets
+    real parallel speedup.  Module-level and state-free so it ships to
+    worker processes by pickling.
+    """
+
+    def __init__(self, params):
+        self.params = params
+
+    def __call__(self, i):
+        from repro.apps.mandelbrot.sequential import reference_line_scalar
+
+        colors, _counts = reference_line_scalar(self.params, i)
+        return int(colors.sum())
+
+
+def _compute_bound_rows(replicas: int, reps: int, errors: list) -> list:
+    """Backend sweep on compute-bound work: workers={thread,process}.
+
+    The micro pipeline above measures hand-off overhead (items cost
+    nothing); this scenario is the opposite regime — each item is a
+    Mandelbrot line of pure-Python arithmetic — and records
+    ``speedup_vs_thread_backend``, the number the process backend
+    exists for (>= ~min(replicas, cores) on a multi-core runner,
+    ~1x on a single core).
+    """
+    from repro.apps.mandelbrot.params import MandelParams
+
+    params = MandelParams(dim=64, niter=300)
+    lines = 32
+    stage = _MandelLineStage(params)
+
+    def build():
+        return linear_graph(
+            IterSource(range(lines)),
+            StageSpec(FunctionStage(stage), "mandel_line",
+                      replicas=replicas),
+            StageSpec(FunctionStage(lambda x: x), "sink"),
+        )
+
+    rows = []
+    thread_rate = None
+    for workers in ("thread", "process"):
+        best = None
+        try:
+            for _ in range(reps):
+                result = execute(build(), ExecConfig(
+                    mode=ExecMode.NATIVE, workers=workers))
+                assert result.items_emitted == lines
+                if best is None or result.makespan < best:
+                    best = result.makespan
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"compute-bound workers={workers}: {exc!r}")
+            rows.append({"kind": "compute-bound", "workers": workers,
+                         "error": repr(exc)})
+            print(f"compute-bound workers={workers:8s} FAILED: {exc!r}")
+            continue
+        rate = lines / best if best > 0 else None
+        if workers == "thread":
+            thread_rate = rate
+        speedup = (rate / thread_rate if rate and thread_rate else None)
+        rows.append({
+            "kind": "compute-bound",
+            "workers": workers,
+            "workload": f"mandelbrot-line dim={params.dim} "
+                        f"niter={params.niter}",
+            "items": lines,
+            "replicas": replicas,
+            "reps": reps,
+            "makespan_s": best,
+            "throughput_items_per_s": rate,
+            "speedup_vs_thread_backend": speedup,
+        })
+        extra = f" speedup={speedup:.2f}x" if speedup else ""
+        print(f"compute-bound workers={workers:8s} makespan={best:.6f}s "
+              f"rate={rate:,.1f} lines/s{extra}")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -270,6 +352,7 @@ def main(argv=None) -> int:
 
     rows.extend(_channel_sweep_rows(args.items, args.replicas, args.batch,
                                     args.reps, errors))
+    rows.extend(_compute_bound_rows(args.replicas, args.reps, errors))
 
     doc = {
         "benchmark": "pipeline",

@@ -32,13 +32,23 @@ Abort is event-driven in both disciplines: every channel registers its
 condition with the :class:`AbortSignal`, so a failure elsewhere in the
 pipeline wakes blocked producers/consumers immediately instead of being
 discovered on a poll timeout.
+
+The **process backend** adds a fourth channel, :class:`ShmChannel`: the
+same bounded-ring head/tail discipline laid out as a byte ring in a
+``multiprocessing.shared_memory`` segment, carrying length-prefixed
+pickled envelope batches across process boundaries.  Cross-process abort
+uses :class:`ShmAbortFlag` (one shared byte) since condition variables
+do not cross the boundary; shm waiters poll it on their slow path.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
 import queue
+import struct
 import threading
+import time
 from collections import deque
 from typing import Any, List, Optional, Sequence
 
@@ -48,6 +58,8 @@ __all__ = [
     "SpscChannel",
     "MpmcChannel",
     "QueueChannel",
+    "ShmAbortFlag",
+    "ShmChannel",
     "make_channel",
     "CHANNEL_BACKENDS",
 ]
@@ -424,6 +436,198 @@ class QueueChannel:
 
     def get_many(self, max_n: int, stop: Any = _NO_STOP) -> List[Any]:
         return [self.get()]
+
+
+#: shm slow path: yields before a blocking waiter starts micro-sleeping
+_SPIN_YIELD = 4096
+
+#: blocking shm waiter's micro-sleep (seconds); bounds abort latency too
+_SHM_NAP = 0.0002
+
+
+class ShmAbortFlag:
+    """One shared byte: the cross-process edition of :class:`AbortSignal`.
+
+    Created by the parent before forking workers; children inherit the
+    mapping.  There is no wake-up channel — shm waiters check the flag on
+    their slow path (every yield/nap), which bounds abort latency to the
+    nap interval instead of a queue-poll timeout.
+    """
+
+    __slots__ = ("_shm",)
+
+    def __init__(self) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=1)
+        self._shm.buf[0] = 0
+
+    def set(self) -> None:
+        self._shm.buf[0] = 1
+
+    def is_set(self) -> bool:
+        return self._shm.buf[0] != 0
+
+    def check(self) -> None:
+        if self._shm.buf[0] != 0:
+            raise Aborted()
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+class ShmChannel:
+    """Bounded byte-ring over ``multiprocessing.shared_memory``.
+
+    Layout: a 16-byte header — ``tail`` (uint64 at offset 0, total bytes
+    ever produced) and ``head`` (uint64 at offset 8, total bytes ever
+    consumed) — followed by ``capacity`` ring bytes.  Messages are
+    4-byte little-endian length-prefixed *frames*; one frame carries one
+    pickled batch of envelopes (the process executor reuses
+    ``ExecConfig.batch_size`` to size batches, so the per-frame pickle +
+    copy cost is amortized exactly like the in-process multi-push).
+
+    The SPSC discipline matches :class:`SpscChannel`: each side owns one
+    counter, and the producer publishes ``tail`` only after the whole
+    frame is written, so a consumer that sees *any* unread bytes can
+    read the complete frame without a second wait.  Counter loads and
+    stores are single aligned 8-byte accesses (atomic on every platform
+    CPython runs on).  Shared edges that cross the boundary serialize
+    the contended side with an inherited ``multiprocessing.Lock``
+    (``producer_lock`` / ``consumer_lock``) instead of a per-item mutex
+    protocol in shm.
+
+    Waiting is spin-then-yield, plus a short nap in blocking mode; the
+    abort flag is checked on every slow-path iteration.
+    """
+
+    _HEADER = 16
+
+    __slots__ = ("_shm", "_buf", "_cap", "_abort", "_blocking",
+                 "_plock", "_clock")
+
+    def __init__(self, capacity_bytes: int, abort: Optional[ShmAbortFlag],
+                 blocking: bool = True, *, producer_lock: Any = None,
+                 consumer_lock: Any = None):
+        from multiprocessing import shared_memory
+
+        if capacity_bytes < 64:
+            raise ValueError("shm channel capacity must be >= 64 bytes")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=self._HEADER + capacity_bytes)
+        self._buf = self._shm.buf
+        struct.pack_into("<QQ", self._buf, 0, 0, 0)
+        self._cap = capacity_bytes
+        self._abort = abort
+        self._blocking = blocking
+        self._plock = producer_lock
+        self._clock = consumer_lock
+
+    # -- counters ----------------------------------------------------------
+    def _load(self, off: int) -> int:
+        return struct.unpack_from("<Q", self._buf, off)[0]
+
+    def _store(self, off: int, value: int) -> None:
+        struct.pack_into("<Q", self._buf, off, value)
+
+    def qsize_bytes(self) -> int:
+        return self._load(0) - self._load(8)
+
+    # -- waiting -----------------------------------------------------------
+    def _wait(self, ready) -> None:
+        spins = 0
+        while not ready():
+            spins += 1
+            if spins > _SPIN_FAST:
+                if self._abort is not None and self._abort.is_set():
+                    raise Aborted()
+                if self._blocking and spins > _SPIN_YIELD:
+                    time.sleep(_SHM_NAP)
+                else:
+                    os.sched_yield()
+
+    # -- ring copies (byte offsets are ever-increasing; slot = off % cap) --
+    def _write(self, pos: int, data: bytes) -> None:
+        off = pos % self._cap
+        end = off + len(data)
+        h = self._HEADER
+        if end <= self._cap:
+            self._buf[h + off:h + end] = data
+        else:
+            first = self._cap - off
+            self._buf[h + off:h + self._cap] = data[:first]
+            self._buf[h:h + end - self._cap] = data[first:]
+
+    def _read(self, pos: int, n: int) -> bytes:
+        off = pos % self._cap
+        end = off + n
+        h = self._HEADER
+        if end <= self._cap:
+            return bytes(self._buf[h + off:h + end])
+        first = self._cap - off
+        return (bytes(self._buf[h + off:h + self._cap])
+                + bytes(self._buf[h:h + end - self._cap]))
+
+    # -- producer side -----------------------------------------------------
+    def put_bytes(self, data: bytes) -> None:
+        if self._plock is not None:
+            with self._plock:
+                self._put_bytes(data)
+        else:
+            self._put_bytes(data)
+
+    def _put_bytes(self, data: bytes) -> None:
+        need = 4 + len(data)
+        if need > self._cap:
+            raise ValueError(
+                f"frame of {need} bytes exceeds shm channel capacity "
+                f"{self._cap}; raise shm_capacity_bytes or lower batch_size"
+            )
+        tail = self._load(0)
+        self._wait(lambda: tail - self._load(8) + need <= self._cap)
+        self._write(tail, len(data).to_bytes(4, "little"))
+        self._write(tail + 4, data)
+        self._store(0, tail + need)
+
+    def put(self, obj: Any) -> None:
+        self.put_bytes(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+    # -- consumer side -----------------------------------------------------
+    def get_bytes(self) -> bytes:
+        if self._clock is not None:
+            with self._clock:
+                return self._get_bytes()
+        return self._get_bytes()
+
+    def _get_bytes(self) -> bytes:
+        head = self._load(8)
+        # The producer publishes tail after the whole frame, so one wait
+        # suffices: any unread bytes => a complete frame is present.
+        self._wait(lambda: self._load(0) > head)
+        n = int.from_bytes(self._read(head, 4), "little")
+        data = self._read(head + 4, n)
+        self._store(8, head + 4 + n)
+        return data
+
+    def get(self) -> Any:
+        return pickle.loads(self.get_bytes())
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self._buf = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
 
 
 def make_channel(capacity: int, abort: AbortSignal, *, blocking: bool = True,

@@ -7,7 +7,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
+from repro.core.channel import CHANNEL_BACKENDS
 from repro.sim.machine import MachineSpec, PAPER_MACHINE
+
+#: how native worker units are hosted: Python threads (GIL-shared) or
+#: real OS processes talking over shared-memory channels
+WORKER_BACKENDS = ("thread", "process")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracer import Tracer
@@ -60,6 +65,13 @@ class ExecConfig:
     #: lock-minimal MPMC fallback on shared edges) or ``"queue"`` (the
     #: pre-channel-layer ``queue.Queue`` baseline, kept for benchmarking).
     channel_backend: str = "ring"
+    #: native worker hosting: ``"thread"`` runs every plan unit on a
+    #: Python thread (all stages share one GIL); ``"process"`` lowers
+    #: process-eligible farm replicas onto OS worker processes connected
+    #: through shared-memory ring channels, so compute-bound replicated
+    #: stages run on real cores.  Serial sources/sinks/sequencers stay in
+    #: the parent either way; the simulator ignores this knob.
+    workers: str = "thread"
     machine: MachineSpec = field(default_factory=lambda: PAPER_MACHINE)
     #: collect payloads flowing out of the last stage into RunResult.outputs
     collect_outputs: bool = True
@@ -81,12 +93,15 @@ class ExecConfig:
             raise ValueError("max_tokens must be >= 1 or None")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        from repro.core.channel import CHANNEL_BACKENDS
-
         if self.channel_backend not in CHANNEL_BACKENDS:
             raise ValueError(
                 f"unknown channel_backend: {self.channel_backend!r} "
                 f"(expected one of {list(CHANNEL_BACKENDS)})"
+            )
+        if self.workers not in WORKER_BACKENDS:
+            raise ValueError(
+                f"unknown workers backend: {self.workers!r} "
+                f"(expected one of {list(WORKER_BACKENDS)})"
             )
 
     def replace(self, **kwargs) -> "ExecConfig":

@@ -19,6 +19,13 @@ token accounting is exact: a token is acquired per envelope at the
 source, transferred downstream, and released when the envelope is
 filtered or leaves the last stage.
 
+The unit bodies (source, stage, sequencer loops) live in
+:class:`UnitRunner`, deliberately separated from thread orchestration:
+the process backend (:mod:`repro.core.executor_process`) runs the same
+loops — one runner in the parent, one inside every worker process — so
+per-item semantics (ordering, token flow, metrics, tracing) are defined
+exactly once.
+
 Failure semantics: an exception in any stage aborts the whole run; the
 error box wakes every thread parked on a channel or the token pool
 immediately (event-driven, no polling interval) and the original
@@ -43,6 +50,7 @@ from repro.core.plan import (
     ChannelSpec,
     ExecutionPlan,
     SequencerUnit,
+    SourceSpec,
     StageUnit,
     build_plan,
 )
@@ -74,6 +82,10 @@ class Env:
         self.seq = seq
         self.payloads = tuple(payloads)
         self.tokened = tokened
+
+    def __reduce__(self):
+        # Envelopes cross process boundaries on shm channels.
+        return (Env, (self.seq, self.payloads, self.tokened))
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Env(seq={self.seq}, n={len(self.payloads)})"
@@ -285,49 +297,60 @@ def _normalize_outputs(result: Any) -> tuple[Any, ...]:
     return (result,)
 
 
-class NativeExecutor:
-    def __init__(self, graph: PipelineGraph, config: ExecConfig):
-        self.graph = graph
+class UnitRunner:
+    """Executes plan units against a set of edges, in one process.
+
+    Owns everything the unit loops share: the token gate, per-run metric
+    and sink-output accumulators, the tracer/clock pair and the batching
+    knobs.  The thread backend uses a single runner for the whole plan;
+    the process backend uses one runner in the parent (source, sink,
+    sequencers, pinned stages) and one inside each worker process (the
+    shipped farm-replica chains, with a no-op token pool — tokens are
+    parent-side state).
+    """
+
+    def __init__(self, config: ExecConfig, errors: _ErrorBox,
+                 tokens: _TokenPool, *, tracer=None, clock=None,
+                 collect_outputs: Optional[bool] = None):
         self.config = config
-        self.plan: ExecutionPlan = build_plan(graph, config)
-        self._errors = _ErrorBox()
-        self._tokens = _TokenPool(config.max_tokens, self._errors)
-        self._metrics_lock = threading.Lock()
-        self._metrics: dict[str, StageMetrics] = {}
-        self._outputs: List[Any] = []
-        self._output_lock = threading.Lock()
-        self._items_emitted = 0
+        self.errors = errors
+        self.tokens = tokens
+        #: None on the untraced fast path — all hooks hide behind this
+        self.tracer = tracer
+        self.clock = clock if clock is not None else WallClock()
         #: consumer-side multi-pop width
-        self._batch = config.batch_size
+        self.batch = config.batch_size
         #: producer-side buffering is exact-token-unsafe: buffered
         #: envelopes hold live tokens without making progress, which can
         #: starve the source below the flush threshold — so it is
         #: disabled whenever a token gate is active (multi-pop stays on).
-        self._outbox_batch = 1 if config.max_tokens is not None else self._batch
-        tracer = config.tracer if config.tracer is not None else current_tracer()
-        #: None on the untraced fast path — all hooks hide behind this
-        self._tracer = tracer if tracer.enabled else None
-        self._clock = WallClock()  # re-zeroed at run start
+        self.outbox_batch = 1 if config.max_tokens is not None else self.batch
+        self.collect = (config.collect_outputs if collect_outputs is None
+                        else collect_outputs)
+        self._metrics_lock = threading.Lock()
+        self.metrics: dict[str, StageMetrics] = {}
+        self.outputs: List[Env] = []
+        self._output_lock = threading.Lock()
+        self.items_emitted = 0
 
-    def _merge_metrics(self, local: StageMetrics) -> None:
+    def merge_metrics(self, local: StageMetrics) -> None:
         with self._metrics_lock:
-            m = self._metrics.get(local.name)
+            m = self.metrics.get(local.name)
             if m is None:
-                self._metrics[local.name] = local
+                self.metrics[local.name] = local
             else:
                 m.merge(local)
 
     def _make_outbox(self, out_edge: Optional[Edge],
                      track: str) -> Optional[_Outbox]:
-        if out_edge is None or self._outbox_batch <= 1:
+        if out_edge is None or self.outbox_batch <= 1:
             return None
-        return _Outbox(out_edge, self._outbox_batch, self._tracer,
-                       self._clock, track)
+        return _Outbox(out_edge, self.outbox_batch, self.tracer,
+                       self.clock, track)
 
     # -- thread bodies ----------------------------------------------------
-    def _source_loop(self, out_edge: Edge) -> None:
-        tr, clock = self._tracer, self._clock
-        src_spec = self.plan.source.spec
+    def source_loop(self, src_spec: SourceSpec, out_edge: Edge) -> None:
+        tr, clock = self.tracer, self.clock
         track = src_spec.name
         ctx = StageContext(src_spec.name, 0, 1, tracer=tr)
         src = src_spec.factory()
@@ -338,14 +361,14 @@ class NativeExecutor:
             for payload in src.generate(ctx):
                 env = Env(seq, (payload,))
                 if tr is None:
-                    self._tokens.acquire()
+                    self.tokens.acquire()
                     if outbox is None:
                         out_edge.put(env)
                     else:
                         outbox.put(env)
                 else:
                     t0 = clock.now()
-                    self._tokens.acquire()
+                    self.tokens.acquire()
                     t1 = clock.now()
                     if t1 - t0 > _MIN_WAIT:
                         tr.span(CAT_TOKEN, track, "token_wait", t0, t1)
@@ -358,17 +381,25 @@ class NativeExecutor:
                         outbox.put(env)  # emits its own put_wait spans
                 seq += 1
             src.on_end(ctx)
+        except PipelineAborted:
+            raise
+        except BaseException as exc:
+            # Record the failure before the finally block propagates EOS:
+            # downstream units must observe the abort (not a truncated
+            # stream) by the time the sentinel reaches them.
+            self.errors.fail(exc)
+            raise
         finally:
             with self._metrics_lock:
-                self._items_emitted = seq
+                self.items_emitted = seq
             if outbox is not None:
                 outbox.flush()
             out_edge.put_eos()
 
-    def _stage_loop(self, unit: StageUnit, logic: Stage, in_edge: Edge,
-                    out_edge: Optional[Edge]) -> None:
+    def stage_loop(self, unit: StageUnit, logic: Stage, in_edge: Edge,
+                   out_edge: Optional[Edge]) -> None:
         """Body for one stage worker unit of the plan."""
-        tr, clock = self._tracer, self._clock
+        tr, clock = self.tracer, self.clock
         spec = unit.spec
         track = unit.track
         ctx = StageContext(spec.name, unit.replica, unit.replicas, tracer=tr)
@@ -381,14 +412,14 @@ class NativeExecutor:
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
-        batch = self._batch
+        batch = self.batch
         outbox = self._make_outbox(out_edge, track)
         # Per-thread accumulation: service metrics and sink outputs are
         # gathered locally and merged once at EOS, so the hot loop never
         # touches the shared locks.
         metrics = StageMetrics(name=unit.metric_name, replicas=unit.replicas)
         sink: List[Env] = []
-        collect = self.config.collect_outputs
+        collect = self.collect
         inbox: deque = deque()  # pre-fetched envelopes when batch > 1
 
         def emit(env: Env) -> None:
@@ -408,7 +439,7 @@ class NativeExecutor:
             if collect:
                 sink.append(env)
             if env.tokened:
-                self._tokens.release()
+                self.tokens.release()
 
         def handle(env: Env) -> None:
             nonlocal out_seq
@@ -433,7 +464,7 @@ class NativeExecutor:
                 # stall on this seq.
                 emit(Env(env.seq, (), tokened=env.tokened))
             elif env.tokened:
-                self._tokens.release()
+                self.tokens.release()
 
         def next_item() -> Any:
             if batch <= 1:
@@ -470,7 +501,7 @@ class NativeExecutor:
                         if keep_seq:
                             emit(env)
                         elif env.tokened:
-                            self._tokens.release()
+                            self.tokens.release()
                         continue
                     handle(env)
                 else:
@@ -481,7 +512,7 @@ class NativeExecutor:
                         if not ordered_env.payloads:
                             # skip-marker from a filtering farm replica
                             if ordered_env.tokened:
-                                self._tokens.release()
+                                self.tokens.release()
                             continue
                         handle(ordered_env)
             if rob is not None and rob.pending:
@@ -494,23 +525,31 @@ class NativeExecutor:
             final = _normalize_outputs(logic.on_end(ctx))
             if final:
                 emit(Env(-1, final, tokened=False))
+        except PipelineAborted:
+            raise
+        except BaseException as exc:
+            # Fail the box before the finally block sends EOS, so the
+            # abort outruns the truncated stream (a reorder point fed a
+            # gapped sequence must see the root cause, not invent one).
+            self.errors.fail(exc)
+            raise
         finally:
             if metrics.items_in:
                 # a replica that saw no envelopes contributes no entry,
                 # matching the simulator's lazy metric creation
-                self._merge_metrics(metrics)
+                self.merge_metrics(metrics)
             if sink:
                 with self._output_lock:
-                    self._outputs.extend(sink)
+                    self.outputs.extend(sink)
             if outbox is not None:
                 outbox.flush()
             if out_edge is not None:
                 out_edge.put_eos()
 
-    def _sequencer_loop(self, unit: SequencerUnit, in_edge: Edge,
-                        out_edge: Edge) -> None:
+    def sequencer_loop(self, unit: SequencerUnit, in_edge: Edge,
+                       out_edge: Edge) -> None:
         """Reorder (if needed) and re-number between two replicated segments."""
-        tr, clock = self._tracer, self._clock
+        tr, clock = self.tracer, self.clock
         track = unit.track
         rob = SimpleReorderBuffer() if unit.ordered else None
         out_seq = 0
@@ -545,77 +584,67 @@ class NativeExecutor:
             for env in tail:
                 out_edge.put(Env(out_seq, env.payloads, env.tokened))
                 out_seq += 1
+        except PipelineAborted:
+            raise
+        except BaseException as exc:
+            self.errors.fail(exc)  # before the finally's EOS, as above
+            raise
         finally:
             out_edge.put_eos()
 
-    # -- orchestration -----------------------------------------------------
-    def run(self) -> RunResult:
-        plan = self.plan
-        cfg = self.config
-        errors = self._errors
-        tracer = self._tracer
-        threads: List[threading.Thread] = []
 
-        def spawn(fn, *args, name: str) -> None:
-            def body() -> None:
-                try:
-                    if tracer is not None:
-                        # context vars don't cross thread boundaries;
-                        # re-install the tracer for ambient consumers
-                        # (GPU device model, user stage code)
-                        with use_tracer(tracer):
-                            fn(*args)
-                    else:
+class NativeExecutor:
+    def __init__(self, graph: PipelineGraph, config: ExecConfig):
+        self.graph = graph
+        self.config = config
+        self.plan: ExecutionPlan = build_plan(graph, config)
+        self._errors = _ErrorBox()
+        self._tokens = _TokenPool(config.max_tokens, self._errors)
+        tracer = config.tracer if config.tracer is not None else current_tracer()
+        #: None on the untraced fast path — all hooks hide behind this
+        self._tracer = tracer if tracer.enabled else None
+        self._clock = WallClock()  # re-zeroed at run start
+
+    def _spawn(self, threads: List[threading.Thread], fn, *args,
+               name: str) -> None:
+        """Queue a daemon thread that funnels any failure into the box."""
+        tracer, errors = self._tracer, self._errors
+
+        def body() -> None:
+            try:
+                if tracer is not None:
+                    # context vars don't cross thread boundaries;
+                    # re-install the tracer for ambient consumers
+                    # (GPU device model, user stage code)
+                    with use_tracer(tracer):
                         fn(*args)
-                except PipelineAborted:
-                    pass
-                except BaseException as exc:  # noqa: BLE001 - must capture all
-                    errors.fail(exc)
+                else:
+                    fn(*args)
+            except PipelineAborted:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - must capture all
+                errors.fail(exc)
 
-            t = threading.Thread(target=body, name=name, daemon=True)
-            threads.append(t)
+        threads.append(threading.Thread(target=body, name=name, daemon=True))
 
-        if tracer is not None:
-            self._clock = WallClock()  # zero the run's time axis
-            tracer.begin_run(plan.graph_name, "native", self._clock)
+    def _stage_loop(self, unit: StageUnit, logic: Stage, in_edge: Edge,
+                    out_edge: Optional[Edge]) -> None:
+        """Patchable seam over the run's :class:`UnitRunner` stage body
+        (fault-injection tests wrap it to corrupt the stream)."""
+        self._runner.stage_loop(unit, logic, in_edge, out_edge)
 
-        edges = {
-            cs.name: Edge(cs, cfg.queue_capacity, errors,
-                          blocking=cfg.blocking, backend=cfg.channel_backend,
-                          tracer=tracer, clock=self._clock)
-            for cs in plan.channels.values()
-        }
-
-        spawn(self._source_loop, edges[plan.source.out_channel], name="source")
-        for squ in plan.sequencers:
-            spawn(self._sequencer_loop, squ, edges[squ.in_channel],
-                  edges[squ.out_channel], name=squ.track)
-        for unit in plan.stages:
-            # Instantiate stage logic here, in the orchestration thread:
-            # factories may be stateful (FastFlow worker vectors, pipeline
-            # workers) and must be called in deterministic plan order.
-            logic = unit.spec.factory()
-            out_edge = edges[unit.out_channel] if unit.out_channel else None
-            spawn(self._stage_loop, unit, logic, edges[unit.in_channel],
-                  out_edge, name=unit.track)
-
-        t_start = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        makespan = time.perf_counter() - t_start
-        if tracer is not None:
-            tracer.end_run(makespan)
-
-        if errors.error is not None:
-            raise errors.error
+    def _build_result(self, runner: UnitRunner,
+                      makespan: float) -> RunResult:
+        """Raise the run's error or assemble the RunResult (shared by
+        the thread and process backends)."""
+        if self._errors.error is not None:
+            raise self._errors.error
 
         # Deliver sink outputs: ordered by envelope seq if the last segment
         # is replicated+ordered, else in arrival order; on_end extras last.
-        envs = self._outputs
+        envs = runner.outputs
         ordered_out: List[Any] = []
-        if plan.sort_output:
+        if self.plan.sort_output:
             keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
             extras = [e for e in envs if not e.tokened]
             for e in keyed + extras:
@@ -627,7 +656,54 @@ class NativeExecutor:
         return RunResult(
             makespan=makespan,
             outputs=ordered_out,
-            stage_metrics=self._metrics,
+            stage_metrics=runner.metrics,
             mode="native",
-            items_emitted=self._items_emitted,
+            items_emitted=runner.items_emitted,
         )
+
+    # -- orchestration -----------------------------------------------------
+    def run(self) -> RunResult:
+        plan = self.plan
+        cfg = self.config
+        tracer = self._tracer
+        threads: List[threading.Thread] = []
+
+        if tracer is not None:
+            self._clock = WallClock()  # zero the run's time axis
+            tracer.begin_run(plan.graph_name, "native", self._clock)
+
+        runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
+                                           tracer=tracer, clock=self._clock)
+
+        edges = {
+            cs.name: Edge(cs, cfg.queue_capacity, self._errors,
+                          blocking=cfg.blocking, backend=cfg.channel_backend,
+                          tracer=tracer, clock=self._clock)
+            for cs in plan.channels.values()
+        }
+
+        self._spawn(threads, runner.source_loop, plan.source.spec,
+                    edges[plan.source.out_channel], name="source")
+        for squ in plan.sequencers:
+            self._spawn(threads, runner.sequencer_loop, squ,
+                        edges[squ.in_channel], edges[squ.out_channel],
+                        name=squ.track)
+        for unit in plan.stages:
+            # Instantiate stage logic here, in the orchestration thread:
+            # factories may be stateful (FastFlow worker vectors, pipeline
+            # workers) and must be called in deterministic plan order.
+            logic = unit.spec.factory()
+            out_edge = edges[unit.out_channel] if unit.out_channel else None
+            self._spawn(threads, self._stage_loop, unit, logic,
+                        edges[unit.in_channel], out_edge, name=unit.track)
+
+        t_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        makespan = time.perf_counter() - t_start
+        if tracer is not None:
+            tracer.end_run(makespan)
+
+        return self._build_result(runner, makespan)

@@ -1,0 +1,585 @@
+"""Process-parallel executor: farm replicas on real cores, not one GIL.
+
+Selected by ``ExecConfig(workers="process")``.  The plan is unchanged —
+this executor runs the *same* :class:`~repro.core.plan.ExecutionPlan` as
+the thread backend, but hosts every process-eligible placement group
+(one farm replica's whole worker chain, see
+:func:`~repro.core.plan.plan_process_placement`) in its own forked
+worker process.  The source, sink, sequencers and pinned stages stay in
+the parent, exactly where the thread backend runs them.
+
+Topology:
+
+* **parent-local edges** keep PR 3's in-process rings untouched;
+* **group-local edges** (a shipped chain's private hops) are rebuilt as
+  ordinary in-process rings *inside* the worker;
+* **boundary edges** are lowered onto
+  :class:`~repro.core.channel.ShmChannel` byte rings — one SPSC ring per
+  consumer for per-consumer fan-out, one shared ring with an inherited
+  ``multiprocessing.Lock`` on the contended side otherwise.  Envelopes
+  travel as pickled batches sized by ``ExecConfig.batch_size``.
+
+Semantics preserved against the thread backend:
+
+* **units and loops** — workers execute the unmodified
+  :class:`~repro.core.executor_native.UnitRunner` loop bodies, so
+  ordering, sequence numbering and EOS aggregation are defined once;
+* **tokens** — the token pool is parent-side state; worker processes
+  never touch it.  Under a token gate shipped units run with
+  ``forward_empty`` so filtered items flow back as empty envelopes and
+  release their token in the parent;
+* **metrics and traces** — each worker accumulates its own
+  :class:`StageMetrics` and (when tracing) a child-local
+  :class:`~repro.obs.tracer.SpanRecorder` whose clock shares the
+  parent's origin (``perf_counter`` is system-wide monotonic); both are
+  shipped once at EOS over the result queue and merged, so ``--trace``
+  output is backend-invariant;
+* **failures** — a :class:`ShmAbortFlag` byte mirrors the parent's
+  event-driven error box across the boundary: any side's failure flips
+  it, shm waiters poll it on their slow path, and a per-worker watchdog
+  thread folds it into the worker's local abort signal.
+
+Stages cross the boundary by pickling: a picklable factory ships as-is
+(the worker constructs lazily); an unpicklable factory (a front-end's
+closure, typically) is called parent-side in plan order and the
+resulting *instance* ships instead.  When neither pickles,
+:class:`UnpicklableStageError` names the stage *before* any process is
+spawned.  Plans with no eligible group —
+or platforms without the ``fork`` start method — fall back to the
+thread backend silently.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+from collections import deque
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.channel import ShmAbortFlag, ShmChannel
+from repro.core.config import ExecConfig
+from repro.core.executor_native import (
+    Edge,
+    NativeExecutor,
+    PipelineAborted,
+    UnitRunner,
+    _ErrorBox,
+    _TokenPool,
+)
+from repro.core.graph import PipelineGraph
+from repro.core.items import EOS
+from repro.core.metrics import RunResult, StageMetrics
+from repro.core.plan import (
+    ChannelSpec,
+    ProcessPlacement,
+    StageUnit,
+    plan_process_placement,
+)
+from repro.core.stage import InstanceFactory, UnpicklableStageError
+from repro.obs.clock import WallClock
+from repro.obs.tracer import SpanRecorder, use_tracer
+
+#: byte capacity of one shared-memory ring (item capacity is then
+#: data-dependent; backpressure still bounds memory per edge)
+_SHM_RING_BYTES = 1 << 20
+
+#: worker watchdog / parent monitor poll period (seconds); bounds how
+#: long a cross-process abort takes to reach threads parked in-process
+_POLL = 0.02
+
+_PICKLE_PROTO = pickle.HIGHEST_PROTOCOL
+
+
+class _ProcErrorBox(_ErrorBox):
+    """Parent error box that mirrors failures into the shared abort byte.
+
+    A worker's exception only reaches the parent when its report is
+    drained at the end of the run, long after the abort flag unwound the
+    parent's own threads — so a local error recorded while the flag was
+    already set is *consequential* (EOS-starved reorder buffers and the
+    like) and is outranked by the worker's root cause
+    (:meth:`fail_remote`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.flag: Optional[ShmAbortFlag] = None
+        self._provisional = False
+
+    def fail(self, exc: BaseException) -> None:
+        with self._err_lock:
+            if self.error is None:
+                self.error = exc
+                self._provisional = (self.flag is not None
+                                     and self.flag.is_set())
+        self.set()
+
+    def fail_remote(self, exc: BaseException) -> None:
+        """Record a worker's own exception; outranks consequential errors."""
+        with self._err_lock:
+            if self.error is None or self._provisional:
+                self.error = exc
+                self._provisional = False
+        self.set()
+
+    def set(self) -> None:
+        if self.flag is not None:
+            self.flag.set()
+        super().set()
+
+
+class ShmEdge:
+    """Edge-compatible bridge over shared-memory rings.
+
+    Constructed by the parent before forking; both sides use the *same*
+    inherited object — per-consumer inbox deques are per-process state,
+    counters live in the shm segments, and EOS aggregation across
+    producer processes rides a ``multiprocessing.Value``.  One pickled
+    frame carries one batch of envelopes, so ``put_many``/``get_many``
+    amortize the pickle + copy exactly like the in-process multi-push.
+    """
+
+    def __init__(self, spec: ChannelSpec, flag: ShmAbortFlag,
+                 blocking: bool, mp_ctx) -> None:
+        self.name = spec.name
+        self.producers = spec.producers
+        self.consumers = spec.consumers
+        self._placement = spec.placement
+        self._eos_count = mp_ctx.Value("i", 0)
+        if spec.per_consumer:
+            self._shared = False
+            self._channels = [
+                ShmChannel(_SHM_RING_BYTES, flag, blocking)
+                for _ in range(spec.consumers)
+            ]
+            self._rr = itertools.cycle(range(spec.consumers))
+        else:
+            self._shared = True
+            self._channels = [ShmChannel(
+                _SHM_RING_BYTES, flag, blocking,
+                producer_lock=mp_ctx.Lock() if spec.producers > 1 else None,
+                consumer_lock=mp_ctx.Lock() if spec.consumers > 1 else None,
+            )]
+        #: consumer_idx -> locally buffered envelopes (per-process state)
+        self._inboxes: Dict[int, deque] = {}
+
+    def _route(self, env: Any) -> int:
+        if self._placement is not None:
+            return self._placement(env.seq, self.consumers) % self.consumers
+        return next(self._rr)
+
+    # producer side ------------------------------------------------------
+    def put(self, env: Any, consumer_hint: Optional[int] = None) -> None:
+        if self._shared:
+            idx = 0
+        else:
+            idx = self._route(env) if consumer_hint is None else consumer_hint
+        self._channels[idx].put_bytes(pickle.dumps([env], _PICKLE_PROTO))
+
+    def put_many(self, envs: Sequence[Any]) -> None:
+        if self._shared or self.consumers == 1:
+            self._channels[0].put_bytes(pickle.dumps(list(envs), _PICKLE_PROTO))
+            return
+        buckets: Dict[int, List[Any]] = {}
+        for env in envs:
+            buckets.setdefault(self._route(env), []).append(env)
+        for idx, bucket in buckets.items():
+            self._channels[idx].put_bytes(pickle.dumps(bucket, _PICKLE_PROTO))
+
+    def put_eos(self) -> None:
+        """Last producer (across processes) releases every consumer."""
+        with self._eos_count.get_lock():
+            self._eos_count.value += 1
+            last = self._eos_count.value == self.producers
+        if not last:
+            return
+        frame = pickle.dumps([EOS], _PICKLE_PROTO)
+        if self._shared:
+            for _ in range(self.consumers):
+                self._channels[0].put_bytes(frame)
+        else:
+            for ch in self._channels:
+                ch.put_bytes(frame)
+
+    # consumer side ------------------------------------------------------
+    def _inbox(self, consumer_idx: int) -> deque:
+        inbox = self._inboxes.get(consumer_idx)
+        if inbox is None:
+            inbox = self._inboxes[consumer_idx] = deque()
+        return inbox
+
+    def get(self, consumer_idx: int) -> Any:
+        idx = 0 if self._shared else consumer_idx
+        inbox = self._inbox(consumer_idx)
+        if not inbox:
+            inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+        return inbox.popleft()
+
+    def get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
+        """Multi-pop mirroring the in-process contract: EOS arrives alone."""
+        idx = 0 if self._shared else consumer_idx
+        inbox = self._inbox(consumer_idx)
+        if not inbox:
+            inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+        out: List[Any] = []
+        while inbox and len(out) < max_n:
+            if inbox[0] is EOS:
+                if not out:
+                    out.append(inbox.popleft())
+                break
+            out.append(inbox.popleft())
+        return out
+
+    # lifecycle ----------------------------------------------------------
+    def destroy(self) -> None:
+        for ch in self._channels:
+            ch.close()
+            ch.unlink()
+
+
+def _portable_exc(exc: BaseException) -> BaseException:
+    """An exception safe to send over the result queue."""
+    try:
+        pickle.dumps(exc, _PICKLE_PROTO)
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(group: str, units_blob: bytes,
+                 local_specs: Dict[str, ChannelSpec],
+                 boundary: Dict[str, ShmEdge], cfg: ExecConfig,
+                 flag: ShmAbortFlag, result_q, trace: bool,
+                 clock_origin: float) -> None:
+    """Worker-process entry: run one placement group's chain to EOS.
+
+    Everything arrives through fork inheritance except the units
+    themselves, which are shipped pickled (so by-name registry factories
+    resolve in the worker and shipping is start-method independent).
+    """
+    # Flag-connected box: a failure here flips the shared abort byte
+    # *before* the failing loop's finally block propagates EOS, so the
+    # parent observes the abort ahead of the truncated stream.
+    errors = _ProcErrorBox()
+    errors.flag = flag
+    tracer: Optional[SpanRecorder] = None
+    metrics: Dict[str, StageMetrics] = {}
+    trace_payload: Any = None
+    try:
+        units: List[StageUnit] = pickle.loads(units_blob)
+        clock = WallClock()
+        clock.origin = clock_origin  # share the parent's time axis
+        if trace:
+            tracer = SpanRecorder()
+            tracer.begin_run(group, "native", clock)
+        # Tokens are parent-side state: the worker's pool is a no-op.
+        runner = UnitRunner(cfg, errors, _TokenPool(None, errors),
+                            tracer=tracer, clock=clock,
+                            collect_outputs=False)
+        edges: Dict[str, Any] = {
+            name: Edge(spec, cfg.queue_capacity, errors,
+                       blocking=cfg.blocking, backend=cfg.channel_backend,
+                       tracer=tracer, clock=clock)
+            for name, spec in local_specs.items()
+        }
+        edges.update(boundary)
+
+        stop = threading.Event()
+
+        def watch() -> None:
+            # Fold the cross-process abort byte into the local signal so
+            # threads parked on in-worker rings wake up too.
+            while not stop.is_set():
+                if flag.is_set():
+                    errors.set()
+                    return
+                time.sleep(_POLL)
+
+        threading.Thread(target=watch, daemon=True).start()
+
+        threads: List[threading.Thread] = []
+
+        def spawn(unit: StageUnit, logic: Any) -> None:
+            def body() -> None:
+                try:
+                    if tracer is not None:
+                        with use_tracer(tracer):
+                            runner.stage_loop(unit, logic,
+                                              edges[unit.in_channel],
+                                              edges[unit.out_channel])
+                    else:
+                        runner.stage_loop(unit, logic,
+                                          edges[unit.in_channel],
+                                          edges[unit.out_channel])
+                except PipelineAborted:
+                    pass
+                except BaseException as exc:  # noqa: BLE001 - must capture all
+                    errors.fail(exc)
+
+            threads.append(threading.Thread(target=body, name=unit.track,
+                                            daemon=True))
+
+        for unit in units:
+            spawn(unit, unit.spec.factory())
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        metrics = runner.metrics
+        if tracer is not None:
+            trace_payload = (tracer.spans, tracer.counters, tracer.instants)
+    except BaseException as exc:  # noqa: BLE001 - report, never hang the parent
+        errors.fail(exc)
+    if errors.error is not None:
+        flag.set()
+        result_q.put(("err", group, _portable_exc(errors.error)))
+    else:
+        result_q.put(("ok", group, metrics, trace_payload))
+
+
+class ProcessExecutor(NativeExecutor):
+    """Drives a plan with process-eligible groups on worker processes.
+
+    Subclasses the thread executor: the parent side *is* a thread-backend
+    run over the parent-resident units, with boundary edges swapped for
+    shm bridges.  Plans with nothing to ship (or platforms without
+    ``fork``) delegate to the inherited :meth:`NativeExecutor.run`.
+    """
+
+    def __init__(self, graph: PipelineGraph, config: ExecConfig):
+        super().__init__(graph, config)
+        # Re-bind the abort path through the shared flag mirror.
+        self._errors = _ProcErrorBox()
+        self._tokens = _TokenPool(config.max_tokens, self._errors)
+        self.placement: ProcessPlacement = plan_process_placement(self.plan)
+
+    # -- shipping ---------------------------------------------------------
+    def _materialize_factories(self) -> Dict[int, Any]:
+        """Parent-side instances for shipped units whose factory won't pickle.
+
+        Front-end lowerings (FastFlow worker vectors, TBB filters) build
+        stage factories as closures — inherently unpicklable, and for the
+        stateful ones (a farm's memoizing worker supply) a pickled copy
+        would restart its internal counter in every worker.  So when a
+        shipped spec's *factory* does not pickle, call it here in plan
+        order — exactly when and where the thread backend would — and
+        ship the resulting instance instead (it crosses the boundary via
+        :class:`InstanceFactory` whenever the instance itself pickles).
+        Factories that do pickle keep constructing lazily in the worker.
+        """
+        shipped = {id(u) for units in self.placement.groups.values()
+                   for u in units}
+        factory_ok: Dict[int, bool] = {}
+        instances: Dict[int, Any] = {}
+        for unit in self.plan.stages:
+            if id(unit) not in shipped:
+                continue
+            spec = unit.spec
+            ok = factory_ok.get(id(spec))
+            if ok is None:
+                try:
+                    pickle.dumps(spec.factory, _PICKLE_PROTO)
+                    ok = True
+                except Exception:
+                    ok = False
+                factory_ok[id(spec)] = ok
+            if not ok:
+                instances[id(unit)] = spec.factory()
+        return instances
+
+    def _shipped_units(self, units: List[StageUnit],
+                       materialized: Dict[int, Any]) -> List[StageUnit]:
+        shipped = []
+        for u in units:
+            spec = u.spec
+            if id(u) in materialized:
+                spec = replace(spec,
+                               factory=InstanceFactory(materialized[id(u)]))
+            if spec.placement is not None:
+                # The placement hook runs producer-side (in the parent);
+                # strip it so an unpicklable hook can't block shipping.
+                spec = replace(spec, placement=None)
+            # Under a token gate a worker-side filter must not swallow
+            # its token (the pool lives in the parent): forward an empty
+            # envelope instead, which the parent sink releases.
+            forward_empty = u.forward_empty or (
+                self.config.max_tokens is not None)
+            shipped.append(replace(u, spec=spec,
+                                   forward_empty=forward_empty))
+        return shipped
+
+    def _pickle_group(self, group: str, units: List[StageUnit],
+                      materialized: Dict[int, Any]) -> bytes:
+        shipped = self._shipped_units(units, materialized)
+        try:
+            return pickle.dumps(shipped, _PICKLE_PROTO)
+        except Exception as exc:
+            for su in shipped:
+                try:
+                    pickle.dumps(su, _PICKLE_PROTO)
+                except Exception as unit_exc:
+                    raise UnpicklableStageError(
+                        f"stage {su.spec.name!r} cannot be shipped to a "
+                        f"worker process under workers='process': {unit_exc}. "
+                        "Use a module-level class/function factory, register "
+                        "it via repro.core.stage.registered, or pin it to "
+                        "the parent with StageSpec(..., pinned=True)."
+                    ) from unit_exc
+            raise UnpicklableStageError(
+                f"placement group {group!r} cannot be shipped to a worker "
+                f"process: {exc}"
+            ) from exc
+
+    # -- orchestration ----------------------------------------------------
+    def run(self) -> RunResult:
+        placement = self.placement
+        if (not placement.any_eligible
+                or "fork" not in multiprocessing.get_all_start_methods()):
+            return super().run()
+
+        plan, cfg = self.plan, self.config
+        mp_ctx = multiprocessing.get_context("fork")
+
+        # Fail fast on unpicklable stages, before any resource exists.
+        materialized = self._materialize_factories()
+        blobs = {g: self._pickle_group(g, units, materialized)
+                 for g, units in placement.groups.items()}
+
+        tracer = self._tracer
+        if tracer is not None:
+            self._clock = WallClock()
+            tracer.begin_run(plan.graph_name, "native", self._clock)
+        runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
+                                           tracer=tracer, clock=self._clock)
+
+        flag = ShmAbortFlag()
+        self._errors.flag = flag
+        result_q = mp_ctx.Queue()
+        shm_edges: Dict[str, ShmEdge] = {}
+        procs: List[Any] = []
+        try:
+            edges: Dict[str, Any] = {
+                name: Edge(plan.channels[name], cfg.queue_capacity,
+                           self._errors, blocking=cfg.blocking,
+                           backend=cfg.channel_backend, tracer=tracer,
+                           clock=self._clock)
+                for name in placement.parent_channels
+            }
+            for name in placement.boundary_channels:
+                shm_edges[name] = ShmEdge(plan.channels[name], flag,
+                                          cfg.blocking, mp_ctx)
+            edges.update(shm_edges)
+
+            for group, units in placement.groups.items():
+                local_specs = {
+                    name: plan.channels[name]
+                    for name, owner in placement.local_channels.items()
+                    if owner == group
+                }
+                boundary = {u.in_channel: shm_edges[u.in_channel]
+                            for u in units if u.in_channel in shm_edges}
+                boundary.update(
+                    {u.out_channel: shm_edges[u.out_channel]
+                     for u in units if u.out_channel in shm_edges})
+                procs.append(mp_ctx.Process(
+                    target=_worker_main,
+                    args=(group, blobs[group], local_specs, boundary, cfg,
+                          flag, result_q, tracer is not None,
+                          self._clock.origin),
+                    name=f"repro-{group}", daemon=True))
+
+            threads: List[threading.Thread] = []
+            self._spawn(threads, runner.source_loop, plan.source.spec,
+                        edges[plan.source.out_channel], name="source")
+            for squ in plan.sequencers:
+                self._spawn(threads, runner.sequencer_loop, squ,
+                            edges[squ.in_channel], edges[squ.out_channel],
+                            name=squ.track)
+            for unit in placement.parent_stages:
+                logic = unit.spec.factory()
+                out_edge = edges[unit.out_channel] if unit.out_channel else None
+                self._spawn(threads, self._stage_loop, unit, logic,
+                            edges[unit.in_channel], out_edge, name=unit.track)
+
+            # Monitor: a worker that dies without reporting (kill -9,
+            # interpreter crash) must still unwind the whole run.
+            stop_monitor = threading.Event()
+
+            def monitor() -> None:
+                while not stop_monitor.is_set():
+                    if flag.is_set() and not self._errors.is_set():
+                        # A worker failed: wake parent threads parked on
+                        # in-process channels; the actual exception
+                        # arrives over the result queue and is recorded
+                        # by the merge loop below.
+                        self._errors.set()
+                    for p in procs:
+                        if p.exitcode is not None and p.exitcode != 0:
+                            self._errors.fail(RuntimeError(
+                                f"worker process {p.name!r} died with exit "
+                                f"code {p.exitcode}"))
+                    time.sleep(_POLL)
+
+            t_start = time.perf_counter()
+            for p in procs:
+                p.start()
+            for t in threads:
+                t.start()
+            mon = threading.Thread(target=monitor, daemon=True)
+            mon.start()
+            for t in threads:
+                t.join()
+            for p in procs:
+                p.join(timeout=30.0)
+            stop_monitor.set()
+            for p in procs:
+                if p.is_alive():  # pragma: no cover - stuck worker
+                    self._errors.fail(RuntimeError(
+                        f"worker process {p.name!r} failed to exit"))
+                    p.terminate()
+                    p.join()
+            makespan = time.perf_counter() - t_start
+
+            # Merge the workers' reports: metrics always, traces when on.
+            for _ in range(len(procs)):
+                try:
+                    msg = result_q.get(timeout=5.0)
+                except Exception:  # pragma: no cover - lost report
+                    self._errors.fail(RuntimeError(
+                        "a worker process exited without reporting"))
+                    break
+                if msg[0] == "err":
+                    self._errors.fail_remote(msg[2])
+                    continue
+                _tag, _group, worker_metrics, trace_payload = msg
+                for m in worker_metrics.values():
+                    runner.merge_metrics(m)
+                if tracer is not None and trace_payload is not None:
+                    spans, counters, instants = trace_payload
+                    for s in spans:
+                        tracer.span(s.cat, s.track, s.name, s.start, s.end,
+                                    s.args)
+                    for c in counters:
+                        tracer.counter(c.track, c.name, c.t, c.value)
+                    for i in instants:
+                        tracer.instant(i.track, i.name, i.t, i.args)
+
+            if tracer is not None:
+                tracer.end_run(makespan)
+
+            result = self._build_result(runner, makespan)
+            result.details["workers"] = "process"
+            result.details["process_groups"] = sorted(placement.groups)
+            return result
+        finally:
+            self._errors.flag = None
+            for edge in shm_edges.values():
+                edge.destroy()
+            result_q.close()
+            flag.close()
+            flag.unlink()

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Union
 
 from repro.core.config import Scheduling
-from repro.core.stage import FunctionStage, Source, Stage
+from repro.core.stage import FunctionStage, InstanceFactory, Source, Stage
 
 
 class GraphError(ValueError):
@@ -54,6 +54,12 @@ class StageSpec:
     ``placement`` is FastFlow's customized-scheduler hook: a callable
     ``(seq, replicas) -> replica_index`` deciding which worker receives
     each item (overrides round-robin/on-demand when set).
+
+    ``pinned`` keeps every replica of this stage in the parent process
+    under the process execution backend (``ExecConfig.workers=
+    "process"``): set it on stages that must share parent state — the
+    traced GPU device model, stages appending to captured lists, etc.
+    It is a placement hint only; the thread backend ignores it.
     """
 
     factory: Callable[[], Stage]
@@ -62,6 +68,7 @@ class StageSpec:
     ordered: bool = True
     scheduling: Optional[Scheduling] = None  # None -> config default
     placement: Optional[Callable[[int, int], int]] = None
+    pinned: bool = False
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -75,8 +82,7 @@ class StageSpec:
                     f"stage {self.name!r}: pass a factory (class or lambda), "
                     "not an instance, when replicas > 1"
                 )
-            instance = self.factory
-            self.factory = lambda: instance
+            self.factory = InstanceFactory(self.factory)
 
 
 @dataclass

@@ -106,6 +106,11 @@ class StageUnit:
     reorder_input: bool = False
     keep_seq: bool = False
     forward_empty: bool = False
+    #: placement group for the process backend: every unit of one farm
+    #: replica's private chain shares a group (``"{segment}#{replica}"``)
+    #: and is shipped to one worker process together; ``None`` for serial
+    #: units, which always stay in the parent.
+    group: Optional[str] = None
 
     @property
     def track(self) -> str:
@@ -267,9 +272,108 @@ def build_plan(graph: PipelineGraph,
                     out_channel=out,
                     reorder_input=reorder[i] and j == 0,
                     keep_seq=keep_seq, forward_empty=forward_empty,
+                    group=f"{seg.name}#{r}" if seg.replicated else None,
                 ))
                 upstream, consumer = out, 0
 
     last = segs[-1]
     plan.sort_output = last.replicated and last.ordered
     return plan
+
+
+#: side label for units that stay in the parent process
+PARENT_SIDE = "parent"
+
+
+@dataclass
+class ProcessPlacement:
+    """Where each plan unit and channel lives under ``workers="process"``.
+
+    Derived from an :class:`ExecutionPlan` by
+    :func:`plan_process_placement`; purely descriptive — the process
+    executor consumes it, the thread executor never computes it.
+
+    * ``groups`` — process-eligible placement groups: every unit of a
+      farm replica's chain, shipped together to one worker process.  A
+      group qualifies only if none of its stages is ``pinned`` and none
+      is the plan's sink (the sink appends to parent-side output state).
+    * ``parent_stages`` — stage units hosted by the parent: serial
+      stages plus whole groups disqualified by pinning/sink duty.  The
+      source and every sequencer are always parent-side.
+    * ``local_channels`` — channel name -> owning group, for edges whose
+      producer and consumer both live in that group (a worker chain's
+      private hops); these use ordinary in-process rings inside the
+      worker.
+    * ``parent_channels`` — edges entirely inside the parent (PR 3
+      rings, unchanged).
+    * ``boundary_channels`` — edges crossing the process boundary; the
+      executor lowers these onto shared-memory ring channels.
+    """
+
+    groups: Dict[str, List[StageUnit]]
+    parent_stages: List[StageUnit]
+    local_channels: Dict[str, str]
+    parent_channels: List[str]
+    boundary_channels: List[str]
+
+    @property
+    def any_eligible(self) -> bool:
+        """At least one group can leave the parent (else fall back)."""
+        return bool(self.groups)
+
+    def side_of(self, unit: StageUnit) -> str:
+        """``PARENT_SIDE`` or the unit's process-group name."""
+        if unit.group is not None and unit.group in self.groups:
+            return unit.group
+        return PARENT_SIDE
+
+
+def plan_process_placement(plan: ExecutionPlan) -> ProcessPlacement:
+    """Classify ``plan``'s units and channels for the process backend.
+
+    Placement is group-granular: a farm replica's whole chain moves (or
+    stays) as one unit, so its private chain hops never cross the
+    boundary.  A group is parent-pinned when any stage of it sets
+    ``StageSpec.pinned`` or is the sink (``out_channel is None``) —
+    sinks feed the parent's output collector directly.
+    """
+    by_group: Dict[str, List[StageUnit]] = {}
+    for u in plan.stages:
+        if u.group is not None:
+            by_group.setdefault(u.group, []).append(u)
+
+    groups = {
+        g: units for g, units in by_group.items()
+        if all(not u.spec.pinned and u.out_channel is not None for u in units)
+    }
+    parent_stages = [u for u in plan.stages
+                     if u.group is None or u.group not in groups]
+
+    producers: Dict[str, set] = {name: set() for name in plan.channels}
+    consumers: Dict[str, set] = {name: set() for name in plan.channels}
+    producers[plan.source.out_channel].add(PARENT_SIDE)
+    for s in plan.sequencers:
+        producers[s.out_channel].add(PARENT_SIDE)
+        consumers[s.in_channel].add(PARENT_SIDE)
+    for u in plan.stages:
+        side = u.group if u.group in groups else PARENT_SIDE
+        consumers[u.in_channel].add(side)
+        if u.out_channel is not None:
+            producers[u.out_channel].add(side)
+
+    local_channels: Dict[str, str] = {}
+    parent_channels: List[str] = []
+    boundary_channels: List[str] = []
+    for name in plan.channels:
+        sides = producers[name] | consumers[name]
+        if sides == {PARENT_SIDE}:
+            parent_channels.append(name)
+        elif len(sides) == 1:
+            local_channels[name] = next(iter(sides))
+        else:
+            boundary_channels.append(name)
+
+    return ProcessPlacement(groups=groups, parent_stages=parent_stages,
+                            local_channels=local_channels,
+                            parent_channels=parent_channels,
+                            boundary_channels=boundary_channels)

@@ -35,6 +35,10 @@ def execute(graph: PipelineGraph, cfg: ExecConfig) -> RunResult:
     :func:`run_graph`.
     """
     if cfg.mode is ExecMode.NATIVE:
+        if cfg.workers == "process":
+            from repro.core.executor_process import ProcessExecutor
+
+            return ProcessExecutor(graph, cfg).run()
         from repro.core.executor_native import NativeExecutor
 
         return NativeExecutor(graph, cfg).run()

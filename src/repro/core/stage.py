@@ -8,6 +8,17 @@ the item, or :class:`~repro.core.items.Multi` to emit several.
 Sources produce the stream: :class:`Source` subclasses implement
 ``generate()`` yielding payloads; :class:`IterSource` adapts any iterable.
 
+The process execution backend ships stage factories to worker processes
+by pickling, so replicated stages meant for ``workers="process"`` must be
+built from picklable callables (module-level classes/functions).  Two
+helpers make that ergonomic: ready instances passed to a ``StageSpec``
+are wrapped in the picklable :class:`InstanceFactory` (instead of a
+lambda), and the module-level **stage registry**
+(:func:`register_stage` / :func:`registered`) lets closures and other
+unpicklable factories be shipped *by name* — the registry key travels,
+the lookup happens in the worker.  A factory that still fails to pickle
+raises :class:`UnpicklableStageError` naming the offending stage.
+
 The :class:`StageContext` passed to every hook carries the replica id,
 replica count and — in simulated mode — the active
 :class:`~repro.sim.context.WorkCursor` so cost models can charge virtual
@@ -16,9 +27,19 @@ time (``ctx.charge("sha1_byte", n)``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, Optional
 
 from repro.sim.context import WorkCursor
+
+
+class UnpicklableStageError(TypeError):
+    """A stage cannot be shipped to a worker process.
+
+    Raised by the process execution backend when pickling a stage unit
+    fails; the message names the offending stage so the fix (module-level
+    factory, :func:`registered` wrapper, or pinning the stage to the
+    parent) is obvious.
+    """
 
 
 class StageContext:
@@ -106,6 +127,98 @@ class Source:
 
     def on_end(self, ctx: StageContext) -> None:  # noqa: B027 - optional hook
         pass
+
+
+class InstanceFactory:
+    """Picklable factory returning one ready-made stage instance.
+
+    Used by :class:`~repro.core.graph.StageSpec` when handed an instance
+    instead of a factory; unlike the closure it replaced, it survives
+    pickling whenever the wrapped instance does, so instance-built serial
+    stages can cross a process boundary.
+    """
+
+    __slots__ = ("instance",)
+
+    def __init__(self, instance: Any):
+        self.instance = instance
+
+    def __call__(self) -> Any:
+        return self.instance
+
+    def __reduce__(self):
+        return (InstanceFactory, (self.instance,))
+
+
+#: name -> factory registered via :func:`register_stage`
+_STAGE_REGISTRY: Dict[str, Callable[..., Any]] = {}
+
+
+def register_stage(name: str, factory: Optional[Callable[..., Any]] = None):
+    """Register ``factory`` under ``name`` for by-name shipping.
+
+    Usable directly (``register_stage("hash", make_hash_stage)``) or as a
+    decorator on a stage class / factory function.  Registration is
+    idempotent for the same object; re-registering a *different* factory
+    under a taken name raises (silent replacement would make
+    :func:`registered` references ambiguous).
+    """
+    def _register(f: Callable[..., Any]) -> Callable[..., Any]:
+        existing = _STAGE_REGISTRY.get(name)
+        if existing is not None and existing is not f:
+            raise ValueError(f"stage factory {name!r} is already registered")
+        _STAGE_REGISTRY[name] = f
+        return f
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+class registered:
+    """A picklable stage factory resolved through the registry by name.
+
+    ``StageSpec(registered("hash", level=3), "hash", replicas=4)`` ships
+    only the key and arguments to worker processes; the factory itself is
+    looked up at call time, so even a closure registered in the parent
+    works under the fork start method (the registry is inherited).
+    """
+
+    __slots__ = ("key", "args", "kwargs")
+
+    def __init__(self, key: str, *args: Any, **kwargs: Any):
+        if key not in _STAGE_REGISTRY:
+            raise KeyError(
+                f"no stage factory registered under {key!r} "
+                f"(known: {sorted(_STAGE_REGISTRY)})"
+            )
+        self.key = key
+        self.args = args
+        self.kwargs = kwargs
+
+    def __call__(self) -> Any:
+        try:
+            factory = _STAGE_REGISTRY[self.key]
+        except KeyError:
+            raise KeyError(
+                f"stage factory {self.key!r} is not registered in this "
+                "process — register it at import time (module level) so "
+                "worker processes see it"
+            ) from None
+        return factory(*self.args, **self.kwargs)
+
+    def __reduce__(self):
+        # Re-create without re-validating against the local registry:
+        # the key is checked at call time in the destination process.
+        return (_restore_registered, (self.key, self.args, self.kwargs))
+
+
+def _restore_registered(key: str, args: tuple, kwargs: dict) -> "registered":
+    obj = registered.__new__(registered)
+    obj.key = key
+    obj.args = args
+    obj.kwargs = kwargs
+    return obj
 
 
 class IterSource(Source):

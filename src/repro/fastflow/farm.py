@@ -45,6 +45,10 @@ class ff_farm:
         self.name = name
         self.scheduling = Scheduling.ROUND_ROBIN
         self.placement = None
+        #: keep every replica in the parent under ExecConfig(workers=
+        #: "process") — for workers tied to parent-process state (device
+        #: handles, shared caches); see StageSpec.pinned
+        self.pinned = False
         if callable(workers):
             if replicas is None or replicas < 1:
                 raise ValueError("ff_farm(factory) needs replicas >= 1")
@@ -136,6 +140,7 @@ class ff_farm:
             ordered=self.ordered,
             scheduling=self.scheduling,
             placement=self.placement,
+            pinned=self.pinned,
         )
 
     def _pipeline_worker_ir(self, index: int) -> Farm:
@@ -169,7 +174,8 @@ class ff_farm:
 
         specs = [
             StageSpec(factory=node_factory(j),
-                      name=f"{self.name}@{index}.s{j}", replicas=1)
+                      name=f"{self.name}@{index}.s{j}", replicas=1,
+                      pinned=self.pinned)
             for j in range(n)
         ]
         return Farm(

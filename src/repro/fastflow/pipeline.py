@@ -64,6 +64,7 @@ class ff_pipeline:
         self._blocking: Optional[bool] = None
         self._queue_capacity: Optional[int] = None
         self._batch_size: Optional[int] = None
+        self._workers: Optional[str] = None
         self._last_result: Optional[RunResult] = None
 
     def add_stage(self, stage: Union[ff_node, ff_farm, "ff_pipeline"]) -> "ff_pipeline":
@@ -117,6 +118,13 @@ class ff_pipeline:
         self._batch_size = batch_size
         return self
 
+    def set_workers(self, workers: str) -> "ff_pipeline":
+        """Worker hosting backend: ``"thread"`` (one GIL) or
+        ``"process"`` (farm replicas on real cores over shared-memory
+        channels; see ``ExecConfig.workers``)."""
+        self._workers = workers
+        return self
+
     # -- lowering -------------------------------------------------------------
     def to_graph(self) -> PipelineGraph:
         stages = self._flat_stages()
@@ -153,6 +161,8 @@ class ff_pipeline:
             overrides["queue_capacity"] = self._queue_capacity
         if self._batch_size is not None:
             overrides["batch_size"] = self._batch_size
+        if self._workers is not None:
+            overrides["workers"] = self._workers
         return cfg.replace(**overrides) if overrides else cfg
 
     # -- execution ---------------------------------------------------------------

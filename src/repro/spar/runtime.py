@@ -38,12 +38,38 @@ class _EmitterNode(ff_node):
             return EOS
 
 
+#: generated stage functions by name, for shipping across a fork — see
+#: :meth:`_StageFnNode.__reduce__`
+_STAGE_FNS: dict = {}
+
+
+def _restore_stage_fn_node(key: str) -> "_StageFnNode":
+    fn = _STAGE_FNS.get(key)
+    if fn is None:
+        raise KeyError(
+            f"SPar stage function {key!r} is not registered in this "
+            "process; workers='process' ships SPar stages by name and "
+            "relies on the fork start method's inherited registry"
+        )
+    return _StageFnNode(fn)
+
+
 class _StageFnNode(ff_node):
     """Runs one generated ``__spar_stage_k__`` function per item."""
 
     def __init__(self, fn: Callable[[Any], Any]):
         super().__init__()
         self.fn = fn
+        # Generated stage fns are locals of the driver — unpicklable by
+        # reference.  Ship by name instead: register here (parent side,
+        # before any worker process forks), restore from the child's
+        # inherited copy of the registry.
+        self._key = (f"{getattr(fn, '__module__', '?')}:"
+                     f"{getattr(fn, '__qualname__', repr(fn))}")
+        _STAGE_FNS[self._key] = fn
+
+    def __reduce__(self):
+        return (_restore_stage_fn_node, (self._key,))
 
     def svc(self, item):
         return self.fn(item)
@@ -174,8 +200,12 @@ def spar_run(emitter: Callable[[], Iterator[Any]],
                 pipe.add_stage(make_gpu())
             else:
                 farm_cls = ff_ofarm if ordered else ff_farm
-                pipe.add_stage(farm_cls(make_gpu, replicas=replicate,
-                                        name=f"spar_gpu_stage{i}"))
+                farm = farm_cls(make_gpu, replicas=replicate,
+                                name=f"spar_gpu_stage{i}")
+                # The traced device model is parent-process state — a
+                # Target farm never ships under workers="process".
+                farm.pinned = True
+                pipe.add_stage(farm)
         elif replicate == 1:
             pipe.add_stage(_StageFnNode(fn))
         else:

@@ -166,7 +166,8 @@ class filter_chain:
 
     def __init__(self, max_number_of_live_tokens: int, *filters: _Filter,
                  parallelism: Optional[int] = None, name: str = "tbb_pipeline",
-                 batch_size: Optional[int] = None):
+                 batch_size: Optional[int] = None,
+                 workers: Optional[str] = None):
         if max_number_of_live_tokens < 1:
             raise ValueError("max_number_of_live_tokens must be >= 1")
         self.max_tokens = max_number_of_live_tokens
@@ -177,6 +178,9 @@ class filter_chain:
         #: (producer-side buffering stays off under a token gate, so the
         #: live-token bound is never exceeded or starved)
         self.batch_size = batch_size
+        #: optional worker hosting backend ("thread"/"process"); None
+        #: inherits the caller's ExecConfig
+        self.workers = workers
         #: width resolved by the last __repro_config__ call (the machine
         #: in play is only known once a config exists)
         self._width: Optional[int] = None
@@ -188,6 +192,8 @@ class filter_chain:
         cfg = cfg.replace(max_tokens=self.max_tokens)
         if self.batch_size is not None:
             cfg = cfg.replace(batch_size=self.batch_size)
+        if self.workers is not None:
+            cfg = cfg.replace(workers=self.workers)
         return cfg
 
     def to_graph(self) -> PipelineGraph:
@@ -201,7 +207,8 @@ def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
                       config: Optional[ExecConfig] = None,
                       parallelism: Optional[int] = None,
                       name: str = "tbb_pipeline",
-                      batch_size: Optional[int] = None) -> RunResult:
+                      batch_size: Optional[int] = None,
+                      workers: Optional[str] = None) -> RunResult:
     """Run the filter chain; returns the run result (TBB returns void).
 
     ``parallelism`` defaults to the active :class:`global_control` value,
@@ -209,5 +216,5 @@ def parallel_pipeline(max_number_of_live_tokens: int, *filters: _Filter,
     """
     chain = filter_chain(max_number_of_live_tokens, *filters,
                          parallelism=parallelism, name=name,
-                         batch_size=batch_size)
+                         batch_size=batch_size, workers=workers)
     return run(chain, config)

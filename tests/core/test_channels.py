@@ -309,3 +309,138 @@ def test_pipeline_failure_aborts_blocked_source_quickly(blocking):
     # generous headroom over the two sleeps + scheduling noise; the old
     # polling loops added multiples of 50 ms on top
     assert wall < 1.0
+
+
+# -- randomized interleaving stress: capacity=2 forces constant wraparound ---
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_spsc_wraparound_stress(seed, blocking):
+    """At capacity=2 the ring indices wrap every other item; a seeded mix
+    of put/put_many racing get/get_many must still deliver every item in
+    order (the wraparound path is where a masking bug would scramble or
+    drop items)."""
+    import random
+
+    items = list(range(500))
+    ch = _chan(SpscChannel, capacity=2, blocking=blocking)
+
+    def producer():
+        prng = random.Random(seed)
+        i = 0
+        while i < len(items):
+            chunk = items[i:i + prng.randint(1, 3)]
+            if prng.random() < 0.5:
+                ch.put_many(chunk)
+            else:
+                for x in chunk:
+                    ch.put(x)
+            i += len(chunk)
+
+    t = threading.Thread(target=producer)
+    t.start()
+    crng = random.Random(seed + 1)
+    got = []
+    while len(got) < len(items):
+        if crng.random() < 0.5:
+            got.append(ch.get())
+        else:
+            got.extend(ch.get_many(crng.randint(1, 4)))
+    t.join()
+    assert got == items
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_mpmc_get_many_eos_isolation_stress(seed):
+    """A stop sentinel comes back from ``get_many`` alone — never mixed
+    into a batch — wherever it lands in the stream, under capacity=2
+    wraparound and randomized producer/consumer batch sizes."""
+    import random
+
+    rng = random.Random(seed)
+    for trial in range(20):
+        stop = object()
+        ch = _chan(MpmcChannel, capacity=2)
+        n = rng.randint(1, 12)
+        cut = rng.randint(0, n)
+        payload = list(range(cut)) + [stop] + list(range(cut, n))
+        pseed, maxn = rng.randint(0, 10**6), rng.randint(1, 5)
+
+        def producer():
+            prng = random.Random(pseed)
+            i = 0
+            while i < len(payload):
+                k = prng.randint(1, 3)
+                ch.put_many(payload[i:i + k])
+                i += k
+
+        t = threading.Thread(target=producer)
+        t.start()
+        batches, count = [], 0
+        while count < len(payload):
+            b = ch.get_many(maxn, stop=stop)
+            batches.append(b)
+            count += len(b)
+        t.join()
+        assert [x for b in batches for x in b] == payload
+        for b in batches:
+            if any(x is stop for x in b):
+                assert b == [stop], f"sentinel rode in a batch: {b!r}"
+
+
+# -- the shared-memory ring (process-backend boundary edges) -----------------
+
+def _shm_pair(capacity=64, blocking=True):
+    from repro.core.channel import ShmAbortFlag, ShmChannel
+
+    abort = ShmAbortFlag()
+    ch = ShmChannel(capacity, abort, blocking)
+    return ch, abort
+
+
+def _shm_close(ch, abort):
+    ch.close()
+    ch.unlink()
+    abort.close()
+    abort.unlink()
+
+
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_shm_channel_roundtrip_with_wraparound(blocking):
+    """A 64-byte ring forces every frame to wrap; variable-size payloads
+    must come back intact and in order."""
+    ch, abort = _shm_pair(capacity=64, blocking=blocking)
+    try:
+        payloads = [[i, "x" * (i % 11)] for i in range(300)]
+
+        def producer():
+            for p in payloads:
+                ch.put(p)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        got = [ch.get() for _ in range(len(payloads))]
+        t.join()
+        assert got == payloads
+    finally:
+        _shm_close(ch, abort)
+
+
+def test_shm_channel_rejects_oversized_frame():
+    ch, abort = _shm_pair(capacity=64)
+    try:
+        with pytest.raises(ValueError):
+            ch.put("y" * 4096)
+    finally:
+        _shm_close(ch, abort)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_shm_abort_wakes_blocked_get(blocking):
+    ch, abort = _shm_pair(capacity=64, blocking=blocking)
+    try:
+        latency = _measure_abort_latency(ch.get, abort)
+        assert latency < ABORT_LATENCY
+    finally:
+        _shm_close(ch, abort)

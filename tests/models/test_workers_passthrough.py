@@ -1,0 +1,164 @@
+"""The ``workers`` knob reaches the executor through every front-end.
+
+Each programming model forwards ``workers="process"`` unchanged into the
+shared :class:`ExecConfig`; the run must produce thread-identical output
+and record the process backend in ``RunResult.details``.
+"""
+
+import multiprocessing
+
+import pytest
+
+import repro
+from repro.core.items import EOS
+from repro.fastflow import ff_node, ff_ofarm, ff_pipeline
+from repro.spar import Input, Output, Replicate, Stage, ToStream, parallelize
+from repro.tbb.pipeline import filter_chain, filter_mode, make_filter
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+BACKENDS = ["thread", "process"]
+
+
+# -- module-level (picklable) stage bodies -----------------------------------
+
+def _square(x):
+    return x * x
+
+
+class _Emit(ff_node):
+    def __init__(self, n):
+        super().__init__()
+        self.n = n
+        self.i = 0
+
+    def svc(self, _):
+        if self.i >= self.n:
+            return EOS
+        self.i += 1
+        return self.i - 1
+
+
+class _Work(ff_node):
+    def svc(self, item):
+        return item * 2 + 1
+
+
+class _Collect(ff_node):
+    def __init__(self):
+        super().__init__()
+        self.got = []
+
+    def svc(self, item):
+        self.got.append(item)
+
+
+# -- TBB ---------------------------------------------------------------------
+
+def _run_tbb(workers):
+    items = iter(range(40))
+    out = []
+
+    def src(fc):
+        try:
+            return next(items)
+        except StopIteration:
+            fc.stop()
+            return None
+
+    chain = filter_chain(
+        8,
+        make_filter(filter_mode.serial_in_order, src),
+        make_filter(filter_mode.parallel, _square),
+        make_filter(filter_mode.serial_in_order, out.append),
+        parallelism=3, workers=workers)
+    result = repro.run(chain)
+    return out, result
+
+
+def test_tbb_filter_chain_passes_workers_through():
+    expected = [x * x for x in range(40)]
+    for workers in BACKENDS:
+        out, result = _run_tbb(workers)
+        assert out == expected, workers
+        if workers == "process":
+            assert result.details.get("workers") == "process"
+
+
+# -- FastFlow ----------------------------------------------------------------
+
+def _run_ff(workers):
+    sink = _Collect()
+    pipe = ff_pipeline(_Emit(30), ff_ofarm(_Work, replicas=3), sink)
+    pipe.set_workers(workers)
+    result = pipe.run_and_wait_end()
+    return sink.got, result
+
+
+def test_ff_pipeline_set_workers():
+    expected = [i * 2 + 1 for i in range(30)]
+    for workers in BACKENDS:
+        got, result = _run_ff(workers)
+        assert got == expected, workers
+        if workers == "process":
+            assert result.details.get("workers") == "process"
+
+
+def test_ff_pool_farm_preserves_replica_identity():
+    # A pool-vector farm's per-replica instances must ship one-per-worker
+    # (a naively re-pickled supply counter would hand pool[0] to everyone;
+    # per-replica materialization keeps the vector semantics).
+    for workers in BACKENDS:
+        sink = _Collect()
+        pipe = ff_pipeline(_Emit(24), ff_ofarm([_Work(), _Work(), _Work()]),
+                           sink)
+        pipe.set_workers(workers)
+        pipe.run_and_wait_end()
+        assert sink.got == [i * 2 + 1 for i in range(24)], workers
+
+
+def test_ff_pinned_farm_stays_on_threads():
+    farm = ff_ofarm(_Work, replicas=3)
+    farm.pinned = True
+    sink = _Collect()
+    pipe = ff_pipeline(_Emit(20), farm, sink)
+    pipe.set_workers("process")
+    result = pipe.run_and_wait_end()
+    assert sink.got == [i * 2 + 1 for i in range(20)]
+    assert result.details.get("workers") != "process"
+
+
+# -- SPar --------------------------------------------------------------------
+
+_SPAR_RESULTS = []
+
+
+def _work(x):
+    return x * x + 1
+
+
+def _sink(v):
+    _SPAR_RESULTS.append(v)
+
+
+@parallelize
+def _spar_pipe(n, workers):
+    with ToStream(Input('n')):
+        for i in range(n):
+            with Stage(Input('i'), Output('v'), Replicate('workers')):
+                v = _work(i)
+            with Stage(Input('v')):
+                _sink(v)
+
+
+def test_spar_accepts_workers_knob():
+    expected = [i * i + 1 for i in range(30)]
+    for workers in BACKENDS:
+        _SPAR_RESULTS.clear()
+        result = repro.run(_spar_pipe.bind(30, 3), workers=workers)
+        assert _SPAR_RESULTS == expected, workers
+        if workers == "process":
+            assert result.details.get("workers") == "process"
