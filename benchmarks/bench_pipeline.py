@@ -12,6 +12,11 @@ A second section sweeps the native channel layer on the core runtime:
 against the pre-channel-layer ``queue.Queue`` baseline, recording each
 configuration's item rate and its speedup over that baseline.
 
+A third section prices the observability layer itself — untraced vs
+live metrics (registry + sampler) vs the full per-event tracer —
+recording ``overhead_vs_untraced`` so CI can hold the metrics path to
+its <5 % budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
@@ -242,6 +247,99 @@ def _compute_bound_rows(replicas: int, reps: int, errors: list) -> list:
     return rows
 
 
+def _busy_work(x, _n=6000):
+    # ~0.2-0.4 ms of pure-Python arithmetic: the low end of the paper's
+    # per-item service times (Mandelbrot lines and dedup chunks are
+    # ms-scale), so the overhead ratio reflects a real stage, not an
+    # empty hand-off loop
+    acc = 0
+    for i in range(_n):
+        acc += i * x
+    return acc
+
+
+def _loaded_graph(items: int, replicas: int):
+    return linear_graph(
+        IterSource(range(items)),
+        StageSpec(FunctionStage(_busy_work), "work", replicas=replicas),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def _obs_overhead_rows(items: int, replicas: int, reps: int,
+                       errors: list) -> list:
+    """Observability cost: untraced vs live metrics vs the full tracer.
+
+    Two workloads x three instrumentations, best of ``reps`` runs each,
+    recording ``overhead_vs_untraced`` = makespan / baseline - 1:
+
+    * ``micro`` — the zero-work hand-off pipeline.  Worst case by
+      construction: per-item cost is nothing but queue ops, so *any*
+      per-item bookkeeping shows up at full strength.
+    * ``loaded`` — stages do a few hundred microseconds of real work per
+      item (the low end of the paper's workloads).  This is the regime
+      the <5 % live-metrics budget is measured in.
+    """
+    from repro.obs import MetricsRegistry, SpanRecorder
+
+    workloads = [
+        ("micro", _flat_graph, items),
+        ("loaded", _loaded_graph, max(50, items // 4)),
+    ]
+    configs = [
+        ("untraced", None),
+        ("metrics-on", "metrics"),
+        ("tracer-on", "tracer"),
+    ]
+    rows = []
+    for workload, build, n_items in workloads:
+        baseline = None
+        for label, instrument in configs:
+            best = None
+            try:
+                for _ in range(reps):
+                    graph = build(n_items, replicas)
+                    kwargs = {}
+                    if instrument == "metrics":
+                        # fresh registry per rep: cumulative state must
+                        # not leak across reps
+                        kwargs["metrics_registry"] = MetricsRegistry()
+                    elif instrument == "tracer":
+                        kwargs["tracer"] = SpanRecorder()
+                    result = execute(graph, ExecConfig(
+                        mode=ExecMode.NATIVE, **kwargs))
+                    assert result.items_emitted == n_items
+                    if best is None or result.makespan < best:
+                        best = result.makespan
+            except Exception as exc:  # noqa: BLE001 - recorded, then fatal
+                errors.append(f"obs-overhead {workload}/{label}: {exc!r}")
+                rows.append({"kind": "obs-overhead", "workload": workload,
+                             "config": label, "error": repr(exc)})
+                print(f"obs-overhead {workload:7s} {label:12s} "
+                      f"FAILED: {exc!r}")
+                continue
+            rate = n_items / best if best > 0 else None
+            if label == "untraced":
+                baseline = best
+            overhead = (best / baseline - 1.0) if baseline and best else None
+            rows.append({
+                "kind": "obs-overhead",
+                "workload": workload,
+                "config": label,
+                "items": n_items,
+                "replicas": replicas,
+                "reps": reps,
+                "makespan_s": best,
+                "throughput_items_per_s": rate,
+                "overhead_vs_untraced": overhead,
+            })
+            extra = (f" overhead={overhead * 100:+.1f}%"
+                     if overhead is not None else "")
+            print(f"obs-overhead {workload:7s} {label:12s} "
+                  f"makespan={best:.6f}s rate={rate:,.0f} items/s{extra}")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -352,6 +450,8 @@ def main(argv=None) -> int:
 
     rows.extend(_channel_sweep_rows(args.items, args.replicas, args.batch,
                                     args.reps, errors))
+    rows.extend(_obs_overhead_rows(args.items, args.replicas, args.reps,
+                                   errors))
     rows.extend(_compute_bound_rows(args.replicas, args.reps, errors))
 
     doc = {

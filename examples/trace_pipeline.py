@@ -81,7 +81,7 @@ def main() -> None:
         h = rec.stage_histogram(stage)
         if h.n:
             print(f"  {stage:>10}: n={h.n:3d} mean={h.mean * 1e6:8.1f} µs "
-                  f"p99={h.percentile(99) * 1e6:8.1f} µs")
+                  f"p99={h.percentile(0.99) * 1e6:8.1f} µs")
 
     # -- exports -----------------------------------------------------------
     out = "trace_pipeline.trace.json"

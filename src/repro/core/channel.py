@@ -485,11 +485,17 @@ class ShmAbortFlag:
 class ShmChannel:
     """Bounded byte-ring over ``multiprocessing.shared_memory``.
 
-    Layout: a 16-byte header — ``tail`` (uint64 at offset 0, total bytes
-    ever produced) and ``head`` (uint64 at offset 8, total bytes ever
-    consumed) — followed by ``capacity`` ring bytes.  Messages are
-    4-byte little-endian length-prefixed *frames*; one frame carries one
-    pickled batch of envelopes (the process executor reuses
+    Layout: a 32-byte header — ``tail`` (uint64 at offset 0, total bytes
+    ever produced), ``head`` (uint64 at offset 8, total bytes ever
+    consumed), and two *item* counters (uint64 at offsets 16/24: total
+    envelopes ever produced/consumed, maintained by the same single
+    writer as the neighbouring byte counter) — followed by ``capacity``
+    ring bytes.  The item counters make queue occupancy observable from
+    either side of the process boundary (``qsize_items``), which is what
+    the live-metrics gauges and the tracer's occupancy tracks sample.
+    Messages are *frames*: a 4-byte little-endian payload length, a
+    4-byte item count, then the payload; one frame carries one pickled
+    batch of envelopes (the process executor reuses
     ``ExecConfig.batch_size`` to size batches, so the per-frame pickle +
     copy cost is amortized exactly like the in-process multi-push).
 
@@ -507,7 +513,7 @@ class ShmChannel:
     abort flag is checked on every slow-path iteration.
     """
 
-    _HEADER = 16
+    _HEADER = 32
 
     __slots__ = ("_shm", "_buf", "_cap", "_abort", "_blocking",
                  "_plock", "_clock")
@@ -522,7 +528,7 @@ class ShmChannel:
         self._shm = shared_memory.SharedMemory(
             create=True, size=self._HEADER + capacity_bytes)
         self._buf = self._shm.buf
-        struct.pack_into("<QQ", self._buf, 0, 0, 0)
+        struct.pack_into("<QQQQ", self._buf, 0, 0, 0, 0, 0)
         self._cap = capacity_bytes
         self._abort = abort
         self._blocking = blocking
@@ -538,6 +544,15 @@ class ShmChannel:
 
     def qsize_bytes(self) -> int:
         return self._load(0) - self._load(8)
+
+    def qsize_items(self) -> int:
+        """Envelopes currently in the ring (produced minus consumed).
+
+        Reads two independently-updated counters without a lock, so the
+        value can be transiently off by one in-flight frame — fine for
+        occupancy gauges, never used for flow control.
+        """
+        return max(0, self._load(16) - self._load(24))
 
     # -- waiting -----------------------------------------------------------
     def _wait(self, ready) -> None:
@@ -575,15 +590,17 @@ class ShmChannel:
                 + bytes(self._buf[h:h + end - self._cap]))
 
     # -- producer side -----------------------------------------------------
-    def put_bytes(self, data: bytes) -> None:
+    def put_bytes(self, data: bytes, items: int = 0) -> None:
+        """Write one frame; ``items`` is the envelope count it carries
+        (0 for control/telemetry frames that should not move gauges)."""
         if self._plock is not None:
             with self._plock:
-                self._put_bytes(data)
+                self._put_bytes(data, items)
         else:
-            self._put_bytes(data)
+            self._put_bytes(data, items)
 
-    def _put_bytes(self, data: bytes) -> None:
-        need = 4 + len(data)
+    def _put_bytes(self, data: bytes, items: int) -> None:
+        need = 8 + len(data)
         if need > self._cap:
             raise ValueError(
                 f"frame of {need} bytes exceeds shm channel capacity "
@@ -592,11 +609,15 @@ class ShmChannel:
         tail = self._load(0)
         self._wait(lambda: tail - self._load(8) + need <= self._cap)
         self._write(tail, len(data).to_bytes(4, "little"))
-        self._write(tail + 4, data)
+        self._write(tail + 4, items.to_bytes(4, "little"))
+        self._write(tail + 8, data)
+        if items:
+            self._store(16, self._load(16) + items)
         self._store(0, tail + need)
 
     def put(self, obj: Any) -> None:
-        self.put_bytes(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+        self.put_bytes(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
+                       items=1)
 
     # -- consumer side -----------------------------------------------------
     def get_bytes(self) -> bytes:
@@ -611,8 +632,11 @@ class ShmChannel:
         # suffices: any unread bytes => a complete frame is present.
         self._wait(lambda: self._load(0) > head)
         n = int.from_bytes(self._read(head, 4), "little")
-        data = self._read(head + 4, n)
-        self._store(8, head + 4 + n)
+        items = int.from_bytes(self._read(head + 4, 4), "little")
+        data = self._read(head + 8, n)
+        if items:
+            self._store(24, self._load(24) + items)
+        self._store(8, head + 8 + n)
         return data
 
     def get(self) -> Any:

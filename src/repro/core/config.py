@@ -15,6 +15,7 @@ from repro.sim.machine import MachineSpec, PAPER_MACHINE
 WORKER_BACKENDS = ("thread", "process")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
 
@@ -77,6 +78,19 @@ class ExecConfig:
     collect_outputs: bool = True
     #: observability sink for this run (None = ambient tracer)
     tracer: Optional["Tracer"] = None
+    #: live telemetry registry for this run (None = the ambient registry
+    #: installed by :func:`repro.obs.use_registry`, if any; one is
+    #: auto-created when ``metrics_port`` is set).  Reusable across runs:
+    #: counters are cumulative, windows are diffed per run.
+    metrics_registry: Optional["MetricsRegistry"] = None
+    #: serve Prometheus text exposition on
+    #: ``http://127.0.0.1:<port>/metrics`` for the duration of the run
+    #: (0 = bind an ephemeral port, published on ``registry.http_port``;
+    #: None = no endpoint).
+    metrics_port: Optional[int] = None
+    #: tumbling-window length (seconds — wall or virtual, mode-dependent)
+    #: for telemetry snapshots
+    metrics_interval: float = 0.25
 
     def __post_init__(self) -> None:
         if isinstance(self.mode, str):
@@ -103,6 +117,10 @@ class ExecConfig:
                 f"unknown workers backend: {self.workers!r} "
                 f"(expected one of {list(WORKER_BACKENDS)})"
             )
+        if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
+            raise ValueError("metrics_port must be in [0, 65535] or None")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be > 0")
 
     def replace(self, **kwargs) -> "ExecConfig":
         """A copy with the given fields replaced (validation re-runs)."""

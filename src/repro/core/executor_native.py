@@ -56,6 +56,7 @@ from repro.core.plan import (
 )
 from repro.core.stage import Stage, StageContext
 from repro.obs.clock import WallClock
+from repro.obs.metrics import LiveTelemetry
 from repro.obs.tracer import (
     CAT_COLLECTOR,
     CAT_QUEUE,
@@ -153,6 +154,7 @@ class Edge:
     def __init__(self, spec: ChannelSpec, capacity: int, errors: _ErrorBox,
                  blocking: bool = True, backend: str = "ring",
                  tracer=None, clock=None):
+        self.name = spec.name
         self.producers = spec.producers
         self.consumers = spec.consumers
         self.errors = errors
@@ -180,6 +182,10 @@ class Edge:
     def _sample(self, idx: int) -> None:
         self._tracer.counter(self._tracks[idx], "occupancy",
                              self._clock.now(), self._channels[idx].qsize())
+
+    def qsize_total(self) -> int:
+        """Items queued across all of the edge's channels (metrics gauge)."""
+        return sum(ch.qsize() for ch in self._channels)
 
     def _route(self, item: Any) -> int:
         """Destination queue for one item on a per-consumer edge.
@@ -257,16 +263,18 @@ class _Outbox:
     envelope is ever stranded.
     """
 
-    __slots__ = ("_edge", "_batch", "_buf", "_tr", "_clock", "_track")
+    __slots__ = ("_edge", "_batch", "_buf", "_tr", "_clock", "_track",
+                 "_probe")
 
     def __init__(self, edge: Edge, batch: int, tr=None, clock=None,
-                 track: Optional[str] = None):
+                 track: Optional[str] = None, probe=None):
         self._edge = edge
         self._batch = batch
         self._buf: List[Any] = []
         self._tr = tr
         self._clock = clock
         self._track = track
+        self._probe = probe
 
     def put(self, env: Env) -> None:
         self._buf.append(env)
@@ -278,14 +286,18 @@ class _Outbox:
             return
         buf = self._buf
         self._buf = []
-        if self._tr is None:
+        if self._tr is None and self._probe is None:
             self._edge.put_many(buf)
             return
+        # flushes are already 1-in-batch, so time every one (unsampled)
         t0 = self._clock.now()
         self._edge.put_many(buf)
         t1 = self._clock.now()
         if t1 - t0 > _MIN_WAIT:
-            self._tr.span(CAT_QUEUE, self._track, "put_wait", t0, t1)
+            if self._tr is not None:
+                self._tr.span(CAT_QUEUE, self._track, "put_wait", t0, t1)
+            if self._probe is not None:
+                self._probe.put_waited(t1 - t0)
 
 
 def _normalize_outputs(result: Any) -> tuple[Any, ...]:
@@ -311,12 +323,15 @@ class UnitRunner:
 
     def __init__(self, config: ExecConfig, errors: _ErrorBox,
                  tokens: _TokenPool, *, tracer=None, clock=None,
-                 collect_outputs: Optional[bool] = None):
+                 collect_outputs: Optional[bool] = None, metrics=None):
         self.config = config
         self.errors = errors
         self.tokens = tokens
         #: None on the untraced fast path — all hooks hide behind this
         self.tracer = tracer
+        #: live MetricsRegistry, or None — like the tracer, the hot loops
+        #: skip all probe work when this is None
+        self.metrics_registry = metrics
         self.clock = clock if clock is not None else WallClock()
         #: consumer-side multi-pop width
         self.batch = config.batch_size
@@ -341,12 +356,23 @@ class UnitRunner:
             else:
                 m.merge(local)
 
-    def _make_outbox(self, out_edge: Optional[Edge],
-                     track: str) -> Optional[_Outbox]:
+    def _make_outbox(self, out_edge: Optional[Edge], track: str,
+                     probe=None) -> Optional[_Outbox]:
         if out_edge is None or self.outbox_batch <= 1:
             return None
         return _Outbox(out_edge, self.outbox_batch, self.tracer,
-                       self.clock, track)
+                       self.clock, track, probe)
+
+    def _probe(self, kind: str, name: str, replicas: int = 1,
+               in_edge: Optional[Edge] = None,
+               out_edge: Optional[Edge] = None):
+        """Per-unit metrics shard, or None when metrics are off."""
+        if self.metrics_registry is None:
+            return None
+        return self.metrics_registry.unit_probe(
+            kind, name, replicas,
+            in_edge=in_edge.name if in_edge is not None else None,
+            out_edge=out_edge.name if out_edge is not None else None)
 
     # -- thread bodies ----------------------------------------------------
     def source_loop(self, src_spec: SourceSpec, out_edge: Edge) -> None:
@@ -354,13 +380,17 @@ class UnitRunner:
         track = src_spec.name
         ctx = StageContext(src_spec.name, 0, 1, tracer=tr)
         src = src_spec.factory()
-        outbox = self._make_outbox(out_edge, track)
+        probe = self._probe("source", src_spec.name, out_edge=out_edge)
+        outbox = self._make_outbox(out_edge, track, probe)
         seq = 0
         try:
             src.on_start(ctx)
             for payload in src.generate(ctx):
                 env = Env(seq, (payload,))
-                if tr is None:
+                # wait timing runs when tracing, or on the probe's 1-in-N
+                # sampled ops; otherwise the op goes through untimed
+                sample = probe is not None and probe.tick_put()
+                if tr is None and not sample:
                     self.tokens.acquire()
                     if outbox is None:
                         out_edge.put(env)
@@ -371,14 +401,22 @@ class UnitRunner:
                     self.tokens.acquire()
                     t1 = clock.now()
                     if t1 - t0 > _MIN_WAIT:
-                        tr.span(CAT_TOKEN, track, "token_wait", t0, t1)
+                        if tr is not None:
+                            tr.span(CAT_TOKEN, track, "token_wait", t0, t1)
+                        if sample:
+                            probe.sampled_token_wait(t1 - t0)
                     if outbox is None:
                         out_edge.put(env)
                         t2 = clock.now()
                         if t2 - t1 > _MIN_WAIT:
-                            tr.span(CAT_QUEUE, track, "put_wait", t1, t2)
+                            if tr is not None:
+                                tr.span(CAT_QUEUE, track, "put_wait", t1, t2)
+                            if sample:
+                                probe.sampled_put_wait(t2 - t1)
                     else:
-                        outbox.put(env)  # emits its own put_wait spans
+                        outbox.put(env)  # times its own flushes
+                if probe is not None:
+                    probe.emitted()
                 seq += 1
             src.on_end(ctx)
         except PipelineAborted:
@@ -413,7 +451,9 @@ class UnitRunner:
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
         batch = self.batch
-        outbox = self._make_outbox(out_edge, track)
+        probe = self._probe("stage", unit.metric_name, unit.replicas,
+                            in_edge=in_edge, out_edge=out_edge)
+        outbox = self._make_outbox(out_edge, track, probe)
         # Per-thread accumulation: service metrics and sink outputs are
         # gathered locally and merged once at EOS, so the hot loop never
         # touches the shared locks.
@@ -426,14 +466,19 @@ class UnitRunner:
             if out_edge is not None:
                 if outbox is not None:
                     outbox.put(env)
-                elif tr is None:
-                    out_edge.put(env)
                 else:
-                    t0 = clock.now()
-                    out_edge.put(env)
-                    t1 = clock.now()
-                    if t1 - t0 > _MIN_WAIT:
-                        tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
+                    sample = probe is not None and probe.tick_put()
+                    if tr is None and not sample:
+                        out_edge.put(env)
+                    else:
+                        t0 = clock.now()
+                        out_edge.put(env)
+                        t1 = clock.now()
+                        if t1 - t0 > _MIN_WAIT:
+                            if tr is not None:
+                                tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
+                            if sample:
+                                probe.sampled_put_wait(t1 - t0)
                 return
             # Last stage: collect outputs and release the token.
             if collect:
@@ -449,6 +494,9 @@ class UnitRunner:
                 outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = time.perf_counter() - t0
             metrics.record(service, len(outs))
+            if probe is not None:
+                # piggybacks on the perf_counter pair above: no extra cost
+                probe.record(service, len(outs))
             if tr is not None:
                 end = clock.now()
                 tr.span(CAT_STAGE, track, spec.name, end - service, end,
@@ -468,23 +516,32 @@ class UnitRunner:
 
         def next_item() -> Any:
             if batch <= 1:
-                if tr is None:
+                sample = probe is not None and probe.tick_get()
+                if tr is None and not sample:
                     return in_edge.get(unit.consumer_index)
                 t0 = clock.now()
                 item = in_edge.get(unit.consumer_index)
                 t1 = clock.now()
                 if t1 - t0 > _MIN_WAIT and item is not EOS:
-                    tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                    if tr is not None:
+                        tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                    if sample:
+                        probe.sampled_get_wait(t1 - t0)
                 return item
             if not inbox:
-                if tr is None:
+                # multi-pop is already 1-in-batch; time it whenever either
+                # consumer is live
+                if tr is None and probe is None:
                     inbox.extend(in_edge.get_many(unit.consumer_index, batch))
                 else:
                     t0 = clock.now()
                     items = in_edge.get_many(unit.consumer_index, batch)
                     t1 = clock.now()
                     if t1 - t0 > _MIN_WAIT and items[0] is not EOS:
-                        tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                        if tr is not None:
+                            tr.span(CAT_QUEUE, track, "get_wait", t0, t1)
+                        if probe is not None:
+                            probe.get_waited(t1 - t0)
                     inbox.extend(items)
             return inbox.popleft()
 
@@ -551,18 +608,46 @@ class UnitRunner:
         """Reorder (if needed) and re-number between two replicated segments."""
         tr, clock = self.tracer, self.clock
         track = unit.track
+        probe = self._probe("sequencer", unit.track,
+                            in_edge=in_edge, out_edge=out_edge)
         rob = SimpleReorderBuffer() if unit.ordered else None
         out_seq = 0
         tail: List[Env] = []
         held: dict[int, float] = {}  # seq -> arrival time in the reorder buffer
+
+        def pull() -> Any:
+            if probe is not None and probe.tick_get():
+                t0 = clock.now()
+                item = in_edge.get(0)
+                if item is not EOS:
+                    dt = clock.now() - t0
+                    if dt > _MIN_WAIT:
+                        probe.sampled_get_wait(dt)
+                return item
+            return in_edge.get(0)
+
+        def send(env: Env) -> None:
+            if probe is not None:
+                if probe.tick_put():
+                    t0 = clock.now()
+                    out_edge.put(env)
+                    dt = clock.now() - t0
+                    if dt > _MIN_WAIT:
+                        probe.sampled_put_wait(dt)
+                else:
+                    out_edge.put(env)
+                probe.passed()
+            else:
+                out_edge.put(env)
+
         try:
             while True:
-                item = in_edge.get(0)
+                item = pull()
                 if item is EOS:
                     break
                 env: Env = item
                 if rob is None:
-                    out_edge.put(Env(out_seq, env.payloads, env.tokened))
+                    send(Env(out_seq, env.payloads, env.tokened))
                     out_seq += 1
                 elif not env.tokened:
                     tail.append(env)
@@ -570,7 +655,7 @@ class UnitRunner:
                     if tr is not None and env.seq not in held:
                         held[env.seq] = clock.now()
                     for ordered in rob.push(env.seq, env):
-                        out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
+                        send(Env(out_seq, ordered.payloads, ordered.tokened))
                         out_seq += 1
                         if tr is not None:
                             t_in = held.pop(ordered.seq, None)
@@ -582,7 +667,7 @@ class UnitRunner:
                         # out-of-order arrivals held back, over time
                         tr.counter(track, "rob_pending", clock.now(), rob.pending)
             for env in tail:
-                out_edge.put(Env(out_seq, env.payloads, env.tokened))
+                send(Env(out_seq, env.payloads, env.tokened))
                 out_seq += 1
         except PipelineAborted:
             raise
@@ -672,8 +757,11 @@ class NativeExecutor:
             self._clock = WallClock()  # zero the run's time axis
             tracer.begin_run(plan.graph_name, "native", self._clock)
 
+        telemetry = LiveTelemetry.from_config(cfg, self._clock)
+        registry = telemetry.registry if telemetry is not None else None
         runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
-                                           tracer=tracer, clock=self._clock)
+                                           tracer=tracer, clock=self._clock,
+                                           metrics=registry)
 
         edges = {
             cs.name: Edge(cs, cfg.queue_capacity, self._errors,
@@ -681,6 +769,9 @@ class NativeExecutor:
                           tracer=tracer, clock=self._clock)
             for cs in plan.channels.values()
         }
+        if registry is not None:
+            for name, edge in edges.items():
+                registry.edge_gauge(name, edge.qsize_total)
 
         self._spawn(threads, runner.source_loop, plan.source.spec,
                     edges[plan.source.out_channel], name="source")
@@ -697,13 +788,23 @@ class NativeExecutor:
             self._spawn(threads, self._stage_loop, unit, logic,
                         edges[unit.in_channel], out_edge, name=unit.track)
 
-        t_start = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        makespan = time.perf_counter() - t_start
+        telemetry_summary = None
+        if telemetry is not None:
+            telemetry.start()
+        try:
+            t_start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            makespan = time.perf_counter() - t_start
+        finally:
+            if telemetry is not None:
+                telemetry_summary = telemetry.stop()
         if tracer is not None:
             tracer.end_run(makespan)
 
-        return self._build_result(runner, makespan)
+        result = self._build_result(runner, makespan)
+        if telemetry_summary is not None:
+            result.details["telemetry"] = telemetry_summary
+        return result

@@ -33,7 +33,15 @@ Semantics preserved against the thread backend:
   :class:`~repro.obs.tracer.SpanRecorder` whose clock shares the
   parent's origin (``perf_counter`` is system-wide monotonic); both are
   shipped once at EOS over the result queue and merged, so ``--trace``
-  output is backend-invariant;
+  output is backend-invariant; boundary shm edges additionally sample
+  queue-occupancy counter events from the ring item counters, so the
+  ``q:{name}`` occupancy tracks match the thread backend's;
+* **live telemetry** — when metrics are on, each worker runs its own
+  :class:`~repro.obs.metrics.MetricsRegistry` and ships cumulative
+  counter payloads every sampler interval over a dedicated per-group
+  :class:`~repro.core.channel.ShmChannel`; the parent folds them in via
+  ``apply_remote`` so ``workers="process"`` publishes the same live
+  snapshots as the thread backend;
 * **failures** — a :class:`ShmAbortFlag` byte mirrors the parent's
   event-driven error box across the boundary: any side's failure flips
   it, shm waiters poll it on their slow path, and a per-worker watchdog
@@ -81,11 +89,16 @@ from repro.core.plan import (
 )
 from repro.core.stage import InstanceFactory, UnpicklableStageError
 from repro.obs.clock import WallClock
+from repro.obs.metrics import LiveTelemetry, MetricsRegistry
 from repro.obs.tracer import SpanRecorder, use_tracer
 
 #: byte capacity of one shared-memory ring (item capacity is then
 #: data-dependent; backpressure still bounds memory per edge)
 _SHM_RING_BYTES = 1 << 20
+
+#: byte capacity of the per-group telemetry delta channel (payloads are
+#: a few KB of pickled cumulative counters; the parent drains eagerly)
+_TELE_RING_BYTES = 1 << 16
 
 #: worker watchdog / parent monitor poll period (seconds); bounds how
 #: long a cross-process abort takes to reach threads parked in-process
@@ -150,6 +163,9 @@ class ShmEdge:
         self.consumers = spec.consumers
         self._placement = spec.placement
         self._eos_count = mp_ctx.Value("i", 0)
+        #: per-process observability binding (see :meth:`bind_tracer`)
+        self._tracer = None
+        self._obs_clock = None
         if spec.per_consumer:
             self._shared = False
             self._channels = [
@@ -157,6 +173,7 @@ class ShmEdge:
                 for _ in range(spec.consumers)
             ]
             self._rr = itertools.cycle(range(spec.consumers))
+            self._tracks = [f"q:{spec.name}.{i}" for i in range(spec.consumers)]
         else:
             self._shared = True
             self._channels = [ShmChannel(
@@ -164,8 +181,31 @@ class ShmEdge:
                 producer_lock=mp_ctx.Lock() if spec.producers > 1 else None,
                 consumer_lock=mp_ctx.Lock() if spec.consumers > 1 else None,
             )]
+            self._tracks = [f"q:{spec.name}"]
         #: consumer_idx -> locally buffered envelopes (per-process state)
         self._inboxes: Dict[int, deque] = {}
+
+    def bind_tracer(self, tracer, clock) -> None:
+        """Install this process's tracer for occupancy sampling.
+
+        Tracers are per-process (a forked copy of the parent's recorder
+        would swallow events), so each side binds its own after fork:
+        the parent right after construction, every worker in
+        ``_worker_main``.  The occupancy value itself comes from the shm
+        item counters, so both sides sample the same truth and the
+        merged ``q:{name}`` tracks are backend-invariant.
+        """
+        self._tracer = tracer
+        self._obs_clock = clock
+
+    def _sample(self, idx: int) -> None:
+        self._tracer.counter(self._tracks[idx], "occupancy",
+                             self._obs_clock.now(),
+                             self._channels[idx].qsize_items())
+
+    def qsize_total(self) -> int:
+        """Envelopes in flight across the edge's rings (metrics gauge)."""
+        return sum(ch.qsize_items() for ch in self._channels)
 
     def _route(self, env: Any) -> int:
         if self._placement is not None:
@@ -178,17 +218,26 @@ class ShmEdge:
             idx = 0
         else:
             idx = self._route(env) if consumer_hint is None else consumer_hint
-        self._channels[idx].put_bytes(pickle.dumps([env], _PICKLE_PROTO))
+        self._channels[idx].put_bytes(pickle.dumps([env], _PICKLE_PROTO),
+                                      items=1)
+        if self._tracer is not None:
+            self._sample(idx)
 
     def put_many(self, envs: Sequence[Any]) -> None:
         if self._shared or self.consumers == 1:
-            self._channels[0].put_bytes(pickle.dumps(list(envs), _PICKLE_PROTO))
+            self._channels[0].put_bytes(pickle.dumps(list(envs), _PICKLE_PROTO),
+                                        items=len(envs))
+            if self._tracer is not None:
+                self._sample(0)
             return
         buckets: Dict[int, List[Any]] = {}
         for env in envs:
             buckets.setdefault(self._route(env), []).append(env)
         for idx, bucket in buckets.items():
-            self._channels[idx].put_bytes(pickle.dumps(bucket, _PICKLE_PROTO))
+            self._channels[idx].put_bytes(pickle.dumps(bucket, _PICKLE_PROTO),
+                                          items=len(bucket))
+            if self._tracer is not None:
+                self._sample(idx)
 
     def put_eos(self) -> None:
         """Last producer (across processes) releases every consumer."""
@@ -200,10 +249,10 @@ class ShmEdge:
         frame = pickle.dumps([EOS], _PICKLE_PROTO)
         if self._shared:
             for _ in range(self.consumers):
-                self._channels[0].put_bytes(frame)
+                self._channels[0].put_bytes(frame, items=1)
         else:
             for ch in self._channels:
-                ch.put_bytes(frame)
+                ch.put_bytes(frame, items=1)
 
     # consumer side ------------------------------------------------------
     def _inbox(self, consumer_idx: int) -> deque:
@@ -217,6 +266,8 @@ class ShmEdge:
         inbox = self._inbox(consumer_idx)
         if not inbox:
             inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+            if self._tracer is not None:
+                self._sample(idx)
         return inbox.popleft()
 
     def get_many(self, consumer_idx: int, max_n: int) -> List[Any]:
@@ -225,6 +276,8 @@ class ShmEdge:
         inbox = self._inbox(consumer_idx)
         if not inbox:
             inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+            if self._tracer is not None:
+                self._sample(idx)
         out: List[Any] = []
         while inbox and len(out) < max_n:
             if inbox[0] is EOS:
@@ -254,12 +307,21 @@ def _worker_main(group: str, units_blob: bytes,
                  local_specs: Dict[str, ChannelSpec],
                  boundary: Dict[str, ShmEdge], cfg: ExecConfig,
                  flag: ShmAbortFlag, result_q, trace: bool,
-                 clock_origin: float) -> None:
+                 clock_origin: float, tele: Optional[tuple] = None) -> None:
     """Worker-process entry: run one placement group's chain to EOS.
 
     Everything arrives through fork inheritance except the units
     themselves, which are shipped pickled (so by-name registry factories
     resolve in the worker and shipping is start-method independent).
+
+    ``tele`` is ``(shm_channel, interval, wait_sample)`` when live
+    metrics are on: the worker keeps its *own* local
+    :class:`~repro.obs.metrics.MetricsRegistry` (the parent's forked
+    copy is a dead snapshot) and a shipper thread sends its cumulative
+    ``export_state`` payload over the dedicated shm channel every
+    interval, plus one final ``eos``-marked payload after the chain
+    drains.  Cumulative payloads make the protocol lossless under
+    skipped windows: the parent only ever keeps the latest.
     """
     # Flag-connected box: a failure here flips the shared abort byte
     # *before* the failing loop's finally block propagates EOS, so the
@@ -276,17 +338,50 @@ def _worker_main(group: str, units_blob: bytes,
         if trace:
             tracer = SpanRecorder()
             tracer.begin_run(group, "native", clock)
+        local_reg: Optional[MetricsRegistry] = None
+        if tele is not None:
+            tele_ch, tele_interval, wait_sample = tele
+            local_reg = MetricsRegistry(wait_sample=wait_sample)
         # Tokens are parent-side state: the worker's pool is a no-op.
         runner = UnitRunner(cfg, errors, _TokenPool(None, errors),
                             tracer=tracer, clock=clock,
-                            collect_outputs=False)
+                            collect_outputs=False, metrics=local_reg)
         edges: Dict[str, Any] = {
             name: Edge(spec, cfg.queue_capacity, errors,
                        blocking=cfg.blocking, backend=cfg.channel_backend,
                        tracer=tracer, clock=clock)
             for name, spec in local_specs.items()
         }
+        # Boundary edges carry the parent's forked tracer binding; swap
+        # in this process's own (or None) so events land where they are
+        # shipped from.
+        for shm_edge in boundary.values():
+            shm_edge.bind_tracer(tracer, clock)
         edges.update(boundary)
+        if local_reg is not None:
+            for name in local_specs:
+                local_reg.edge_gauge(name, edges[name].qsize_total)
+
+        ship_stop: Optional[threading.Event] = None
+        ship_thread: Optional[threading.Thread] = None
+        if tele is not None:
+            ship_stop = threading.Event()
+
+            def ship(final: bool) -> None:
+                payload = local_reg.export_state()
+                payload["eos"] = final
+                tele_ch.put_bytes(pickle.dumps(payload, _PICKLE_PROTO))
+
+            def shipper() -> None:
+                while not ship_stop.wait(tele_interval):
+                    try:
+                        ship(False)
+                    except Exception:
+                        return
+
+            ship_thread = threading.Thread(target=shipper,
+                                           name="metrics-shipper", daemon=True)
+            ship_thread.start()
 
         stop = threading.Event()
 
@@ -330,6 +425,13 @@ def _worker_main(group: str, units_blob: bytes,
         for t in threads:
             t.join()
         stop.set()
+        if ship_stop is not None:
+            ship_stop.set()
+            ship_thread.join(timeout=5.0)
+            try:
+                ship(True)  # final cumulative payload, eos-marked
+            except Exception:
+                pass
         metrics = runner.metrics
         if tracer is not None:
             trace_payload = (tracer.spans, tracer.counters, tracer.instants)
@@ -454,14 +556,19 @@ class ProcessExecutor(NativeExecutor):
         if tracer is not None:
             self._clock = WallClock()
             tracer.begin_run(plan.graph_name, "native", self._clock)
+        telemetry = LiveTelemetry.from_config(cfg, self._clock)
+        registry = telemetry.registry if telemetry is not None else None
         runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
-                                           tracer=tracer, clock=self._clock)
+                                           tracer=tracer, clock=self._clock,
+                                           metrics=registry)
 
         flag = ShmAbortFlag()
         self._errors.flag = flag
         result_q = mp_ctx.Queue()
         shm_edges: Dict[str, ShmEdge] = {}
+        tele_chs: Dict[str, ShmChannel] = {}
         procs: List[Any] = []
+        telemetry_summary: Optional[Dict[str, Any]] = None
         try:
             edges: Dict[str, Any] = {
                 name: Edge(plan.channels[name], cfg.queue_capacity,
@@ -473,7 +580,17 @@ class ProcessExecutor(NativeExecutor):
             for name in placement.boundary_channels:
                 shm_edges[name] = ShmEdge(plan.channels[name], flag,
                                           cfg.blocking, mp_ctx)
+                shm_edges[name].bind_tracer(tracer, self._clock)
             edges.update(shm_edges)
+            if registry is not None:
+                # one gauge per edge visible from the parent: in-process
+                # rings and shm boundary rings alike (worker-local edges
+                # arrive through the shipped payloads)
+                for name, edge in edges.items():
+                    registry.edge_gauge(name, edge.qsize_total)
+                for group in placement.groups:
+                    tele_chs[group] = ShmChannel(_TELE_RING_BYTES, flag,
+                                                 blocking=True)
 
             for group, units in placement.groups.items():
                 local_specs = {
@@ -486,11 +603,15 @@ class ProcessExecutor(NativeExecutor):
                 boundary.update(
                     {u.out_channel: shm_edges[u.out_channel]
                      for u in units if u.out_channel in shm_edges})
+                tele = None
+                if telemetry is not None:
+                    tele = (tele_chs[group], telemetry.interval,
+                            registry.wait_sample)
                 procs.append(mp_ctx.Process(
                     target=_worker_main,
                     args=(group, blobs[group], local_specs, boundary, cfg,
                           flag, result_q, tracer is not None,
-                          self._clock.origin),
+                          self._clock.origin, tele),
                     name=f"repro-{group}", daemon=True))
 
             threads: List[threading.Thread] = []
@@ -525,11 +646,35 @@ class ProcessExecutor(NativeExecutor):
                                 f"code {p.exitcode}"))
                     time.sleep(_POLL)
 
+            # Drain threads: fold each worker's cumulative telemetry
+            # payloads into the parent registry as they arrive, so the
+            # sampler's next window sees the remote units live.
+            drain_threads: List[threading.Thread] = []
+
+            def drain(group: str, ch: ShmChannel) -> None:
+                while True:
+                    try:
+                        payload = pickle.loads(ch.get_bytes())
+                    except PipelineAborted:
+                        return
+                    registry.apply_remote(group, payload)
+                    if payload.get("eos"):
+                        return
+
+            if telemetry is not None:
+                telemetry.start()
+                for group, ch in tele_chs.items():
+                    dt = threading.Thread(target=drain, args=(group, ch),
+                                          name=f"metrics-drain-{group}",
+                                          daemon=True)
+                    drain_threads.append(dt)
             t_start = time.perf_counter()
             for p in procs:
                 p.start()
             for t in threads:
                 t.start()
+            for dt in drain_threads:
+                dt.start()
             mon = threading.Thread(target=monitor, daemon=True)
             mon.start()
             for t in threads:
@@ -544,6 +689,13 @@ class ProcessExecutor(NativeExecutor):
                     p.terminate()
                     p.join()
             makespan = time.perf_counter() - t_start
+            # Close telemetry before building the result: drains exit on
+            # the workers' eos payloads (or the abort flag); the final
+            # sampler tick then folds the last shipped state in.
+            for dt in drain_threads:
+                dt.join(timeout=5.0)
+            if telemetry is not None:
+                telemetry_summary = telemetry.stop()
 
             # Merge the workers' reports: metrics always, traces when on.
             for _ in range(len(procs)):
@@ -575,11 +727,19 @@ class ProcessExecutor(NativeExecutor):
             result = self._build_result(runner, makespan)
             result.details["workers"] = "process"
             result.details["process_groups"] = sorted(placement.groups)
+            if telemetry_summary is not None:
+                result.details["telemetry"] = telemetry_summary
             return result
         finally:
+            if telemetry is not None and telemetry_summary is None:
+                # error path: the normal-path stop above never ran
+                telemetry.stop()
             self._errors.flag = None
             for edge in shm_edges.values():
                 edge.destroy()
+            for ch in tele_chs.values():
+                ch.close()
+                ch.unlink()
             result_q.close()
             flag.close()
             flag.unlink()

@@ -34,6 +34,7 @@ from repro.core.ordering import SimpleReorderBuffer
 from repro.core.plan import ExecutionPlan, SequencerUnit, StageUnit, build_plan
 from repro.core.stage import Stage, StageContext
 from repro.obs.clock import SimClock
+from repro.obs.metrics import LiveTelemetry
 from repro.obs.tracer import (
     CAT_QUEUE,
     CAT_STAGE,
@@ -78,6 +79,10 @@ class SimEdge:
     def _sample(self, idx: int) -> None:
         self._tracer.counter(self._tracks[idx], "occupancy",
                              self.engine.now, len(self._stores[idx].items))
+
+    def qsize_total(self) -> int:
+        """Items queued across the edge's stores (metrics gauge)."""
+        return sum(len(s.items) for s in self._stores)
 
     def put(self, item: Any, consumer_hint: Optional[int] = None):
         """Returns a SimEvent to yield on (completes when space exists)."""
@@ -135,6 +140,10 @@ class SimExecutor:
         tracer = config.tracer if config.tracer is not None else current_tracer()
         #: None on the untraced fast path — all hooks hide behind this
         self._tracer = tracer if tracer.enabled else None
+        #: manual-mode LiveTelemetry, installed by run() (the sampler is
+        #: ticked from the unit loops: a wall-clock thread cannot follow
+        #: virtual time)
+        self._telemetry: Optional[LiveTelemetry] = None
         self._tokens: Optional[Store] = None
         if config.max_tokens is not None:
             self._tokens = self.engine.store(capacity=None, name="tokens")
@@ -142,6 +151,23 @@ class SimExecutor:
                 self._tokens.items.append(object())
 
     # -- bookkeeping ----------------------------------------------------
+    def _probe_for(self, kind: str, name: str, replicas: int = 1,
+                   in_edge: Optional[str] = None,
+                   out_edge: Optional[str] = None):
+        """Metrics shard for one unit process, or None when metrics are off.
+
+        Called from the generator bodies (they first execute inside
+        ``engine.run()``, after :meth:`run` installed the telemetry).
+        """
+        if self._telemetry is None:
+            return None
+        return self._telemetry.registry.unit_probe(
+            kind, name, replicas, in_edge=in_edge, out_edge=out_edge)
+
+    def _maybe_tick(self) -> None:
+        if self._telemetry is not None:
+            self._telemetry.maybe_tick()
+
     def _record(self, name: str, replicas: int, service: float, emitted: int) -> None:
         m = self._metrics.get(name)
         if m is None:
@@ -170,6 +196,8 @@ class SimExecutor:
         ctx = StageContext(src_spec.name, 0, 1, cursor=ctx_cursor,
                            machine=self.config.machine, tracer=tr)
         src = src_spec.factory()
+        probe = self._probe_for("source", src_spec.name,
+                                out_edge=self.plan.source.out_channel)
         seq = 0
         with use_cursor(ctx_cursor):
             src.on_start(ctx)
@@ -177,17 +205,26 @@ class SimExecutor:
             if self._tokens is not None:
                 t0 = engine.now
                 yield self._tokens.get()
-                if tr is not None and engine.now > t0:
-                    tr.span(CAT_TOKEN, tid, "token_wait", t0, engine.now)
+                if engine.now > t0:
+                    if tr is not None:
+                        tr.span(CAT_TOKEN, tid, "token_wait", t0, engine.now)
+                    if probe is not None:
+                        probe.token_waited(engine.now - t0)
             ctx_cursor = ctx.cursor  # refreshed by _iterate_source
             if ctx_cursor.elapsed > 0:
                 yield self.engine.timeout(ctx_cursor.elapsed)
             t0 = engine.now
             yield out_edge.put(Env(seq, (payload,)))
-            if tr is not None and engine.now > t0:
-                tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
+            if engine.now > t0:
+                if tr is not None:
+                    tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
+                if probe is not None:
+                    probe.put_waited(engine.now - t0)
             yield self.engine.timeout(self._queue_op)
             seq += 1
+            if probe is not None:
+                probe.emitted()
+                self._maybe_tick()
         cursor = self._make_cursor(tid)
         ctx.cursor = cursor
         with use_cursor(cursor):
@@ -230,6 +267,9 @@ class SimExecutor:
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []
+        probe = self._probe_for("stage", unit.metric_name, unit.replicas,
+                                in_edge=unit.in_channel,
+                                out_edge=unit.out_channel)
 
         def run_stage(env: Env) -> tuple[float, Optional[Env]]:
             nonlocal out_seq
@@ -241,6 +281,8 @@ class SimExecutor:
                     outs.extend(_normalize_outputs(logic.process(payload, ctx)))
             service = cursor.elapsed
             self._record(unit.metric_name, unit.replicas, service, len(outs))
+            if probe is not None:
+                probe.record(service, len(outs))
             if outs:
                 ne = Env(env.seq if keep_seq else out_seq, outs, tokened=env.tokened)
                 out_seq += 1
@@ -253,8 +295,11 @@ class SimExecutor:
             if out_edge is not None:
                 t0 = engine.now
                 yield out_edge.put(env)
-                if tr is not None and engine.now > t0:
-                    tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
+                if engine.now > t0:
+                    if tr is not None:
+                        tr.span(CAT_QUEUE, tid, "put_wait", t0, engine.now)
+                    if probe is not None:
+                        probe.put_waited(engine.now - t0)
                 yield self.engine.timeout(self._queue_op)
             else:
                 if self.config.collect_outputs:
@@ -270,10 +315,15 @@ class SimExecutor:
             gev = in_edge.get(unit.consumer_index)
             t_wait = engine.now
             item = yield gev
-            if tr is not None and engine.now > t_wait and item is not EOS:
-                tr.span(CAT_QUEUE, tid, "get_wait", t_wait, engine.now)
+            if engine.now > t_wait and item is not EOS:
+                if tr is not None:
+                    tr.span(CAT_QUEUE, tid, "get_wait", t_wait, engine.now)
+                if probe is not None:
+                    probe.get_waited(engine.now - t_wait)
             if item is EOS:
                 break
+            if probe is not None:
+                self._maybe_tick()
             yield self.engine.timeout(self._hop_cost(gev))
             env: Env = item
             pending: List[Env] = []
@@ -337,6 +387,9 @@ class SimExecutor:
                         out_edge: SimEdge):
         tr = self._tracer
         track = unit.track
+        probe = self._probe_for("sequencer", unit.track,
+                                in_edge=unit.in_channel,
+                                out_edge=unit.out_channel)
         rob = SimpleReorderBuffer() if unit.ordered else None
         out_seq = 0
         tail: List[Env] = []
@@ -351,6 +404,8 @@ class SimExecutor:
                 yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
                 yield self.engine.timeout(self._queue_op)
                 out_seq += 1
+                if probe is not None:
+                    probe.passed()
             elif not env.tokened:
                 tail.append(env)
             else:
@@ -358,11 +413,15 @@ class SimExecutor:
                     yield out_edge.put(Env(out_seq, ordered.payloads, ordered.tokened))
                     yield self.engine.timeout(self._queue_op)
                     out_seq += 1
+                    if probe is not None:
+                        probe.passed()
                 if tr is not None:
                     tr.counter(track, "rob_pending", self.engine.now, rob.pending)
         for env in tail:
             yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
             out_seq += 1
+            if probe is not None:
+                probe.passed()
         yield from out_edge.put_eos()
 
     # -- orchestration -----------------------------------------------------
@@ -396,6 +455,18 @@ class SimExecutor:
                 self._stage_proc(unit, logic, edges[unit.in_channel], out_edge),
                 name=unit.track))
 
+        # Manual-mode telemetry: windows are cut from the unit processes
+        # via maybe_tick() because virtual time only advances inside
+        # engine.run() — a wall-clock sampler thread would observe it
+        # standing still.
+        telemetry = LiveTelemetry.from_config(
+            self.config, SimClock(lambda: engine.now), manual=True)
+        self._telemetry = telemetry
+        if telemetry is not None:
+            for name, edge in edges.items():
+                telemetry.registry.edge_gauge(name, edge.qsize_total)
+            telemetry.start()
+
         wall0 = time.perf_counter()
         if tracer is not None:
             # The ambient tracer so device models and user code deep in the
@@ -408,6 +479,10 @@ class SimExecutor:
         else:
             engine.run()
         wall = time.perf_counter() - wall0
+        telemetry_summary = None
+        if telemetry is not None:
+            telemetry_summary = telemetry.stop()
+            self._telemetry = None
         for p in procs:
             if p.triggered:
                 p.value  # re-raise stage exceptions
@@ -426,12 +501,16 @@ class SimExecutor:
             for e in envs:
                 ordered_out.extend(e.payloads)
 
+        details = {"wall_seconds": wall, "threads": self._threads,
+                   "oversubscription": self._oversub}
+        if telemetry_summary is not None:
+            details["telemetry"] = telemetry_summary
+
         return RunResult(
             makespan=engine.now,
             outputs=ordered_out,
             stage_metrics=self._metrics,
             mode="simulated",
             items_emitted=self._items_emitted,
-            details={"wall_seconds": wall, "threads": self._threads,
-                     "oversubscription": self._oversub},
+            details=details,
         )

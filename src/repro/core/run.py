@@ -58,12 +58,19 @@ def run(target: Any, config: Optional[ExecConfig] = None, *,
     or ``"native"``/``"simulated"``) and any further keyword overrides
     are applied on top via :meth:`ExecConfig.replace`.
 
+    Live telemetry rides on the same overrides: ``metrics_registry``
+    attaches a :class:`repro.obs.MetricsRegistry` (snapshots land in
+    ``RunResult.details["telemetry"]``), ``metrics_port`` additionally
+    serves Prometheus text on ``/metrics`` for the duration of the run,
+    and ``metrics_interval`` sets the snapshot window.
+
     Examples::
 
         repro.run(graph)                                  # core graph
         repro.run(pipe, mode="simulated")                 # ff_pipeline
         repro.run(chain, tracer=rec)                      # tbb filter chain
         repro.run(compiled.bind(args), mode="simulated")  # SPar invocation
+        repro.run(graph, metrics_port=9105)               # live /metrics
     """
     cfg = config if config is not None else ExecConfig()
     if mode is not None:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
 import sys
@@ -10,11 +11,25 @@ import sys
 from repro.harness.experiments import REGISTRY
 from repro.harness.report import render_table
 from repro.obs import (
+    MetricsRegistry,
     SpanRecorder,
+    use_registry,
     use_tracer,
     write_chrome_trace,
     write_trace_json,
 )
+
+
+def _live_line(snap) -> None:
+    """One stderr ticker line per telemetry snapshot (``--live``)."""
+    rates = "  ".join(
+        f"{name}={sw.throughput:,.0f}/s"
+        for name, sw in sorted(snap.stages.items())
+        if sw.kind != "sequencer"
+    )
+    tail = f"  bottleneck={snap.bottleneck}" if snap.bottleneck else ""
+    print(f"[live #{snap.seq} {snap.window:.2f}s] {rates}{tail}",
+          file=sys.stderr, flush=True)
 
 
 def main(argv=None) -> int:
@@ -39,6 +54,10 @@ def main(argv=None) -> int:
                              "<name>.obs.json (metrics summary)")
     parser.add_argument("--trace-dir", default=".", metavar="DIR",
                         help="directory for trace artifacts (default: .)")
+    parser.add_argument("--live", action="store_true",
+                        help="print a live per-stage throughput / bottleneck "
+                             "ticker to stderr while experiments run "
+                             "(installs an ambient metrics registry)")
     args = parser.parse_args(argv)
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
@@ -47,19 +66,24 @@ def main(argv=None) -> int:
     trace_dir = pathlib.Path(args.trace_dir)
     for name in names:
         scale = args.scale or default_scale[name]
-        if args.trace:
-            trace_dir.mkdir(parents=True, exist_ok=True)
-            recorder = SpanRecorder()
-            with use_tracer(recorder):
-                report = REGISTRY[name](scale=scale)
+        recorder = None
+        with contextlib.ExitStack() as stack:
+            if args.trace:
+                trace_dir.mkdir(parents=True, exist_ok=True)
+                recorder = SpanRecorder()
+                stack.enter_context(use_tracer(recorder))
+            if args.live:
+                registry = MetricsRegistry()
+                registry.subscribe(_live_line)
+                stack.enter_context(use_registry(registry))
+            report = REGISTRY[name](scale=scale)
+        if recorder is not None:
             chrome_path = trace_dir / f"{name}.trace.json"
             summary_path = trace_dir / f"{name}.obs.json"
             write_chrome_trace(recorder, chrome_path)
             write_trace_json(recorder, summary_path)
             report.meta["trace"] = str(chrome_path)
             report.meta["trace_summary"] = str(summary_path)
-        else:
-            report = REGISTRY[name](scale=scale)
         if args.as_json:
             print(json.dumps(report.as_dict(), indent=2))
         else:

@@ -16,6 +16,15 @@ Typical use::
 Tracing is zero-cost when disabled: the default tracer is
 :data:`~repro.obs.tracer.NOOP_TRACER` and every hook sits behind a
 hoisted ``enabled`` check.
+
+Alongside the post-hoc tracer sits the **live** telemetry layer
+(:mod:`repro.obs.metrics`): lock-free per-unit probes merged every
+tumbling window into immutable :class:`TelemetrySnapshot` objects with
+per-stage throughput/service quantiles, per-edge occupancy/wait rates
+and a derived bottleneck attribution — exposed via subscriber
+callbacks, a Prometheus ``/metrics`` endpoint
+(:mod:`repro.obs.promhttp`, ``ExecConfig.metrics_port``) and the
+harness ``--live`` ticker.
 """
 
 from repro.obs.clock import Clock, SimClock, WallClock
@@ -26,6 +35,23 @@ from repro.obs.export import (
     write_trace_json,
 )
 from repro.obs.histogram import LatencyHistogram
+from repro.obs.metrics import (
+    LiveTelemetry,
+    MetricsRegistry,
+    Sampler,
+    UnitProbe,
+    current_registry,
+    use_registry,
+)
+from repro.obs.promhttp import MetricsServer, parse_exposition, render_exposition
+from repro.obs.snapshot import (
+    BALANCED,
+    CONSUMER_LIMITED,
+    PRODUCER_LIMITED,
+    EdgeWindow,
+    StageWindow,
+    TelemetrySnapshot,
+)
 from repro.obs.tracer import (
     CAT_COLLECTOR,
     CAT_COPY,
@@ -72,4 +98,19 @@ __all__ = [
     "CAT_COPY",
     "CAT_SPAR",
     "CAT_USER",
+    "MetricsRegistry",
+    "UnitProbe",
+    "Sampler",
+    "LiveTelemetry",
+    "TelemetrySnapshot",
+    "StageWindow",
+    "EdgeWindow",
+    "PRODUCER_LIMITED",
+    "CONSUMER_LIMITED",
+    "BALANCED",
+    "current_registry",
+    "use_registry",
+    "MetricsServer",
+    "render_exposition",
+    "parse_exposition",
 ]

@@ -58,12 +58,19 @@ class LatencyHistogram:
         return self.total / self.n if self.n else 0.0
 
     def percentile(self, q: float) -> float:
-        """Approximate ``q``-th percentile (0 < q <= 100)."""
-        if not 0.0 < q <= 100.0:
-            raise ValueError(f"percentile must be in (0, 100], got {q}")
+        """Approximate ``q``-quantile for ``q`` in [0, 1].
+
+        An empty histogram returns 0.0 for any valid ``q``; ``q``
+        outside [0, 1] raises :class:`ValueError`.  ``q = 0`` returns
+        the observed minimum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.n == 0:
             return 0.0
-        rank = math.ceil(self.n * q / 100.0)
+        if q == 0.0:
+            return self.min
+        rank = math.ceil(self.n * q)
         seen = 0
         for b in sorted(self.counts):
             seen += self.counts[b]
@@ -93,7 +100,7 @@ class LatencyHistogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            "p50": self.percentile(50),
-            "p99": self.percentile(99),
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
             "buckets": buckets,
         }

@@ -1,0 +1,138 @@
+"""Immutable telemetry snapshots: one tumbling window of a live run.
+
+A :class:`TelemetrySnapshot` is what the
+:class:`~repro.obs.metrics.Sampler` produces every window (250 ms by
+default): per-stage throughput and service-time quantiles, per-edge
+occupancy and put/get-wait rates, and a derived **bottleneck
+attribution**.  Snapshots are plain frozen dataclasses built from
+*diffs* of the registry's cumulative counters, so they are safe to hand
+to subscriber callbacks, serialize to JSON (:meth:`as_dict`), or render
+as Prometheus exposition text — the hot path never sees them.
+
+Attribution semantics (wait-span ratios, per edge):
+
+* producers blocked pushing (``put_wait`` dominates) means the
+  *consumer* cannot keep up — the edge is **consumer-limited**;
+* consumers blocked popping (``get_wait`` dominates) means the
+  *producer* cannot feed them — the edge is **producer-limited**;
+* neither side waits a meaningful share of the window — **balanced**.
+
+The run-level ``bottleneck`` is the stage with the highest per-replica
+utilization over the window (busy seconds per replica per wall second),
+the live analogue of :meth:`repro.core.metrics.RunResult.bottleneck`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: edge attribution verdicts
+PRODUCER_LIMITED = "producer-limited"
+CONSUMER_LIMITED = "consumer-limited"
+BALANCED = "balanced"
+
+#: a side must wait at least this fraction of the window to be "limited"
+_WAIT_MIN_SHARE = 0.05
+
+#: and dominate the opposite side by at least this factor
+_WAIT_DOMINANCE = 1.5
+
+
+def attribute_edge(put_wait_share: float, get_wait_share: float) -> str:
+    """Classify one edge from the window's wait-span ratios.
+
+    ``put_wait_share``/``get_wait_share`` are wait seconds accumulated by
+    the edge's producers/consumers divided by the window length (they can
+    exceed 1.0 when several units share the edge).
+    """
+    if put_wait_share < _WAIT_MIN_SHARE and get_wait_share < _WAIT_MIN_SHARE:
+        return BALANCED
+    if put_wait_share > get_wait_share * _WAIT_DOMINANCE:
+        return CONSUMER_LIMITED
+    if get_wait_share > put_wait_share * _WAIT_DOMINANCE:
+        return PRODUCER_LIMITED
+    return BALANCED
+
+
+@dataclass(frozen=True)
+class StageWindow:
+    """One unit's (source/stage/sequencer) activity over one window."""
+
+    name: str
+    kind: str                  #: "source" | "stage" | "sequencer"
+    replicas: int
+    items_in: int              #: envelopes consumed this window
+    items_out: int             #: payloads emitted this window
+    throughput: float          #: items_in per second of window
+    busy_time: float           #: service seconds accumulated this window
+    utilization: float         #: busy_time / (window * replicas)
+    service_p50: float         #: windowed service-time quantiles (seconds)
+    service_p95: float
+    service_p99: float
+    token_wait: float = 0.0    #: source blocked on the token gate (seconds)
+    total_items_in: int = 0    #: cumulative since the registry was created
+    total_items_out: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "replicas": self.replicas,
+            "items_in": self.items_in, "items_out": self.items_out,
+            "throughput": self.throughput, "busy_time": self.busy_time,
+            "utilization": self.utilization,
+            "service_p50": self.service_p50, "service_p95": self.service_p95,
+            "service_p99": self.service_p99, "token_wait": self.token_wait,
+            "total_items_in": self.total_items_in,
+            "total_items_out": self.total_items_out,
+        }
+
+
+@dataclass(frozen=True)
+class EdgeWindow:
+    """One channel's backpressure picture over one window."""
+
+    name: str
+    occupancy: float           #: queued items at sample time (all queues)
+    put_wait: float            #: producer wait seconds this window
+    get_wait: float            #: consumer wait seconds this window
+    put_wait_share: float      #: put_wait / window
+    get_wait_share: float      #: get_wait / window
+    attribution: str           #: producer-limited | consumer-limited | balanced
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name, "occupancy": self.occupancy,
+            "put_wait": self.put_wait, "get_wait": self.get_wait,
+            "put_wait_share": self.put_wait_share,
+            "get_wait_share": self.get_wait_share,
+            "attribution": self.attribution,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """The registry's state over one tumbling window, immutable."""
+
+    seq: int                   #: 1-based snapshot number within the registry
+    t_start: float             #: window bounds on the run's clock (wall or
+    t_end: float               #: virtual seconds, executor-dependent)
+    stages: Dict[str, StageWindow] = field(default_factory=dict)
+    edges: Dict[str, EdgeWindow] = field(default_factory=dict)
+    #: stage with the highest per-replica utilization this window (None
+    #: when nothing processed an item)
+    bottleneck: Optional[str] = None
+
+    @property
+    def window(self) -> float:
+        return self.t_end - self.t_start
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "window": self.window,
+            "bottleneck": self.bottleneck,
+            "stages": {k: v.as_dict() for k, v in sorted(self.stages.items())},
+            "edges": {k: v.as_dict() for k, v in sorted(self.edges.items())},
+        }

@@ -26,6 +26,8 @@ from repro.obs import (
     CAT_STAGE,
     SpanRecorder,
     chrome_trace,
+    trace_summary,
+    write_chrome_trace,
 )
 from repro.sim.machine import paper_machine
 from repro.spar import Input, Output, Replicate, Stage, Target, ToStream, parallelize
@@ -163,6 +165,102 @@ def test_sim_queue_occupancy_counters_emitted():
     assert occ
     assert all(c.value >= 0 for c in occ)
     assert any(c.track.startswith("q:") for c in occ)
+
+
+# -- process backend: traces cross the fork boundary ------------------------
+
+pytestmark_process = pytest.mark.skipif(
+    "fork" not in __import__("multiprocessing").get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+
+def _p_inc(x):
+    return x + 1
+
+
+def _p_dbl(x):
+    return x * 2
+
+
+def _p_sink(x):
+    return x
+
+
+def _picklable_farm_graph():
+    """Same shape as ``_farm_of_pipelines_graph`` but with module-level
+    stage functions, so the stages survive the trip to worker processes."""
+    worker = Pipe(
+        StageSpec(FunctionStage(_p_inc, name="inc"), "inc"),
+        StageSpec(FunctionStage(_p_dbl, name="dbl"), "dbl"),
+    )
+    return linear_graph(
+        IterSource(range(10)),
+        Farm(worker, replicas=2, ordered=True),
+        StageSpec(FunctionStage(_p_sink, name="sink"), "sink"),
+    )
+
+
+@pytestmark_process
+def test_process_backend_farm_trace_contract(tmp_path):
+    """A traced farm-of-pipelines on ``workers="process"`` keeps the full
+    observability contract: per-item stage spans on the plan's track
+    names, queue waits, a valid summary and Chrome export — merged from
+    every worker process."""
+    rec = SpanRecorder()
+    r = execute(_picklable_farm_graph(),
+                ExecConfig(mode=ExecMode.NATIVE, workers="process",
+                           tracer=rec))
+    assert r.outputs == [(i + 1) * 2 for i in range(10)]
+
+    # same structural shape as the thread backend produces
+    shape = _stage_shape(rec)
+    assert len(shape) == 3 * 10
+    plan = build_plan(_picklable_farm_graph())
+    tracks = {t for t, _, _ in shape}
+    assert tracks <= set(plan.tracks)
+    assert {"inc[0]", "inc[1]", "dbl[0]", "dbl[1]", "sink[0]"} <= tracks
+    assert {CAT_STAGE, CAT_QUEUE} <= rec.track_types()
+
+    # timestamps are on the parent's clock: run-scoped and monotone
+    assert len(rec.runs) == 1
+    assert rec.runs[0].makespan is not None
+    for s in rec.spans:
+        assert s.end >= s.start >= 0.0
+
+    summary = trace_summary(rec)
+    assert summary["n_spans"] == len(rec.spans) > 0
+    assert any(key.startswith("service//") or "//" in key
+               for key in summary["histograms"])
+
+    path = tmp_path / "farm_process.trace.json"
+    write_chrome_trace(rec, path)
+    doc = json.loads(path.read_text())
+    evs = doc["traceEvents"]
+    assert {"X", "C"} <= {e["ph"] for e in evs}
+    for e in evs:
+        if e["ph"] == "X":
+            assert e["dur"] >= 0.0 and e["ts"] >= 0.0
+
+
+@pytestmark_process
+def test_process_backend_boundary_occupancy_counters():
+    """Boundary shm edges sample occupancy from the shared item counters,
+    so ``--trace`` occupancy tracks are backend-invariant: the q:* tracks
+    seen on threads also appear on processes."""
+    occ_tracks = {}
+    for workers in ("thread", "process"):
+        rec = SpanRecorder()
+        execute(_picklable_farm_graph(),
+                ExecConfig(mode=ExecMode.NATIVE, workers=workers,
+                           queue_capacity=4, tracer=rec))
+        occ = [c for c in rec.counters if c.name == "occupancy"]
+        assert occ and all(c.value >= 0 for c in occ)
+        occ_tracks[workers] = {c.track for c in occ if c.track.startswith("q:")}
+        assert occ_tracks[workers]
+    # the boundary edges (farm input/output) must be sampled on processes
+    # too, not just the parent-resident ones
+    assert occ_tracks["process"] == occ_tracks["thread"]
 
 
 # -- the Fig. 4 bar: SPar + CUDA, simulated, fully traced -------------------

@@ -119,9 +119,23 @@ def test_histogram_empty():
     h = LatencyHistogram()
     assert h.n == 0
     assert h.mean == 0.0
-    assert h.percentile(50) == 0.0
+    # empty histogram returns 0.0 for any valid quantile, never NaN/raise
+    assert h.percentile(0.0) == 0.0
+    assert h.percentile(0.5) == 0.0
+    assert h.percentile(1.0) == 0.0
     d = h.as_dict()
     assert d["count"] == 0
+
+
+def test_histogram_quantile_domain():
+    h = LatencyHistogram()
+    h.add(0.5)
+    for bad in (-0.1, 1.1, 50, 99, -1e9):
+        with pytest.raises(ValueError):
+            h.percentile(bad)
+    # empty histograms validate q too
+    with pytest.raises(ValueError):
+        LatencyHistogram().percentile(2.0)
 
 
 def test_histogram_stats_and_percentiles():
@@ -131,10 +145,33 @@ def test_histogram_stats_and_percentiles():
     assert h.n == 5
     assert h.min == 0.001 and h.max == 0.1
     assert h.mean == pytest.approx(0.023)
-    assert h.percentile(100) == 0.1
+    assert h.percentile(0.0) == 0.001
+    assert h.percentile(1.0) == 0.1
     # p50 lands in a bucket whose upper bound covers the median sample
-    assert h.percentile(50) >= 0.002
-    assert h.percentile(50) <= 0.1
+    assert h.percentile(0.5) >= 0.002
+    assert h.percentile(0.5) <= 0.1
+
+
+def test_histogram_merge_then_percentile():
+    shards = []
+    for base in (0.001, 0.010, 0.100):
+        h = LatencyHistogram()
+        for i in range(10):
+            h.add(base * (1 + i / 10))
+        shards.append(h)
+    merged = LatencyHistogram()
+    for h in shards:
+        merged.merge(h)
+    assert merged.n == 30
+    assert merged.percentile(1.0) == pytest.approx(0.19)
+    # the top decade holds the last 10 of 30 samples, so p99 must sit there
+    assert merged.percentile(0.99) >= 0.1
+    # median falls inside the middle decade's bucket coverage
+    assert 0.010 <= merged.percentile(0.5) <= 0.064
+    # merging an empty histogram changes nothing
+    before = merged.as_dict()
+    merged.merge(LatencyHistogram())
+    assert merged.as_dict() == before
 
 
 def test_histogram_merge():

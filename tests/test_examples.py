@@ -47,6 +47,14 @@ def test_trace_pipeline_example(tmp_path):
     assert (tmp_path / "trace_pipeline.trace.json").exists()
 
 
+def test_live_metrics_example():
+    out = run_example("live_metrics.py", "--items", "2500")
+    assert "live snapshots" in out
+    assert "bottleneck=heavy" in out
+    assert "exposition parsed OK" in out
+    assert "repro_stage_throughput_items_per_second{" in out
+
+
 def test_dedup_example():
     out = run_example("dedup_archive.py", "--mb", "0.5", "--replicas", "3")
     assert out.count("bit-exact OK") == 2
