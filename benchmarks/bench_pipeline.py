@@ -17,6 +17,11 @@ live metrics (registry + sampler) vs the full per-event tracer —
 recording ``overhead_vs_untraced`` so CI can hold the metrics path to
 its <5 % budget.
 
+A fourth section prices the autonomic controller: a mis-tuned elastic
+farm (controller grows it mid-run) against the same farm hand-tuned
+from the start, plus a hand-tuned run with an idle controller watching
+(``controller_overhead``, <2 % budget when stable).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
@@ -340,6 +345,113 @@ def _obs_overhead_rows(items: int, replicas: int, reps: int,
     return rows
 
 
+def _latency_work(x):
+    # 1 ms of blocking service (releases the GIL, like real I/O or a
+    # native kernel): the regime where farm replicas genuinely scale
+    # on the thread backend, so hand-tuning has something to beat
+    time.sleep(0.001)
+    return x
+
+
+def _elastic_farm_graph(items: int, replicas: int, max_replicas: int):
+    return linear_graph(
+        IterSource(range(items)),
+        StageSpec(FunctionStage(_latency_work), "work", replicas=replicas,
+                  max_replicas=max_replicas, ordered=True),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def _elastic_vs_fixed_rows(items: int, replicas: int, reps: int,
+                           errors: list) -> list:
+    """The autonomic controller priced against hand tuning.
+
+    Four configurations of a latency-bound farm (``_latency_work``):
+
+    * ``fixed-mistuned`` — 1 replica, no controller: the starting point
+      the paper's programmer is stuck with until they re-annotate.
+    * ``elastic`` — starts at 1 replica with the controller on; records
+      how many grows were applied and the throughput ratio vs hand
+      tuning (the PR acceptance bar is >= 0.90 of hand-tuned).
+    * ``fixed-hand-tuned`` — the converged replica count from the
+      start: the target the controller chases.
+    * ``hand-tuned+idle-controller`` — hand tuning with the controller
+      watching a well-tuned pipeline: prices the controller's overhead
+      when it has nothing to do (<2 % budget).
+    """
+    from repro.control import TuningPolicy
+
+    n = max(4000, items * 4)
+    # replicas only: the blocking lever is priced by the channel sweep,
+    # and spinning against a latency-bound farm would just burn the
+    # cores the replicas need
+    policy = TuningPolicy(window=0.05, hysteresis_windows=1,
+                          cooldown_windows=1, max_replicas=replicas,
+                          tune_blocking=False)
+    configs = [
+        # (label, start_replicas, policy)
+        ("fixed-mistuned", 1, None),
+        ("elastic", 1, policy),
+        ("fixed-hand-tuned", replicas, None),
+        ("hand-tuned+idle-controller", replicas, policy),
+    ]
+    reps = min(reps, 2)  # the mis-tuned run is seconds long by design
+    rows = []
+    hand_tuned_rate = None
+    results = {}
+    for label, start, pol in configs:
+        best = None
+        ctl_summary = None
+        try:
+            for _ in range(reps):
+                graph = _elastic_farm_graph(n, start, replicas)
+                result = execute(graph, ExecConfig(
+                    mode=ExecMode.NATIVE, queue_capacity=8, policy=pol))
+                assert result.items_emitted == n
+                if best is None or result.makespan < best:
+                    best = result.makespan
+                    ctl_summary = result.details.get("controller")
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"elastic-vs-fixed {label}: {exc!r}")
+            rows.append({"kind": "elastic-vs-fixed", "config": label,
+                         "error": repr(exc)})
+            print(f"elastic-vs-fixed {label:26s} FAILED: {exc!r}")
+            continue
+        rate = n / best if best > 0 else None
+        results[label] = rate
+        if label == "fixed-hand-tuned":
+            hand_tuned_rate = rate
+        row = {
+            "kind": "elastic-vs-fixed",
+            "config": label,
+            "start_replicas": start,
+            "max_replicas": replicas,
+            "items": n,
+            "reps": reps,
+            "makespan_s": best,
+            "throughput_items_per_s": rate,
+        }
+        if pol is not None and ctl_summary is not None:
+            row["controller_windows"] = ctl_summary["windows"]
+            row["controller_applied"] = ctl_summary["applied"]
+        rows.append(row)
+        print(f"elastic-vs-fixed {label:26s} makespan={best:.6f}s "
+              f"rate={rate:,.0f} items/s")
+    # derived ratios (hand-tuned runs last of the measured pair, so
+    # patch them in after the loop)
+    for row in rows:
+        rate = row.get("throughput_items_per_s")
+        if rate and hand_tuned_rate:
+            row["ratio_vs_hand_tuned"] = rate / hand_tuned_rate
+            if row["config"] == "hand-tuned+idle-controller":
+                row["controller_overhead"] = hand_tuned_rate / rate - 1.0
+    elastic = results.get("elastic")
+    if elastic and hand_tuned_rate:
+        print(f"elastic-vs-fixed ratio vs hand-tuned: "
+              f"{elastic / hand_tuned_rate:.2f} (acceptance >= 0.90)")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -453,6 +565,8 @@ def main(argv=None) -> int:
     rows.extend(_obs_overhead_rows(args.items, args.replicas, args.reps,
                                    errors))
     rows.extend(_compute_bound_rows(args.replicas, args.reps, errors))
+    rows.extend(_elastic_vs_fixed_rows(args.items, args.replicas,
+                                       args.reps, errors))
 
     doc = {
         "benchmark": "pipeline",

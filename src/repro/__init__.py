@@ -19,10 +19,17 @@ bound SPar invocation)::
 
     result = repro.run(pipeline, mode="simulated", tracer=recorder)
 
+Self-tuning: pass a :class:`repro.control.TuningPolicy` and the runtime
+grows/shrinks farms, flips blocking↔spin and retunes batching from live
+backpressure telemetry::
+
+    result = repro.run(pipeline, policy=repro.TuningPolicy())
+
 See README.md and DESIGN.md for the architecture, EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
+from repro.control import TuningPolicy
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.metrics import RunResult
 from repro.core.run import run
@@ -34,5 +41,7 @@ __all__ = [
     "ExecConfig",
     "ExecMode",
     "RunResult",
-    "core", "sim", "obs", "gpu", "fastflow", "tbb", "spar", "apps", "harness",
+    "TuningPolicy",
+    "core", "sim", "obs", "gpu", "fastflow", "tbb", "spar", "apps",
+    "control", "harness",
 ]

@@ -1,0 +1,41 @@
+"""repro.control — autonomic self-tuning of a running pipeline.
+
+The PR-7 API split puts everything tunable *mid-run* behind
+:class:`TuningPolicy` (replica bounds, blocking discipline, batch size,
+control-loop shape) and keeps :class:`~repro.core.config.ExecConfig`
+for static build knobs.  Pass a policy to ``repro.run(..., policy=...)``
+or install one ambiently::
+
+    from repro.control import TuningPolicy, use_policy
+
+    result = repro.run(pipe, policy=TuningPolicy(max_replicas=8))
+
+    with use_policy(TuningPolicy(tune_batch=True)):
+        repro.run(pipe)   # self-tunes without touching the config
+"""
+
+from repro.control.controller import (
+    Actuator,
+    ControlEvent,
+    Controller,
+    ScaleReplicas,
+    SetBatch,
+    SetBlocking,
+    StageHandle,
+    current_policy,
+    use_policy,
+)
+from repro.control.policy import TuningPolicy
+
+__all__ = [
+    "Actuator",
+    "ControlEvent",
+    "Controller",
+    "ScaleReplicas",
+    "SetBatch",
+    "SetBlocking",
+    "StageHandle",
+    "TuningPolicy",
+    "current_policy",
+    "use_policy",
+]

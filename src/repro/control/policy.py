@@ -1,0 +1,102 @@
+"""Tuning policy: the *dynamic* half of the old ``ExecConfig``.
+
+The PR-7 API split: :class:`~repro.core.config.ExecConfig` keeps the
+static build knobs (graph mode, queue capacity, worker backend, channel
+backend — anything baked into the plan), while everything the autonomic
+controller may change mid-run lives here: replica bounds, the
+blocking↔spin discipline, ``batch_size``, plus the control-loop shape
+(window, hysteresis, cooldown).
+
+A policy is immutable; pass one to ``repro.run(..., policy=...)`` or
+install it ambiently with :func:`repro.control.use_policy`.  Initial
+values for the dynamic knobs may still be set on ``ExecConfig``
+(``blocking=``/``batch_size=``) — the compatibility shim in
+``ExecConfig`` keeps those call sites working and warns once if a policy
+*also* pins its own initial values for the same knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class TuningPolicy:
+    """What the controller may touch, how far, and how cautiously.
+
+    The three levers (mirroring the tuning burden the paper attributes
+    to the programmer):
+
+    * **replicas** — grow a farm on sustained consumer-limited input,
+      shrink it when replicas idle, within ``[min_replicas,
+      max_replicas]`` (per-Farm bounds on the IR node override these
+      global defaults);
+    * **blocking** — flip an edge to spin-waiting when its consumer
+      sustains ``spin_throughput`` items/s (wake latency dominates), and
+      back to blocking when the rate collapses;
+    * **batch** — double/halve the producer hand-off batch while stage
+      service times are small enough for per-item channel overhead to
+      matter.
+
+    ``hysteresis_windows`` consecutive agreeing windows are required
+    before any action, and ``cooldown_windows`` are skipped after one,
+    so the loop converges instead of oscillating.
+    """
+
+    # -- lever enables and bounds ---------------------------------------
+    scale_replicas: bool = True
+    min_replicas: int = 1
+    max_replicas: int = 8
+    scale_step: int = 1            #: replicas added/removed per action
+    low_utilization: float = 0.25  #: per-replica busy share => "idle"
+    tune_blocking: bool = True
+    spin_throughput: float = 2000.0  #: items/s above which spin pays off
+    tune_batch: bool = False
+    min_batch: int = 1
+    max_batch: int = 64
+    batch_service_ceiling: float = 1e-4  #: batch only helps fast stages
+
+    # -- control-loop shape ---------------------------------------------
+    #: snapshot window in seconds; None inherits ExecConfig.metrics_interval
+    window: Optional[float] = None
+    hysteresis_windows: int = 2
+    cooldown_windows: int = 2
+
+    # -- initial values for the dynamic knobs (the API-split home for
+    # what used to be ExecConfig.blocking / ExecConfig.batch_size) ------
+    blocking: Optional[Union[bool, str]] = None
+    batch_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1: {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) < min_replicas "
+                f"({self.min_replicas})")
+        if self.scale_step < 1:
+            raise ValueError(f"scale_step must be >= 1: {self.scale_step}")
+        if not (0.0 <= self.low_utilization <= 1.0):
+            raise ValueError(
+                f"low_utilization must be in [0, 1]: {self.low_utilization}")
+        if self.min_batch < 1:
+            raise ValueError(f"min_batch must be >= 1: {self.min_batch}")
+        if self.max_batch < self.min_batch:
+            raise ValueError(
+                f"max_batch ({self.max_batch}) < min_batch ({self.min_batch})")
+        if self.window is not None and self.window <= 0:
+            raise ValueError(f"window must be positive: {self.window}")
+        if self.hysteresis_windows < 1:
+            raise ValueError(
+                f"hysteresis_windows must be >= 1: {self.hysteresis_windows}")
+        if self.cooldown_windows < 0:
+            raise ValueError(
+                f"cooldown_windows must be >= 0: {self.cooldown_windows}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1: {self.batch_size}")
+
+    def replace(self, **changes) -> "TuningPolicy":
+        """A copy with ``changes`` applied (mirrors ``ExecConfig.replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -33,11 +33,17 @@ from repro.core.graph import (
     StageSpec,
     linear_graph,
 )
-from repro.core.config import ExecConfig, ExecMode, Scheduling
+from repro.core.config import (
+    ChannelBackend,
+    ExecConfig,
+    ExecMode,
+    Scheduling,
+    WorkerBackend,
+)
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import ReorderBuffer
 from repro.core.plan import ExecutionPlan, build_plan
-from repro.core.run import execute, run, run_graph
+from repro.core.run import execute, run
 
 __all__ = [
     "EOS",
@@ -60,10 +66,11 @@ __all__ = [
     "ExecConfig",
     "ExecMode",
     "Scheduling",
+    "WorkerBackend",
+    "ChannelBackend",
     "RunResult",
     "StageMetrics",
     "ReorderBuffer",
     "run",
     "execute",
-    "run_graph",
 ]

@@ -152,6 +152,19 @@ class SpscChannel:
     def qsize(self) -> int:
         return self._tail - self._head
 
+    def set_blocking(self, blocking: bool) -> bool:
+        """Flip the waiting discipline live (autonomic controller lever).
+
+        Safe mid-run: a parked waiter's ``while not ready()`` loop
+        re-checks state after the ``notify_all``, and a spinning waiter
+        finishes its current spin either way — only *future* waits adopt
+        the new discipline.
+        """
+        with self._cond:
+            self._blocking = blocking
+            self._cond.notify_all()
+        return True
+
     # -- waiting -----------------------------------------------------------
     def _spin(self, ready) -> None:
         spins = 0
@@ -291,6 +304,14 @@ class MpmcChannel:
     def qsize(self) -> int:
         return len(self._items)
 
+    def set_blocking(self, blocking: bool) -> bool:
+        """Flip the waiting discipline live (see :meth:`SpscChannel.set_blocking`)."""
+        with self._lock:
+            self._blocking = blocking
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+        return True
+
     # -- producer side -----------------------------------------------------
     def put(self, item: Any) -> None:
         if self._blocking:
@@ -414,6 +435,10 @@ class QueueChannel:
 
     def qsize(self) -> int:
         return self._q.qsize()
+
+    def set_blocking(self, blocking: bool) -> bool:
+        """The baseline has no spin discipline; the lever does not apply."""
+        return False
 
     def put(self, item: Any) -> None:
         while True:
@@ -553,6 +578,14 @@ class ShmChannel:
         occupancy gauges, never used for flow control.
         """
         return max(0, self._load(16) - self._load(24))
+
+    def set_blocking(self, blocking: bool) -> bool:
+        """Flip nap-vs-yield on the slow path — for the *calling* process
+        only (the flag is a plain attribute, not in the shared header);
+        the parent-side controller therefore retunes the ends of the
+        boundary edges the parent itself waits on."""
+        self._blocking = blocking
+        return True
 
     # -- waiting -----------------------------------------------------------
     def _wait(self, ready) -> None:

@@ -1,9 +1,33 @@
-"""Execution configuration shared by both executors."""
+"""Execution configuration shared by both executors.
+
+PR-7 API split: :class:`ExecConfig` holds the **static build knobs** —
+anything baked into the plan or the channel wiring before the first
+item flows (mode, queue capacity, worker backend, channel backend,
+machine model, observability attachments).  The **dynamic knobs** the
+autonomic controller may retune mid-run (replica bounds, blocking
+discipline, batch size, control-loop shape) live on
+:class:`repro.control.TuningPolicy`, passed as ``policy=``.
+
+``blocking`` and ``batch_size`` remain on :class:`ExecConfig` as the
+*initial* values of those dynamic knobs, so every pre-split call site
+keeps working; when a :class:`TuningPolicy` pins its own initial values
+for the same knobs the policy wins, and a one-time warning points at
+the conflict.
+
+All string→enum coercion happens in one normalization pass
+(:meth:`ExecConfig._normalize`): ``mode``, ``scheduling``, ``workers``
+and ``channel_backend`` accept their enum or its string value, and
+``blocking`` additionally accepts ``"blocking"``/``"spin"``.  The
+worker/channel enums are ``str`` mixins, so ``cfg.workers ==
+"process"`` style comparisons used throughout the executors (and user
+code) are unchanged.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Union
 
@@ -15,6 +39,7 @@ from repro.sim.machine import MachineSpec, PAPER_MACHINE
 WORKER_BACKENDS = ("thread", "process")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.control.policy import TuningPolicy
     from repro.obs.metrics import MetricsRegistry
     from repro.obs.tracer import Tracer
 
@@ -31,6 +56,69 @@ class Scheduling(enum.Enum):
 
     ROUND_ROBIN = "rr"       #: FastFlow default: per-worker SPSC queues
     ON_DEMAND = "ondemand"   #: shared queue; idle worker takes next item
+
+
+class WorkerBackend(str, enum.Enum):
+    """Native worker hosting (``str`` mixin: compares equal to its value)."""
+
+    THREAD = "thread"
+    PROCESS = "process"
+
+
+class ChannelBackend(str, enum.Enum):
+    """Native channel implementation (``str`` mixin)."""
+
+    RING = "ring"
+    QUEUE = "queue"
+
+
+assert tuple(b.value for b in ChannelBackend) == CHANNEL_BACKENDS
+assert tuple(b.value for b in WorkerBackend) == WORKER_BACKENDS
+
+
+def _coerce_enum(value, enum_cls, what: str):
+    """One coercion rule for every enum-valued knob."""
+    if isinstance(value, enum_cls):
+        return value
+    if isinstance(value, str):
+        try:
+            return enum_cls(value.lower())
+        except ValueError:
+            pass
+    raise ValueError(
+        f"unknown {what}: {value!r} "
+        f"(expected one of {[m.value for m in enum_cls]})")
+
+
+def _coerce_blocking(value, what: str = "blocking") -> bool:
+    """``True``/``False`` or the discipline names ``"blocking"``/``"spin"``."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        s = value.lower()
+        if s == "blocking":
+            return True
+        if s == "spin":
+            return False
+    raise ValueError(
+        f"unknown {what}: {value!r} (expected a bool, 'blocking' or 'spin')")
+
+
+_SHIM_WARNED = False
+
+
+def _warn_knob_conflict(knobs: str) -> None:
+    """One-time compatibility warning for the ExecConfig/policy overlap."""
+    global _SHIM_WARNED
+    if _SHIM_WARNED:
+        return
+    _SHIM_WARNED = True
+    warnings.warn(
+        f"ExecConfig({knobs}) conflicts with the TuningPolicy's initial "
+        "values for the same knob(s); the policy wins. Since the PR-7 API "
+        "split these dynamic knobs belong to TuningPolicy — set them there "
+        "(or drop them from ExecConfig) to silence this warning.",
+        UserWarning, stacklevel=4)
 
 
 @dataclass
@@ -50,29 +138,32 @@ class ExecConfig:
     mode: Union[ExecMode, str] = ExecMode.NATIVE
     queue_capacity: int = 512
     max_tokens: Optional[int] = None
-    scheduling: Scheduling = Scheduling.ROUND_ROBIN
+    scheduling: Union[Scheduling, str] = Scheduling.ROUND_ROBIN
     #: FastFlow blocking vs non-blocking (spinning) queue mode.  Spinning
     #: costs CPU (real or virtual) but reduces per-item hand-off latency.
     #: Honored by both executors: native channels park on condition
     #: variables or busy-wait accordingly; the simulator charges the
-    #: blocking wake-up latency on hand-offs that had to sleep.
-    blocking: bool = True
+    #: blocking wake-up latency on hand-offs that had to sleep.  Accepts
+    #: a bool or ``"blocking"``/``"spin"``.  *Initial* value only when a
+    #: :class:`~repro.control.TuningPolicy` tunes the discipline live.
+    blocking: Union[bool, str] = True
     #: FastFlow-style multi-push/multi-pop: producers hand envelopes to a
     #: channel in groups of up to this many, and consumers drain what is
     #: available in one synchronization episode.  1 disables batching.
     #: Native-mode only; the simulator's hand-off semantics are unchanged.
+    #: *Initial* value only when a policy tunes the batch live.
     batch_size: int = 1
     #: native channel implementation: ``"ring"`` (SPSC ring buffers with a
     #: lock-minimal MPMC fallback on shared edges) or ``"queue"`` (the
     #: pre-channel-layer ``queue.Queue`` baseline, kept for benchmarking).
-    channel_backend: str = "ring"
+    channel_backend: Union[ChannelBackend, str] = ChannelBackend.RING
     #: native worker hosting: ``"thread"`` runs every plan unit on a
     #: Python thread (all stages share one GIL); ``"process"`` lowers
     #: process-eligible farm replicas onto OS worker processes connected
     #: through shared-memory ring channels, so compute-bound replicated
     #: stages run on real cores.  Serial sources/sinks/sequencers stay in
     #: the parent either way; the simulator ignores this knob.
-    workers: str = "thread"
+    workers: Union[WorkerBackend, str] = WorkerBackend.THREAD
     machine: MachineSpec = field(default_factory=lambda: PAPER_MACHINE)
     #: collect payloads flowing out of the last stage into RunResult.outputs
     collect_outputs: bool = True
@@ -80,47 +171,87 @@ class ExecConfig:
     tracer: Optional["Tracer"] = None
     #: live telemetry registry for this run (None = the ambient registry
     #: installed by :func:`repro.obs.use_registry`, if any; one is
-    #: auto-created when ``metrics_port`` is set).  Reusable across runs:
-    #: counters are cumulative, windows are diffed per run.
+    #: auto-created when ``metrics_port`` is set or a policy is active).
+    #: Reusable across runs: counters are cumulative, windows are diffed
+    #: per run.
     metrics_registry: Optional["MetricsRegistry"] = None
     #: serve Prometheus text exposition on
     #: ``http://127.0.0.1:<port>/metrics`` for the duration of the run
-    #: (0 = bind an ephemeral port, published on ``registry.http_port``;
-    #: None = no endpoint).
+    #: (0 = bind an ephemeral port, published on ``registry.http_port``
+    #: and ``RunResult.details["telemetry"]["http_port"]``; None = no
+    #: endpoint).
     metrics_port: Optional[int] = None
     #: tumbling-window length (seconds — wall or virtual, mode-dependent)
     #: for telemetry snapshots
     metrics_interval: float = 0.25
+    #: autonomic-controller policy for this run (None = the ambient
+    #: policy installed by :func:`repro.control.use_policy`, if any;
+    #: no policy = no controller).  See :class:`repro.control.TuningPolicy`.
+    policy: Optional["TuningPolicy"] = None
 
     def __post_init__(self) -> None:
-        if isinstance(self.mode, str):
-            try:
-                self.mode = ExecMode(self.mode.lower())
-            except ValueError:
-                raise ValueError(
-                    f"unknown execution mode: {self.mode!r} "
-                    f"(expected one of {[m.value for m in ExecMode]})"
-                ) from None
+        self._normalize()
+
+    # -- the one string→enum coercion path --------------------------------
+    _ENUM_KNOBS = (
+        ("mode", ExecMode, "execution mode"),
+        ("scheduling", Scheduling, "scheduling"),
+        ("workers", WorkerBackend, "workers backend"),
+        ("channel_backend", ChannelBackend, "channel_backend"),
+    )
+
+    def _normalize(self) -> None:
+        for name, enum_cls, what in self._ENUM_KNOBS:
+            setattr(self, name, _coerce_enum(getattr(self, name),
+                                             enum_cls, what))
+        self.blocking = _coerce_blocking(self.blocking)
+        self._apply_policy_shim()
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if self.max_tokens is not None and self.max_tokens < 1:
             raise ValueError("max_tokens must be >= 1 or None")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
-        if self.channel_backend not in CHANNEL_BACKENDS:
-            raise ValueError(
-                f"unknown channel_backend: {self.channel_backend!r} "
-                f"(expected one of {list(CHANNEL_BACKENDS)})"
-            )
-        if self.workers not in WORKER_BACKENDS:
-            raise ValueError(
-                f"unknown workers backend: {self.workers!r} "
-                f"(expected one of {list(WORKER_BACKENDS)})"
-            )
         if self.metrics_port is not None and not 0 <= self.metrics_port <= 65535:
             raise ValueError("metrics_port must be in [0, 65535] or None")
         if self.metrics_interval <= 0:
             raise ValueError("metrics_interval must be > 0")
+
+    def _apply_policy_shim(self) -> None:
+        """Fold the policy's initial dynamic-knob values into the config.
+
+        Idempotent (``replace`` re-runs it): once the policy has won, the
+        config's value equals the policy's and no conflict re-triggers.
+        """
+        pol = self.policy
+        if pol is None:
+            return
+        from repro.control.policy import TuningPolicy
+
+        if not isinstance(pol, TuningPolicy):
+            raise ValueError(
+                f"policy must be a repro.control.TuningPolicy, "
+                f"got {type(pol).__name__}")
+        conflicts = []
+        if pol.blocking is not None:
+            want = _coerce_blocking(pol.blocking, "policy.blocking")
+            if self.blocking not in (want, True):  # True = field default
+                conflicts.append("blocking=")
+            self.blocking = want
+        if pol.batch_size is not None:
+            if self.batch_size not in (pol.batch_size, 1):  # 1 = default
+                conflicts.append("batch_size=")
+            self.batch_size = pol.batch_size
+        if conflicts:
+            _warn_knob_conflict(", ".join(conflicts))
+
+    def resolved_policy(self) -> Optional["TuningPolicy"]:
+        """This run's tuning policy: explicit field, else the ambient one."""
+        if self.policy is not None:
+            return self.policy
+        from repro.control.controller import current_policy
+
+        return current_policy()
 
     def replace(self, **kwargs) -> "ExecConfig":
         """A copy with the given fields replaced (validation re-runs)."""

@@ -38,21 +38,24 @@ import itertools
 import threading
 import time
 from collections import deque
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.control.controller import Controller, StageHandle
 from repro.core.channel import Aborted, AbortSignal, make_channel
 from repro.core.config import ExecConfig
 from repro.core.graph import PipelineGraph
-from repro.core.items import EOS, Multi
+from repro.core.items import EOS, Multi, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
 from repro.core.plan import (
     ChannelSpec,
+    ElasticGroup,
     ExecutionPlan,
     SequencerUnit,
     SourceSpec,
     StageUnit,
     build_plan,
+    clone_replica_units,
 )
 from repro.core.stage import Stage, StageContext
 from repro.obs.clock import WallClock
@@ -149,11 +152,24 @@ class Edge:
     consumer access.  When ``tracer`` is set, every completed put/get
     samples the queue's occupancy as a counter event (backpressure
     becomes visible over time).
+
+    Elastic edges (the in/out boundaries of a farm an autonomic
+    controller may re-size) additionally support live rewiring:
+    :meth:`add_consumer`/:meth:`activate_consumer` and
+    :meth:`add_producer` grow the fan-out/fan-in, and
+    :meth:`request_retire` shrinks it by queueing a ``RETIRE`` sentinel
+    that the *producer* thread injects at its next put — so the
+    sentinel lands strictly after every item already routed to the
+    retiring slot, and EOS accounting stays exact (``producers`` counts
+    total-ever contributors; a retired worker simply contributes its
+    EOS early).  The executor passes ``allow_spsc=False`` for such
+    edges: their shared queues may gain producers or consumers mid-run,
+    which would break the SPSC proof the static plan made.
     """
 
     def __init__(self, spec: ChannelSpec, capacity: int, errors: _ErrorBox,
                  blocking: bool = True, backend: str = "ring",
-                 tracer=None, clock=None):
+                 tracer=None, clock=None, allow_spsc: bool = True):
         self.name = spec.name
         self.producers = spec.producers
         self.consumers = spec.consumers
@@ -161,23 +177,126 @@ class Edge:
         self._placement = spec.placement
         self._tracer = tracer
         self._clock = clock
+        self._capacity = capacity
+        self._blocking = blocking
+        self._backend = backend
+        self._spsc = spec.spsc_queues and allow_spsc
         self._eos_lock = threading.Lock()
         self._eos_seen = 0
-        spsc = spec.spsc_queues
+        self._eos_done = False
+        #: consumer slots excluded from routing (retired, or reserved by
+        #: an in-flight grow and not yet activated)
+        self._retired: set = set()
+        #: RETIRE sentinels awaiting injection by a producer thread
+        self._pending_retire: List[int] = []
         if spec.per_consumer:
-            self._channels = [
-                make_channel(capacity, errors, blocking=blocking, spsc=spsc,
-                             backend=backend)
-                for _ in range(spec.consumers)
-            ]
-            self._rr = itertools.cycle(range(spec.consumers))
+            self._channels = [self._new_channel()
+                              for _ in range(spec.consumers)]
+            self._rotation = list(range(spec.consumers))
+            self._rr = itertools.cycle(self._rotation)
             self._shared = False
             self._tracks = [f"q:{spec.name}.{i}" for i in range(spec.consumers)]
         else:
-            self._channels = [make_channel(capacity, errors, blocking=blocking,
-                                           spsc=spsc, backend=backend)]
+            self._channels = [self._new_channel()]
             self._shared = True
             self._tracks = [f"q:{spec.name}"]
+
+    def _new_channel(self):
+        return make_channel(self._capacity, self.errors,
+                            blocking=self._blocking, spsc=self._spsc,
+                            backend=self._backend)
+
+    # -- live rewiring (autonomic controller) ----------------------------
+    def set_blocking(self, blocking: bool) -> bool:
+        """Flip every queue's wait discipline; later-grown queues inherit."""
+        self._blocking = blocking
+        return all([ch.set_blocking(blocking) for ch in self._channels])
+
+    def add_consumer(self) -> Optional[int]:
+        """Reserve a consumer slot for a new replica (grow, step one).
+
+        Per-consumer edges get a fresh queue that is *not* yet in the
+        routing rotation — call :meth:`activate_consumer` once the
+        replica's thread is running, or :meth:`cancel_consumer` to
+        unwind.  Returns ``None`` once EOS delivery has begun (too late
+        to grow this stream).
+        """
+        with self._eos_lock:
+            if self._eos_done:
+                return None
+            if self._shared:
+                self.consumers += 1
+                return self.consumers - 1
+            idx = len(self._channels)
+            self._channels.append(self._new_channel())
+            self._tracks.append(f"q:{self.name}.{idx}")
+            self._retired.add(idx)  # reserved: no routing yet
+            self.consumers += 1
+            return idx
+
+    def activate_consumer(self, idx: int) -> None:
+        """Open a reserved slot to routing (grow, final step)."""
+        with self._eos_lock:
+            if self._shared:
+                return
+            if self._eos_done:
+                # EOS raced the grow: the reserved slot was skipped by
+                # put_eos, so release its (already running) consumer now.
+                self._channels[idx].put(EOS)
+                return
+            self._retired.discard(idx)
+            self._rotation = self._rotation + [idx]
+            self._rr = itertools.cycle(self._rotation)
+
+    def cancel_consumer(self, idx: int) -> None:
+        """Unwind a reserved slot whose replica never started."""
+        with self._eos_lock:
+            self.consumers -= 1
+            if not self._shared:
+                self._retired.add(idx)
+
+    def add_producer(self) -> bool:
+        """Count one more producer-to-come (grow of the upstream farm);
+        refused once EOS delivery has begun."""
+        with self._eos_lock:
+            if self._eos_done:
+                return False
+            self.producers += 1
+            return True
+
+    def request_retire(self) -> bool:
+        """Queue one consumer's retirement (shrink).
+
+        The slot leaves the routing rotation immediately; the sentinel
+        itself is injected by the producer thread (see class docstring),
+        so nothing is ever stranded behind it.  On shared (on-demand)
+        edges the retirement is anonymous — whichever worker pulls the
+        sentinel exits.
+        """
+        with self._eos_lock:
+            if self._eos_done:
+                return False
+            if self._shared:
+                if self.consumers <= 1:
+                    return False
+                self.consumers -= 1
+                self._pending_retire.append(0)
+                return True
+            if len(self._rotation) <= 1:
+                return False
+            idx = self._rotation[-1]
+            self._rotation = self._rotation[:-1]
+            self._rr = itertools.cycle(self._rotation)
+            self._retired.add(idx)
+            self.consumers -= 1
+            self._pending_retire.append(idx)
+            return True
+
+    def _drain_retires(self) -> None:
+        """Inject queued RETIRE sentinels (caller holds ``_eos_lock``)."""
+        pending, self._pending_retire = self._pending_retire, []
+        for idx in pending:
+            self._channels[idx].put(RETIRE)
 
     def _sample(self, idx: int) -> None:
         self._tracer.counter(self._tracks[idx], "occupancy",
@@ -206,13 +325,19 @@ class Edge:
         else:
             idx = self._route(item) if consumer_hint is None else consumer_hint
         self._channels[idx].put(item)
+        if self._pending_retire:
+            with self._eos_lock:
+                self._drain_retires()
         if self._tracer is not None:
             self._sample(idx)
 
     def put_many(self, items: Sequence[Any]) -> None:
         """Multi-push: one synchronization episode per destination queue."""
-        if self._shared or self.consumers == 1:
+        if self._shared or len(self._channels) == 1:
             self._channels[0].put_many(items)
+            if self._pending_retire:
+                with self._eos_lock:
+                    self._drain_retires()
             if self._tracer is not None:
                 self._sample(0)
             return
@@ -223,20 +348,30 @@ class Edge:
             self._channels[idx].put_many(bucket)
             if self._tracer is not None:
                 self._sample(idx)
+        if self._pending_retire:
+            with self._eos_lock:
+                self._drain_retires()
 
     def put_eos(self) -> None:
-        """Called once per producer; last producer releases the consumers."""
+        """Called once per producer; last producer releases the consumers.
+
+        Still-pending RETIRE sentinels are injected first, inside the
+        same critical section, so a retiring slot receives RETIRE and is
+        then excluded from EOS delivery — never both.
+        """
         with self._eos_lock:
             self._eos_seen += 1
-            last = self._eos_seen == self.producers
-        if not last:
-            return
-        if self._shared:
-            # one sentinel per consumer on the shared queue
-            self._channels[0].put_many([EOS] * self.consumers)
-        else:
-            for ch in self._channels:
-                ch.put(EOS)
+            if self._eos_seen != self.producers:
+                return
+            self._drain_retires()
+            self._eos_done = True
+            if self._shared:
+                # one sentinel per consumer on the shared queue
+                self._channels[0].put_many([EOS] * self.consumers)
+            else:
+                for i, ch in enumerate(self._channels):
+                    if i not in self._retired:
+                        ch.put(EOS)
 
     # consumer side ------------------------------------------------------
     def get(self, consumer_idx: int) -> Any:
@@ -280,6 +415,10 @@ class _Outbox:
         self._buf.append(env)
         if len(self._buf) >= self._batch:
             self.flush()
+
+    def set_batch(self, batch: int) -> None:
+        """Live retune (autonomic controller); next put sees the new width."""
+        self._batch = max(1, batch)
 
     def flush(self) -> None:
         if not self._buf:
@@ -347,6 +486,34 @@ class UnitRunner:
         self.outputs: List[Env] = []
         self._output_lock = threading.Lock()
         self.items_emitted = 0
+        #: live outboxes, so a batch retune reaches producer-side buffers
+        self._outboxes: List[_Outbox] = []
+        #: pause gate: cleared parks the source between items, letting a
+        #: live-rewire barrier (process backend) drain in-flight work
+        self._gate = threading.Event()
+        self._gate.set()
+
+    # -- live levers (autonomic controller) -------------------------------
+    def set_batch(self, batch: int) -> bool:
+        """Retune batching live; running loops read it per pull/flush."""
+        self.batch = max(1, batch)
+        if self.config.max_tokens is None:
+            self.outbox_batch = self.batch
+            for ob in self._outboxes:
+                ob.set_batch(self.batch)
+        return True
+
+    def pause(self) -> None:
+        """Park the source before its next item (live-rewire barrier)."""
+        self._gate.clear()
+
+    def resume(self) -> None:
+        self._gate.set()
+
+    def _wait_gate(self) -> None:
+        while not self._gate.wait(0.05):
+            if self.errors.is_set():
+                raise PipelineAborted()
 
     def merge_metrics(self, local: StageMetrics) -> None:
         with self._metrics_lock:
@@ -360,8 +527,10 @@ class UnitRunner:
                      probe=None) -> Optional[_Outbox]:
         if out_edge is None or self.outbox_batch <= 1:
             return None
-        return _Outbox(out_edge, self.outbox_batch, self.tracer,
-                       self.clock, track, probe)
+        ob = _Outbox(out_edge, self.outbox_batch, self.tracer,
+                     self.clock, track, probe)
+        self._outboxes.append(ob)
+        return ob
 
     def _probe(self, kind: str, name: str, replicas: int = 1,
                in_edge: Optional[Edge] = None,
@@ -386,6 +555,8 @@ class UnitRunner:
         try:
             src.on_start(ctx)
             for payload in src.generate(ctx):
+                if not self._gate.is_set():
+                    self._wait_gate()
                 env = Env(seq, (payload,))
                 # wait timing runs when tracing, or on the probe's 1-in-N
                 # sampled ops; otherwise the op goes through untimed
@@ -450,7 +621,6 @@ class UnitRunner:
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
-        batch = self.batch
         probe = self._probe("stage", unit.metric_name, unit.replicas,
                             in_edge=in_edge, out_edge=out_edge)
         outbox = self._make_outbox(out_edge, track, probe)
@@ -515,6 +685,8 @@ class UnitRunner:
                 self.tokens.release()
 
         def next_item() -> Any:
+            # read per call: the controller retunes the width live
+            batch = self.batch
             if batch <= 1:
                 sample = probe is not None and probe.tick_get()
                 if tr is None and not sample:
@@ -545,11 +717,22 @@ class UnitRunner:
                     inbox.extend(items)
             return inbox.popleft()
 
+        retiring = False
         try:
             while True:
+                if retiring and not inbox:
+                    break
                 item = next_item()
                 if item is EOS:
                     break
+                if item is RETIRE:
+                    # Elastic shrink: finish whatever this worker already
+                    # pulled, then exit early.  The finally's put_eos
+                    # keeps the out edge balanced — ``producers`` counts
+                    # total-ever contributors, and this one's EOS simply
+                    # arrives before stream end.
+                    retiring = True
+                    continue
                 env: Env = item
                 if rob is None:
                     if not env.payloads:
@@ -678,6 +861,142 @@ class UnitRunner:
             out_edge.put_eos()
 
 
+class _ElasticState:
+    """Live bookkeeping for one elastic farm segment."""
+
+    __slots__ = ("group", "replicas", "next_r", "lo", "hi")
+
+    def __init__(self, group: ElasticGroup, policy) -> None:
+        self.group = group
+        self.replicas = group.replicas
+        #: monotonic replica-index counter — retired indices never reused
+        self.next_r = group.replicas
+        self.lo, self.hi = group.resolve_bounds(policy.min_replicas,
+                                                policy.max_replicas)
+
+
+class _NativeActuator:
+    """Backend half of the control loop for the thread executor.
+
+    Grows a farm by cloning its replica chain from the plan
+    (:func:`~repro.core.plan.clone_replica_units`), wiring fresh private
+    hop edges, and spawning live threads; shrinks it by queueing a
+    RETIRE on the farm's input edge.  The executor's join loop picks up
+    appended threads; :meth:`close` refuses further scaling once the
+    first join pass completes, and the executor joins once more to catch
+    any grow that raced it.
+    """
+
+    def __init__(self, executor: "NativeExecutor", edges: Dict[str, Edge],
+                 runner: UnitRunner, policy) -> None:
+        self._ex = executor
+        self._edges = edges
+        self._runner = runner
+        self._policy = policy
+        self._lock = threading.Lock()
+        self._closed = False
+        self._groups = {name: _ElasticState(g, policy)
+                        for name, g in executor.plan.elastic.items()}
+        self._blocking: Dict[str, bool] = {
+            name: executor.config.blocking for name in edges}
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+
+    # -- Actuator protocol -----------------------------------------------
+    def stage_handles(self) -> Dict[str, StageHandle]:
+        with self._lock:
+            return {
+                name: StageHandle(name=name, replicas=st.replicas,
+                                  min_replicas=st.lo, max_replicas=st.hi,
+                                  in_edge=st.group.in_channel)
+                for name, st in self._groups.items()
+            }
+
+    def scale(self, stage: str, delta: int) -> int:
+        with self._lock:
+            st = self._groups.get(stage)
+            if st is None or self._closed or delta == 0:
+                return 0
+            applied = 0
+            if delta > 0:
+                for _ in range(min(delta, st.hi - st.replicas)):
+                    if not self._grow(st):
+                        break
+                    applied += 1
+            else:
+                for _ in range(min(-delta, st.replicas - st.lo)):
+                    if not self._shrink(st):
+                        break
+                    applied -= 1
+            return applied
+
+    def edge_blocking(self) -> Dict[str, bool]:
+        with self._lock:
+            return dict(self._blocking)
+
+    def set_blocking(self, edge: str, blocking: bool) -> bool:
+        with self._lock:
+            e = self._edges.get(edge)
+            if e is None:
+                return False
+            ok = e.set_blocking(blocking)
+            if ok:
+                self._blocking[edge] = blocking
+            return ok
+
+    def batch(self) -> int:
+        return self._runner.batch
+
+    def set_batch(self, batch: int) -> bool:
+        return self._runner.set_batch(batch)
+
+    # -- internals (called with the lock held) ---------------------------
+    def _grow(self, st: _ElasticState) -> bool:
+        g = st.group
+        ex = self._ex
+        cfg = ex.config
+        in_edge = self._edges[g.in_channel]
+        out_edge = self._edges[g.out_channel] if g.out_channel else None
+        slot = in_edge.add_consumer()
+        if slot is None:
+            return False  # stream already ending
+        if out_edge is not None and not out_edge.add_producer():
+            in_edge.cancel_consumer(slot)
+            return False
+        r = st.next_r
+        st.next_r += 1
+        units, hop_specs = clone_replica_units(g, r, st.replicas + 1, slot)
+        for cs in hop_specs:
+            edge = Edge(cs, cfg.queue_capacity, ex._errors,
+                        blocking=cfg.blocking, backend=cfg.channel_backend,
+                        tracer=ex._tracer, clock=ex._clock)
+            self._edges[cs.name] = edge
+            self._blocking[cs.name] = cfg.blocking
+            if self._runner.metrics_registry is not None:
+                self._runner.metrics_registry.edge_gauge(
+                    cs.name, edge.qsize_total)
+        new_threads: List[threading.Thread] = []
+        for unit in units:
+            logic = unit.spec.factory()
+            uo = self._edges[unit.out_channel] if unit.out_channel else None
+            ex._spawn(new_threads, ex._stage_loop, unit, logic,
+                      self._edges[unit.in_channel], uo, name=unit.track)
+        ex._threads.extend(new_threads)
+        for t in new_threads:
+            t.start()
+        in_edge.activate_consumer(slot)
+        st.replicas += 1
+        return True
+
+    def _shrink(self, st: _ElasticState) -> bool:
+        if not self._edges[st.group.in_channel].request_retire():
+            return False
+        st.replicas -= 1
+        return True
+
+
 class NativeExecutor:
     def __init__(self, graph: PipelineGraph, config: ExecConfig):
         self.graph = graph
@@ -752,6 +1071,7 @@ class NativeExecutor:
         cfg = self.config
         tracer = self._tracer
         threads: List[threading.Thread] = []
+        self._threads = threads
 
         if tracer is not None:
             self._clock = WallClock()  # zero the run's time axis
@@ -763,15 +1083,33 @@ class NativeExecutor:
                                            tracer=tracer, clock=self._clock,
                                            metrics=registry)
 
+        policy = cfg.resolved_policy()
+        # Elastic boundary edges may gain producers/consumers mid-run,
+        # which breaks the static plan's SPSC proof for their queues.
+        mutable: set = set()
+        if policy is not None:
+            for g in plan.elastic.values():
+                mutable.add(g.in_channel)
+                if g.out_channel is not None:
+                    mutable.add(g.out_channel)
         edges = {
             cs.name: Edge(cs, cfg.queue_capacity, self._errors,
                           blocking=cfg.blocking, backend=cfg.channel_backend,
-                          tracer=tracer, clock=self._clock)
+                          tracer=tracer, clock=self._clock,
+                          allow_spsc=cs.name not in mutable)
             for cs in plan.channels.values()
         }
         if registry is not None:
             for name, edge in edges.items():
                 registry.edge_gauge(name, edge.qsize_total)
+
+        controller = actuator = None
+        if policy is not None and telemetry is not None:
+            actuator = _NativeActuator(self, edges, runner, policy)
+            controller = Controller(policy, actuator,
+                                    registry=telemetry.registry,
+                                    tracer=tracer)
+            telemetry.registry.subscribe(controller.on_snapshot)
 
         self._spawn(threads, runner.source_loop, plan.source.spec,
                     edges[plan.source.out_channel], name="source")
@@ -797,8 +1135,16 @@ class NativeExecutor:
                 t.start()
             for t in threads:
                 t.join()
+            if actuator is not None:
+                # refuse further scaling, then catch any grow whose
+                # threads were appended while the first pass finished
+                actuator.close()
+                for t in threads:
+                    t.join()
             makespan = time.perf_counter() - t_start
         finally:
+            if controller is not None:
+                telemetry.registry.unsubscribe(controller.on_snapshot)
             if telemetry is not None:
                 telemetry_summary = telemetry.stop()
         if tracer is not None:
@@ -807,4 +1153,6 @@ class NativeExecutor:
         result = self._build_result(runner, makespan)
         if telemetry_summary is not None:
             result.details["telemetry"] = telemetry_summary
+        if controller is not None:
+            result.details["controller"] = controller.summary()
         return result

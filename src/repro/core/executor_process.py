@@ -68,6 +68,7 @@ from collections import deque
 from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.control.controller import Controller
 from repro.core.channel import ShmAbortFlag, ShmChannel
 from repro.core.config import ExecConfig
 from repro.core.executor_native import (
@@ -76,15 +77,17 @@ from repro.core.executor_native import (
     PipelineAborted,
     UnitRunner,
     _ErrorBox,
+    _NativeActuator,
     _TokenPool,
 )
 from repro.core.graph import PipelineGraph
-from repro.core.items import EOS
+from repro.core.items import EOS, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.plan import (
     ChannelSpec,
     ProcessPlacement,
     StageUnit,
+    clone_replica_units,
     plan_process_placement,
 )
 from repro.core.stage import InstanceFactory, UnpicklableStageError
@@ -157,12 +160,20 @@ class ShmEdge:
     """
 
     def __init__(self, spec: ChannelSpec, flag: ShmAbortFlag,
-                 blocking: bool, mp_ctx) -> None:
+                 blocking: bool, mp_ctx, elastic: bool = False) -> None:
         self.name = spec.name
-        self.producers = spec.producers
+        #: total-ever producer count; a ``Value`` (not a plain int) so a
+        #: worker forked before a grow still sees the live count when it
+        #: aggregates EOS (``elastic`` edges may gain producers mid-run)
+        self._producers = mp_ctx.Value("i", spec.producers)
         self.consumers = spec.consumers
         self._placement = spec.placement
         self._eos_count = mp_ctx.Value("i", 0)
+        #: set under the ``_eos_count`` lock by whichever process fans
+        #: the EOS out; guards ``add_producer`` across processes
+        self._eos_fanned = mp_ctx.Value("i", 0)
+        self._flag = flag
+        self._blocking = blocking
         #: per-process observability binding (see :meth:`bind_tracer`)
         self._tracer = None
         self._obs_clock = None
@@ -172,18 +183,37 @@ class ShmEdge:
                 ShmChannel(_SHM_RING_BYTES, flag, blocking)
                 for _ in range(spec.consumers)
             ]
-            self._rr = itertools.cycle(range(spec.consumers))
+            self._rotation = list(range(spec.consumers))
+            self._rr = itertools.cycle(self._rotation)
             self._tracks = [f"q:{spec.name}.{i}" for i in range(spec.consumers)]
         else:
             self._shared = True
+            # An elastic shared ring may gain a producer or consumer
+            # process mid-run, so it needs both locks even when the
+            # static plan says one side is uncontended.
             self._channels = [ShmChannel(
                 _SHM_RING_BYTES, flag, blocking,
-                producer_lock=mp_ctx.Lock() if spec.producers > 1 else None,
-                consumer_lock=mp_ctx.Lock() if spec.consumers > 1 else None,
+                producer_lock=mp_ctx.Lock()
+                if spec.producers > 1 or elastic else None,
+                consumer_lock=mp_ctx.Lock()
+                if spec.consumers > 1 or elastic else None,
             )]
+            self._rotation = [0]
+            self._rr = itertools.cycle(self._rotation)
             self._tracks = [f"q:{spec.name}"]
+        # Parent-side elastic state: every structural mutation happens in
+        # the parent process (producers of an elastic farm's input edge
+        # are always parent threads), so a thread lock suffices; worker
+        # forks carry a dead copy they never touch.
+        self._retire_lock = threading.Lock()
+        self._retired: set = set()
+        self._pending_retire: List[int] = []
         #: consumer_idx -> locally buffered envelopes (per-process state)
         self._inboxes: Dict[int, deque] = {}
+
+    @property
+    def producers(self) -> int:
+        return self._producers.value
 
     def bind_tracer(self, tracer, clock) -> None:
         """Install this process's tracer for occupancy sampling.
@@ -222,37 +252,149 @@ class ShmEdge:
                                       items=1)
         if self._tracer is not None:
             self._sample(idx)
+        if self._pending_retire:
+            with self._retire_lock:
+                self._drain_retires()
 
     def put_many(self, envs: Sequence[Any]) -> None:
-        if self._shared or self.consumers == 1:
+        if self._shared or len(self._channels) == 1:
             self._channels[0].put_bytes(pickle.dumps(list(envs), _PICKLE_PROTO),
                                         items=len(envs))
             if self._tracer is not None:
                 self._sample(0)
-            return
-        buckets: Dict[int, List[Any]] = {}
-        for env in envs:
-            buckets.setdefault(self._route(env), []).append(env)
-        for idx, bucket in buckets.items():
-            self._channels[idx].put_bytes(pickle.dumps(bucket, _PICKLE_PROTO),
-                                          items=len(bucket))
-            if self._tracer is not None:
-                self._sample(idx)
+        else:
+            buckets: Dict[int, List[Any]] = {}
+            for env in envs:
+                buckets.setdefault(self._route(env), []).append(env)
+            for idx, bucket in buckets.items():
+                self._channels[idx].put_bytes(
+                    pickle.dumps(bucket, _PICKLE_PROTO), items=len(bucket))
+                if self._tracer is not None:
+                    self._sample(idx)
+        if self._pending_retire:
+            with self._retire_lock:
+                self._drain_retires()
 
     def put_eos(self) -> None:
         """Last producer (across processes) releases every consumer."""
         with self._eos_count.get_lock():
             self._eos_count.value += 1
-            last = self._eos_count.value == self.producers
+            last = self._eos_count.value == self._producers.value
+            if last:
+                self._eos_fanned.value = 1
         if not last:
             return
         frame = pickle.dumps([EOS], _PICKLE_PROTO)
-        if self._shared:
-            for _ in range(self.consumers):
-                self._channels[0].put_bytes(frame, items=1)
-        else:
-            for ch in self._channels:
-                ch.put_bytes(frame, items=1)
+        with self._retire_lock:
+            self._drain_retires()
+            if self._shared:
+                for _ in range(self.consumers):
+                    self._channels[0].put_bytes(frame, items=1)
+            else:
+                for i, ch in enumerate(self._channels):
+                    if i not in self._retired:
+                        ch.put_bytes(frame, items=1)
+
+    # elastic rewiring (parent-side only) --------------------------------
+    def set_blocking(self, blocking: bool) -> bool:
+        """Retune the wait discipline for the ends the *parent* holds.
+
+        :meth:`ShmChannel.set_blocking` flips a per-process flag, so the
+        worker side keeps its configured discipline — the contended end
+        the controller observes (the parent's producer or the sink's
+        consumer) is the one that moves.
+        """
+        self._blocking = blocking
+        for ch in self._channels:
+            ch.set_blocking(blocking)
+        return True
+
+    def add_consumer(self) -> Optional[int]:
+        """Reserve a consumer slot for a grow; None once EOS fanned out.
+
+        Per-consumer mode creates the new ring *reserved* (skipped by
+        the EOS fan-out) so a stream that ends between the fork and
+        :meth:`activate_consumer` cannot strand the new worker; shared
+        mode just raises the fan-out count — the new process consumes
+        from the ring it inherited at fork.
+        """
+        with self._retire_lock:
+            if self._eos_fanned.value:
+                return None
+            if self._shared:
+                self.consumers += 1
+                return 0
+            idx = len(self._channels)
+            self._channels.append(
+                ShmChannel(_SHM_RING_BYTES, self._flag, self._blocking))
+            self._tracks.append(f"q:{self.name}.{idx}")
+            self._retired.add(idx)          # reserved, not yet routable
+            self.consumers += 1
+            return idx
+
+    def activate_consumer(self, idx: int) -> None:
+        """Join a reserved slot to the routing rotation (post-fork)."""
+        with self._retire_lock:
+            if self._shared:
+                return
+            if self._eos_fanned.value:
+                # stream ended while the worker was forking: hand it the
+                # EOS the fan-out skipped so it exits immediately
+                self._channels[idx].put_bytes(
+                    pickle.dumps([EOS], _PICKLE_PROTO), items=1)
+                return
+            self._retired.discard(idx)
+            self._rotation.append(idx)
+            self._rr = itertools.cycle(self._rotation)
+
+    def cancel_consumer(self, idx: int) -> None:
+        """Unwind a reservation whose grow failed downstream."""
+        with self._retire_lock:
+            self.consumers -= 1
+            # per-consumer: the reserved ring stays in ``_retired`` and
+            # is destroyed with the edge
+
+    def add_producer(self) -> bool:
+        """Count one more producer; False once the EOS already fanned."""
+        with self._eos_count.get_lock():
+            if self._eos_fanned.value:
+                return False
+            self._producers.value += 1
+            return True
+
+    def request_retire(self) -> bool:
+        """Queue a RETIRE behind everything already routed to one slot.
+
+        The sentinel frame is written by the *producer* thread at its
+        next put (or by the EOS fan-out), never concurrently with it —
+        the boundary rings stay single-producer.
+        """
+        with self._retire_lock:
+            if self._eos_fanned.value:
+                return False
+            if self._shared:
+                if self.consumers <= 1:
+                    return False
+                self.consumers -= 1
+                self._pending_retire.append(0)
+                return True
+            if len(self._rotation) <= 1:
+                return False
+            idx = self._rotation.pop()
+            self._rr = itertools.cycle(self._rotation)
+            self._retired.add(idx)
+            self.consumers -= 1
+            self._pending_retire.append(idx)
+            return True
+
+    def _drain_retires(self) -> None:
+        # caller holds _retire_lock
+        if not self._pending_retire:
+            return
+        pending, self._pending_retire = self._pending_retire, []
+        frame = pickle.dumps([RETIRE], _PICKLE_PROTO)
+        for idx in pending:
+            self._channels[idx].put_bytes(frame, items=1)
 
     # consumer side ------------------------------------------------------
     def _inbox(self, consumer_idx: int) -> deque:
@@ -444,6 +586,81 @@ def _worker_main(group: str, units_blob: bytes,
         result_q.put(("ok", group, metrics, trace_payload))
 
 
+class _ProcActuator(_NativeActuator):
+    """Control-loop backend for the process executor.
+
+    Same decision surface as the thread actuator, different actuation
+    paths: a grow *re-plans* the farm (clone the replica chain, pickle
+    it, fork a fresh worker process wired to the existing boundary
+    rings) while the parent source is paused, then resumes the stream —
+    the issue's drain → re-plan → resume discipline, with the drain
+    reduced to the boundary rings' own FIFO order (a RETIRE or a new
+    slot activation is strictly ordered behind every frame already
+    written, so emptying the rings first is unnecessary).  A shrink
+    queues a RETIRE frame exactly like the thread backend; the retiring
+    worker's early EOS crosses the boundary through the shared
+    ``_eos_count``.
+
+    Only farms whose every replica actually shipped (and whose boundary
+    edges are shm rings) are scalable here; blocking/batch retuning
+    applies to the parent-held ends of every edge.
+    """
+
+    def __init__(self, executor: "ProcessExecutor", edges: Dict[str, Any],
+                 shm_edges: Dict[str, "ShmEdge"], runner: UnitRunner,
+                 policy) -> None:
+        super().__init__(executor, edges, runner, policy)
+        placement = executor.placement
+        self._groups = {
+            name: st for name, st in self._groups.items()
+            if (all(f"{name}#{r}" in placement.groups
+                    for r in range(st.group.replicas))
+                and st.group.in_channel in shm_edges
+                and st.group.out_channel in shm_edges)
+        }
+
+    # -- internals (called with the lock held) ---------------------------
+    def _grow(self, st) -> bool:
+        g = st.group
+        ex = self._ex
+        in_edge = self._edges[g.in_channel]
+        out_edge = self._edges[g.out_channel]
+        slot = in_edge.add_consumer()
+        if slot is None:
+            return False  # stream already ending
+        if not out_edge.add_producer():
+            in_edge.cancel_consumer(slot)
+            return False
+        r = st.next_r
+        st.next_r += 1
+        units, hop_specs = clone_replica_units(g, r, st.replicas + 1, slot)
+        group = f"{g.name}#{r}"
+        self._runner.pause()  # hold new items while the farm is re-planned
+        try:
+            blob = ex._pickle_new_group(group, units)
+            local_specs = {cs.name: cs for cs in hop_specs}
+            boundary = {g.in_channel: in_edge, g.out_channel: out_edge}
+            ex._fork_replica(group, blob, local_specs, boundary)
+        except Exception:
+            in_edge.cancel_consumer(slot)
+            # the producer count cannot be unwound (a worker may already
+            # have aggregated against it): contribute the missing EOS on
+            # the failed replica's behalf instead
+            out_edge.put_eos()
+            raise
+        finally:
+            self._runner.resume()
+        in_edge.activate_consumer(slot)
+        st.replicas += 1
+        return True
+
+    def _shrink(self, st) -> bool:
+        if not self._edges[st.group.in_channel].request_retire():
+            return False
+        st.replicas -= 1
+        return True
+
+
 class ProcessExecutor(NativeExecutor):
     """Drives a plan with process-eligible groups on worker processes.
 
@@ -537,6 +754,59 @@ class ProcessExecutor(NativeExecutor):
                 f"process: {exc}"
             ) from exc
 
+    # -- elastic re-planning (controller-driven) --------------------------
+    def _pickle_new_group(self, group: str, units: List[StageUnit]) -> bytes:
+        """Ship one freshly cloned replica chain (mid-run grow)."""
+        materialized: Dict[int, Any] = {}
+        for u in units:
+            try:
+                pickle.dumps(u.spec.factory, _PICKLE_PROTO)
+            except Exception:
+                materialized[id(u)] = u.spec.factory()
+        return self._pickle_group(group, units, materialized)
+
+    def _drain_tele(self, group: str, ch: ShmChannel) -> None:
+        """Fold one worker's cumulative telemetry payloads into the
+        parent registry as they arrive (thread body, one per worker)."""
+        while True:
+            try:
+                payload = pickle.loads(ch.get_bytes())
+            except PipelineAborted:
+                return
+            self._registry.apply_remote(group, payload)
+            if payload.get("eos"):
+                return
+
+    def _fork_replica(self, group: str, blob: bytes,
+                      local_specs: Dict[str, ChannelSpec],
+                      boundary: Dict[str, "ShmEdge"]) -> None:
+        """Fork one more worker process for a grown farm replica.
+
+        The new process inherits the *current* boundary edges (including
+        any ring reserved for it moments ago) through fork; its results
+        and telemetry flow through the same queues as the original
+        workers', so the merge loop and drain threads need no special
+        case — the procs list just got longer.
+        """
+        tele = None
+        if self._live_telemetry is not None:
+            ch = ShmChannel(_TELE_RING_BYTES, self._flag, blocking=True)
+            self._tele_chs[group] = ch
+            tele = (ch, self._live_telemetry.interval,
+                    self._registry.wait_sample)
+            dt = threading.Thread(target=self._drain_tele, args=(group, ch),
+                                  name=f"metrics-drain-{group}", daemon=True)
+            self._drain_threads.append(dt)
+            dt.start()
+        p = self._mp_ctx.Process(
+            target=_worker_main,
+            args=(group, blob, local_specs, boundary, self.config,
+                  self._flag, self._result_q, self._tracer is not None,
+                  self._clock.origin, tele),
+            name=f"repro-{group}", daemon=True)
+        self._procs.append(p)
+        p.start()
+
     # -- orchestration ----------------------------------------------------
     def run(self) -> RunResult:
         placement = self.placement
@@ -568,18 +838,36 @@ class ProcessExecutor(NativeExecutor):
         shm_edges: Dict[str, ShmEdge] = {}
         tele_chs: Dict[str, ShmChannel] = {}
         procs: List[Any] = []
+        drain_threads: List[threading.Thread] = []
         telemetry_summary: Optional[Dict[str, Any]] = None
+        controller = actuator = None
+        # spawn context for controller-driven replica forks
+        self._mp_ctx, self._flag, self._result_q = mp_ctx, flag, result_q
+        self._procs, self._tele_chs = procs, tele_chs
+        self._registry, self._live_telemetry = registry, telemetry
+        self._drain_threads = drain_threads
+        policy = cfg.resolved_policy()
+        # Elastic boundary edges may gain a producer or consumer process
+        # mid-run; their shared rings then need both contention locks.
+        mutable: set = set()
+        if policy is not None:
+            for g in plan.elastic.values():
+                mutable.add(g.in_channel)
+                if g.out_channel is not None:
+                    mutable.add(g.out_channel)
         try:
             edges: Dict[str, Any] = {
                 name: Edge(plan.channels[name], cfg.queue_capacity,
                            self._errors, blocking=cfg.blocking,
                            backend=cfg.channel_backend, tracer=tracer,
-                           clock=self._clock)
+                           clock=self._clock,
+                           allow_spsc=name not in mutable)
                 for name in placement.parent_channels
             }
             for name in placement.boundary_channels:
                 shm_edges[name] = ShmEdge(plan.channels[name], flag,
-                                          cfg.blocking, mp_ctx)
+                                          cfg.blocking, mp_ctx,
+                                          elastic=name in mutable)
                 shm_edges[name].bind_tracer(tracer, self._clock)
             edges.update(shm_edges)
             if registry is not None:
@@ -591,6 +879,14 @@ class ProcessExecutor(NativeExecutor):
                 for group in placement.groups:
                     tele_chs[group] = ShmChannel(_TELE_RING_BYTES, flag,
                                                  blocking=True)
+
+            if policy is not None and telemetry is not None:
+                actuator = _ProcActuator(self, edges, shm_edges, runner,
+                                         policy)
+                controller = Controller(policy, actuator,
+                                        registry=telemetry.registry,
+                                        tracer=tracer)
+                telemetry.registry.subscribe(controller.on_snapshot)
 
             for group, units in placement.groups.items():
                 local_specs = {
@@ -649,22 +945,11 @@ class ProcessExecutor(NativeExecutor):
             # Drain threads: fold each worker's cumulative telemetry
             # payloads into the parent registry as they arrive, so the
             # sampler's next window sees the remote units live.
-            drain_threads: List[threading.Thread] = []
-
-            def drain(group: str, ch: ShmChannel) -> None:
-                while True:
-                    try:
-                        payload = pickle.loads(ch.get_bytes())
-                    except PipelineAborted:
-                        return
-                    registry.apply_remote(group, payload)
-                    if payload.get("eos"):
-                        return
-
             if telemetry is not None:
                 telemetry.start()
                 for group, ch in tele_chs.items():
-                    dt = threading.Thread(target=drain, args=(group, ch),
+                    dt = threading.Thread(target=self._drain_tele,
+                                          args=(group, ch),
                                           name=f"metrics-drain-{group}",
                                           daemon=True)
                     drain_threads.append(dt)
@@ -679,6 +964,10 @@ class ProcessExecutor(NativeExecutor):
             mon.start()
             for t in threads:
                 t.join()
+            if actuator is not None:
+                # the stream is over; refuse further scaling so the
+                # procs list below is final
+                actuator.close()
             for p in procs:
                 p.join(timeout=30.0)
             stop_monitor.set()
@@ -695,6 +984,8 @@ class ProcessExecutor(NativeExecutor):
             for dt in drain_threads:
                 dt.join(timeout=5.0)
             if telemetry is not None:
+                if controller is not None:
+                    telemetry.registry.unsubscribe(controller.on_snapshot)
                 telemetry_summary = telemetry.stop()
 
             # Merge the workers' reports: metrics always, traces when on.
@@ -729,10 +1020,14 @@ class ProcessExecutor(NativeExecutor):
             result.details["process_groups"] = sorted(placement.groups)
             if telemetry_summary is not None:
                 result.details["telemetry"] = telemetry_summary
+            if controller is not None:
+                result.details["controller"] = controller.summary()
             return result
         finally:
             if telemetry is not None and telemetry_summary is None:
                 # error path: the normal-path stop above never ran
+                if controller is not None:
+                    telemetry.registry.unsubscribe(controller.on_snapshot)
                 telemetry.stop()
             self._errors.flag = None
             for edge in shm_edges.values():

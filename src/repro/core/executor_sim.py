@@ -25,13 +25,20 @@ from __future__ import annotations
 import time
 from typing import Any, List, Optional
 
+from repro.control.controller import Controller, StageHandle
 from repro.core.config import ExecConfig
-from repro.core.executor_native import Env, _normalize_outputs
+from repro.core.executor_native import Env, _ElasticState, _normalize_outputs
 from repro.core.graph import PipelineGraph
-from repro.core.items import EOS
+from repro.core.items import EOS, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.ordering import SimpleReorderBuffer
-from repro.core.plan import ExecutionPlan, SequencerUnit, StageUnit, build_plan
+from repro.core.plan import (
+    ExecutionPlan,
+    SequencerUnit,
+    StageUnit,
+    build_plan,
+    clone_replica_units,
+)
 from repro.core.stage import Stage, StageContext
 from repro.obs.clock import SimClock
 from repro.obs.metrics import LiveTelemetry
@@ -54,27 +61,98 @@ class SimEdge:
 
     When ``tracer`` is set, every put/get samples the store's occupancy
     at the engine's virtual now — never perturbing virtual time itself.
+
+    Supports the same live rewiring as the native
+    :class:`~repro.core.executor_native.Edge` — grow/retire consumers,
+    add producers, flip the (modeled) wait discipline per edge — but
+    with none of the locking: every controller action runs synchronously
+    inside the event loop (the sim samples telemetry manually from the
+    unit processes), so plain mutation is already atomic.
     """
 
     def __init__(self, engine: Engine, producers: int, consumers: int,
                  capacity: int, per_consumer_queues: bool, name: str = "",
-                 placement=None, tracer=None):
+                 placement=None, tracer=None, blocking: bool = True):
         self.engine = engine
+        self.name = name
         self.producers = producers
         self.consumers = consumers
+        #: modeled wait discipline (adds wake-up latency on waited pops);
+        #: per-edge so the controller can retune it live
+        self.blocking = blocking
+        self._capacity = capacity
         self._eos_seen = 0
+        self._eos_done = False
         self._placement = placement
         self._tracer = tracer
+        self._retired: set = set()
         if per_consumer_queues:
             self._stores = [engine.store(capacity, name=f"{name}.{i}")
                             for i in range(consumers)]
             self._rr = 0
+            self._active = list(range(consumers))
             self._shared = False
             self._tracks = [f"q:{name}.{i}" for i in range(consumers)]
         else:
             self._stores = [engine.store(capacity, name=name)]
             self._shared = True
             self._tracks = [f"q:{name}"]
+
+    # -- live rewiring (autonomic controller) ----------------------------
+    def set_blocking(self, blocking: bool) -> bool:
+        self.blocking = blocking
+        return True
+
+    def add_consumer(self) -> Optional[int]:
+        """New consumer slot, immediately routable (grow)."""
+        if self._eos_done:
+            return None
+        if self._shared:
+            self.consumers += 1
+            return self.consumers - 1
+        idx = len(self._stores)
+        self._stores.append(self.engine.store(self._capacity,
+                                              name=f"{self.name}.{idx}"))
+        self._tracks.append(f"q:{self.name}.{idx}")
+        self._active.append(idx)
+        self.consumers += 1
+        return idx
+
+    def cancel_consumer(self, idx: int) -> None:
+        self.consumers -= 1
+        if not self._shared:
+            self._retired.add(idx)
+            if idx in self._active:
+                self._active.remove(idx)
+
+    def add_producer(self) -> bool:
+        if self._eos_done:
+            return False
+        self.producers += 1
+        return True
+
+    def request_retire(self) -> bool:
+        """Retire one consumer by queueing RETIRE behind in-flight items.
+
+        The ignored put event is safe: a full store parks the sentinel
+        in the store's FIFO putter queue, behind any producer puts
+        already waiting, so it still arrives after every routed item.
+        """
+        if self._eos_done:
+            return False
+        if self._shared:
+            if self.consumers <= 1:
+                return False
+            self.consumers -= 1
+            self._stores[0].put(RETIRE)
+            return True
+        if len(self._active) <= 1:
+            return False
+        idx = self._active.pop()
+        self._retired.add(idx)
+        self.consumers -= 1
+        self._stores[idx].put(RETIRE)
+        return True
 
     def _sample(self, idx: int) -> None:
         self._tracer.counter(self._tracks[idx], "occupancy",
@@ -93,8 +171,8 @@ class SimEdge:
                 consumer_hint = self._placement(item.seq, self.consumers) \
                     % self.consumers
             if consumer_hint is None:
-                consumer_hint = self._rr
-                self._rr = (self._rr + 1) % self.consumers
+                consumer_hint = self._active[self._rr % len(self._active)]
+                self._rr += 1
             idx = consumer_hint
         ev = self._stores[idx].put(item)
         if self._tracer is not None:
@@ -106,12 +184,14 @@ class SimEdge:
         self._eos_seen += 1
         if self._eos_seen != self.producers:
             return
+        self._eos_done = True
         if self._shared:
             for _ in range(self.consumers):
                 yield self._stores[0].put(EOS)
         else:
-            for i in range(self.consumers):
-                yield self._stores[i].put(EOS)
+            for i in range(len(self._stores)):
+                if i not in self._retired:
+                    yield self._stores[i].put(EOS)
 
     def get(self, consumer_idx: int):
         idx = 0 if self._shared else consumer_idx
@@ -119,6 +199,110 @@ class SimEdge:
         if self._tracer is not None:
             self._sample(idx)
         return ev
+
+
+class _SimActuator:
+    """Backend half of the control loop for the simulated executor.
+
+    Runs synchronously inside the event loop (the controller is invoked
+    from a unit process's manual telemetry tick), so no locking: a grow
+    creates stores and spawns replica processes directly — the engine
+    self-schedules a new process's first step via ``call_soon``.
+    """
+
+    def __init__(self, executor: "SimExecutor",
+                 edges: dict, policy) -> None:
+        self._ex = executor
+        self._edges = edges
+        self._policy = policy
+        self._groups = {name: _ElasticState(g, policy)
+                        for name, g in executor.plan.elastic.items()}
+        self._blocking = {name: executor.config.blocking for name in edges}
+
+    # -- Actuator protocol -----------------------------------------------
+    def stage_handles(self) -> dict:
+        return {
+            name: StageHandle(name=name, replicas=st.replicas,
+                              min_replicas=st.lo, max_replicas=st.hi,
+                              in_edge=st.group.in_channel)
+            for name, st in self._groups.items()
+        }
+
+    def scale(self, stage: str, delta: int) -> int:
+        st = self._groups.get(stage)
+        if st is None or delta == 0:
+            return 0
+        applied = 0
+        if delta > 0:
+            for _ in range(min(delta, st.hi - st.replicas)):
+                if not self._grow(st):
+                    break
+                applied += 1
+        else:
+            for _ in range(min(-delta, st.replicas - st.lo)):
+                if not self._shrink(st):
+                    break
+                applied -= 1
+        return applied
+
+    def edge_blocking(self) -> dict:
+        return dict(self._blocking)
+
+    def set_blocking(self, edge: str, blocking: bool) -> bool:
+        e = self._edges.get(edge)
+        if e is None:
+            return False
+        ok = e.set_blocking(blocking)
+        if ok:
+            self._blocking[edge] = blocking
+        return ok
+
+    def batch(self) -> int:
+        return self._ex.config.batch_size
+
+    def set_batch(self, batch: int) -> bool:
+        # batching is a native-transport knob; the simulator keeps
+        # per-envelope hand-off semantics, so this lever does not apply
+        return False
+
+    # -- internals -------------------------------------------------------
+    def _grow(self, st: _ElasticState) -> bool:
+        g = st.group
+        ex = self._ex
+        in_edge = self._edges[g.in_channel]
+        out_edge = self._edges[g.out_channel] if g.out_channel else None
+        slot = in_edge.add_consumer()
+        if slot is None:
+            return False
+        if out_edge is not None and not out_edge.add_producer():
+            in_edge.cancel_consumer(slot)
+            return False
+        r = st.next_r
+        st.next_r += 1
+        units, hop_specs = clone_replica_units(g, r, st.replicas + 1, slot)
+        for cs in hop_specs:
+            edge = SimEdge(ex.engine, cs.producers, cs.consumers,
+                           ex.config.queue_capacity, cs.per_consumer,
+                           name=cs.name, tracer=ex._tracer,
+                           blocking=ex.config.blocking)
+            self._edges[cs.name] = edge
+            self._blocking[cs.name] = ex.config.blocking
+            if ex._telemetry is not None:
+                ex._telemetry.registry.edge_gauge(cs.name, edge.qsize_total)
+        for unit in units:
+            logic = unit.spec.factory()
+            uo = self._edges[unit.out_channel] if unit.out_channel else None
+            ex._procs.append(ex.engine.process(
+                ex._stage_proc(unit, logic, self._edges[unit.in_channel], uo),
+                name=unit.track))
+        st.replicas += 1
+        return True
+
+    def _shrink(self, st: _ElasticState) -> bool:
+        if not self._edges[st.group.in_channel].request_retire():
+            return False
+        st.replicas -= 1
+        return True
 
 
 class SimExecutor:
@@ -179,10 +363,10 @@ class SimExecutor:
         return WorkCursor(self.engine.now, cpu_spec=self.config.machine.cpu,
                           oversubscription=self._oversub, thread_id=thread_id)
 
-    def _hop_cost(self, get_event) -> float:
+    def _hop_cost(self, get_event, edge: SimEdge) -> float:
         """Virtual cost of one queue pop, given its completion event."""
         cost = self._queue_op
-        if self.config.blocking and not get_event.triggered:
+        if edge.blocking and not get_event.triggered:
             cost += _BLOCKING_WAKE_S
         return cost
 
@@ -320,11 +504,15 @@ class SimExecutor:
                     tr.span(CAT_QUEUE, tid, "get_wait", t_wait, engine.now)
                 if probe is not None:
                     probe.get_waited(engine.now - t_wait)
-            if item is EOS:
+            if item is EOS or item is RETIRE:
+                # RETIRE (elastic shrink) exits exactly like EOS — the
+                # fallthrough's put_eos contributes this worker's EOS
+                # early, which the out edge's total-ever producer count
+                # absorbs without imbalance.
                 break
             if probe is not None:
                 self._maybe_tick()
-            yield self.engine.timeout(self._hop_cost(gev))
+            yield self.engine.timeout(self._hop_cost(gev, in_edge))
             env: Env = item
             pending: List[Env] = []
             if rob is None:
@@ -398,7 +586,7 @@ class SimExecutor:
             item = yield gev
             if item is EOS:
                 break
-            yield self.engine.timeout(self._hop_cost(gev))
+            yield self.engine.timeout(self._hop_cost(gev, in_edge))
             env: Env = item
             if rob is None:
                 yield out_edge.put(Env(out_seq, env.payloads, env.tokened))
@@ -434,12 +622,14 @@ class SimExecutor:
         edges = {
             cs.name: SimEdge(engine, cs.producers, cs.consumers, cap,
                              cs.per_consumer, name=cs.name,
-                             placement=cs.placement, tracer=tracer)
+                             placement=cs.placement, tracer=tracer,
+                             blocking=self.config.blocking)
             for cs in plan.channels.values()
         }
 
         procs = [engine.process(self._source_proc(edges[plan.source.out_channel]),
                                 name="source")]
+        self._procs = procs
         for squ in plan.sequencers:
             procs.append(engine.process(
                 self._sequencer_proc(squ, edges[squ.in_channel],
@@ -467,6 +657,15 @@ class SimExecutor:
                 telemetry.registry.edge_gauge(name, edge.qsize_total)
             telemetry.start()
 
+        controller = None
+        policy = self.config.resolved_policy()
+        if policy is not None and telemetry is not None:
+            actuator = _SimActuator(self, edges, policy)
+            controller = Controller(policy, actuator,
+                                    registry=telemetry.registry,
+                                    tracer=tracer)
+            telemetry.registry.subscribe(controller.on_snapshot)
+
         wall0 = time.perf_counter()
         if tracer is not None:
             # The ambient tracer so device models and user code deep in the
@@ -480,6 +679,8 @@ class SimExecutor:
             engine.run()
         wall = time.perf_counter() - wall0
         telemetry_summary = None
+        if controller is not None:
+            telemetry.registry.unsubscribe(controller.on_snapshot)
         if telemetry is not None:
             telemetry_summary = telemetry.stop()
             self._telemetry = None
@@ -505,6 +706,8 @@ class SimExecutor:
                    "oversubscription": self._oversub}
         if telemetry_summary is not None:
             details["telemetry"] = telemetry_summary
+        if controller is not None:
+            details["controller"] = controller.summary()
 
         return RunResult(
             makespan=engine.now,

@@ -34,6 +34,28 @@ class GraphError(ValueError):
     """Structural problem in a pipeline graph."""
 
 
+def _check_bounds(name: str, kind: str, replicas: int,
+                  min_replicas: Optional[int],
+                  max_replicas: Optional[int]) -> None:
+    """Shared replica-bounds validation for StageSpec and Farm."""
+    if min_replicas is not None:
+        if min_replicas < 1:
+            raise GraphError(f"{kind} {name!r}: min_replicas must be >= 1")
+        if min_replicas > replicas:
+            raise GraphError(
+                f"{kind} {name!r}: min_replicas ({min_replicas}) > initial "
+                f"replicas ({replicas})")
+    if max_replicas is not None:
+        if max_replicas < replicas:
+            raise GraphError(
+                f"{kind} {name!r}: max_replicas ({max_replicas}) < initial "
+                f"replicas ({replicas})")
+        if min_replicas is not None and min_replicas > max_replicas:
+            raise GraphError(
+                f"{kind} {name!r}: min_replicas ({min_replicas}) > "
+                f"max_replicas ({max_replicas})")
+
+
 @dataclass
 class SourceSpec:
     """The stream generator at the head of the pipeline."""
@@ -60,6 +82,12 @@ class StageSpec:
     "process"``): set it on stages that must share parent state — the
     traced GPU device model, stages appending to captured lists, etc.
     It is a placement hint only; the thread backend ignores it.
+
+    ``min_replicas``/``max_replicas`` bound the autonomic controller
+    when a :class:`~repro.control.TuningPolicy` is active: ``replicas``
+    becomes the *initial* count and the controller may re-lower the farm
+    anywhere inside the bounds mid-run.  ``None`` inherits the policy's
+    global defaults; without a policy the bounds are inert.
     """
 
     factory: Callable[[], Stage]
@@ -69,10 +97,14 @@ class StageSpec:
     scheduling: Optional[Scheduling] = None  # None -> config default
     placement: Optional[Callable[[int, int], int]] = None
     pinned: bool = False
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise GraphError(f"stage {self.name!r}: replicas must be >= 1")
+        _check_bounds(self.name, "stage", self.replicas,
+                      self.min_replicas, self.max_replicas)
         if isinstance(self.factory, Stage):
             # Accept a ready instance for serial stages (and for stateless
             # FunctionStage wrappers); replicated stateful stages need a
@@ -124,6 +156,8 @@ class Farm:
     scheduling: Optional[Scheduling] = None
     placement: Optional[Callable[[int, int], int]] = None
     name: str = "farm"
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -133,6 +167,8 @@ class Farm:
                 f"farm {self.name!r}: worker must be a StageSpec or Pipe, "
                 f"got {type(self.worker).__name__}"
             )
+        _check_bounds(self.name, "farm", self.replicas,
+                      self.min_replicas, self.max_replicas)
 
 
 #: Any node of the composable IR.
@@ -148,20 +184,27 @@ def _flatten_top(node: Node, out: List[Union[StageSpec, Farm]]) -> None:
             _flatten_top(c, out)
     elif isinstance(node, Farm):
         chain = _worker_chain(node)
-        if node.replicas == 1:
-            # Degenerate farm: just its serial worker chain.
+        growable = node.max_replicas is not None and node.max_replicas > 1
+        if node.replicas == 1 and not growable:
+            # Degenerate farm: just its serial worker chain.  (A farm
+            # starting at 1 replica but elastically growable keeps its
+            # farm structure so the controller can grow it live.)
             out.extend(chain)
         elif len(chain) == 1:
             out.append(Farm(worker=chain[0], replicas=node.replicas,
                             ordered=node.ordered, scheduling=node.scheduling,
-                            placement=node.placement, name=node.name))
+                            placement=node.placement, name=node.name,
+                            min_replicas=node.min_replicas,
+                            max_replicas=node.max_replicas))
         else:
             out.append(Farm(worker=Pipe(chain, name=node.worker.name
                                         if isinstance(node.worker, Pipe)
                                         else node.name),
                             replicas=node.replicas, ordered=node.ordered,
                             scheduling=node.scheduling,
-                            placement=node.placement, name=node.name))
+                            placement=node.placement, name=node.name,
+                            min_replicas=node.min_replicas,
+                            max_replicas=node.max_replicas))
     else:  # pragma: no cover - guarded by constructors
         raise GraphError(f"unknown graph node {node!r}")
 

@@ -26,6 +26,32 @@ class _EndOfStream:
 EOS = _EndOfStream()
 
 
+class _Retire:
+    """Singleton worker-retire marker (elastic scale-down).
+
+    Injected by :meth:`Edge.request_retire` behind all items already
+    routed to one consumer; the worker that pops it exits exactly as it
+    would on ``EOS`` (its early end-of-stream contribution keeps the
+    downstream EOS count balanced).  Never crosses a farm boundary edge.
+    """
+
+    _instance: "_Retire | None" = None
+
+    def __new__(cls) -> "_Retire":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "RETIRE"
+
+    def __reduce__(self):
+        return (_Retire, ())
+
+
+RETIRE = _Retire()
+
+
 def is_eos(item: Any) -> bool:
     return item is EOS
 

@@ -147,6 +147,8 @@ class ExecutionPlan:
     channels: Dict[str, ChannelSpec] = field(default_factory=dict)
     #: last segment is replicated+ordered: sink outputs sort by seq
     sort_output: bool = False
+    #: replicated segments the controller may grow/shrink, by name
+    elastic: Dict[str, "ElasticGroup"] = field(default_factory=dict)
 
     @property
     def total_threads(self) -> int:
@@ -166,6 +168,77 @@ class ExecutionPlan:
 
 
 @dataclass
+class ElasticGroup:
+    """One replicated segment the autonomic controller may re-size.
+
+    Recorded on the plan for every replicated segment without a
+    ``placement`` hook (a custom placement function bakes in the replica
+    count, so such farms are never elastic).  ``replicas`` is the
+    *initial* count; the executors' actuators track the live count.
+    ``min_replicas``/``max_replicas`` are the per-node bounds (``None``
+    defers to the active :class:`~repro.control.TuningPolicy`).
+    """
+
+    name: str
+    chain: List[StageSpec]
+    replicas: int
+    min_replicas: Optional[int]
+    max_replicas: Optional[int]
+    ordered: bool
+    scheduling: Scheduling
+    in_channel: str
+    out_channel: Optional[str]
+    keep_seq: bool
+    forward_empty: bool
+
+    def resolve_bounds(self, policy_min: int, policy_max: int) -> tuple[int, int]:
+        """Effective (min, max) given the policy's global defaults.
+
+        The initial replica count always stays inside the result, so a
+        farm built wider than the policy's cap is never force-shrunk by
+        clamping (only by an explicit per-node bound).
+        """
+        lo = self.min_replicas if self.min_replicas is not None \
+            else min(policy_min, self.replicas)
+        hi = self.max_replicas if self.max_replicas is not None \
+            else max(policy_max, self.replicas)
+        return lo, hi
+
+
+def clone_replica_units(group: ElasticGroup, r: int, replicas: int,
+                        consumer_index: int,
+                        ) -> tuple[List[StageUnit], List[ChannelSpec]]:
+    """Build the plan units (and private chain hops) for a new replica.
+
+    Mirrors pass 2 of :func:`build_plan` for one replica: ``r`` is the
+    new replica's index (monotonic, never reused), ``replicas`` the live
+    count after the grow (cosmetic: it feeds ``ctx.replicas``), and
+    ``consumer_index`` the slot returned by the input edge's
+    ``add_consumer``.
+    """
+    units: List[StageUnit] = []
+    specs: List[ChannelSpec] = []
+    upstream = group.in_channel
+    consumer = consumer_index
+    for j, spec in enumerate(group.chain):
+        last_in_chain = j + 1 == len(group.chain)
+        if last_in_chain:
+            out = group.out_channel
+        else:
+            out = f"{group.chain[j + 1].name}.w{r}"
+            specs.append(ChannelSpec(out, 1, 1))
+        units.append(StageUnit(
+            spec=spec, replica=r, replicas=replicas,
+            in_channel=upstream, consumer_index=consumer,
+            out_channel=out, reorder_input=False,
+            keep_seq=group.keep_seq, forward_empty=group.forward_empty,
+            group=f"{group.name}#{r}",
+        ))
+        upstream, consumer = out, 0
+    return units, specs
+
+
+@dataclass
 class _Segment:
     """Normalized top-level element: a (possibly replicated) chain."""
 
@@ -174,6 +247,8 @@ class _Segment:
     ordered: bool
     scheduling: Scheduling
     placement: Optional[Callable[[int, int], int]]
+    min_replicas: Optional[int] = None
+    max_replicas: Optional[int] = None
 
     @property
     def name(self) -> str:
@@ -183,7 +258,14 @@ class _Segment:
 
     @property
     def replicated(self) -> bool:
-        return self.replicas > 1
+        # An elastically growable farm starting at one replica lowers
+        # with full farm structure (keep_seq, sequencer boundaries) so
+        # the controller can add workers without re-planning.
+        return self.replicas > 1 or self.growable
+
+    @property
+    def growable(self) -> bool:
+        return self.max_replicas is not None and self.max_replicas > self.replicas
 
 
 def _segments(graph: PipelineGraph, config: ExecConfig) -> List[_Segment]:
@@ -192,12 +274,14 @@ def _segments(graph: PipelineGraph, config: ExecConfig) -> List[_Segment]:
         if isinstance(el, StageSpec):
             sched = el.scheduling if el.scheduling is not None else config.scheduling
             segs.append(_Segment([el], el.replicas, el.ordered, sched,
-                                 el.placement))
+                                 el.placement, el.min_replicas,
+                                 el.max_replicas))
         else:
             assert isinstance(el, Farm)
             sched = el.scheduling if el.scheduling is not None else config.scheduling
             segs.append(_Segment(_worker_chain(el), el.replicas, el.ordered,
-                                 sched, el.placement))
+                                 sched, el.placement, el.min_replicas,
+                                 el.max_replicas))
     return segs
 
 
@@ -227,11 +311,12 @@ def build_plan(graph: PipelineGraph,
     target: List[str] = []     # channel the previous segment writes to
     reorder: List[bool] = []   # segment's first unit reorders its input
     prev_reps = 1
+    prev_replicated = False
     prev_ordered = False
     for seg in segs:
         per_consumer = seg.replicated and (
             seg.scheduling is Scheduling.ROUND_ROBIN or seg.placement is not None)
-        if prev_reps > 1 and seg.replicated:
+        if prev_replicated and seg.replicated:
             # farm -> farm: a sequencer merges (and maybe reorders).
             mid = channel(f"{seg.name}.mid", prev_reps, 1)
             stage_in = channel(seg.name, 1, seg.replicas, per_consumer,
@@ -247,6 +332,7 @@ def build_plan(graph: PipelineGraph,
             reorder.append(prev_ordered and not seg.replicated)
         entry.append(stage_in)
         prev_reps = seg.replicas
+        prev_replicated = seg.replicated
         prev_ordered = seg.replicated and seg.ordered
 
     plan.source.out_channel = target[0]
@@ -256,6 +342,13 @@ def build_plan(graph: PipelineGraph,
         seg_out = target[i + 1] if i + 1 < len(segs) else None
         keep_seq = seg.replicated
         forward_empty = keep_seq and seg.ordered
+        if seg.replicated and seg.placement is None:
+            plan.elastic[seg.name] = ElasticGroup(
+                name=seg.name, chain=list(seg.chain), replicas=seg.replicas,
+                min_replicas=seg.min_replicas, max_replicas=seg.max_replicas,
+                ordered=seg.ordered, scheduling=seg.scheduling,
+                in_channel=entry[i], out_channel=seg_out,
+                keep_seq=keep_seq, forward_empty=forward_empty)
         for r in range(seg.replicas):
             upstream = entry[i]
             consumer = r

@@ -14,12 +14,12 @@ small protocol, resolved in order:
    budget) by returning an updated config; then
 3. the target is a :class:`PipelineGraph`, or provides ``to_graph()``.
 
-:func:`run_graph` survives as a thin deprecated alias.
+(The pre-PR-1 ``run_graph`` alias is gone: :func:`run` is the only
+front door.)
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Any, Optional, Union
 
 from repro.core.config import ExecConfig, ExecMode
@@ -30,9 +30,8 @@ from repro.core.metrics import RunResult
 def execute(graph: PipelineGraph, cfg: ExecConfig) -> RunResult:
     """Run a lowered ``graph`` under the executor selected by ``cfg.mode``.
 
-    Internal workhorse behind :func:`run`; front-ends call this directly
-    so only genuinely deprecated external calls hit the warning in
-    :func:`run_graph`.
+    Internal workhorse behind :func:`run`; front-ends that already hold
+    a lowered graph and a final config call this directly.
     """
     if cfg.mode is ExecMode.NATIVE:
         if cfg.workers == "process":
@@ -51,12 +50,14 @@ def execute(graph: PipelineGraph, cfg: ExecConfig) -> RunResult:
 
 def run(target: Any, config: Optional[ExecConfig] = None, *,
         tracer: Any = None, mode: Optional[Union[ExecMode, str]] = None,
-        **overrides: Any) -> RunResult:
+        policy: Any = None, **overrides: Any) -> RunResult:
     """Run any runtime's pipeline object (or a plain graph).
 
     ``config`` defaults to ``ExecConfig()``; ``tracer``, ``mode`` (enum
-    or ``"native"``/``"simulated"``) and any further keyword overrides
-    are applied on top via :meth:`ExecConfig.replace`.
+    or ``"native"``/``"simulated"``), ``policy`` (a
+    :class:`repro.control.TuningPolicy` switching the autonomic
+    controller on) and any further keyword overrides are applied on top
+    via :meth:`ExecConfig.replace`.
 
     Live telemetry rides on the same overrides: ``metrics_registry``
     attaches a :class:`repro.obs.MetricsRegistry` (snapshots land in
@@ -71,12 +72,15 @@ def run(target: Any, config: Optional[ExecConfig] = None, *,
         repro.run(chain, tracer=rec)                      # tbb filter chain
         repro.run(compiled.bind(args), mode="simulated")  # SPar invocation
         repro.run(graph, metrics_port=9105)               # live /metrics
+        repro.run(graph, policy=TuningPolicy())           # self-tuning
     """
     cfg = config if config is not None else ExecConfig()
     if mode is not None:
         overrides["mode"] = mode
     if tracer is not None:
         overrides["tracer"] = tracer
+    if policy is not None:
+        overrides["policy"] = policy
     if overrides:
         cfg = cfg.replace(**overrides)
 
@@ -95,12 +99,3 @@ def run(target: Any, config: Optional[ExecConfig] = None, *,
         f"repro.run() cannot execute {type(target).__name__!r}: expected a "
         "PipelineGraph or an object implementing __repro_run__ / to_graph"
     )
-
-
-def run_graph(graph: PipelineGraph, config: Optional[ExecConfig] = None) -> RunResult:
-    """Deprecated alias for :func:`run` on a plain graph."""
-    warnings.warn(
-        "run_graph() is deprecated; use repro.run(graph, config=...) instead",
-        DeprecationWarning, stacklevel=2,
-    )
-    return execute(graph, config if config is not None else ExecConfig())

@@ -20,16 +20,65 @@ from repro.obs import (
 )
 
 
-def _live_line(snap) -> None:
-    """One stderr ticker line per telemetry snapshot (``--live``)."""
-    rates = "  ".join(
-        f"{name}={sw.throughput:,.0f}/s"
-        for name, sw in sorted(snap.stages.items())
-        if sw.kind != "sequencer"
-    )
-    tail = f"  bottleneck={snap.bottleneck}" if snap.bottleneck else ""
-    print(f"[live #{snap.seq} {snap.window:.2f}s] {rates}{tail}",
-          file=sys.stderr, flush=True)
+def _make_live_ticker(registry: MetricsRegistry):
+    """Ticker for ``--live``: one stderr line per telemetry snapshot,
+    annotated with any autonomic-controller actions since the last one."""
+    printed = 0
+
+    def line(snap) -> None:
+        nonlocal printed
+        rates = "  ".join(
+            f"{name}={sw.throughput:,.0f}/s"
+            for name, sw in sorted(snap.stages.items())
+            if sw.kind != "sequencer"
+        )
+        tail = f"  bottleneck={snap.bottleneck}" if snap.bottleneck else ""
+        events = list(registry.control_events)
+        fresh, printed = events[printed:], len(events)
+        notes = "".join(
+            f"  [ctl {e['action']} {e['target'] or 'pipeline'}"
+            f"{'' if e['applied'] else ' (refused)'}"
+            + (f" -> {e['replicas']}" if "replicas" in e else "") + "]"
+            for e in fresh
+        )
+        print(f"[live #{snap.seq} {snap.window:.2f}s] {rates}{tail}{notes}",
+              file=sys.stderr, flush=True)
+
+    return line
+
+
+_POLICY_FLAGS = {"true": True, "false": False, "yes": True, "no": False}
+
+
+def _parse_policy(text: str):
+    """``--policy`` value: comma-separated TuningPolicy fields, k=v."""
+    from repro.control import TuningPolicy
+
+    kwargs = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise argparse.ArgumentTypeError(
+                f"policy field {part!r} is not of the form key=value")
+        value = value.strip()
+        if value.lower() in _POLICY_FLAGS:
+            parsed = _POLICY_FLAGS[value.lower()]
+        else:
+            try:
+                parsed = int(value)
+            except ValueError:
+                try:
+                    parsed = float(value)
+                except ValueError:
+                    parsed = value  # e.g. blocking=spin
+        kwargs[key.strip()] = parsed
+    try:
+        return TuningPolicy(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(f"bad --policy: {exc}") from exc
 
 
 def main(argv=None) -> int:
@@ -57,7 +106,15 @@ def main(argv=None) -> int:
     parser.add_argument("--live", action="store_true",
                         help="print a live per-stage throughput / bottleneck "
                              "ticker to stderr while experiments run "
-                             "(installs an ambient metrics registry)")
+                             "(installs an ambient metrics registry); "
+                             "controller actions are annotated inline when "
+                             "--policy is active")
+    parser.add_argument("--policy", type=_parse_policy, default=None,
+                        metavar="K=V[,K=V...]",
+                        help="run the experiments under an autonomic "
+                             "TuningPolicy, e.g. "
+                             "--policy max_replicas=8,window=0.5 "
+                             "(installs it ambiently; forces telemetry on)")
     args = parser.parse_args(argv)
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
@@ -74,8 +131,11 @@ def main(argv=None) -> int:
                 stack.enter_context(use_tracer(recorder))
             if args.live:
                 registry = MetricsRegistry()
-                registry.subscribe(_live_line)
+                registry.subscribe(_make_live_ticker(registry))
                 stack.enter_context(use_registry(registry))
+            if args.policy is not None:
+                from repro.control import use_policy
+                stack.enter_context(use_policy(args.policy))
             report = REGISTRY[name](scale=scale)
         if recorder is not None:
             chrome_path = trace_dir / f"{name}.trace.json"

@@ -43,7 +43,12 @@ from repro.obs.metrics import (
     current_registry,
     use_registry,
 )
-from repro.obs.promhttp import MetricsServer, parse_exposition, render_exposition
+from repro.obs.promhttp import (
+    MetricsPortError,
+    MetricsServer,
+    parse_exposition,
+    render_exposition,
+)
 from repro.obs.snapshot import (
     BALANCED,
     CONSUMER_LIMITED,
@@ -54,6 +59,7 @@ from repro.obs.snapshot import (
 )
 from repro.obs.tracer import (
     CAT_COLLECTOR,
+    CAT_CONTROL,
     CAT_COPY,
     CAT_KERNEL,
     CAT_QUEUE,
@@ -94,6 +100,7 @@ __all__ = [
     "CAT_QUEUE",
     "CAT_TOKEN",
     "CAT_COLLECTOR",
+    "CAT_CONTROL",
     "CAT_KERNEL",
     "CAT_COPY",
     "CAT_SPAR",
@@ -110,6 +117,7 @@ __all__ = [
     "BALANCED",
     "current_registry",
     "use_registry",
+    "MetricsPortError",
     "MetricsServer",
     "render_exposition",
     "parse_exposition",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import contextlib
 import math
 import threading
+import zlib
 from collections import deque
 from contextvars import ContextVar
 from typing import TYPE_CHECKING, Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -91,7 +92,8 @@ class UnitProbe:
 
     __slots__ = ("kind", "name", "replicas", "in_edge", "out_edge",
                  "items_in", "items_out", "busy", "get_wait", "put_wait",
-                 "token_wait", "hist", "wait_scale", "_get_n", "_put_n")
+                 "token_wait", "hist", "wait_scale", "_get_n", "_put_n",
+                 "_get_gap", "_put_gap", "_rng")
 
     def __init__(self, kind: str, name: str, replicas: int = 1,
                  in_edge: Optional[str] = None, out_edge: Optional[str] = None,
@@ -109,8 +111,23 @@ class UnitProbe:
         self.token_wait = 0.0
         self.hist = [0] * N_BUCKETS
         self.wait_scale = float(max(1, wait_sample))
+        # Sampling gaps are drawn from a per-probe LCG (seeded from the
+        # unit name, so runs stay reproducible) instead of a fixed
+        # period: a fixed 1-in-N tick phase-locks against round-robin
+        # fan-out whenever N shares a factor with the consumer count,
+        # and then only ever samples the ring that never blocks —
+        # reporting zero producer wait on a fully backpressured edge.
+        self._rng = zlib.crc32(f"{kind}:{name}".encode()) or 1
         self._get_n = 0
         self._put_n = 0
+        self._get_gap = self._next_gap()
+        self._put_gap = self._next_gap()
+
+    def _next_gap(self) -> int:
+        """Next sampling gap: uniform on [1, 2N-1], mean N."""
+        self._rng = (self._rng * 1103515245 + 12345) & 0x7FFFFFFF
+        span = 2 * int(self.wait_scale) - 1
+        return 1 + self._rng % span
 
     # -- hot path --------------------------------------------------------
     def record(self, service: float, emitted: int,
@@ -144,19 +161,21 @@ class UnitProbe:
         self.items_out += n
 
     def tick_get(self) -> bool:
-        """True on the 1-in-N get ops whose wait should be timed."""
+        """True on the 1-in-N-mean get ops whose wait should be timed."""
         n = self._get_n + 1
-        if n >= self.wait_scale:
+        if n >= self._get_gap:
             self._get_n = 0
+            self._get_gap = self._next_gap()
             return True
         self._get_n = n
         return False
 
     def tick_put(self) -> bool:
-        """True on the 1-in-N put ops whose wait should be timed."""
+        """True on the 1-in-N-mean put ops whose wait should be timed."""
         n = self._put_n + 1
-        if n >= self.wait_scale:
+        if n >= self._put_gap:
             self._put_n = 0
+            self._put_gap = self._next_gap()
             return True
         self._put_n = n
         return False
@@ -249,6 +268,26 @@ class MetricsRegistry:
         self.history: deque = deque(maxlen=_HISTORY)
         #: bound HTTP port while a MetricsServer is serving this registry
         self.http_port: Optional[int] = None
+        #: autonomic-controller feed: recent actions + live lever values
+        #: (``replicas``/``blocking``/``batch``), rendered as Prometheus
+        #: gauges by :mod:`repro.obs.promhttp` and drained by the harness
+        #: ``--live`` ticker
+        self.control_events: deque = deque(maxlen=_HISTORY)
+        self.control_state: Dict[str, Any] = {}
+        self.control_actions_total: Dict[str, int] = {}
+
+    def record_control(self, event: Dict[str, Any]) -> None:
+        """Record one controller action (called from the sampler thread)."""
+        with self._lock:
+            self.control_events.append(event)
+            action = str(event.get("action", "unknown"))
+            self.control_actions_total[action] = (
+                self.control_actions_total.get(action, 0) + 1)
+
+    def set_control_state(self, key: str, value: Any) -> None:
+        """Publish a live lever value (e.g. ``("replicas", {...})``)."""
+        with self._lock:
+            self.control_state[key] = value
 
     # -- registration ----------------------------------------------------
     def unit_probe(self, kind: str, name: str, replicas: int = 1,
@@ -372,6 +411,8 @@ def build_snapshot(seq: int, t_start: float, t_end: float,
             token_wait=d_token,
             total_items_in=st["items_in"],
             total_items_out=st["items_out"],
+            in_edge=st.get("in_edge"),
+            out_edge=st.get("out_edge"),
         )
         if st.get("out_edge"):
             edge_cum.setdefault(st["out_edge"], [0.0, 0.0])[0] += st["put_wait"]
@@ -503,15 +544,26 @@ class LiveTelemetry:
     @classmethod
     def from_config(cls, config: "ExecConfig", clock: Clock,
                     manual: bool = False) -> Optional["LiveTelemetry"]:
-        """Resolve the run's telemetry, or None when metrics are off."""
+        """Resolve the run's telemetry, or None when metrics are off.
+
+        A :class:`~repro.control.TuningPolicy` on the config (or
+        installed ambiently) forces telemetry on — the controller is a
+        snapshot subscriber and cannot act without windows.  The
+        policy's ``window`` overrides ``metrics_interval`` when set.
+        """
+        policy = config.resolved_policy() if hasattr(
+            config, "resolved_policy") else getattr(config, "policy", None)
         registry = config.metrics_registry
         if registry is None:
             registry = current_registry()
-        if registry is None and config.metrics_port is None:
+        if registry is None and config.metrics_port is None and policy is None:
             return None
         if registry is None:
             registry = MetricsRegistry()
-        return cls(registry, clock, interval=config.metrics_interval,
+        interval = config.metrics_interval
+        if policy is not None and policy.window is not None:
+            interval = policy.window
+        return cls(registry, clock, interval=interval,
                    port=config.metrics_port, manual=manual)
 
     def start(self) -> None:
@@ -530,15 +582,24 @@ class LiveTelemetry:
     def stop(self) -> Dict[str, Any]:
         """Final tick, shut the endpoint down, return a result summary."""
         self.sampler.stop()
+        http_port = self.registry.http_port
         if self._server is not None:
             self._server.stop()
             self._server = None
             self.registry.http_port = None
         snap = self.registry.latest
-        return {
+        summary: Dict[str, Any] = {
             "snapshots": snap.seq if snap is not None else 0,
             "final": snap.as_dict() if snap is not None else None,
         }
+        if http_port is not None:
+            summary["http_port"] = http_port
+        if self.registry.control_events:
+            summary["control"] = {
+                "events": list(self.registry.control_events),
+                "actions_total": dict(self.registry.control_actions_total),
+            }
+        return summary
 
 
 _REGISTRY: ContextVar[Optional[MetricsRegistry]] = ContextVar(

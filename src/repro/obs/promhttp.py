@@ -22,6 +22,10 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover
     from repro.obs.metrics import MetricsRegistry
 
+class MetricsPortError(RuntimeError):
+    """``metrics_port`` could not be bound (typically already in use)."""
+
+
 _METRIC_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$")
 _LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
@@ -106,6 +110,28 @@ def render_exposition(registry: "MetricsRegistry") -> str:
         family("repro_bottleneck",
                "Stage with the highest per-replica utilization.", "gauge",
                [(f'stage="{_escape(snap.bottleneck)}"', 1.0)])
+
+    # autonomic-controller levers (populated only when a TuningPolicy
+    # is active; every value is the live setting, not the configured one)
+    replicas = registry.control_state.get("replicas") or {}
+    family("repro_stage_replicas",
+           "Live replica count of each elastic farm segment.", "gauge",
+           [(f'stage="{_escape(n)}"', float(v))
+            for n, v in sorted(replicas.items())])
+    blocking = registry.control_state.get("blocking") or {}
+    family("repro_edge_blocking",
+           "Wait discipline per edge (1 = blocking, 0 = spinning).",
+           "gauge",
+           [(f'edge="{_escape(n)}"', 1.0 if v else 0.0)
+            for n, v in sorted(blocking.items())])
+    batch = registry.control_state.get("batch")
+    if batch is not None:
+        family("repro_batch_size", "Live producer batch size.", "gauge",
+               [("", float(batch))])
+    family("repro_controller_actions_total",
+           "Controller actions applied or refused, by kind.", "counter",
+           [(f'action="{_escape(a)}"', float(v))
+            for a, v in sorted(registry.control_actions_total.items())])
     return "\n".join(lines) + "\n"
 
 
@@ -193,8 +219,17 @@ class MetricsServer:
             def log_message(self, fmt: str, *args: object) -> None:
                 pass  # keep run output clean
 
-        self._httpd = ThreadingHTTPServer((self._host, self._want_port),
-                                          Handler)
+        try:
+            self._httpd = ThreadingHTTPServer((self._host, self._want_port),
+                                              Handler)
+        except OSError as exc:
+            raise MetricsPortError(
+                f"cannot bind the metrics endpoint to "
+                f"{self._host}:{self._want_port}: {exc.strerror or exc}. "
+                f"Pass metrics_port=0 to bind an ephemeral port (the bound "
+                f"port is published in RunResult.details['telemetry']"
+                f"['http_port'])."
+            ) from exc
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(target=self._httpd.serve_forever,
                                         name="metrics-http", daemon=True)

@@ -73,6 +73,8 @@ class StageWindow:
     token_wait: float = 0.0    #: source blocked on the token gate (seconds)
     total_items_in: int = 0    #: cumulative since the registry was created
     total_items_out: int = 0
+    in_edge: Optional[str] = None   #: channel feeding this unit (controller hook)
+    out_edge: Optional[str] = None  #: channel this unit produces into
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -84,6 +86,7 @@ class StageWindow:
             "service_p99": self.service_p99, "token_wait": self.token_wait,
             "total_items_in": self.total_items_in,
             "total_items_out": self.total_items_out,
+            "in_edge": self.in_edge, "out_edge": self.out_edge,
         }
 
 

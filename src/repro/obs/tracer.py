@@ -41,6 +41,7 @@ CAT_KERNEL = "kernel"        #: GPU compute-engine busy interval
 CAT_COPY = "copy"            #: GPU copy-engine (H2D/D2H/D2D) busy interval
 CAT_SPAR = "spar"            #: SPar Target-stage host-side occupation
 CAT_USER = "user"            #: instants emitted from user stage code
+CAT_CONTROL = "control"      #: autonomic-controller actions (instants)
 
 
 @dataclass

@@ -1,0 +1,183 @@
+"""Live worker add/remove on the real backends.
+
+Edge-level unit tests pin the rewiring protocol deterministically
+(reserve → activate, RETIRE-after-routed-items, EOS races); the
+end-to-end tests then let the controller drive real grows/shrinks and
+assert the one invariant that matters: output ordering survives.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.control import TuningPolicy
+from repro.core.executor_native import Edge, _ErrorBox
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.items import EOS, RETIRE
+from repro.core.plan import ChannelSpec
+from repro.core.stage import FunctionStage, IterSource
+
+
+def _edge(producers=1, consumers=2, per_consumer=True, **kw):
+    spec = ChannelSpec("e", producers, consumers, per_consumer)
+    return Edge(spec, 64, _ErrorBox(), **kw)
+
+
+class _Env:
+    def __init__(self, seq):
+        self.seq = seq
+
+
+# -- Edge rewiring protocol ------------------------------------------------
+
+def test_retire_lands_behind_items_already_routed():
+    e = _edge(consumers=2)
+    for i in range(4):
+        e.put(_Env(i))                 # round-robin: 0,1 -> c0; 2,3 -> c1
+    assert e.request_retire()          # retires the last rotation slot (c1)
+    e.put(_Env(4))                     # producer drains the pending RETIRE
+    got = [e.get(1) for _ in range(3)]
+    assert [g.seq for g in got[:2]] == [1, 3]
+    assert got[2] is RETIRE            # after everything routed to c1
+
+
+def test_retire_refused_on_last_active_consumer():
+    e = _edge(consumers=2)
+    assert e.request_retire()
+    assert not e.request_retire()      # one consumer must always remain
+
+
+def test_reserved_consumer_skipped_by_eos_then_activated():
+    e = _edge(producers=1, consumers=1)
+    slot = e.add_consumer()
+    assert slot == 1
+    e.put_eos()                        # fan-out skips the reserved slot
+    assert e.get(0) is EOS
+    e.activate_consumer(slot)          # late activation: slot gets its EOS
+    assert e.get(slot) is EOS
+
+
+def test_add_consumer_refused_after_eos():
+    e = _edge(producers=1, consumers=1)
+    e.put_eos()
+    assert e.add_consumer() is None
+    assert not e.add_producer()
+
+
+def test_grown_consumer_joins_rotation():
+    e = _edge(producers=1, consumers=1)
+    slot = e.add_consumer()
+    e.activate_consumer(slot)
+    for i in range(4):
+        e.put(_Env(i))
+    assert [e.get(0).seq for _ in range(2)] == [0, 2]
+    assert [e.get(slot).seq for _ in range(2)] == [1, 3]
+
+
+def test_early_eos_balances_across_retire():
+    """A retiring worker's early put_eos keeps the EOS count whole."""
+    e = _edge(producers=3, consumers=1, per_consumer=False)
+    e.put_eos()                        # retiring producer, early
+    e.put_eos()
+    assert not e._eos_done
+    e.put_eos()                        # the true last producer
+    assert e.get(0) is EOS
+
+
+# -- end-to-end on the thread backend --------------------------------------
+
+def _pipeline(n, replicas, service, **stage_kw):
+    def work(x):
+        time.sleep(service)
+        return x * 2
+
+    return linear_graph(
+        IterSource(range(n)),
+        StageSpec(FunctionStage(work), "work", replicas=replicas,
+                  ordered=True, **stage_kw),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def test_thread_backend_live_grow_preserves_ordering():
+    n = 400
+    pol = TuningPolicy(window=0.05, hysteresis_windows=1, cooldown_windows=1)
+    r = repro.run(_pipeline(n, replicas=1, service=0.002, max_replicas=6),
+                  mode="native", queue_capacity=4, policy=pol)
+    assert r.outputs == [2 * i for i in range(n)]
+    ups = [e for e in r.details["controller"]["events"]
+           if e["applied"] and e["action"] == "scale_up"]
+    assert ups, "starved farm never grew"
+
+
+def test_thread_backend_live_shrink_preserves_ordering():
+    n = 250
+
+    def trickle():
+        for i in range(n):
+            time.sleep(0.003)
+            yield i
+
+    def work(x):
+        return x * 2
+
+    g = linear_graph(
+        IterSource(trickle()),
+        StageSpec(FunctionStage(work), "work", replicas=4, min_replicas=1,
+                  ordered=True),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+    pol = TuningPolicy(window=0.05, hysteresis_windows=1,
+                       cooldown_windows=1, low_utilization=0.3)
+    r = repro.run(g, mode="native", queue_capacity=8, policy=pol)
+    assert r.outputs == [2 * i for i in range(n)]
+    downs = [e for e in r.details["controller"]["events"]
+             if e["applied"] and e["action"] == "scale_down"]
+    assert downs, "idle farm never shrank"
+    assert min(e["replicas"] for e in downs) >= 1
+
+
+def test_policy_without_metrics_still_runs_controller():
+    """A policy alone forces telemetry on (the controller needs windows)."""
+    n = 120
+    pol = TuningPolicy(window=0.05, hysteresis_windows=1, cooldown_windows=1)
+    r = repro.run(_pipeline(n, replicas=1, service=0.001, max_replicas=3),
+                  mode="native", queue_capacity=4, policy=pol)
+    assert "controller" in r.details
+    assert r.outputs == [2 * i for i in range(n)]
+
+
+# -- end-to-end on the process backend -------------------------------------
+
+def _proc_work(t):
+    """Module-level so the shipped farm stage pickles."""
+    time.sleep(0.002)
+    return t[0] * 2
+
+
+def _proc_sink(x):
+    return x
+
+
+@pytest.mark.parametrize("scheduling", ["rr", "ondemand"])
+def test_process_backend_live_scaling(scheduling):
+    """Grow forks a worker mid-run; shrink retires one over the shm ring."""
+    n = 300
+    blob = b"x" * 65536  # ~16 items fit the boundary ring: backpressure
+
+    g = linear_graph(
+        IterSource(((i, blob) for i in range(n))),
+        StageSpec(FunctionStage(_proc_work), "work", replicas=1,
+                  max_replicas=4, ordered=True, scheduling=scheduling),
+        StageSpec(FunctionStage(_proc_sink), "sink"),
+    )
+    pol = TuningPolicy(window=0.05, hysteresis_windows=1, cooldown_windows=1)
+    r = repro.run(g, mode="native", workers="process", queue_capacity=8,
+                  policy=pol)
+    if r.details.get("workers") != "process":
+        pytest.skip("platform cannot fork worker processes")
+    assert r.outputs == [2 * i for i in range(n)]
+    ups = [e for e in r.details["controller"]["events"]
+           if e["applied"] and e["action"] == "scale_up"]
+    assert ups, "starved farm never grew a worker process"

@@ -1,0 +1,135 @@
+"""The PR-7 API split: static ExecConfig vs live TuningPolicy.
+
+Covers the single string→enum normalization path, the one-time
+compatibility shim for the dynamic knobs that stayed on ExecConfig,
+and the ``repro.run(..., policy=)`` / ambient ``use_policy`` surfaces.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+import repro.core.config as config_mod
+from repro.control import TuningPolicy, current_policy, use_policy
+from repro.core.config import (
+    ChannelBackend,
+    ExecConfig,
+    ExecMode,
+    Scheduling,
+    WorkerBackend,
+)
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.stage import FunctionStage, IterSource
+
+
+def _graph():
+    return linear_graph(
+        IterSource(range(20)),
+        StageSpec(FunctionStage(lambda x: x + 1), "s", replicas=2),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+# -- one normalization path ------------------------------------------------
+
+def test_enum_knobs_coerce_from_strings():
+    cfg = ExecConfig(mode="native", scheduling="ondemand",
+                     workers="process", channel_backend="queue")
+    assert cfg.mode is ExecMode.NATIVE
+    assert cfg.scheduling is Scheduling.ON_DEMAND
+    assert cfg.workers is WorkerBackend.PROCESS
+    assert cfg.channel_backend is ChannelBackend.QUEUE
+
+
+def test_enum_knobs_accept_enums_and_mixed_case():
+    cfg = ExecConfig(mode=ExecMode.SIMULATED, workers="Thread")
+    assert cfg.mode is ExecMode.SIMULATED
+    assert cfg.workers is WorkerBackend.THREAD
+
+
+def test_str_mixin_comparisons_keep_working():
+    cfg = ExecConfig(workers="process", channel_backend="ring")
+    assert cfg.workers == "process"
+    assert cfg.channel_backend == "ring"
+
+
+def test_blocking_accepts_discipline_names():
+    assert ExecConfig(blocking="spin").blocking is False
+    assert ExecConfig(blocking="blocking").blocking is True
+    assert ExecConfig(blocking=False).blocking is False
+
+
+@pytest.mark.parametrize("kw,match", [
+    ({"mode": "warp"}, "unknown execution mode"),
+    ({"workers": "fiber"}, "unknown workers backend"),
+    ({"channel_backend": "carrier-pigeon"}, "unknown channel_backend"),
+    ({"scheduling": "lifo"}, "unknown scheduling"),
+    ({"blocking": "maybe"}, "unknown blocking"),
+])
+def test_bad_knob_values_fail_with_one_error_shape(kw, match):
+    with pytest.raises(ValueError, match=match):
+        ExecConfig(**kw)
+
+
+def test_replace_revalidates():
+    cfg = ExecConfig(workers="thread")
+    assert cfg.replace(workers="process").workers is WorkerBackend.PROCESS
+    with pytest.raises(ValueError, match="unknown workers backend"):
+        cfg.replace(workers="quantum")
+
+
+def test_policy_field_must_be_a_tuning_policy():
+    with pytest.raises(ValueError, match="TuningPolicy"):
+        ExecConfig(policy={"max_replicas": 4})
+
+
+# -- the compatibility shim ------------------------------------------------
+
+def test_policy_initial_knobs_fold_into_config():
+    cfg = ExecConfig(policy=TuningPolicy(blocking="spin", batch_size=8))
+    assert cfg.blocking is False
+    assert cfg.batch_size == 8
+
+
+def test_conflicting_knobs_warn_once_and_policy_wins(monkeypatch):
+    monkeypatch.setattr(config_mod, "_SHIM_WARNED", False)
+    with pytest.warns(UserWarning, match="the policy wins"):
+        cfg = ExecConfig(blocking="spin", batch_size=4,
+                         policy=TuningPolicy(blocking=True, batch_size=16))
+    assert cfg.blocking is True
+    assert cfg.batch_size == 16
+    # second conflict in the same process is silent
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        ExecConfig(blocking="spin", policy=TuningPolicy(blocking=True))
+
+
+def test_matching_knobs_do_not_warn(monkeypatch):
+    monkeypatch.setattr(config_mod, "_SHIM_WARNED", False)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        cfg = ExecConfig(blocking="spin",
+                         policy=TuningPolicy(blocking="spin"))
+    assert cfg.blocking is False
+
+
+# -- run(policy=) and the ambient policy -----------------------------------
+
+def test_run_accepts_policy_kwarg():
+    pol = TuningPolicy(window=0.2, hysteresis_windows=1, cooldown_windows=1)
+    r = repro.run(_graph(), mode="simulated", policy=pol)
+    assert r.outputs == [x + 1 for x in range(20)]
+    assert "controller" in r.details
+
+
+def test_ambient_policy_via_use_policy():
+    pol = TuningPolicy(window=0.2)
+    assert current_policy() is None
+    with use_policy(pol):
+        assert current_policy() is pol
+        r = repro.run(_graph(), mode="simulated")
+        assert "controller" in r.details
+    assert current_policy() is None
+    r = repro.run(_graph(), mode="simulated")
+    assert "controller" not in r.details

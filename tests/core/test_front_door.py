@@ -9,9 +9,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import StageSpec, linear_graph
-from repro.core.run import run_graph
 from repro.core.stage import FunctionStage, IterSource
 from repro.fastflow import ff_node, ff_pipeline
 from repro.obs import CAT_STAGE, SpanRecorder
@@ -81,10 +79,11 @@ def test_run_rejects_unknown_target():
         repro.run(42)
 
 
-def test_run_graph_deprecated_but_works():
-    with pytest.warns(DeprecationWarning, match="run_graph"):
-        r = run_graph(_graph(), ExecConfig(mode=ExecMode.SIMULATED))
-    assert r.items_emitted == DIM
+def test_run_graph_alias_retired():
+    import repro.core.run
+
+    assert not hasattr(repro.core.run, "run_graph")
+    assert not hasattr(repro.core, "run_graph")
 
 
 # -- FastFlow front-end ---------------------------------------------------

@@ -31,7 +31,7 @@ def test_ablations_small_scale_shapes():
     assert t["TBB tokens=5 (4 workers)"] >= t["TBB tokens=38 (4 workers)"] * 0.99
 
 
-def test_run_graph_rejects_unknown_mode():
+def test_execute_rejects_unknown_mode():
     from repro.core.graph import StageSpec, linear_graph
     from repro.core.stage import FunctionStage, IterSource
 

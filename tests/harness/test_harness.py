@@ -106,3 +106,63 @@ def test_cli_main_runs_fig1_json(capsys):
     data = json.loads(out)
     assert data["experiment"] == "fig1"
     assert len(data["rows"]) > 5
+
+
+def test_parse_policy_field_coercion():
+    from repro.harness.__main__ import _parse_policy
+
+    pol = _parse_policy("max_replicas=8,window=0.5,tune_batch=true,"
+                        "blocking=spin")
+    assert pol.max_replicas == 8
+    assert pol.window == 0.5
+    assert pol.tune_batch is True
+    assert pol.blocking == "spin"
+
+
+def test_parse_policy_rejects_bad_input():
+    import argparse
+
+    from repro.harness.__main__ import _parse_policy
+
+    with pytest.raises(argparse.ArgumentTypeError, match="key=value"):
+        _parse_policy("max_replicas")
+    with pytest.raises(argparse.ArgumentTypeError, match="bad --policy"):
+        _parse_policy("no_such_knob=3")
+    with pytest.raises(argparse.ArgumentTypeError, match="bad --policy"):
+        _parse_policy("min_replicas=0")
+
+
+def test_cli_policy_flag_installs_ambient_policy(capsys):
+    from repro.harness.__main__ import main
+
+    rc = main(["fig1", "--scale", "small", "--json",
+               "--policy", "max_replicas=4,window=0.5"])
+    assert rc == 0
+    json.loads(capsys.readouterr().out)
+    # the context manager must not leak the policy past main()
+    from repro.control import current_policy
+    assert current_policy() is None
+
+
+def test_live_ticker_annotates_controller_actions(capsys):
+    from repro.harness.__main__ import _make_live_ticker
+    from repro.obs import MetricsRegistry
+    from repro.obs.snapshot import TelemetrySnapshot
+
+    reg = MetricsRegistry()
+    ticker = _make_live_ticker(reg)
+    snap = TelemetrySnapshot(seq=1, t_start=0.0, t_end=0.5,
+                             stages={}, edges={}, bottleneck=None)
+    ticker(snap)
+    assert "[ctl" not in capsys.readouterr().err
+    reg.record_control({"seq": 1, "t": 0.5, "action": "scale_up",
+                        "target": "work", "value": 1, "applied": True,
+                        "replicas": 3})
+    reg.record_control({"seq": 1, "t": 0.5, "action": "scale_up",
+                        "target": "work", "value": 1, "applied": False})
+    ticker(snap)
+    err = capsys.readouterr().err
+    assert "[ctl scale_up work -> 3]" in err
+    assert "[ctl scale_up work (refused)]" in err
+    ticker(snap)  # already-printed events are not repeated
+    assert "[ctl" not in capsys.readouterr().err

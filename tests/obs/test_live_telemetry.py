@@ -86,13 +86,48 @@ def test_probe_record_and_counts():
 
 
 def test_probe_wait_sampling_cadence():
+    # Gaps are LCG-randomized (a fixed period phase-locks against
+    # round-robin fan-out and can systematically miss the one ring that
+    # blocks), so assert the mean rate and the bounds, not exact ticks.
     p = UnitProbe("stage", "s", wait_sample=4)
-    hits = [p.tick_get() for _ in range(12)]
-    assert hits.count(True) == 3  # exactly 1 in 4
+    n = 4000
+    hits = [p.tick_get() for _ in range(n)]
+    assert hits.count(True) == pytest.approx(n / 4, rel=0.15)
+    gaps = []
+    run = 0
+    for h in hits:
+        run += 1
+        if h:
+            gaps.append(run)
+            run = 0
+    assert min(gaps) >= 1 and max(gaps) <= 7  # uniform on [1, 2N-1]
+    assert len(set(gaps)) > 1  # actually varies
     p.sampled_get_wait(0.01)
     assert p.get_wait == pytest.approx(0.04)  # scaled back up
     p.get_waited(0.01)  # raw adder does not scale
     assert p.get_wait == pytest.approx(0.05)
+
+
+def test_probe_sampling_is_deterministic_per_name():
+    a = UnitProbe("stage", "s", wait_sample=4)
+    b = UnitProbe("stage", "s", wait_sample=4)
+    assert [a.tick_put() for _ in range(64)] == \
+        [b.tick_put() for _ in range(64)]
+    # different units draw different sequences
+    c = UnitProbe("stage", "other", wait_sample=4)
+    assert [a.tick_put() for _ in range(64)] != \
+        [c.tick_put() for _ in range(64)]
+
+
+def test_probe_sampling_decorrelates_from_round_robin():
+    """The regression that motivated randomized gaps: with k consumers
+    round-robin and a fixed 1-in-N tick with gcd(N, k) > 1, sampling
+    only ever lands on a subset of rings.  Randomized gaps must hit
+    every ring class."""
+    for k in (2, 4):
+        p = UnitProbe("source", "src", wait_sample=4)
+        sampled_rings = {i % k for i in range(2000) if p.tick_put()}
+        assert sampled_rings == set(range(k))
 
 
 def test_registry_folds_replica_shards():

@@ -1,0 +1,101 @@
+"""metrics_port binding semantics: ephemeral ports and collisions.
+
+Port 0 asks the OS for an ephemeral port; the bound port is published
+both on ``registry.http_port`` (mid-run) and in
+``RunResult.details["telemetry"]["http_port"]`` (after the run).  A
+collision fails fast with :class:`MetricsPortError` that tells the
+caller about the port-0 escape hatch.
+"""
+
+import socket
+import urllib.request
+
+import pytest
+
+import repro
+from repro.control import TuningPolicy
+from repro.core.graph import StageSpec, linear_graph
+from repro.core.stage import FunctionStage, IterSource
+from repro.obs import (
+    MetricsPortError,
+    MetricsRegistry,
+    MetricsServer,
+    parse_exposition,
+)
+
+
+def _graph(n=80, max_replicas=4):
+    return linear_graph(
+        IterSource(range(n)),
+        StageSpec(FunctionStage(lambda x: x + 1), "work", replicas=1,
+                  max_replicas=max_replicas),
+        StageSpec(FunctionStage(lambda x: x), "sink"),
+    )
+
+
+def _occupy_port():
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    s.listen(1)
+    return s, s.getsockname()[1]
+
+
+def test_collision_raises_metrics_port_error():
+    holder, taken = _occupy_port()
+    try:
+        srv = MetricsServer(MetricsRegistry(), port=taken)
+        with pytest.raises(MetricsPortError) as ei:
+            srv.start()
+        msg = str(ei.value)
+        assert str(taken) in msg
+        assert "metrics_port=0" in msg  # points at the escape hatch
+    finally:
+        holder.close()
+
+
+def test_collision_surfaces_through_run():
+    holder, taken = _occupy_port()
+    try:
+        with pytest.raises(MetricsPortError):
+            repro.run(_graph(), mode="native", metrics_port=taken)
+    finally:
+        holder.close()
+
+
+def test_port_zero_publishes_bound_port_in_details():
+    r = repro.run(_graph(), mode="native", metrics_port=0)
+    port = r.details["telemetry"]["http_port"]
+    assert isinstance(port, int) and port > 0
+    # the run is over, so the ephemeral port is released again
+    s = socket.socket()
+    s.bind(("127.0.0.1", port))
+    s.close()
+
+
+def test_controller_gauges_render_in_exposition():
+    """A policy-driven run exposes the live lever state as gauges."""
+    pol = TuningPolicy(window=0.05, hysteresis_windows=1, cooldown_windows=1)
+    reg = MetricsRegistry()
+    scraped = {}
+
+    def scrape(_snap):
+        if reg.http_port is not None and "body" not in scraped:
+            url = f"http://127.0.0.1:{reg.http_port}/metrics"
+            try:
+                with urllib.request.urlopen(url, timeout=2) as resp:
+                    scraped["body"] = resp.read().decode()
+            except OSError:
+                pass  # try again on the next window
+
+    reg.subscribe(scrape)
+    r = repro.run(_graph(n=400), mode="native", metrics_port=0,
+                  metrics_registry=reg, policy=pol, queue_capacity=4)
+    assert r.outputs == [x + 1 for x in range(400)]
+    body = scraped.get("body")
+    assert body, "no mid-run scrape landed"
+    families = parse_exposition(body)
+    assert "repro_stage_replicas" in families
+    labels, value = families["repro_stage_replicas"][0]
+    assert labels["stage"] == "work"
+    assert value >= 1.0
+    assert "repro_edge_blocking" in families
