@@ -22,6 +22,13 @@ farm (controller grows it mid-run) against the same farm hand-tuned
 from the start, plus a hand-tuned run with an idle controller watching
 (``controller_overhead``, <2 % budget when stable).
 
+A fifth section prices the graph optimizer (``kind=fusion_vectorize``):
+the same graph run with ``optimize=True`` vs ``optimize=False``,
+recording ``speedup_vs_unfused`` for (a) a 4-lightweight-stage fusible
+chain — top-level on the thread backend, as a farm-of-pipelines on the
+process backend so the chain actually crosses the fork boundary — and
+(b) a numpy-vectorizable ``process_batch`` farm on both backends.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
@@ -37,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
 import platform
 import sys
 import time
@@ -44,7 +52,7 @@ import time
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
 from repro.core.run import execute
-from repro.core.stage import FunctionStage, IterSource
+from repro.core.stage import FunctionStage, IterSource, Stage
 
 
 def _flat_graph(items: int, replicas: int):
@@ -452,6 +460,172 @@ def _elastic_vs_fixed_rows(items: int, replicas: int, reps: int,
     return rows
 
 
+def _f_inc(x):
+    return x + 1
+
+
+def _f_dbl(x):
+    return x * 2
+
+
+def _f_dec(x):
+    return x - 1
+
+
+def _f_mask(x):
+    return x & 0xFFFF
+
+
+def _f_ident(x):
+    return x
+
+
+class _VecStage(Stage):
+    """Auto-vectorized stage: defining ``process_batch`` is the whole
+    opt-in — the optimizer detects it and compiles a batch kernel that
+    consumes whole ``get_many`` batches.  The scalar and numpy paths run
+    the same IEEE ops, so results match bit-for-bit.  Module-level and
+    class-built so it ships to worker processes by pickling."""
+
+    ITERS = 32
+
+    def process(self, item, ctx):
+        v = float(item)
+        for _ in range(self.ITERS):
+            v = v * 0.999 + 1.0
+        return v
+
+    def process_batch(self, items, ctx):
+        import numpy as np
+
+        v = np.asarray(items, dtype=np.float64)
+        for _ in range(self.ITERS):
+            v = v * 0.999 + 1.0
+        return v.tolist()
+
+
+def _fusion_chain_graph(items: int):
+    """Four lightweight fusible serial stages: the tentpole scenario."""
+    return linear_graph(
+        IterSource(range(items)),
+        StageSpec(FunctionStage(_f_inc), "fa", fusible=True),
+        StageSpec(FunctionStage(_f_dbl), "fb", fusible=True),
+        StageSpec(FunctionStage(_f_dec), "fc", fusible=True),
+        StageSpec(FunctionStage(_f_mask), "fd", fusible=True),
+        StageSpec(FunctionStage(_f_ident), "sink"),
+    )
+
+
+def _fusion_farm_graph(items: int, replicas: int):
+    """The same 4-stage chain as a farm-of-pipelines worker — the form
+    that crosses the fork boundary on ``workers="process"`` (top-level
+    serial chains run parent-side there), so fusion is measured where
+    the process backend actually executes it."""
+    worker = Pipe(StageSpec(FunctionStage(_f_inc), "fa", fusible=True),
+                  StageSpec(FunctionStage(_f_dbl), "fb", fusible=True),
+                  StageSpec(FunctionStage(_f_dec), "fc", fusible=True),
+                  StageSpec(FunctionStage(_f_mask), "fd", fusible=True))
+    return linear_graph(
+        IterSource(range(items)),
+        Farm(worker, replicas=replicas, ordered=True),
+        StageSpec(FunctionStage(_f_ident), "sink"),
+    )
+
+
+def _vec_farm_graph(items: int, replicas: int):
+    return linear_graph(
+        IterSource(range(items)),
+        Farm(StageSpec(_VecStage, "vec"), replicas=replicas, ordered=True),
+        StageSpec(FunctionStage(_f_ident), "sink"),
+    )
+
+
+def _fusion_rows(items: int, replicas: int, batch: int, reps: int,
+                 errors: list) -> list:
+    """The graph optimizer priced A/B: ``optimize=True`` vs ``False``.
+
+    Same graph, same config, only the optimizer flag differs, so
+    ``speedup_vs_unfused`` isolates what fusion / vectorization buy:
+
+    * ``chain4`` — four lightweight fusible stages.  Fusion deletes the
+      three intervening channels (and their threads); on the hand-off-
+      dominated micro workload that is most of the cost.  Acceptance:
+      ``speedup_vs_unfused > 1`` on both thread and process backends.
+    * ``vec-farm`` — a farm of ``process_batch`` stages; the optimizer
+      replaces per-item ``process`` calls with one numpy call per
+      ``get_many`` batch.
+    """
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    farm_replicas = 2  # both sides of each A/B fork the same workers
+    chain_items, vec_items = items * 2, max(items * 4, 2000)
+    # numpy needs room to amortize per-op dispatch: at batch 16 the array
+    # overhead eats the win, so the vec scenario floors the batch at 64
+    vec_batch = max(batch, 64)
+    scenarios = [
+        # (scenario, workers, build, n_items, batch_size)
+        ("chain4", "thread",
+         lambda: _fusion_chain_graph(chain_items), chain_items, batch),
+        ("chain4", "process",
+         lambda: _fusion_farm_graph(items, farm_replicas), items, batch),
+        ("vec-farm", "thread",
+         lambda: _vec_farm_graph(vec_items, farm_replicas), vec_items,
+         vec_batch),
+        ("vec-farm", "process",
+         lambda: _vec_farm_graph(vec_items, farm_replicas), vec_items,
+         vec_batch),
+    ]
+    rows = []
+    for scenario, workers, build, n_items, batch_size in scenarios:
+        label = f"{scenario}-{workers}"
+        if workers == "process" and not has_fork:
+            print(f"fusion-vectorize {label:18s} skipped (no fork)")
+            continue
+        best = {}
+        opt_report = None
+        try:
+            for opt in (False, True):
+                for _ in range(reps):
+                    result = execute(build(), ExecConfig(
+                        mode=ExecMode.NATIVE, workers=workers,
+                        batch_size=batch_size, optimize=opt))
+                    assert result.items_emitted == n_items
+                    if opt not in best or result.makespan < best[opt]:
+                        best[opt] = result.makespan
+                        if opt:
+                            opt_report = result.details["opt"]
+            # the optimized run must really have rewritten the graph
+            assert (opt_report["stages_fused"] > 0
+                    or opt_report["vectorized"]), opt_report
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"fusion-vectorize {label}: {exc!r}")
+            rows.append({"kind": "fusion_vectorize", "scenario": scenario,
+                         "workers": workers, "error": repr(exc)})
+            print(f"fusion-vectorize {label:18s} FAILED: {exc!r}")
+            continue
+        rate = n_items / best[True] if best[True] > 0 else None
+        speedup = (best[False] / best[True]
+                   if best[True] and best[False] else None)
+        rows.append({
+            "kind": "fusion_vectorize",
+            "scenario": scenario,
+            "workers": workers,
+            "items": n_items,
+            "replicas": farm_replicas if "farm" in scenario
+            or workers == "process" else 1,
+            "batch_size": batch_size,
+            "reps": reps,
+            "makespan_unfused_s": best[False],
+            "makespan_s": best[True],
+            "throughput_items_per_s": rate,
+            "stages_fused": opt_report["stages_fused"],
+            "vectorized": opt_report["vectorized"],
+            "speedup_vs_unfused": speedup,
+        })
+        print(f"fusion-vectorize {label:18s} makespan={best[True]:.6f}s "
+              f"unfused={best[False]:.6f}s speedup={speedup:.2f}x")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -567,6 +741,8 @@ def main(argv=None) -> int:
     rows.extend(_compute_bound_rows(args.replicas, args.reps, errors))
     rows.extend(_elastic_vs_fixed_rows(args.items, args.replicas,
                                        args.reps, errors))
+    rows.extend(_fusion_rows(args.items, args.replicas, args.batch,
+                             args.reps, errors))
 
     doc = {
         "benchmark": "pipeline",

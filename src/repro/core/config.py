@@ -188,6 +188,11 @@ class ExecConfig:
     #: policy installed by :func:`repro.control.use_policy`, if any;
     #: no policy = no controller).  See :class:`repro.control.TuningPolicy`.
     policy: Optional["TuningPolicy"] = None
+    #: run the graph optimizer (:mod:`repro.core.opt` — stage fusion and
+    #: batch vectorization) when lowering this run's plan.  None = the
+    #: ambient default installed by :func:`repro.core.opt.use_optimizer`
+    #: (the harness's ``--no-opt``), which is on.
+    optimize: Optional[bool] = None
 
     def __post_init__(self) -> None:
         self._normalize()
@@ -252,6 +257,14 @@ class ExecConfig:
         from repro.control.controller import current_policy
 
         return current_policy()
+
+    def resolved_optimize(self) -> bool:
+        """Whether this run's plan goes through the graph optimizer."""
+        if self.optimize is not None:
+            return bool(self.optimize)
+        from repro.core.opt import optimizer_default
+
+        return optimizer_default()
 
     def replace(self, **kwargs) -> "ExecConfig":
         """A copy with the given fields replaced (validation re-runs)."""

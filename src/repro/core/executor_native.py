@@ -46,6 +46,7 @@ from repro.core.config import ExecConfig
 from repro.core.graph import PipelineGraph
 from repro.core.items import EOS, Multi, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
+from repro.core.opt import FusedStage, get_kernel
 from repro.core.ordering import SimpleReorderBuffer
 from repro.core.plan import (
     ChannelSpec,
@@ -611,8 +612,25 @@ class UnitRunner:
         tr, clock = self.tracer, self.clock
         spec = unit.spec
         track = unit.track
-        ctx = StageContext(spec.name, unit.replica, unit.replicas, tracer=tr)
-        logic.on_start(ctx)
+        fused = isinstance(logic, FusedStage)
+        if fused:
+            # One thread, many observable identities: every constituent
+            # of the fused chain keeps its own context, metrics, probe
+            # and trace track, so fusion is invisible to observability.
+            parts = logic.parts
+            part_names = logic.names
+            part_tracks = [f"{n}[{unit.replica}]" for n in part_names]
+            ctxs = [StageContext(n, unit.replica, unit.replicas, tracer=tr)
+                    for n in part_names]
+            ctx = ctxs[0]
+            for part, pctx in zip(parts, ctxs):
+                part.on_start(pctx)
+            kernel = None
+        else:
+            ctx = StageContext(spec.name, unit.replica, unit.replicas,
+                               tracer=tr)
+            logic.on_start(ctx)
+            kernel = get_kernel(spec, logic)
         rob = SimpleReorderBuffer() if unit.reorder_input else None
         # A unit inside a replicated segment keeps the upstream sequence
         # number so the downstream reorder point can restore order; a
@@ -621,12 +639,26 @@ class UnitRunner:
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []  # on_end outputs from upstream replicas
-        probe = self._probe("stage", unit.metric_name, unit.replicas,
-                            in_edge=in_edge, out_edge=out_edge)
-        outbox = self._make_outbox(out_edge, track, probe)
+        if fused:
+            last = len(parts) - 1
+            part_probes = [
+                self._probe("stage", n, unit.replicas,
+                            in_edge=in_edge if i == 0 else None,
+                            out_edge=out_edge if i == last else None)
+                for i, n in enumerate(part_names)]
+            # get-side waits belong to the head part, put-side to the tail
+            probe, put_probe = part_probes[0], part_probes[-1]
+        else:
+            probe = self._probe("stage", unit.metric_name, unit.replicas,
+                                in_edge=in_edge, out_edge=out_edge)
+            put_probe = probe
+        outbox = self._make_outbox(out_edge, track, put_probe)
         # Per-thread accumulation: service metrics and sink outputs are
         # gathered locally and merged once at EOS, so the hot loop never
         # touches the shared locks.
+        if fused:
+            part_metrics = [StageMetrics(name=n, replicas=unit.replicas)
+                            for n in part_names]
         metrics = StageMetrics(name=unit.metric_name, replicas=unit.replicas)
         sink: List[Env] = []
         collect = self.collect
@@ -637,7 +669,7 @@ class UnitRunner:
                 if outbox is not None:
                     outbox.put(env)
                 else:
-                    sample = probe is not None and probe.tick_put()
+                    sample = put_probe is not None and put_probe.tick_put()
                     if tr is None and not sample:
                         out_edge.put(env)
                     else:
@@ -648,7 +680,7 @@ class UnitRunner:
                             if tr is not None:
                                 tr.span(CAT_QUEUE, track, "put_wait", t0, t1)
                             if sample:
-                                probe.sampled_put_wait(t1 - t0)
+                                put_probe.sampled_put_wait(t1 - t0)
                 return
             # Last stage: collect outputs and release the token.
             if collect:
@@ -656,33 +688,115 @@ class UnitRunner:
             if env.tokened:
                 self.tokens.release()
 
-        def handle(env: Env) -> None:
-            nonlocal out_seq
-            t0 = time.perf_counter()
-            outs: List[Any] = []
-            for payload in env.payloads:
-                outs.extend(_normalize_outputs(logic.process(payload, ctx)))
-            service = time.perf_counter() - t0
-            metrics.record(service, len(outs))
-            if probe is not None:
-                # piggybacks on the perf_counter pair above: no extra cost
-                probe.record(service, len(outs))
-            if tr is not None:
-                end = clock.now()
-                tr.span(CAT_STAGE, track, spec.name, end - service, end,
-                        args={"seq": env.seq})
-            if outs:
-                new_env = Env(env.seq if keep_seq else out_seq, outs,
-                              tokened=env.tokened)
-                out_seq += 1
-                emit(new_env)
-            elif unit.forward_empty:
-                # Filtered in an ordered replicated segment: forward an
-                # empty envelope so the downstream reorder point does not
-                # stall on this seq.
-                emit(Env(env.seq, (), tokened=env.tokened))
-            elif env.tokened:
-                self.tokens.release()
+        if fused:
+            def run_parts(payloads: Sequence[Any], start: int,
+                          seq: int) -> Sequence[Any]:
+                # the fused chain in one loop iteration: no channel hop,
+                # but per-part timing/metrics/spans as if unfused
+                for i in range(start, len(parts)):
+                    part, pctx = parts[i], ctxs[i]
+                    t0 = time.perf_counter()
+                    outs: List[Any] = []
+                    for payload in payloads:
+                        outs.extend(
+                            _normalize_outputs(part.process(payload, pctx)))
+                    service = time.perf_counter() - t0
+                    part_metrics[i].record(service, len(outs))
+                    if part_probes[i] is not None:
+                        part_probes[i].record(service, len(outs))
+                    if tr is not None:
+                        end = clock.now()
+                        tr.span(CAT_STAGE, part_tracks[i], part_names[i],
+                                end - service, end, args={"seq": seq})
+                    payloads = outs
+                    if not payloads:
+                        break  # filtered mid-chain: nothing to hand on
+                return payloads
+
+            def handle(env: Env) -> None:
+                nonlocal out_seq
+                outs = run_parts(env.payloads, 0, env.seq)
+                if outs:
+                    new_env = Env(env.seq if keep_seq else out_seq,
+                                  list(outs), tokened=env.tokened)
+                    out_seq += 1
+                    emit(new_env)
+                elif unit.forward_empty:
+                    emit(Env(env.seq, (), tokened=env.tokened))
+                elif env.tokened:
+                    self.tokens.release()
+        elif kernel is not None:
+            def handle_kernel(env: Env, batch: List[Env]) -> None:
+                nonlocal out_seq
+                flat: List[Any] = []
+                for e in batch:
+                    flat.extend(e.payloads)
+                t0 = time.perf_counter()
+                outs = kernel(logic, flat, ctx)
+                service = time.perf_counter() - t0
+                if len(outs) != len(flat):
+                    raise RuntimeError(
+                        f"stage {spec.name!r}: batch kernel returned "
+                        f"{len(outs)} outputs for {len(flat)} inputs "
+                        "(vectorized stages are strict 1:1 maps)")
+                if tr is not None:
+                    end = clock.now()
+                    tr.span(CAT_STAGE, track, spec.name, end - service, end,
+                            args={"seq": env.seq, "batch": len(batch)})
+                per = service / len(batch)
+                ofs = 0
+                for e in batch:
+                    n = len(e.payloads)
+                    eouts = list(outs[ofs:ofs + n])
+                    ofs += n
+                    metrics.record(per, n)
+                    if probe is not None:
+                        probe.record(per, n)
+                    emit(Env(e.seq if keep_seq else out_seq, eouts,
+                             tokened=e.tokened))
+                    out_seq += 1
+
+            if rob is None:
+                def handle(env: Env) -> None:
+                    # one kernel call per get_many batch: drain whatever
+                    # envelopes the multi-pop already fetched
+                    batch = [env]
+                    while inbox and isinstance(inbox[0], Env) \
+                            and inbox[0].payloads:
+                        batch.append(inbox.popleft())
+                    handle_kernel(env, batch)
+            else:
+                def handle(env: Env) -> None:
+                    # reorder point: envelopes arrive one by one in order
+                    handle_kernel(env, [env])
+        else:
+            def handle(env: Env) -> None:
+                nonlocal out_seq
+                t0 = time.perf_counter()
+                outs: List[Any] = []
+                for payload in env.payloads:
+                    outs.extend(_normalize_outputs(logic.process(payload, ctx)))
+                service = time.perf_counter() - t0
+                metrics.record(service, len(outs))
+                if probe is not None:
+                    # piggybacks on the perf_counter pair above: no extra cost
+                    probe.record(service, len(outs))
+                if tr is not None:
+                    end = clock.now()
+                    tr.span(CAT_STAGE, track, spec.name, end - service, end,
+                            args={"seq": env.seq})
+                if outs:
+                    new_env = Env(env.seq if keep_seq else out_seq, outs,
+                                  tokened=env.tokened)
+                    out_seq += 1
+                    emit(new_env)
+                elif unit.forward_empty:
+                    # Filtered in an ordered replicated segment: forward an
+                    # empty envelope so the downstream reorder point does not
+                    # stall on this seq.
+                    emit(Env(env.seq, (), tokened=env.tokened))
+                elif env.tokened:
+                    self.tokens.release()
 
         def next_item() -> Any:
             # read per call: the controller retunes the width live
@@ -762,9 +876,21 @@ class UnitRunner:
                 )
             for env in tail:
                 handle(env)
-            final = _normalize_outputs(logic.on_end(ctx))
-            if final:
-                emit(Env(-1, final, tokened=False))
+            if fused:
+                # on_end cascade: part i's finals flow through parts
+                # i+1.. (with per-part accounting) before those parts'
+                # own on_end — exactly the unfused ordering.
+                for i, part in enumerate(parts):
+                    finals = _normalize_outputs(part.on_end(ctxs[i]))
+                    if not finals:
+                        continue
+                    outs = run_parts(finals, i + 1, -1)
+                    if outs:
+                        emit(Env(-1, list(outs), tokened=False))
+            else:
+                final = _normalize_outputs(logic.on_end(ctx))
+                if final:
+                    emit(Env(-1, final, tokened=False))
         except PipelineAborted:
             raise
         except BaseException as exc:
@@ -774,7 +900,11 @@ class UnitRunner:
             self.errors.fail(exc)
             raise
         finally:
-            if metrics.items_in:
+            if fused:
+                for m in part_metrics:
+                    if m.items_in:
+                        self.merge_metrics(m)
+            elif metrics.items_in:
                 # a replica that saw no envelopes contributes no entry,
                 # matching the simulator's lazy metric creation
                 self.merge_metrics(metrics)
@@ -1057,13 +1187,16 @@ class NativeExecutor:
             for e in envs:
                 ordered_out.extend(e.payloads)
 
-        return RunResult(
+        result = RunResult(
             makespan=makespan,
             outputs=ordered_out,
             stage_metrics=runner.metrics,
             mode="native",
             items_emitted=runner.items_emitted,
         )
+        if self.plan.opt is not None:
+            result.details["opt"] = self.plan.opt.as_dict()
+        return result
 
     # -- orchestration -----------------------------------------------------
     def run(self) -> RunResult:

@@ -23,7 +23,7 @@ batched native run and a simulated run still produce identical streams.
 from __future__ import annotations
 
 import time
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence
 
 from repro.control.controller import Controller, StageHandle
 from repro.core.config import ExecConfig
@@ -31,6 +31,7 @@ from repro.core.executor_native import Env, _ElasticState, _normalize_outputs
 from repro.core.graph import PipelineGraph
 from repro.core.items import EOS, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
+from repro.core.opt import FusedStage, get_kernel
 from repro.core.ordering import SimpleReorderBuffer
 from repro.core.plan import (
     ExecutionPlan,
@@ -439,41 +440,110 @@ class SimExecutor:
         tid = unit.track
         tr = self._tracer
         engine = self.engine
-        cursor0 = self._make_cursor(tid)
-        ctx = StageContext(spec.name, unit.replica, unit.replicas,
-                           cursor=cursor0, machine=self.config.machine,
-                           tracer=tr)
-        with use_cursor(cursor0):
-            logic.on_start(ctx)
-        if cursor0.elapsed > 0:
-            yield self.engine.timeout(cursor0.elapsed)
+        fused = isinstance(logic, FusedStage)
+        if fused:
+            # One engine process, one observable identity per original
+            # stage: each part charges its own cursor and records under
+            # its own metric name / trace track.
+            parts = logic.parts
+            part_names = logic.names
+            part_tracks = [f"{n}[{unit.replica}]" for n in part_names]
+            ctxs = [StageContext(n, unit.replica, unit.replicas,
+                                 machine=self.config.machine, tracer=tr)
+                    for n in part_names]
+            ctx = ctxs[0]
+            start_elapsed = 0.0
+            for i, part in enumerate(parts):
+                cur = self._make_cursor(part_tracks[i])
+                ctxs[i].cursor = cur
+                with use_cursor(cur):
+                    part.on_start(ctxs[i])
+                start_elapsed += cur.elapsed
+            if start_elapsed > 0:
+                yield self.engine.timeout(start_elapsed)
+            kernel = None
+        else:
+            cursor0 = self._make_cursor(tid)
+            ctx = StageContext(spec.name, unit.replica, unit.replicas,
+                               cursor=cursor0, machine=self.config.machine,
+                               tracer=tr)
+            with use_cursor(cursor0):
+                logic.on_start(ctx)
+            if cursor0.elapsed > 0:
+                yield self.engine.timeout(cursor0.elapsed)
+            kernel = get_kernel(spec, logic)
         rob = SimpleReorderBuffer() if unit.reorder_input else None
         keep_seq = unit.keep_seq
         out_seq = 0
         tail: List[Env] = []
-        probe = self._probe_for("stage", unit.metric_name, unit.replicas,
-                                in_edge=unit.in_channel,
-                                out_edge=unit.out_channel)
+        if fused:
+            last = len(parts) - 1
+            part_probes = [
+                self._probe_for("stage", n, unit.replicas,
+                                in_edge=unit.in_channel if i == 0 else None,
+                                out_edge=unit.out_channel if i == last
+                                else None)
+                for i, n in enumerate(part_names)]
+            probe = part_probes[0]
+        else:
+            probe = self._probe_for("stage", unit.metric_name, unit.replicas,
+                                    in_edge=unit.in_channel,
+                                    out_edge=unit.out_channel)
 
-        def run_stage(env: Env) -> tuple[float, Optional[Env]]:
+        def run_stage(env: Env) -> tuple[list, Optional[Env]]:
+            # -> ([(track, name, service)], out_env): per-part segments so
+            # the caller can emit back-to-back spans after one timeout
             nonlocal out_seq
-            cursor = self._make_cursor(tid)
-            ctx.cursor = cursor
+            segments: List[tuple] = []
             outs: List[Any] = []
-            with use_cursor(cursor):
-                for payload in env.payloads:
-                    outs.extend(_normalize_outputs(logic.process(payload, ctx)))
-            service = cursor.elapsed
-            self._record(unit.metric_name, unit.replicas, service, len(outs))
-            if probe is not None:
-                probe.record(service, len(outs))
+            if fused:
+                payloads: Sequence[Any] = env.payloads
+                for i, part in enumerate(parts):
+                    cur = self._make_cursor(part_tracks[i])
+                    ctxs[i].cursor = cur
+                    outs = []
+                    with use_cursor(cur):
+                        for payload in payloads:
+                            outs.extend(
+                                _normalize_outputs(
+                                    part.process(payload, ctxs[i])))
+                    service = cur.elapsed
+                    self._record(part_names[i], unit.replicas, service,
+                                 len(outs))
+                    if part_probes[i] is not None:
+                        part_probes[i].record(service, len(outs))
+                    segments.append((part_tracks[i], part_names[i], service))
+                    payloads = outs
+                    if not payloads:
+                        break
+            else:
+                cursor = self._make_cursor(tid)
+                ctx.cursor = cursor
+                with use_cursor(cursor):
+                    if kernel is not None:
+                        outs = list(kernel(logic, list(env.payloads), ctx))
+                        if len(outs) != len(env.payloads):
+                            raise RuntimeError(
+                                f"stage {spec.name!r}: batch kernel returned "
+                                f"{len(outs)} outputs for "
+                                f"{len(env.payloads)} inputs (vectorized "
+                                "stages are strict 1:1 maps)")
+                    else:
+                        for payload in env.payloads:
+                            outs.extend(
+                                _normalize_outputs(logic.process(payload, ctx)))
+                service = cursor.elapsed
+                self._record(unit.metric_name, unit.replicas, service, len(outs))
+                if probe is not None:
+                    probe.record(service, len(outs))
+                segments.append((tid, spec.name, service))
             if outs:
                 ne = Env(env.seq if keep_seq else out_seq, outs, tokened=env.tokened)
                 out_seq += 1
-                return service, ne
+                return segments, ne
             if unit.forward_empty:
-                return service, Env(env.seq, (), tokened=env.tokened)
-            return service, None
+                return segments, Env(env.seq, (), tokened=env.tokened)
+            return segments, None
 
         def emit(env: Env):
             if out_edge is not None:
@@ -536,12 +606,16 @@ class SimExecutor:
                     if e.tokened:
                         yield from release_token()
                     continue
-                service, ne = run_stage(e)
-                if service > 0:
-                    yield self.engine.timeout(service)
+                segments, ne = run_stage(e)
+                total = sum(s[2] for s in segments)
+                if total > 0:
+                    yield self.engine.timeout(total)
                 if tr is not None:
-                    tr.span(CAT_STAGE, tid, spec.name, engine.now - service,
-                            engine.now, args={"seq": e.seq})
+                    t = engine.now - total
+                    for strack, sname, svc in segments:
+                        tr.span(CAT_STAGE, strack, sname, t, t + svc,
+                                args={"seq": e.seq})
+                        t += svc
                 if ne is not None:
                     yield from emit(ne)
                 elif e.tokened:
@@ -552,22 +626,63 @@ class SimExecutor:
                 "reorder buffer at EOS"
             )
         for env in tail:
-            service, ne = run_stage(env)
-            if service > 0:
-                yield self.engine.timeout(service)
+            segments, ne = run_stage(env)
+            total = sum(s[2] for s in segments)
+            if total > 0:
+                yield self.engine.timeout(total)
             if tr is not None:
-                tr.span(CAT_STAGE, tid, spec.name, engine.now - service,
-                        engine.now, args={"seq": env.seq})
+                t = engine.now - total
+                for strack, sname, svc in segments:
+                    tr.span(CAT_STAGE, strack, sname, t, t + svc,
+                            args={"seq": env.seq})
+                    t += svc
             if ne is not None:
                 yield from emit(ne)
-        cursor = self._make_cursor(tid)
-        ctx.cursor = cursor
-        with use_cursor(cursor):
-            final = _normalize_outputs(logic.on_end(ctx))
-        if cursor.elapsed > 0:
-            yield self.engine.timeout(cursor.elapsed)
-        if final:
-            yield from emit(Env(-1, final, tokened=False))
+        if fused:
+            # on_end cascade: part i's finals flow through parts i+1..
+            # (with per-part charging) before those parts' own on_end.
+            for i, part in enumerate(parts):
+                cur = self._make_cursor(part_tracks[i])
+                ctxs[i].cursor = cur
+                with use_cursor(cur):
+                    finals = _normalize_outputs(part.on_end(ctxs[i]))
+                if cur.elapsed > 0:
+                    yield self.engine.timeout(cur.elapsed)
+                if not finals:
+                    continue
+                payloads: List[Any] = list(finals)
+                for j in range(i + 1, len(parts)):
+                    cur = self._make_cursor(part_tracks[j])
+                    ctxs[j].cursor = cur
+                    outs: List[Any] = []
+                    with use_cursor(cur):
+                        for payload in payloads:
+                            outs.extend(_normalize_outputs(
+                                parts[j].process(payload, ctxs[j])))
+                    svc = cur.elapsed
+                    self._record(part_names[j], unit.replicas, svc, len(outs))
+                    if part_probes[j] is not None:
+                        part_probes[j].record(svc, len(outs))
+                    if svc > 0:
+                        yield self.engine.timeout(svc)
+                    if tr is not None:
+                        tr.span(CAT_STAGE, part_tracks[j], part_names[j],
+                                engine.now - svc, engine.now,
+                                args={"seq": -1})
+                    payloads = outs
+                    if not payloads:
+                        break
+                if payloads:
+                    yield from emit(Env(-1, list(payloads), tokened=False))
+        else:
+            cursor = self._make_cursor(tid)
+            ctx.cursor = cursor
+            with use_cursor(cursor):
+                final = _normalize_outputs(logic.on_end(ctx))
+            if cursor.elapsed > 0:
+                yield self.engine.timeout(cursor.elapsed)
+            if final:
+                yield from emit(Env(-1, final, tokened=False))
         if out_edge is not None:
             yield from out_edge.put_eos()
 
@@ -704,6 +819,8 @@ class SimExecutor:
 
         details = {"wall_seconds": wall, "threads": self._threads,
                    "oversubscription": self._oversub}
+        if self.plan.opt is not None:
+            details["opt"] = self.plan.opt.as_dict()
         if telemetry_summary is not None:
             details["telemetry"] = telemetry_summary
         if controller is not None:

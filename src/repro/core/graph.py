@@ -88,6 +88,19 @@ class StageSpec:
     becomes the *initial* count and the controller may re-lower the farm
     anywhere inside the bounds mid-run.  ``None`` inherits the policy's
     global defaults; without a policy the bounds are inert.
+
+    The optimizer hints (see :mod:`repro.core.opt`) never change
+    semantics, only lowering.  ``fusible=True`` marks a serial stage as
+    cheap enough to merge with its neighbours; ``fusible=False`` or
+    ``no_fuse=True`` forbids it; with ``fusible=None`` the stage fuses
+    only when ``cost`` (estimated seconds per item) is provided and
+    under the fusion threshold — unknown stages are left alone.
+    ``vectorized`` lowers the stage to a batch kernel: ``True`` requires
+    the stage instance to define ``process_batch(items, ctx)``, a
+    callable is used directly as a 1:1 ``list -> list`` kernel, and
+    ``None`` auto-detects ``process_batch`` on instance-built stages.
+    ``fused_from`` is optimizer-internal output: the original specs a
+    fused unit replaces (metric/trace identity is derived from it).
     """
 
     factory: Callable[[], Stage]
@@ -99,12 +112,24 @@ class StageSpec:
     pinned: bool = False
     min_replicas: Optional[int] = None
     max_replicas: Optional[int] = None
+    fusible: Optional[bool] = None
+    cost: Optional[float] = None
+    no_fuse: bool = False
+    vectorized: Any = None  # None=auto-detect | bool | batch-kernel callable
+    fused_from: tuple = ()
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
             raise GraphError(f"stage {self.name!r}: replicas must be >= 1")
         _check_bounds(self.name, "stage", self.replicas,
                       self.min_replicas, self.max_replicas)
+        if self.cost is not None and self.cost < 0:
+            raise GraphError(f"stage {self.name!r}: cost must be >= 0")
+        if self.vectorized is not None and not (
+                isinstance(self.vectorized, bool) or callable(self.vectorized)):
+            raise GraphError(
+                f"stage {self.name!r}: vectorized must be None, a bool, or "
+                "a callable batch kernel")
         if isinstance(self.factory, Stage):
             # Accept a ready instance for serial stages (and for stateless
             # FunctionStage wrappers); replicated stateful stages need a

@@ -1,0 +1,97 @@
+"""Graph optimizer: deterministic passes between the IR and the plan.
+
+``optimize`` rewrites a *flattened* element list (``StageSpec | Farm``)
+before :func:`repro.core.plan.build_plan` lowers it.  Pass ordering is a
+contract: **fusion first, then vectorization** — fusion sees the
+original per-stage hints and never consumes a vectorized stage, and
+vectorization sees final unit boundaries.  Passes are pure functions of
+the element list plus spec hints, so the same graph always optimizes the
+same way.
+
+Enablement resolves in two steps, mirroring the ambient TuningPolicy:
+``ExecConfig.optimize`` when set (per run), else the ambient default
+installed by :func:`use_optimizer` (the harness's ``--no-opt``), else
+on.  The result of every run is an :class:`OptReport`, attached to the
+plan and surfaced in ``RunResult.details["opt"]``; an ambient collector
+(:func:`collect_reports`) lets the harness aggregate reports across the
+many runs inside one experiment.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.graph import Farm, StageSpec
+from repro.core.opt.fused import FusedFactory, FusedStage
+from repro.core.opt.fusion import FUSE_COST_THRESHOLD, fuse_stages
+from repro.core.opt.report import OptReport
+from repro.core.opt.vectorize import (
+    BatchKernel,
+    clear_kernel_cache,
+    get_kernel,
+    kernel_cache_stats,
+    vectorize_stages,
+)
+
+__all__ = [
+    "FUSE_COST_THRESHOLD",
+    "BatchKernel",
+    "FusedFactory",
+    "FusedStage",
+    "OptReport",
+    "clear_kernel_cache",
+    "collect_reports",
+    "get_kernel",
+    "kernel_cache_stats",
+    "optimize",
+    "optimizer_default",
+    "use_optimizer",
+]
+
+Element = Union[StageSpec, Farm]
+
+_DEFAULT_ON: ContextVar[bool] = ContextVar("repro_opt_default", default=True)
+_COLLECTOR: ContextVar[Optional[list]] = ContextVar(
+    "repro_opt_collector", default=None)
+
+
+def optimizer_default() -> bool:
+    """Ambient enablement used when ``ExecConfig.optimize`` is None."""
+    return _DEFAULT_ON.get()
+
+
+@contextlib.contextmanager
+def use_optimizer(enabled: bool) -> Iterator[None]:
+    """Scope the ambient optimizer default (harness ``--opt/--no-opt``)."""
+    token = _DEFAULT_ON.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _DEFAULT_ON.reset(token)
+
+
+@contextlib.contextmanager
+def collect_reports(into: List[OptReport]) -> Iterator[List[OptReport]]:
+    """Scope an ambient sink receiving every OptReport produced within."""
+    token = _COLLECTOR.set(into)
+    try:
+        yield into
+    finally:
+        _COLLECTOR.reset(token)
+
+
+def optimize(elements: Sequence[Element]) -> Tuple[List[Element], OptReport]:
+    """Run the pass pipeline over flattened elements.
+
+    Returns the rewritten element list and the report; the input list
+    and its specs are never mutated (rewrites build new specs).
+    """
+    report = OptReport()
+    out = fuse_stages(list(elements), report)
+    out = vectorize_stages(out, report)
+    sink = _COLLECTOR.get()
+    if sink is not None:
+        sink.append(report)
+    return out, report

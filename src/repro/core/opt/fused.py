@@ -1,0 +1,103 @@
+"""The fused-stage runtime unit.
+
+Fusion replaces a chain of serial :class:`~repro.core.graph.StageSpec`\\ s
+with one spec whose factory builds a :class:`FusedStage`: the original
+stage instances, run back to back inside a single loop iteration with no
+channel hop in between.  Executors special-case ``FusedStage`` so that
+each constituent keeps its own metric name, trace track, and context —
+the fusion is an execution detail, invisible to observability.
+
+``FusedStage`` is still a well-formed :class:`~repro.core.stage.Stage`;
+the fallback ``process``/``on_start``/``on_end`` below compose the parts
+correctly (without per-part accounting) so any code path that treats it
+as a plain stage keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+from repro.core.items import Multi
+from repro.core.stage import Stage
+
+
+def _normalize(result: Any) -> tuple:
+    """Stage return value -> tuple of payloads (None filters, Multi expands)."""
+    if result is None:
+        return ()
+    if isinstance(result, Multi):
+        return tuple(result.items)
+    return (result,)
+
+
+class FusedStage(Stage):
+    """A chain of stage instances executed as one unit."""
+
+    __slots__ = ("parts", "names")
+
+    def __init__(self, parts: Sequence[Stage], names: Sequence[str]):
+        if len(parts) != len(names):
+            raise ValueError("parts and names must align")
+        if len(parts) < 2:
+            raise ValueError("a FusedStage needs at least two parts")
+        self.parts: List[Stage] = list(parts)
+        self.names: List[str] = list(names)
+
+    # -- plain-Stage fallback (executors bypass these) ------------------
+    def on_start(self, ctx) -> None:
+        for part in self.parts:
+            part.on_start(ctx)
+
+    def process(self, item: Any, ctx) -> Any:
+        payloads: Sequence[Any] = (item,)
+        for part in self.parts:
+            outs: List[Any] = []
+            for p in payloads:
+                outs.extend(_normalize(part.process(p, ctx)))
+            payloads = outs
+            if not payloads:
+                return None
+        return Multi(list(payloads)) if len(payloads) != 1 else payloads[0]
+
+    def on_end(self, ctx) -> Any:
+        finals: List[Any] = []
+        for i, part in enumerate(self.parts):
+            payloads = _normalize(part.on_end(ctx))
+            for rest in self.parts[i + 1:]:
+                outs: List[Any] = []
+                for p in payloads:
+                    outs.extend(_normalize(rest.process(p, ctx)))
+                payloads = tuple(outs)
+                if not payloads:
+                    break
+            finals.extend(payloads)
+        return Multi(finals) if finals else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FusedStage({'+'.join(self.names)})"
+
+
+class FusedFactory:
+    """Picklable factory composing the fused chain's sub-factories.
+
+    Ships across a process boundary whenever every sub-factory does; when
+    one does not, the regular unpicklable-factory fallback in the process
+    backend (materialize parent-side, wrap in ``InstanceFactory``) applies
+    to the whole fused unit.
+    """
+
+    __slots__ = ("factories", "names")
+
+    def __init__(self, factories: Sequence[Callable[[], Any]],
+                 names: Sequence[str]):
+        self.factories = tuple(factories)
+        self.names = tuple(names)
+
+    def __call__(self) -> FusedStage:
+        return FusedStage([f() for f in self.factories], self.names)
+
+    def __reduce__(self):
+        return (FusedFactory, (self.factories, self.names))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FusedFactory({'+'.join(self.names)})"

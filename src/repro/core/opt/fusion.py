@@ -1,0 +1,163 @@
+"""Stage-fusion pass: collapse chains of cheap serial stages.
+
+Operates on the *flattened* element list (``StageSpec | Farm`` items,
+exactly what :meth:`PipelineGraph.flattened` yields) so legality is
+purely local:
+
+* only serial specs fuse — ``replicas > 1`` or an elastic bound
+  (``max_replicas > 1``) disqualifies a spec, so fusion can never cross
+  an :class:`~repro.core.plan.ElasticGroup` boundary;
+* a farm is never merged with its neighbours, but the serial chain
+  *inside* a farm-of-pipelines worker fuses replica-locally (the farm's
+  own replication, ordering and elasticity are untouched);
+* eligibility is opt-in: ``fusible=True``, or a declared per-item
+  ``cost`` at or under :data:`FUSE_COST_THRESHOLD`.  Stages without
+  hints are conservatively left alone, and ``no_fuse=True`` /
+  ``fusible=False`` always win.
+
+The fused spec keeps the *head* stage's name so channel, sequencer and
+hop naming downstream of the plan is unchanged; the full original chain
+rides along in ``fused_from`` for metric/trace identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Sequence, Union
+
+from repro.core.graph import Farm, Pipe, StageSpec, _worker_chain
+from repro.core.opt.fused import FusedFactory
+from repro.core.opt.report import OptReport
+
+#: per-item cost (seconds) at or under which an unhinted-but-costed
+#: stage is considered lightweight enough to fuse
+FUSE_COST_THRESHOLD = 100e-6
+
+Element = Union[StageSpec, Farm]
+
+
+def _serial(spec: StageSpec) -> bool:
+    """True when the spec can never be replicated, now or elastically."""
+    if spec.replicas > 1:
+        return False
+    return not (spec.max_replicas is not None and spec.max_replicas > 1)
+
+
+def fuse_eligible(spec: StageSpec) -> bool:
+    """Fusion legality for one spec (serial-ness checked separately)."""
+    if spec.no_fuse or spec.fusible is False:
+        return False
+    if spec.fused_from:
+        return False  # already a fusion product
+    from repro.core.opt.vectorize import resolve_vectorized
+
+    if resolve_vectorized(spec):  # batch kernels keep their own unit
+        return False
+    if spec.fusible:
+        return True
+    return spec.cost is not None and spec.cost <= FUSE_COST_THRESHOLD
+
+
+def _fuse_run(run: Sequence[StageSpec]) -> StageSpec:
+    """Build the single spec replacing a fusible run of >= 2 specs."""
+    head = run[0]
+    cost = None
+    if all(s.cost is not None for s in run):
+        cost = sum(s.cost for s in run)
+    return replace(
+        head,
+        factory=FusedFactory([s.factory for s in run],
+                             [s.name for s in run]),
+        pinned=any(s.pinned for s in run),
+        min_replicas=None,
+        max_replicas=None,
+        cost=cost,
+        fusible=False,  # a fused unit never re-fuses
+        vectorized=None,
+        fused_from=tuple(run),
+    )
+
+
+def _fuse_chain(chain: Sequence[StageSpec]) -> List[StageSpec]:
+    """Collapse maximal eligible runs within a serial chain."""
+    out: List[StageSpec] = []
+    run: List[StageSpec] = []
+
+    def flush() -> None:
+        if len(run) >= 2:
+            out.append(_fuse_run(run))
+        else:
+            out.extend(run)
+        run.clear()
+
+    for spec in chain:
+        if _serial(spec) and fuse_eligible(spec):
+            run.append(spec)
+        else:
+            flush()
+            out.append(spec)
+    flush()
+    return out
+
+
+def fuse_stages(elements: Sequence[Element],
+                report: OptReport) -> List[Element]:
+    """Run the fusion pass; records what happened in ``report``."""
+    report.passes.append("fusion")
+    out: List[Element] = []
+    i = 0
+    while i < len(elements):
+        el = elements[i]
+        if isinstance(el, Farm):
+            out.append(_fuse_farm(el, report))
+            i += 1
+            continue
+        # gather the maximal run of top-level serial StageSpecs
+        j = i
+        while j < len(elements) and isinstance(elements[j], StageSpec):
+            j += 1
+        fused = _fuse_chain(elements[i:j])
+        for spec in fused:
+            if spec.fused_from:
+                k = len(spec.fused_from)
+                report.stages_fused += k
+                report.channels_deleted += k - 1
+                report.fused.append({
+                    "into": spec.name,
+                    "stages": [s.name for s in spec.fused_from],
+                    "replicas": 1,
+                })
+        out.extend(fused)
+        i = j
+    return out
+
+
+def _fuse_farm(farm: Farm, report: OptReport) -> Farm:
+    """Fuse the serial chain inside a farm-of-pipelines worker."""
+    chain = _worker_chain(farm)
+    if len(chain) < 2:
+        return farm
+    fused = _fuse_chain(chain)
+    if len(fused) == len(chain):
+        return farm
+    for spec in fused:
+        if spec.fused_from:
+            k = len(spec.fused_from)
+            report.stages_fused += k
+            # one private hop per deleted boundary, in every replica
+            report.channels_deleted += (k - 1) * farm.replicas
+            report.fused.append({
+                "into": spec.name,
+                "stages": [s.name for s in spec.fused_from],
+                "replicas": farm.replicas,
+            })
+    worker: Union[StageSpec, Pipe]
+    if len(fused) == 1:
+        worker = fused[0]
+    else:
+        name = farm.worker.name if isinstance(farm.worker, Pipe) else farm.name
+        worker = Pipe(fused, name=name)
+    return Farm(worker=worker, replicas=farm.replicas, ordered=farm.ordered,
+                scheduling=farm.scheduling, placement=farm.placement,
+                name=farm.name, min_replicas=farm.min_replicas,
+                max_replicas=farm.max_replicas)

@@ -1,0 +1,41 @@
+"""What the optimizer did to a graph, in numbers.
+
+An :class:`OptReport` is produced by every :func:`repro.core.opt.optimize`
+invocation and travels on the plan (``ExecutionPlan.opt``) so executors can
+surface it in ``RunResult.details["opt"]``.  It is deliberately flat and
+JSON-friendly: the harness aggregates several of them into one ``[opt]``
+summary line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class OptReport:
+    """Summary of one optimizer run over a flattened graph."""
+
+    passes: List[str] = field(default_factory=list)
+    stages_fused: int = 0
+    channels_deleted: int = 0
+    kernels_compiled: int = 0
+    #: one entry per fusion group: {"into", "stages", "replicas"}
+    fused: List[Dict[str, Any]] = field(default_factory=list)
+    #: names of stages lowered to batch kernels
+    vectorized: List[str] = field(default_factory=list)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.stages_fused or self.vectorized)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "passes": list(self.passes),
+            "stages_fused": self.stages_fused,
+            "channels_deleted": self.channels_deleted,
+            "kernels_compiled": self.kernels_compiled,
+            "fused": [dict(g) for g in self.fused],
+            "vectorized": list(self.vectorized),
+        }

@@ -33,7 +33,7 @@ Lowering rules (FastFlow's):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Union
 
 from repro.core.config import ExecConfig, Scheduling
 from repro.core.graph import (
@@ -43,6 +43,9 @@ from repro.core.graph import (
     StageSpec,
     _worker_chain,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.opt import OptReport
 
 
 @dataclass
@@ -149,6 +152,8 @@ class ExecutionPlan:
     sort_output: bool = False
     #: replicated segments the controller may grow/shrink, by name
     elastic: Dict[str, "ElasticGroup"] = field(default_factory=dict)
+    #: what the graph optimizer did while lowering (None = optimizer off)
+    opt: Optional["OptReport"] = None
 
     @property
     def total_threads(self) -> int:
@@ -157,14 +162,29 @@ class ExecutionPlan:
 
     @property
     def tracks(self) -> List[str]:
-        """Every unit's track name, in spawn order."""
-        return ([self.source.track]
-                + [s.track for s in self.sequencers]
-                + [u.track for u in self.stages])
+        """Every *observable* track name, in spawn order.
+
+        A fused unit owns one thread but one track per original stage —
+        trace structure is part of the metric-identity guarantee, so
+        fusion must not change this list's contents.
+        """
+        out = [self.source.track] + [s.track for s in self.sequencers]
+        for u in self.stages:
+            for spec in (u.spec.fused_from or (u.spec,)):
+                out.append(f"{spec.name}[{u.replica}]")
+        return out
 
     def metric_replicas(self) -> Dict[str, int]:
-        """Metrics identity: stage metric name -> replica width."""
-        return {u.metric_name: u.replicas for u in self.stages}
+        """Metrics identity: stage metric name -> replica width.
+
+        Fused units contribute one entry per original stage, so the
+        identity is invariant under optimization.
+        """
+        out: Dict[str, int] = {}
+        for u in self.stages:
+            for spec in (u.spec.fused_from or (u.spec,)):
+                out[spec.name] = u.replicas
+        return out
 
 
 @dataclass
@@ -268,9 +288,10 @@ class _Segment:
         return self.max_replicas is not None and self.max_replicas > self.replicas
 
 
-def _segments(graph: PipelineGraph, config: ExecConfig) -> List[_Segment]:
+def _segments(elements: List[Union[StageSpec, Farm]],
+              config: ExecConfig) -> List[_Segment]:
     segs: List[_Segment] = []
-    for el in graph.flattened():
+    for el in elements:
         if isinstance(el, StageSpec):
             sched = el.scheduling if el.scheduling is not None else config.scheduling
             segs.append(_Segment([el], el.replicas, el.ordered, sched,
@@ -289,16 +310,26 @@ def build_plan(graph: PipelineGraph,
                config: Optional[ExecConfig] = None) -> ExecutionPlan:
     """Lower ``graph`` into an :class:`ExecutionPlan`.
 
-    ``config`` only resolves per-stage scheduling defaults (which decide
-    channel fan-out policy); the plan's structure — units, channels,
-    sequencer points, thread count — is config-independent.
+    The graph optimizer (:mod:`repro.core.opt`) runs here, between
+    flattening and lowering, unless disabled via ``config.optimize``
+    (or the ambient :func:`repro.core.opt.use_optimizer` default).
+    Besides the optimizer and per-stage scheduling defaults (which
+    decide channel fan-out policy), the plan's structure — units,
+    channels, sequencer points, thread count — is config-independent.
     """
     cfg = config if config is not None else ExecConfig()
     graph.validate()
-    segs = _segments(graph, cfg)
+    elements = graph.flattened()
+    opt_report = None
+    if cfg.resolved_optimize():
+        from repro.core.opt import optimize
+
+        elements, opt_report = optimize(elements)
+    segs = _segments(elements, cfg)
 
     plan = ExecutionPlan(graph_name=graph.name,
-                         source=SourceUnit(graph.source, out_channel=""))
+                         source=SourceUnit(graph.source, out_channel=""),
+                         opt=opt_report)
 
     def channel(name: str, producers: int, consumers: int,
                 per_consumer: bool = False, placement=None) -> str:

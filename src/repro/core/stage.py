@@ -91,6 +91,14 @@ class StageContext:
 class Stage:
     """Base class for stage logic; one instance per replica."""
 
+    #: Optional batch kernel hook for the vectorize pass (see
+    #: :mod:`repro.core.opt`).  Subclasses override this as a *method*
+    #: ``process_batch(self, items, ctx) -> sequence`` with a strict 1:1
+    #: contract (one output per input, same order); the optimizer
+    #: auto-detects it on instance-built stages, or it is forced with
+    #: ``StageSpec(vectorized=True)``.  ``None`` means item-at-a-time.
+    process_batch = None
+
     def on_start(self, ctx: StageContext) -> None:  # noqa: B027 - optional hook
         """Called once per replica before the first item."""
 

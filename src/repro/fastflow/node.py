@@ -74,11 +74,20 @@ class ff_node:
         return outs
 
     def to_stage_spec(self, index: int):
-        """Lower this node to a serial core stage."""
+        """Lower this node to a serial core stage.
+
+        Optimizer hints set as node attributes (``fusible``, ``cost``,
+        ``no_fuse`` — e.g. by SPar's compiled per-item stages) pass
+        through to the spec so annotated code benefits from stage fusion
+        without touching the core IR.
+        """
         from repro.core.graph import StageSpec
 
         return StageSpec(factory=lambda n=self: _NodeStage(n),
-                         name=f"stage@{index}", replicas=1)
+                         name=f"stage@{index}", replicas=1,
+                         fusible=getattr(self, "fusible", None),
+                         cost=getattr(self, "cost", None),
+                         no_fuse=getattr(self, "no_fuse", False))
 
 
 class _NodeStage(Stage):

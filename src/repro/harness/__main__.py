@@ -115,16 +115,29 @@ def main(argv=None) -> int:
                              "TuningPolicy, e.g. "
                              "--policy max_replicas=8,window=0.5 "
                              "(installs it ambiently; forces telemetry on)")
+    parser.add_argument("--opt", dest="opt", action="store_true",
+                        default=True,
+                        help="run the graph optimizer — stage fusion and "
+                             "batch vectorization — when lowering plans "
+                             "(the default)")
+    parser.add_argument("--no-opt", dest="opt", action="store_false",
+                        help="disable the graph optimizer, for A/B runs "
+                             "against the unoptimized lowering")
     args = parser.parse_args(argv)
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     default_scale = {"fig1": "paper", "fig4": "paper", "fig5": "small",
                      "ablations": "paper"}
     trace_dir = pathlib.Path(args.trace_dir)
+    from repro.core.opt import collect_reports, use_optimizer
+
     for name in names:
         scale = args.scale or default_scale[name]
         recorder = None
+        opt_reports: list = []
         with contextlib.ExitStack() as stack:
+            stack.enter_context(use_optimizer(args.opt))
+            stack.enter_context(collect_reports(opt_reports))
             if args.trace:
                 trace_dir.mkdir(parents=True, exist_ok=True)
                 recorder = SpanRecorder()
@@ -137,6 +150,7 @@ def main(argv=None) -> int:
                 from repro.control import use_policy
                 stack.enter_context(use_policy(args.policy))
             report = REGISTRY[name](scale=scale)
+        report.meta["opt"] = _opt_summary(args.opt, opt_reports)
         if recorder is not None:
             chrome_path = trace_dir / f"{name}.trace.json"
             summary_path = trace_dir / f"{name}.obs.json"
@@ -148,8 +162,32 @@ def main(argv=None) -> int:
             print(json.dumps(report.as_dict(), indent=2))
         else:
             print(render_table(report, bars=not args.no_bars))
+            print(_opt_line(report.meta["opt"]))
             print()
     return 0
+
+
+def _opt_summary(enabled: bool, reports: list) -> dict:
+    """Aggregate the per-plan OptReports of one experiment."""
+    return {
+        "enabled": enabled,
+        "plans": len(reports),
+        "stages_fused": sum(r.stages_fused for r in reports),
+        "channels_deleted": sum(r.channels_deleted for r in reports),
+        "kernels_compiled": sum(r.kernels_compiled for r in reports),
+        "vectorized": sorted({n for r in reports for n in r.vectorized}),
+    }
+
+
+def _opt_line(summary: dict) -> str:
+    if not summary["enabled"]:
+        return "[opt] disabled (--no-opt)"
+    vec = (f" vectorized={','.join(summary['vectorized'])}"
+           if summary["vectorized"] else "")
+    return (f"[opt] plans={summary['plans']} "
+            f"stages_fused={summary['stages_fused']} "
+            f"channels_deleted={summary['channels_deleted']} "
+            f"kernels_compiled={summary['kernels_compiled']}{vec}")
 
 
 if __name__ == "__main__":

@@ -60,6 +60,11 @@ class _StageFnNode(ff_node):
     def __init__(self, fn: Callable[[Any], Any]):
         super().__init__()
         self.fn = fn
+        # A compiled per-item SPar stage is a single Python call with no
+        # I/O of its own — exactly what the optimizer's stage-fusion pass
+        # wants to collapse.  Marking it here means annotated code gets
+        # fusion for free (GPU stages stay unmarked: they own a device).
+        self.fusible = True
         # Generated stage fns are locals of the driver — unpicklable by
         # reference.  Ship by name instead: register here (parent side,
         # before any worker process forks), restore from the child's
