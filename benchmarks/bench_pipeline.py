@@ -29,6 +29,13 @@ chain — top-level on the thread backend, as a farm-of-pipelines on the
 process backend so the chain actually crosses the fork boundary — and
 (b) a numpy-vectorizable ``process_batch`` farm on both backends.
 
+A sixth section prices the body compiler (``kind=bodycomp``): one
+arithmetic-heavy two-stage chain run three ways — scalar bodies
+item-at-a-time, the same bodies auto-compiled to batch kernels
+(``vectorized="auto"``), and a hand-written ``process_batch`` twin —
+recording ``speedup_vs_scalar`` (acceptance >= 1.5x) and
+``speedup_vs_handwritten`` on the thread and process backends.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
@@ -44,6 +51,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import multiprocessing
 import platform
 import sys
@@ -626,6 +634,195 @@ def _fusion_rows(items: int, replicas: int, batch: int, reps: int,
     return rows
 
 
+def _bc_shade(x):
+    """Stage 1 of the body-compiler chain workload: a pixel-shade-style
+    scalar body — a few dozen numeric ops per item, guard included,
+    every one inside the compiler's subset (no loops)."""
+    t = (x & 1023) / 1024.0
+    s = math.sqrt(t + 0.5) * math.cos(t * 2.1) + math.sin(t * 1.7)
+    g = math.exp(-2.0 * t) * 0.7 + math.log1p(3.0 * t) * 0.45
+    h = math.tanh(s * 0.8 + g) + math.atan2(g, s + 2.0)
+    p = math.exp(-0.5 * h) * math.cos(h * 3.3) + math.sin(g * 2.9)
+    q = math.sqrt(p * p + t + 0.25) + math.log1p(t)
+    r = math.sin(q * 1.9) * math.cos(p + t) + math.exp(-q * 0.5)
+    w = math.tanh(r + q * 0.5) * math.cos(r * 1.3) + math.exp(-t * 1.1)
+    z = math.sqrt(w * w + r * r + 0.125) + math.sin(w * 2.2) * 0.4
+    v = 64.0 * (s * 0.6 + g * 0.4 + h * 1.5 + p * 0.3 + q + r * 0.2
+                + w * 0.15 + z * 0.1)
+    return v - 256.0 if v >= 256.0 else v
+
+
+def _bc_mix(y):
+    """Stage 2: trig-heavy epilogue over stage 1's float."""
+    a = math.sin(y * 0.021) * 0.5 + 0.5
+    b = math.cos(y * 0.013) * math.cos(y * 0.013)
+    c = math.exp(-a * b) + math.log1p(a + b)
+    d = math.hypot(a - b, c * 0.5) + math.tanh(c - 1.0)
+    e = math.sin(c * d) * math.cos(a + d) + math.sqrt(d * d + 0.5)
+    f = math.exp(-e * e * 0.5) + math.sin(e + c) * 0.3
+    g = math.cos(f * d) * math.tanh(a + e) + math.log1p(f * f)
+    h = math.sqrt(g * g + 0.0625) + math.exp(-f) * 0.2
+    m = a * b + math.sqrt(a + b + 0.25) + 0.1 * (c + d + e + f + g + h)
+    return m if m < 4.0 else 4.0 - 1.0 / m
+
+
+class _BcShadeVec(Stage):
+    """Hand-written numpy twin of ``_bc_shade`` — what a performance
+    engineer would write by hand; the yardstick the derived kernel is
+    priced against."""
+
+    def process(self, item, ctx):
+        return _bc_shade(item)
+
+    def process_batch(self, items, ctx):
+        import numpy as np
+
+        x = np.asarray(items)
+        t = (x & 1023) / 1024.0
+        s = np.sqrt(t + 0.5) * np.cos(t * 2.1) + np.sin(t * 1.7)
+        g = np.exp(-2.0 * t) * 0.7 + np.log1p(3.0 * t) * 0.45
+        h = np.tanh(s * 0.8 + g) + np.arctan2(g, s + 2.0)
+        p = np.exp(-0.5 * h) * np.cos(h * 3.3) + np.sin(g * 2.9)
+        q = np.sqrt(p * p + t + 0.25) + np.log1p(t)
+        r = np.sin(q * 1.9) * np.cos(p + t) + np.exp(-q * 0.5)
+        w = np.tanh(r + q * 0.5) * np.cos(r * 1.3) + np.exp(-t * 1.1)
+        z = np.sqrt(w * w + r * r + 0.125) + np.sin(w * 2.2) * 0.4
+        v = 64.0 * (s * 0.6 + g * 0.4 + h * 1.5 + p * 0.3 + q + r * 0.2
+                    + w * 0.15 + z * 0.1)
+        return np.where(v >= 256.0, v - 256.0, v).tolist()
+
+
+class _BcMixVec(Stage):
+    """Hand-written numpy twin of ``_bc_mix``."""
+
+    def process(self, item, ctx):
+        return _bc_mix(item)
+
+    def process_batch(self, items, ctx):
+        import numpy as np
+
+        y = np.asarray(items, dtype=np.float64)
+        a = np.sin(y * 0.021) * 0.5 + 0.5
+        b = np.cos(y * 0.013) * np.cos(y * 0.013)
+        c = np.exp(-a * b) + np.log1p(a + b)
+        d = np.hypot(a - b, c * 0.5) + np.tanh(c - 1.0)
+        e = np.sin(c * d) * np.cos(a + d) + np.sqrt(d * d + 0.5)
+        f = np.exp(-e * e * 0.5) + np.sin(e + c) * 0.3
+        g = np.cos(f * d) * np.tanh(a + e) + np.log1p(f * f)
+        h = np.sqrt(g * g + 0.0625) + np.exp(-f) * 0.2
+        m = a * b + np.sqrt(a + b + 0.25) + 0.1 * (c + d + e + f + g + h)
+        return np.where(m < 4.0, m, 4.0 - 1.0 / m).tolist()
+
+
+def _bodycomp_graph(items: int):
+    """Single-replica farm whose worker chain is the two scalar bodies
+    marked ``vectorized="auto"`` — compiled with the optimizer on, run
+    item-at-a-time with it off.  A farm (not a top-level chain) so the
+    work crosses the fork boundary on the process backend; one replica
+    so the whole body cost sits on the measured path and the A/B prices
+    the kernels, not farm parallelism."""
+    worker = Pipe(StageSpec(FunctionStage(_bc_shade), "shade",
+                            vectorized="auto"),
+                  StageSpec(FunctionStage(_bc_mix), "mix",
+                            vectorized="auto"))
+    return linear_graph(
+        IterSource(range(items)),
+        Farm(worker, replicas=1, ordered=True),
+    )
+
+
+def _bodycomp_handwritten_graph(items: int):
+    worker = Pipe(StageSpec(_BcShadeVec, "shade"),
+                  StageSpec(_BcMixVec, "mix"))
+    return linear_graph(
+        IterSource(range(items)),
+        Farm(worker, replicas=1, ordered=True),
+    )
+
+
+def _bodycomp_rows(items: int, batch: int, reps: int, errors: list) -> list:
+    """The body compiler priced three ways on one chain workload.
+
+    ``scalar`` and ``compiled`` are the *same graph* — only the
+    ``optimize`` flag differs — so ``speedup_vs_scalar`` isolates what
+    deriving the batch kernels buys (acceptance: >= 1.5x).
+    ``speedup_vs_handwritten`` compares the derived kernels against the
+    hand-written ``process_batch`` twin: ~1.0 means the compiler matched
+    what an engineer would write by hand.
+    """
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    n_items = max(items * 64, 32000)  # enough to amortize worker spin-up
+    batch_size = max(batch, 512)  # kernels need room to amortize dispatch
+    rows = []
+    for workers in ("thread", "process"):
+        label = f"chain-{workers}"
+        if workers == "process" and not has_fork:
+            print(f"bodycomp {label:18s} skipped (no fork)")
+            continue
+        variants = {
+            # (build, optimize) per variant
+            "scalar": (lambda: _bodycomp_graph(n_items), False),
+            "compiled": (lambda: _bodycomp_graph(n_items), True),
+            "handwritten": (
+                lambda: _bodycomp_handwritten_graph(n_items), True),
+        }
+        best = {}
+        outputs = {}
+        disposition = None
+        try:
+            for variant, (build, opt) in variants.items():
+                for _ in range(reps):
+                    result = execute(build(), ExecConfig(
+                        mode=ExecMode.NATIVE, workers=workers,
+                        batch_size=batch_size, optimize=opt))
+                    assert result.items_emitted == n_items
+                    if (variant not in best
+                            or result.makespan < best[variant]):
+                        best[variant] = result.makespan
+                        outputs[variant] = list(result.outputs)
+                        if variant == "compiled":
+                            disposition = (result.details["opt"]
+                                           .get("bodycomp", {}))
+            # both stages must really have compiled...
+            assert disposition == {"shade": "compiled", "mix": "compiled"
+                                   }, disposition
+            # ...and all three variants must agree on the numbers
+            for variant in ("compiled", "handwritten"):
+                diff = max((abs(a - b) for a, b in
+                            zip(outputs["scalar"], outputs[variant])),
+                           default=0.0)
+                assert len(outputs[variant]) == n_items
+                assert diff < 1e-9, (variant, diff)
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"bodycomp {label}: {exc!r}")
+            rows.append({"kind": "bodycomp", "scenario": "chain",
+                         "workers": workers, "error": repr(exc)})
+            print(f"bodycomp {label:18s} FAILED: {exc!r}")
+            continue
+        vs_scalar = best["scalar"] / best["compiled"]
+        vs_hand = best["handwritten"] / best["compiled"]
+        rows.append({
+            "kind": "bodycomp",
+            "scenario": "chain",
+            "workers": workers,
+            "items": n_items,
+            "replicas": 1,
+            "batch_size": batch_size,
+            "reps": reps,
+            "makespan_scalar_s": best["scalar"],
+            "makespan_s": best["compiled"],
+            "makespan_handwritten_s": best["handwritten"],
+            "throughput_items_per_s": n_items / best["compiled"],
+            "bodycomp": disposition,
+            "speedup_vs_scalar": vs_scalar,
+            "speedup_vs_handwritten": vs_hand,
+        })
+        print(f"bodycomp {label:18s} makespan={best['compiled']:.6f}s "
+              f"scalar={best['scalar']:.6f}s vs_scalar={vs_scalar:.2f}x "
+              f"vs_handwritten={vs_hand:.2f}x")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -743,6 +940,7 @@ def main(argv=None) -> int:
                                        args.reps, errors))
     rows.extend(_fusion_rows(args.items, args.replicas, args.batch,
                              args.reps, errors))
+    rows.extend(_bodycomp_rows(args.items, args.batch, args.reps, errors))
 
     doc = {
         "benchmark": "pipeline",

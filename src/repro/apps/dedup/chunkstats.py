@@ -1,0 +1,107 @@
+"""Dedup chunk statistics: Rabin/SHA1 per-block stats as compiled stages.
+
+The dedup pipelines move whole ``Batch`` objects with byte payloads —
+opaque to a numeric batch kernel.  This module streams the *per-block
+records* instead: chunking and hashing run once up front (they are
+byte-level and stay scalar), and the numeric epilogue — size deviation
+against the target block size, boundary-fingerprint uniformity, digest
+bucketing — is written as two ordinary scalar bodies marked
+``vectorized="auto"``.  The body compiler derives batch kernels for
+both: ``rabin_stat`` reads item *fields* (``ChunkRec`` attributes) and
+``sha1_stat`` reads const-index *subscripts* of the tuple the first
+stage emits, so between them the pair exercises both record layouts the
+compiler supports.  With the optimizer off the same graph runs the same
+bodies item-at-a-time; outputs are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.config import ExecConfig
+from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
+from repro.core.run import RunResult, execute
+from repro.core.stage import FunctionStage, IterSource
+
+from repro.apps.dedup.rabin import DEFAULT_MASK_BITS, GearChunker, make_batches
+from repro.apps.dedup.sha1 import sha1_fast
+
+#: the chunker's target (expected) block size
+MEAN_BLOCK = 1 << DEFAULT_MASK_BITS
+
+
+@dataclass(frozen=True)
+class ChunkRec:
+    """One content-defined block, reduced to its numeric facts."""
+
+    length: int    # block size in bytes
+    fp: int        # low 32 bits of the Gear state at the cut boundary
+    digest32: int  # first 4 bytes of the SHA-1 digest, big-endian
+
+
+def chunk_records(data: bytes, chunker: Optional[GearChunker] = None,
+                  ) -> List[ChunkRec]:
+    """Chunk ``data`` and hash every block (the scalar front half)."""
+    chunker = chunker or GearChunker()
+    records: List[ChunkRec] = []
+    for batch in make_batches(data, chunker):
+        h = chunker.fingerprints(batch.data)
+        bounds = batch.block_bounds
+        for start, end in zip(bounds, bounds[1:]):
+            block = batch.data[start:end]
+            fp = int(h[end - 1]) & 0xFFFFFFFF if end > 0 else 0
+            digest32 = int.from_bytes(sha1_fast(block)[:4], "big")
+            records.append(ChunkRec(length=len(block), fp=fp,
+                                    digest32=digest32))
+    return records
+
+
+def rabin_stat(rec) -> Tuple[int, float, float]:
+    """Per-block Rabin stats: (digest32, size skew, boundary score)."""
+    dev = (rec.length - 8192.0) / 8192.0
+    skew = dev if dev > 0.0 else -dev
+    score = (rec.fp & 0xFFF) / 4096.0
+    return (rec.digest32, skew, score)
+
+
+def sha1_stat(item) -> Tuple[int, float]:
+    """Per-block SHA1 stats: (digest-prefix bucket, mixed uniformity)."""
+    d = item[0]
+    skew = item[1]
+    score = item[2]
+    bucket = (d >> 24) & 0xFF
+    uniform = (d & 0xFFFFFF) / 16777216.0
+    mixed = 0.5 * uniform + 0.25 * score + 0.25 * (skew if skew < 1.0
+                                                   else 1.0)
+    return (bucket, mixed)
+
+
+def chunk_stats_reference(records: List[ChunkRec],
+                          ) -> List[Tuple[int, float]]:
+    """The scalar ground truth: both bodies, item-at-a-time."""
+    return [sha1_stat(rabin_stat(r)) for r in records]
+
+
+def chunkstats_graph(records: List[ChunkRec], replicas: int = 4):
+    """Farm-of-pipelines whose worker chain is two compiled stages."""
+    return linear_graph(
+        IterSource(records),
+        Farm(Pipe(StageSpec(FunctionStage(rabin_stat), "rabin_stat",
+                            vectorized="auto"),
+                  StageSpec(FunctionStage(sha1_stat), "sha1_stat",
+                            vectorized="auto")),
+             replicas=replicas, ordered=True, name="chunkstats"),
+    )
+
+
+def dedup_chunk_stats(
+        data: bytes, replicas: int = 4,
+        config: Optional[ExecConfig] = None,
+        chunker: Optional[GearChunker] = None,
+) -> Tuple[List[Tuple[int, float]], RunResult]:
+    """Stream per-block stats through the compiled pipeline."""
+    records = chunk_records(data, chunker)
+    cfg = config or ExecConfig(mode="native", batch_size=128)
+    result = execute(chunkstats_graph(records, replicas), cfg)
+    return list(result.outputs), result

@@ -1,0 +1,73 @@
+"""Pixel-granular Mandelbrot on the core IR with a derived batch kernel.
+
+The line-granular pipelines in :mod:`~repro.apps.mandelbrot.streaming`
+move one image row per item, so there is nothing for a batch kernel to
+amortize.  This variant streams *pixels*: each item is a
+``(count, niter)`` pair sliced from the memoized escape grid, and the
+colour/work stage is an ordinary scalar body marked
+``vectorized="auto"`` — the body compiler derives the NumPy batch kernel
+(Listing 1 line 19 plus the executed-iteration count) and the executors
+run whole ``get_many`` batches through it.  With the optimizer off the
+very same graph runs the scalar body item-at-a-time; outputs are
+bit-identical either way, which is what the harness A/B and the CI
+Mandelbrot check assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ExecConfig
+from repro.core.graph import Farm, StageSpec, linear_graph
+from repro.core.run import RunResult, execute
+from repro.core.stage import FunctionStage, IterSource
+
+from repro.apps.mandelbrot.params import MandelParams
+from repro.apps.mandelbrot.sequential import mandelbrot_grid
+
+
+def pixel_stat(item) -> Tuple[int, int]:
+    """Listing 1's per-pixel epilogue as a compilable scalar body.
+
+    ``item`` is ``(count, niter)``; returns ``(color, work)`` where
+    ``color`` is line 19's ``255 - k*255/niter`` byte and ``work`` is
+    the executed-iteration count the cost models charge.
+    """
+    k = item[0]
+    niter = item[1]
+    color = (255 - (k * 255) // niter) & 0xFF
+    work = k + 1 if k < niter else niter
+    return (color, work)
+
+
+def pixel_graph(params: MandelParams, workers: int = 4):
+    """Source(pixels) -> farm(pixel_stat, auto-compiled) graph."""
+    counts = mandelbrot_grid(params)
+    niter = params.niter
+    flat = [(int(k), niter) for k in counts.ravel()]
+    return linear_graph(
+        IterSource(flat),
+        Farm(StageSpec(FunctionStage(pixel_stat), "pixel_stat",
+                       vectorized="auto"),
+             replicas=workers, ordered=True, name="pixels"),
+    )
+
+
+def mandelbrot_pixelstream(
+        params: MandelParams, workers: int = 4,
+        config: Optional[ExecConfig] = None,
+) -> Tuple[np.ndarray, int, RunResult]:
+    """Run the pixel pipeline; returns (image, total_work, result).
+
+    ``image`` matches :func:`mandelbrot_sequential` exactly and
+    ``total_work`` matches ``sequential_stats``'s executed-iteration
+    total, optimizer on or off.
+    """
+    cfg = config or ExecConfig(mode="native", batch_size=256)
+    result = execute(pixel_graph(params, workers), cfg)
+    colors = np.fromiter((c for c, _ in result.outputs), dtype=np.uint8,
+                         count=len(result.outputs))
+    total_work = sum(w for _, w in result.outputs)
+    return colors.reshape(params.dim, params.dim), total_work, result

@@ -97,8 +97,11 @@ class StageSpec:
     under the fusion threshold — unknown stages are left alone.
     ``vectorized`` lowers the stage to a batch kernel: ``True`` requires
     the stage instance to define ``process_batch(items, ctx)``, a
-    callable is used directly as a 1:1 ``list -> list`` kernel, and
-    ``None`` auto-detects ``process_batch`` on instance-built stages.
+    callable is used directly as a 1:1 ``list -> list`` kernel,
+    ``"auto"`` asks the body compiler to derive the kernel from the
+    scalar ``process`` body (falling back to the scalar path when the
+    body leaves the supported subset), and ``None`` auto-detects
+    ``process_batch`` on instance-built stages.
     ``fused_from`` is optimizer-internal output: the original specs a
     fused unit replaces (metric/trace identity is derived from it).
     """
@@ -126,10 +129,12 @@ class StageSpec:
         if self.cost is not None and self.cost < 0:
             raise GraphError(f"stage {self.name!r}: cost must be >= 0")
         if self.vectorized is not None and not (
-                isinstance(self.vectorized, bool) or callable(self.vectorized)):
+                isinstance(self.vectorized, bool)
+                or self.vectorized == "auto"
+                or callable(self.vectorized)):
             raise GraphError(
-                f"stage {self.name!r}: vectorized must be None, a bool, or "
-                "a callable batch kernel")
+                f"stage {self.name!r}: vectorized must be None, a bool, "
+                "\"auto\", or a callable batch kernel")
         if isinstance(self.factory, Stage):
             # Accept a ready instance for serial stages (and for stateless
             # FunctionStage wrappers); replicated stateful stages need a

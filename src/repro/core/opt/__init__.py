@@ -24,29 +24,43 @@ from contextvars import ContextVar
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.graph import Farm, StageSpec
+from repro.core.opt.bodycomp import (
+    CompiledKernel,
+    UnsupportedConstruct,
+    bodycomp_stats,
+    try_compile_spec,
+)
 from repro.core.opt.fused import FusedFactory, FusedStage
 from repro.core.opt.fusion import FUSE_COST_THRESHOLD, fuse_stages
 from repro.core.opt.report import OptReport
 from repro.core.opt.vectorize import (
     BatchKernel,
+    auto_vectorize_default,
     clear_kernel_cache,
     get_kernel,
     kernel_cache_stats,
+    use_auto_vectorize,
     vectorize_stages,
 )
 
 __all__ = [
     "FUSE_COST_THRESHOLD",
     "BatchKernel",
+    "CompiledKernel",
     "FusedFactory",
     "FusedStage",
     "OptReport",
+    "UnsupportedConstruct",
+    "auto_vectorize_default",
+    "bodycomp_stats",
     "clear_kernel_cache",
     "collect_reports",
     "get_kernel",
     "kernel_cache_stats",
     "optimize",
     "optimizer_default",
+    "try_compile_spec",
+    "use_auto_vectorize",
     "use_optimizer",
 ]
 

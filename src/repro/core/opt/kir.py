@@ -1,0 +1,234 @@
+"""Kernel IR: the typed mini-language the body compiler lowers into.
+
+A scalar ``process`` body that survives :mod:`repro.core.opt.bodycomp`'s
+front end becomes a small expression tree over these nodes.  The tree is
+deliberately pure — no assignment, no control flow, no effects — because
+the lowering already resolved locals by substitution and branches into
+:class:`Where` merges.  That purity is what makes the NumPy translation
+a straight tree walk: every node renders to one vectorized expression
+over whole-batch columns.
+
+Nodes compare by identity (``eq=False``): the compiler shares subtrees
+whenever a local is referenced twice, and the renderer exploits exactly
+that sharing to emit each distinct subexpression once (a free common-
+subexpression elimination).
+
+:func:`render_kernel` turns a result tree plus the discovered input
+columns into the source of ``_kernel(items) -> outputs``, the strict
+1:1 batch-kernel shape the executors already run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+
+class UnsupportedConstruct(Exception):
+    """Raised by the front end when a body leaves the numeric subset.
+
+    ``reason`` is a short slug (``"loop"``, ``"multi-emission"``, ...)
+    recorded verbatim in the OptReport fallback disposition.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True, eq=False)
+class Node:
+    """Base class; identity semantics are load-bearing (see module doc)."""
+
+
+@dataclass(frozen=True, eq=False)
+class Input(Node):
+    """A batch column: the item itself, a field, or a const tuple index."""
+
+    kind: str  # "item" | "field" | "index"
+    ref: Any = None
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Node):
+    value: Any  # int | float | bool | complex
+
+
+@dataclass(frozen=True, eq=False)
+class Bin(Node):
+    op: str  # "+", "-", "*", "/", "//", "%", "**", "&", "|", "^", "<<", ">>"
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, eq=False)
+class Un(Node):
+    op: str  # "-", "+", "~"
+    operand: Node
+
+
+@dataclass(frozen=True, eq=False)
+class Cmp(Node):
+    op: str  # "<", "<=", ">", ">=", "==", "!="
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, eq=False)
+class Not(Node):
+    operand: Node
+
+
+@dataclass(frozen=True, eq=False)
+class Where(Node):
+    """``then if cond else other``, elementwise."""
+
+    cond: Node
+    then: Node
+    other: Node
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Node):
+    """A whitelisted function; ``func`` keys :data:`CALL_TEMPLATES` or,
+    with an ``np:`` prefix, names a numpy ufunc directly."""
+
+    func: str
+    args: Tuple[Node, ...]
+
+
+@dataclass(frozen=True, eq=False)
+class Tup(Node):
+    """Tuple value — legal at the result position and inside locals."""
+
+    parts: Tuple[Node, ...]
+
+
+#: non-ufunc call shapes; ``{0}``/``{1}`` are rendered argument names.
+#: ``math.floor``/``ceil``/``trunc`` and ``int()``/``round()`` return
+#: Python ints, so their lowerings cast to int64 to keep the compiled
+#: outputs element-for-element identical to the scalar loop.
+CALL_TEMPLATES: Dict[str, str] = {
+    "abs": "_np.abs({0})",
+    "int": "_np.asarray({0}).astype(_np.int64)",
+    "float": "_np.asarray({0}, dtype=_np.float64)",
+    "bool": "_np.asarray({0}).astype(_np.bool_)",
+    "min2": "_np.minimum({0}, {1})",
+    "max2": "_np.maximum({0}, {1})",
+    "floor_int": "_np.floor({0}).astype(_np.int64)",
+    "ceil_int": "_np.ceil({0}).astype(_np.int64)",
+    "trunc_int": "_np.trunc({0}).astype(_np.int64)",
+    "round_int": "_np.rint({0}).astype(_np.int64)",
+    "round_n": "_np.round({0}, {1})",
+}
+
+
+def _literal(value: Any) -> str:
+    """Render an inlined constant; special-cases non-literal floats."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "(_np.nan)"
+        if math.isinf(value):
+            return "(_np.inf)" if value > 0 else "(-_np.inf)"
+    text = repr(value)
+    return f"({text})" if text.startswith("-") else text
+
+
+def _column_expr(inp: Input) -> str:
+    if inp.kind == "item":
+        return "_np.asarray(items)"
+    if inp.kind == "field":
+        return f"_np.asarray([_i.{inp.ref} for _i in items])"
+    return f"_np.asarray([_i[{inp.ref!r}] for _i in items])"
+
+
+def _emit(node: Node, lines: List[str], memo: Dict[int, str],
+          counter: List[int]) -> str:
+    """Render ``node`` into ``lines``, returning its variable/literal."""
+    key = id(node)
+    if key in memo:
+        return memo[key]
+    if isinstance(node, Const):
+        expr = _literal(node.value)
+        memo[key] = expr
+        return expr
+
+    def sub(child: Node) -> str:
+        return _emit(child, lines, memo, counter)
+
+    if isinstance(node, Bin):
+        expr = f"{sub(node.left)} {node.op} {sub(node.right)}"
+    elif isinstance(node, Un):
+        expr = f"{node.op}{sub(node.operand)}"
+    elif isinstance(node, Cmp):
+        expr = f"{sub(node.left)} {node.op} {sub(node.right)}"
+    elif isinstance(node, Not):
+        expr = f"_np.logical_not({sub(node.operand)})"
+    elif isinstance(node, Where):
+        expr = (f"_np.where({sub(node.cond)}, {sub(node.then)}, "
+                f"{sub(node.other)})")
+    elif isinstance(node, Call):
+        args = [sub(a) for a in node.args]
+        if node.func.startswith("np:"):
+            expr = f"_np.{node.func[3:]}({', '.join(args)})"
+        else:
+            expr = CALL_TEMPLATES[node.func].format(*args)
+    else:  # pragma: no cover - compiler invariant
+        raise UnsupportedConstruct(f"internal:{type(node).__name__}")
+    name = f"_t{counter[0]}"
+    counter[0] += 1
+    lines.append(f"        {name} = {expr}")
+    memo[key] = name
+    return name
+
+
+def render_kernel(result: Node,
+                  inputs: Dict[Tuple[str, Any], Input]) -> str:
+    """Source of ``_kernel(items)`` plus ``_sig(items)`` for one body.
+
+    ``inputs`` maps (kind, ref) to the shared :class:`Input` node in
+    first-use order; each becomes one column extracted up front.  The
+    result is broadcast to the batch length before conversion so bodies
+    that collapse to a constant still honour the strict 1:1 contract.
+    """
+    # np.where evaluates both arms over the whole batch, so a scalar
+    # body's guard (e.g. sqrt only when t >= 0) no longer protects the
+    # other arm — the unselected lanes may raise FP warnings the scalar
+    # loop never would.  errstate silences them; where still picks the
+    # guarded value, so outputs are unaffected.
+    lines = ["def _kernel(items):",
+             "    _n = len(items)",
+             "    if _n == 0:",
+             "        return []",
+             "    with _np.errstate(divide='ignore', invalid='ignore',"
+             " over='ignore'):"]
+    memo: Dict[int, str] = {}
+    col_exprs: List[str] = []
+    for i, inp in enumerate(inputs.values()):
+        lines.append(f"        _c{i} = {_column_expr(inp)}")
+        memo[id(inp)] = f"_c{i}"
+        col_exprs.append(_column_expr(inp))
+    counter = [0]
+    out = "    return list(zip({}))"
+    if isinstance(result, Tup):
+        parts = [_emit(p, lines, memo, counter) for p in result.parts]
+        for j, p in enumerate(parts):
+            lines.append(f"        _o{j} = _np.broadcast_to("
+                         f"_np.asarray({p}), (_n,)).tolist()")
+        lines.append(out.format(", ".join(f"_o{j}"
+                                          for j in range(len(parts)))))
+    else:
+        name = _emit(result, lines, memo, counter)
+        lines.append(f"        _r = _np.broadcast_to("
+                     f"_np.asarray({name}), (_n,))")
+        lines.append("    return _r.tolist()")
+    # the dtype-signature probe reuses the column extraction verbatim
+    lines.append("")
+    lines.append("def _sig(items):")
+    if col_exprs:
+        lines.append("    return tuple(_c.dtype.name for _c in ("
+                     + ", ".join(col_exprs) + ",))")
+    else:
+        lines.append("    return ()")
+    return "\n".join(lines) + "\n"

@@ -25,10 +25,17 @@ class OptReport:
     fused: List[Dict[str, Any]] = field(default_factory=list)
     #: names of stages lowered to batch kernels
     vectorized: List[str] = field(default_factory=list)
+    #: body-compiler disposition per ``"auto"`` stage:
+    #: ``"compiled"`` or ``"fallback:<reason>"``
+    bodycomp: Dict[str, str] = field(default_factory=dict)
 
     @property
     def changed(self) -> bool:
         return bool(self.stages_fused or self.vectorized)
+
+    def compiled_stages(self) -> List[str]:
+        return sorted(n for n, d in self.bodycomp.items()
+                      if d == "compiled")
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -38,4 +45,5 @@ class OptReport:
             "kernels_compiled": self.kernels_compiled,
             "fused": [dict(g) for g in self.fused],
             "vectorized": list(self.vectorized),
+            "bodycomp": dict(self.bodycomp),
         }

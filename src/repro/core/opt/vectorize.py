@@ -14,19 +14,53 @@ The batch contract is strict 1:1 map: ``kernel(items) -> outputs`` with
 ``len(outputs) == len(items)``.  Filtering (``None``) and fan-out
 (``Multi``) stay on the item-at-a-time path; executors enforce the
 contract at runtime.
+
+``vectorized="auto"`` asks the body compiler
+(:mod:`repro.core.opt.bodycomp`) to *derive* the kernel from the stage's
+scalar ``process`` body; :func:`use_auto_vectorize` makes that the
+ambient default for unhinted stages.  Either way an unsupported body
+falls back silently to the scalar path, with the reason recorded in the
+report's per-stage ``bodycomp`` disposition.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
+from contextvars import ContextVar
 from dataclasses import replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.core.graph import Farm, GraphError, Pipe, StageSpec, _worker_chain
+from repro.core.opt.fusion import FUSE_COST_THRESHOLD
 from repro.core.opt.report import OptReport
 from repro.core.stage import InstanceFactory, Stage
 
 Element = Union[StageSpec, Farm]
+
+_AUTO_DEFAULT: ContextVar[bool] = ContextVar("repro_opt_auto_vectorize",
+                                             default=False)
+
+
+def auto_vectorize_default() -> bool:
+    """Ambient body-compiler enablement for unhinted stages."""
+    return _AUTO_DEFAULT.get()
+
+
+@contextlib.contextmanager
+def use_auto_vectorize(enabled: bool) -> Iterator[None]:
+    """Scope the ambient ``vectorized="auto"`` default.
+
+    Inside the context every eligible unhinted serial body is offered to
+    the body compiler; stages it cannot compile keep their scalar path
+    (with the fallback reason reported), so turning this on is always
+    semantics-preserving.
+    """
+    token = _AUTO_DEFAULT.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _AUTO_DEFAULT.reset(token)
 
 
 class BatchKernel:
@@ -61,11 +95,18 @@ def kernel_cache_stats() -> Dict[str, int]:
 
 
 def clear_kernel_cache() -> None:
-    """Test hook: empty the cache and zero the hit/miss counters."""
+    """Test hook: empty the caches and zero every counter.
+
+    Clears the body-compiler cache too so cache-stat assertions are
+    never order-dependent across tests.
+    """
     with _CACHE_LOCK:
         _KERNEL_CACHE.clear()
         _CACHE_STATS["hits"] = 0
         _CACHE_STATS["misses"] = 0
+    from repro.core.opt.bodycomp import clear_body_cache
+
+    clear_body_cache()
 
 
 def _compile(key: Any, build: Callable[[], BatchKernel]) -> BatchKernel:
@@ -93,6 +134,10 @@ def get_kernel(spec: StageSpec, logic: Any) -> Optional[BatchKernel]:
     v = spec.vectorized
     if not v:
         return None
+    if v == "auto":
+        # the optimizer was off (or the body fell back): the hint was
+        # never resolved to a kernel, so the stage runs item-at-a-time
+        return None
     if callable(v) and not isinstance(v, bool):
         fn = v
 
@@ -115,7 +160,12 @@ def get_kernel(spec: StageSpec, logic: Any) -> Optional[BatchKernel]:
 
 
 def resolve_vectorized(spec: StageSpec) -> Any:
-    """Normalize ``vectorized`` (auto-detect None) for one spec."""
+    """Normalize ``vectorized`` (auto-detect None) for one spec.
+
+    Returns the literal ``"auto"`` both for the explicit hint and for
+    unhinted stages under the ambient :func:`use_auto_vectorize`
+    default; the vectorize pass resolves it through the body compiler.
+    """
     v = spec.vectorized
     if v is None:
         # Auto-detect: instance-built or class-factory stages that define
@@ -123,17 +173,45 @@ def resolve_vectorized(spec: StageSpec) -> Any:
         # them at plan time could run user side effects).
         factory = spec.factory
         if isinstance(factory, InstanceFactory):
-            return _has_process_batch(type(factory.instance))
-        if isinstance(factory, type) and issubclass(factory, Stage):
-            return _has_process_batch(factory)
+            if _has_process_batch(type(factory.instance)):
+                return True
+        elif isinstance(factory, type) and issubclass(factory, Stage):
+            if _has_process_batch(factory):
+                return True
+        if (auto_vectorize_default() and not spec.fused_from
+                and spec.fusible is not True
+                and not (spec.cost is not None
+                         and spec.cost <= FUSE_COST_THRESHOLD)):
+            # ambient auto never steals a stage the user hinted toward
+            # fusion; explicit vectorized="auto" (below) always wins
+            return "auto"
         return False
     return v
+
+
+def _try_bodycomp(spec: StageSpec, report: OptReport) -> StageSpec:
+    """Resolve an ``"auto"`` hint through the body compiler."""
+    from repro.core.opt.bodycomp import try_compile_spec
+
+    kernel, reason = try_compile_spec(spec)
+    if kernel is None:
+        report.bodycomp[spec.name] = f"fallback:{reason}"
+        return spec  # scalar path, exactly as before
+    report.bodycomp[spec.name] = "compiled"
+    report.vectorized.append(spec.name)
+    before = kernel_cache_stats()["misses"]
+    compiled = replace(spec, vectorized=kernel)
+    get_kernel(compiled, None)  # pre-warm through the keyed cache
+    report.kernels_compiled += kernel_cache_stats()["misses"] - before
+    return compiled
 
 
 def _vectorize_spec(spec: StageSpec, report: OptReport) -> StageSpec:
     v = resolve_vectorized(spec)
     if not v:
         return spec
+    if v == "auto":
+        return _try_bodycomp(spec, report)
     report.vectorized.append(spec.name)
     # Pre-warm the cache where the key is known without an instance;
     # misses counted here are the pass's "kernels compiled" number.

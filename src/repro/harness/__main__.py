@@ -176,6 +176,11 @@ def _opt_summary(enabled: bool, reports: list) -> dict:
         "channels_deleted": sum(r.channels_deleted for r in reports),
         "kernels_compiled": sum(r.kernels_compiled for r in reports),
         "vectorized": sorted({n for r in reports for n in r.vectorized}),
+        "compiled": sorted({n for r in reports
+                            for n in r.compiled_stages()}),
+        "fallbacks": sum(1 for r in reports
+                         for d in r.bodycomp.values()
+                         if d.startswith("fallback:")),
     }
 
 
@@ -184,10 +189,15 @@ def _opt_line(summary: dict) -> str:
         return "[opt] disabled (--no-opt)"
     vec = (f" vectorized={','.join(summary['vectorized'])}"
            if summary["vectorized"] else "")
+    comp = (f" compiled={','.join(summary['compiled'])}"
+            if summary["compiled"] else "")
+    fall = (f" fallbacks={summary['fallbacks']}"
+            if summary["fallbacks"] else "")
     return (f"[opt] plans={summary['plans']} "
             f"stages_fused={summary['stages_fused']} "
             f"channels_deleted={summary['channels_deleted']} "
-            f"kernels_compiled={summary['kernels_compiled']}{vec}")
+            f"kernels_compiled={summary['kernels_compiled']}"
+            f"{comp}{fall}{vec}")
 
 
 if __name__ == "__main__":

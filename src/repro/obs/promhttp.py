@@ -53,9 +53,26 @@ def render_exposition(registry: "MetricsRegistry") -> str:
             body = f"{{{labels}}}" if labels else ""
             lines.append(f"{name}{body} {value!r}")
 
+    def opt_families() -> None:
+        # optimizer caches are process-global module state (not per-run),
+        # so these families are live even before the first snapshot
+        from repro.core.opt import bodycomp_stats, kernel_cache_stats
+        cache = kernel_cache_stats()
+        family("repro_opt_kernel_cache_hits",
+               "Batch-kernel cache lookups served from cache.", "counter",
+               [("", float(cache["hits"]))])
+        family("repro_opt_kernel_cache_misses",
+               "Batch-kernel cache lookups that compiled.", "counter",
+               [("", float(cache["misses"]))])
+        family("repro_opt_compiled_stages",
+               "Distinct scalar bodies derived into batch kernels.",
+               "gauge",
+               [("", float(bodycomp_stats()["compiled"]))])
+
     if snap is None:
         family("repro_snapshot_seq", "Telemetry snapshots published.",
                "counter", [("", 0.0)])
+        opt_families()
         return "\n".join(lines) + "\n"
 
     family("repro_snapshot_seq", "Telemetry snapshots published.",
@@ -132,6 +149,7 @@ def render_exposition(registry: "MetricsRegistry") -> str:
            "Controller actions applied or refused, by kind.", "counter",
            [(f'action="{_escape(a)}"', float(v))
             for a, v in sorted(registry.control_actions_total.items())])
+    opt_families()
     return "\n".join(lines) + "\n"
 
 

@@ -224,3 +224,24 @@ def test_hybrid_rejects_unknown_model_api():
         hybrid_mandelbrot(SMALL, model="mpi", api="cuda")
     with pytest.raises(ValueError):
         hybrid_mandelbrot(SMALL, model="spar", api="metal")
+
+
+# -- pixel-granular pipeline (body-compiled stat stage) -----------------------
+
+def test_pixelstream_bit_identical_and_compiled(reference):
+    from repro.apps.mandelbrot.pixelstream import mandelbrot_pixelstream
+    img, work, result = mandelbrot_pixelstream(SMALL, workers=2)
+    assert (img == reference).all()
+    assert work == sequential_stats(SMALL)["total_iterations"]
+    assert result.details["opt"]["bodycomp"]["pixel_stat"] == "compiled"
+
+
+def test_pixelstream_opt_off_matches_opt_on():
+    from repro.apps.mandelbrot.pixelstream import mandelbrot_pixelstream
+    img_on, work_on, _ = mandelbrot_pixelstream(SMALL, workers=2)
+    img_off, work_off, ref = mandelbrot_pixelstream(
+        SMALL, workers=2,
+        config=ExecConfig(mode="native", batch_size=256, optimize=False))
+    assert (img_on == img_off).all()
+    assert work_on == work_off
+    assert "opt" not in ref.details

@@ -6,6 +6,7 @@ import pytest
 
 from repro.apps.lzss import cache as lzss_cache
 from repro.core.config import ExecConfig, ExecMode
+from repro.core.opt import clear_kernel_cache
 from repro.sim.machine import paper_machine
 
 
@@ -15,6 +16,18 @@ def _fresh_lzss_cache():
     lzss_cache.clear()
     yield
     lzss_cache.clear()
+
+
+@pytest.fixture(autouse=True)
+def _fresh_kernel_cache():
+    """Isolate the batch-kernel and body-compiler caches between tests.
+
+    The module-global kernel cache and its hit/miss counters otherwise
+    leak across tests, making cache-stat assertions order-dependent.
+    """
+    clear_kernel_cache()
+    yield
+    clear_kernel_cache()
 
 
 @pytest.fixture

@@ -11,7 +11,6 @@ import multiprocessing
 
 import pytest
 
-import repro
 from repro.core.config import ExecConfig
 from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
 from repro.core.plan import build_plan
@@ -62,6 +61,18 @@ class _Vec(Stage):
         return [i * 7 for i in items]
 
 
+def _auto_body(item):
+    x = item * 3 + 1
+    return x - 2 if x % 2 == 0 else x
+
+
+def _loopy_body(item):
+    s = 0
+    for _ in range(2):
+        s += item
+    return s
+
+
 class _Sink(Stage):
     def process(self, item, ctx):
         return item
@@ -100,10 +111,25 @@ def _vectorized_farm():
     )
 
 
+def _auto_compiled_farm():
+    """Replicated body-compiled stage plus a fallback stage: with the
+    optimizer on the first runs a derived batch kernel and the second
+    silently stays scalar; off, both run the scalar bodies."""
+    return linear_graph(
+        IterSource(range(N)),
+        Farm(StageSpec(FunctionStage(_auto_body), "auto",
+                       vectorized="auto"),
+             replicas=2, ordered=True, name="af"),
+        StageSpec(FunctionStage(_loopy_body), "loopy", vectorized="auto"),
+        StageSpec(_Sink, "sink"),
+    )
+
+
 GRAPHS = [
     pytest.param(_chain4, id="chain4"),
     pytest.param(_farm_of_pipelines, id="farm-of-pipelines"),
     pytest.param(_vectorized_farm, id="vectorized-farm"),
+    pytest.param(_auto_compiled_farm, id="auto-compiled-farm"),
 ]
 
 

@@ -373,6 +373,31 @@ def test_render_parse_roundtrip():
     assert 'repro_edge_occupancy{edge="q"} 2.0' in text
 
 
+def _opt_double(item):
+    return item * 2 + 1
+
+
+def test_exposition_includes_opt_families():
+    """The optimizer cache families are live even with no snapshot, and
+    a body-compiled run moves the compiled-stages gauge."""
+    from repro.core.stage import FunctionStage
+
+    def sample(name):
+        fams = parse_exposition(render_exposition(MetricsRegistry()))
+        for fam in ("repro_opt_kernel_cache_hits",
+                    "repro_opt_kernel_cache_misses",
+                    "repro_opt_compiled_stages"):
+            assert fam in fams, fam
+        return fams[name][0][1]
+
+    before = sample("repro_opt_compiled_stages")
+    execute(linear_graph(IterSource(range(8)),
+                         StageSpec(FunctionStage(_opt_double), "d",
+                                   vectorized="auto")),
+            ExecConfig(mode="native", batch_size=4, optimize=True))
+    assert sample("repro_opt_compiled_stages") == before + 1
+
+
 def test_parse_exposition_rejects_garbage():
     with pytest.raises(ValueError):
         parse_exposition("this is not prometheus\n")
