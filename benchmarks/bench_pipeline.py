@@ -36,6 +36,13 @@ item-at-a-time, the same bodies auto-compiled to batch kernels
 recording ``speedup_vs_scalar`` (acceptance >= 1.5x) and
 ``speedup_vs_handwritten`` on the thread and process backends.
 
+A seventh section prices the columnar block transport
+(``kind=columnar``): a block-emitting source feeding a compiled
+two-stage chain, run with ``ExecConfig(columnar=True)`` vs ``False`` —
+identical outputs, identical kernels, only the transport differs —
+recording ``speedup_vs_object_path`` (acceptance >= 1.3x) on the thread
+and process backends.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_pipeline.py \
@@ -60,7 +67,7 @@ import time
 from repro.core.config import ExecConfig, ExecMode
 from repro.core.graph import Farm, Pipe, StageSpec, linear_graph
 from repro.core.run import execute
-from repro.core.stage import FunctionStage, IterSource, Stage
+from repro.core.stage import FunctionStage, IterSource, Source, Stage
 
 
 def _flat_graph(items: int, replicas: int):
@@ -823,6 +830,130 @@ def _bodycomp_rows(items: int, batch: int, reps: int, errors: list) -> list:
     return rows
 
 
+def _col_shift(x):
+    return x * 1.0000001 + 0.5
+
+
+def _col_scale(y):
+    return y * 0.999 - 0.25
+
+
+class _FloatBlockSource(Source):
+    """Block-emitting source for the columnar A/B: consecutive float64
+    runs as scalar-layout ItemBlocks.  With ``columnar=False`` the
+    runtime unpacks each block to per-item envelopes at the source, so
+    the off-leg is exactly the object path the fast path replaces."""
+
+    emits_blocks = True
+
+    def __init__(self, n: int, block: int):
+        self._n, self._block = n, block
+
+    def generate(self, ctx):
+        import numpy as np
+
+        from repro.core.items import ItemBlock
+
+        for start in range(0, self._n, self._block):
+            stop = min(start + self._block, self._n)
+            yield ItemBlock((np.arange(start, stop, dtype=np.float64),))
+
+
+def _columnar_graph(items: int, block: int):
+    """Block source -> farm(shift -> scale, both auto-compiled).
+
+    A single-replica ordered farm, like the bodycomp chain, so the
+    blocks cross the fork boundary on ``workers="process"`` — the leg
+    that prices the shared-memory protocol-5 frames.  The stage bodies
+    are deliberately light: the A/B isolates transport cost, not kernel
+    arithmetic, so per-item envelope handling dominates the off leg.
+    """
+    worker = Pipe(StageSpec(FunctionStage(_col_shift), "shift",
+                            vectorized="auto"),
+                  StageSpec(FunctionStage(_col_scale), "scale",
+                            vectorized="auto"))
+    return linear_graph(
+        _FloatBlockSource(items, block),
+        Farm(worker, replicas=1, ordered=True),
+    )
+
+
+def _columnar_rows(items: int, batch: int, reps: int, errors: list) -> list:
+    """The columnar block transport priced A/B on a compiled chain.
+
+    Same graph, same compiled kernels, only ``ExecConfig.columnar``
+    differs: the on leg hands whole blocks from kernel to kernel (one
+    ring slot / one shm frame per block), the off leg unpacks the source
+    blocks and ships one envelope per item.  Records
+    ``speedup_vs_object_path`` per backend; a result below 1.3x on the
+    compiled-chain workload is recorded as a scenario failure.
+    """
+    has_fork = "fork" in multiprocessing.get_all_start_methods()
+    n_items = max(items * 64, 32000)
+    block = max(batch, 512)
+    rows = []
+    for workers in ("thread", "process"):
+        label = f"chain-{workers}"
+        if workers == "process" and not has_fork:
+            print(f"columnar {label:18s} skipped (no fork)")
+            continue
+        best = {}
+        outputs = {}
+        col_report = None
+        try:
+            for columnar in (False, True):
+                for _ in range(reps):
+                    result = execute(_columnar_graph(n_items, block),
+                                     ExecConfig(
+                                         mode=ExecMode.NATIVE,
+                                         workers=workers,
+                                         batch_size=block,
+                                         columnar=columnar))
+                    assert result.items_emitted == n_items
+                    if (columnar not in best
+                            or result.makespan < best[columnar]):
+                        best[columnar] = result.makespan
+                        outputs[columnar] = list(result.outputs)
+                        if columnar:
+                            col_report = (result.details["opt"]
+                                          .get("columnar", {}))
+            # the fast path must really be on: every edge of the chain
+            # block-typed on the measured leg...
+            col_edges = [n for n, d in (col_report or {}).items()
+                         if d == "columnar"]
+            assert col_edges, col_report
+            # ...and both legs must agree on the stream
+            assert outputs[True] == outputs[False]
+            speedup = best[False] / best[True]
+            if speedup < 1.3:
+                errors.append(
+                    f"columnar {label}: speedup_vs_object_path "
+                    f"{speedup:.2f}x < 1.3x acceptance")
+        except Exception as exc:  # noqa: BLE001 - recorded, then fatal exit
+            errors.append(f"columnar {label}: {exc!r}")
+            rows.append({"kind": "columnar", "scenario": "chain",
+                         "workers": workers, "error": repr(exc)})
+            print(f"columnar {label:18s} FAILED: {exc!r}")
+            continue
+        rows.append({
+            "kind": "columnar",
+            "scenario": "chain",
+            "workers": workers,
+            "items": n_items,
+            "replicas": 1,
+            "block_size": block,
+            "reps": reps,
+            "makespan_object_path_s": best[False],
+            "makespan_s": best[True],
+            "throughput_items_per_s": n_items / best[True],
+            "columnar_edges": sorted(col_edges),
+            "speedup_vs_object_path": speedup,
+        })
+        print(f"columnar {label:18s} makespan={best[True]:.6f}s "
+              f"object={best[False]:.6f}s speedup={speedup:.2f}x")
+    return rows
+
+
 SCENARIOS = [
     # (runtime, topology, runner, supports_nested)
     ("core", "flat", _run_core),
@@ -941,6 +1072,7 @@ def main(argv=None) -> int:
     rows.extend(_fusion_rows(args.items, args.replicas, args.batch,
                              args.reps, errors))
     rows.extend(_bodycomp_rows(args.items, args.batch, args.reps, errors))
+    rows.extend(_columnar_rows(args.items, args.batch, args.reps, errors))
 
     doc = {
         "benchmark": "pipeline",

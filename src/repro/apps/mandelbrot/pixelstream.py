@@ -21,11 +21,40 @@ import numpy as np
 
 from repro.core.config import ExecConfig
 from repro.core.graph import Farm, StageSpec, linear_graph
+from repro.core.items import ItemBlock
 from repro.core.run import RunResult, execute
-from repro.core.stage import FunctionStage, IterSource
+from repro.core.stage import FunctionStage, IterSource, Source
 
 from repro.apps.mandelbrot.params import MandelParams
 from repro.apps.mandelbrot.sequential import mandelbrot_grid
+
+
+class PixelLineSource(Source):
+    """Escape-grid source emitting one image line per :class:`ItemBlock`.
+
+    Each block carries ``dim`` logical ``(count, niter)`` items as two
+    int64 columns sliced straight from the memoized grid — on a columnar
+    plan the whole line travels as one ring slot and feeds the derived
+    batch kernel without ever materializing per-pixel tuples.  On a
+    scalar plan (columnar off, or a non-capable consumer) the runtime
+    unpacks blocks at the source and the stream is indistinguishable from
+    the :class:`~repro.core.stage.IterSource` variant: ``to_items`` on an
+    int64 column restores native Python ints, so the images are
+    bit-identical either way.
+    """
+
+    emits_blocks = True
+
+    def __init__(self, counts: np.ndarray, niter: int):
+        self._counts = counts
+        self._niter = niter
+
+    def generate(self, ctx):
+        niter_col_proto = np.full(self._counts.shape[1], self._niter,
+                                  dtype=np.int64)
+        for row in self._counts:
+            yield ItemBlock((row.astype(np.int64, copy=True),
+                             niter_col_proto.copy()), layout="tuple")
 
 
 def pixel_stat(item) -> Tuple[int, int]:
@@ -42,13 +71,22 @@ def pixel_stat(item) -> Tuple[int, int]:
     return (color, work)
 
 
-def pixel_graph(params: MandelParams, workers: int = 4):
-    """Source(pixels) -> farm(pixel_stat, auto-compiled) graph."""
+def pixel_graph(params: MandelParams, workers: int = 4,
+                blocks: bool = False):
+    """Source(pixels) -> farm(pixel_stat, auto-compiled) graph.
+
+    ``blocks=True`` swaps in :class:`PixelLineSource`, which emits the
+    same pixel stream as line-sized ItemBlocks (the columnar fast path's
+    preferred input shape); the output stream is identical.
+    """
     counts = mandelbrot_grid(params)
     niter = params.niter
-    flat = [(int(k), niter) for k in counts.ravel()]
+    if blocks:
+        source: Source = PixelLineSource(counts, niter)
+    else:
+        source = IterSource([(int(k), niter) for k in counts.ravel()])
     return linear_graph(
-        IterSource(flat),
+        source,
         Farm(StageSpec(FunctionStage(pixel_stat), "pixel_stat",
                        vectorized="auto"),
              replicas=workers, ordered=True, name="pixels"),
@@ -58,15 +96,16 @@ def pixel_graph(params: MandelParams, workers: int = 4):
 def mandelbrot_pixelstream(
         params: MandelParams, workers: int = 4,
         config: Optional[ExecConfig] = None,
+        blocks: bool = False,
 ) -> Tuple[np.ndarray, int, RunResult]:
     """Run the pixel pipeline; returns (image, total_work, result).
 
     ``image`` matches :func:`mandelbrot_sequential` exactly and
     ``total_work`` matches ``sequential_stats``'s executed-iteration
-    total, optimizer on or off.
+    total, optimizer on or off, block source or scalar source.
     """
     cfg = config or ExecConfig(mode="native", batch_size=256)
-    result = execute(pixel_graph(params, workers), cfg)
+    result = execute(pixel_graph(params, workers, blocks=blocks), cfg)
     colors = np.fromiter((c for c, _ in result.outputs), dtype=np.uint8,
                          count=len(result.outputs))
     total_work = sum(w for _, w in result.outputs)

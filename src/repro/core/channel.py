@@ -132,10 +132,11 @@ class SpscChannel:
     """
 
     __slots__ = ("_buf", "_cap", "_head", "_tail", "_abort", "_blocking",
-                 "_cond", "_put_waiting", "_get_waiting")
+                 "_cond", "_put_waiting", "_get_waiting", "_weigh",
+                 "_wput", "_wgot")
 
     def __init__(self, capacity: int, abort: AbortSignal,
-                 blocking: bool = True):
+                 blocking: bool = True, weigh=None):
         if capacity < 1:
             raise ValueError("channel capacity must be >= 1")
         self._buf: List[Any] = [None] * capacity
@@ -145,12 +146,27 @@ class SpscChannel:
         self._abort = abort
         self._blocking = blocking
         self._cond = threading.Condition()
+        abort.register(self._cond)
         self._put_waiting = False
         self._get_waiting = False
-        abort.register(self._cond)
+        #: optional logical-weight hook (columnar edges): maps one queued
+        #: entry to the number of stream items it carries, so occupancy
+        #: gauges keep reporting items when an entry is a whole ItemBlock.
+        #: The two weight counters follow the ring's single-writer
+        #: discipline (producer owns ``_wput``, consumer ``_wgot``).
+        self._weigh = weigh
+        self._wput = 0
+        self._wgot = 0
 
     def qsize(self) -> int:
         return self._tail - self._head
+
+    def qsize_items(self) -> int:
+        """Logical items queued (equals :meth:`qsize` without a weigher)."""
+        if self._weigh is None:
+            return self._tail - self._head
+        n = self._wput - self._wgot
+        return n if n > 0 else 0
 
     def set_blocking(self, blocking: bool) -> bool:
         """Flip the waiting discipline live (autonomic controller lever).
@@ -204,6 +220,8 @@ class SpscChannel:
         if tail - self._head >= self._cap:
             self._wait_for_space()
         self._buf[tail % self._cap] = item
+        if self._weigh is not None:
+            self._wput += self._weigh(item)
         self._tail = tail + 1
         if self._get_waiting:
             with self._cond:
@@ -222,6 +240,9 @@ class SpscChannel:
             take = min(free, n - i)
             for j in range(take):
                 buf[(tail + j) % cap] = items[i + j]
+            if self._weigh is not None:
+                self._wput += sum(self._weigh(items[i + j])
+                                  for j in range(take))
             self._tail = tail + take
             i += take
             if self._get_waiting:
@@ -236,6 +257,8 @@ class SpscChannel:
         idx = head % self._cap
         item = self._buf[idx]
         self._buf[idx] = None
+        if self._weigh is not None:
+            self._wgot += self._weigh(item)
         self._head = head + 1
         if self._put_waiting:
             with self._cond:
@@ -267,6 +290,8 @@ class SpscChannel:
                 break
             buf[idx] = None
             out.append(item)
+        if self._weigh is not None:
+            self._wgot += sum(map(self._weigh, out))
         self._head = head + len(out)
         if self._put_waiting:
             with self._cond:
@@ -285,10 +310,10 @@ class MpmcChannel:
     """
 
     __slots__ = ("_items", "_cap", "_abort", "_blocking", "_lock",
-                 "_not_empty", "_not_full")
+                 "_not_empty", "_not_full", "_weigh", "_witems")
 
     def __init__(self, capacity: int, abort: AbortSignal,
-                 blocking: bool = True):
+                 blocking: bool = True, weigh=None):
         if capacity < 1:
             raise ValueError("channel capacity must be >= 1")
         self._items: deque = deque()
@@ -298,11 +323,30 @@ class MpmcChannel:
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
+        #: logical-weight hook (columnar edges); the shared-queue weight
+        #: total is maintained under the channel's own mutex, so the
+        #: multi-producer case needs no extra synchronization
+        self._weigh = weigh
+        self._witems = 0
         abort.register(self._not_empty)
         abort.register(self._not_full)
 
     def qsize(self) -> int:
         return len(self._items)
+
+    def qsize_items(self) -> int:
+        """Logical items queued (equals :meth:`qsize` without a weigher)."""
+        if self._weigh is None:
+            return len(self._items)
+        return self._witems
+
+    def _weigh_in(self, items) -> None:
+        if self._weigh is not None:
+            self._witems += sum(map(self._weigh, items))
+
+    def _weigh_out(self, items) -> None:
+        if self._weigh is not None:
+            self._witems -= sum(map(self._weigh, items))
 
     def set_blocking(self, blocking: bool) -> bool:
         """Flip the waiting discipline live (see :meth:`SpscChannel.set_blocking`)."""
@@ -320,6 +364,7 @@ class MpmcChannel:
                     self._abort.check()
                     self._not_full.wait()
                 self._items.append(item)
+                self._weigh_in((item,))
                 self._not_empty.notify()
             return
         spins = 0
@@ -327,6 +372,7 @@ class MpmcChannel:
             with self._lock:
                 if len(self._items) < self._cap:
                     self._items.append(item)
+                    self._weigh_in((item,))
                     return
             spins += 1
             if spins > _SPIN_FAST:
@@ -343,6 +389,7 @@ class MpmcChannel:
                         self._not_full.wait()
                     take = min(self._cap - len(self._items), n - i)
                     self._items.extend(items[i:i + take])
+                    self._weigh_in(items[i:i + take])
                     i += take
                     self._not_empty.notify(take)
             return
@@ -353,6 +400,7 @@ class MpmcChannel:
                 if free > 0:
                     take = min(free, n - i)
                     self._items.extend(items[i:i + take])
+                    self._weigh_in(items[i:i + take])
                     i += take
                     continue
             spins += 1
@@ -368,13 +416,16 @@ class MpmcChannel:
                     self._abort.check()
                     self._not_empty.wait()
                 item = self._items.popleft()
+                self._weigh_out((item,))
                 self._not_full.notify()
             return item
         spins = 0
         while True:
             with self._lock:
                 if self._items:
-                    return self._items.popleft()
+                    item = self._items.popleft()
+                    self._weigh_out((item,))
+                    return item
             spins += 1
             if spins > _SPIN_FAST:
                 self._abort.check()
@@ -413,6 +464,7 @@ class MpmcChannel:
                     out.append(items.popleft())
                 break
             out.append(items.popleft())
+        self._weigh_out(out)
         return out
 
 
@@ -429,11 +481,16 @@ class QueueChannel:
     __slots__ = ("_q", "_abort")
 
     def __init__(self, capacity: int, abort: AbortSignal,
-                 blocking: bool = True):
+                 blocking: bool = True, weigh=None):
         self._q: queue.Queue = queue.Queue(maxsize=capacity)
         self._abort = abort
 
     def qsize(self) -> int:
+        return self._q.qsize()
+
+    def qsize_items(self) -> int:
+        # the baseline never carries blocks (columnar transport is
+        # gated off under the queue backend), so entries == items
         return self._q.qsize()
 
     def set_blocking(self, blocking: bool) -> bool:
@@ -652,6 +709,64 @@ class ShmChannel:
         self.put_bytes(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL),
                        items=1)
 
+    def put_obj(self, obj: Any, items: int = 1) -> None:
+        """Write one object as a pickle protocol-5 out-of-band frame.
+
+        Large contiguous buffers (ItemBlock numpy columns) are surfaced
+        through ``buffer_callback`` and *gathered* straight into the ring
+        — one copy from the array into shm, instead of pickle first
+        concatenating everything into an intermediate bytes object and
+        the ring copying that.  Frame payload layout::
+
+            u32 nbuf | nbuf x (u32 len, raw bytes) | pickle bytes
+
+        ``nbuf == 0`` (no out-of-band buffers, or a non-contiguous one
+        that cannot expose raw bytes) degrades to an ordinary in-band
+        pickle, so :meth:`get_obj` reads every frame uniformly.
+        """
+        bufs: List[Any] = []
+        views: List[Any] = []
+        try:
+            data = pickle.dumps(obj, protocol=5,
+                                buffer_callback=bufs.append)
+            views = [b.raw() for b in bufs]
+        except BufferError:
+            views = []
+            data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        parts: List[Any] = [len(views).to_bytes(4, "little")]
+        for v in views:
+            parts.append(len(v).to_bytes(4, "little"))
+            parts.append(v)
+        parts.append(data)
+        if self._plock is not None:
+            with self._plock:
+                self._put_frame(parts, items)
+        else:
+            self._put_frame(parts, items)
+
+    def _put_frame(self, parts: Sequence[Any], items: int) -> None:
+        """Gather-write one frame from multiple byte parts (no join)."""
+        total = 0
+        for p in parts:
+            total += len(p)
+        need = 8 + total
+        if need > self._cap:
+            raise ValueError(
+                f"frame of {need} bytes exceeds shm channel capacity "
+                f"{self._cap}; raise shm_capacity_bytes or lower batch_size"
+            )
+        tail = self._load(0)
+        self._wait(lambda: tail - self._load(8) + need <= self._cap)
+        self._write(tail, total.to_bytes(4, "little"))
+        self._write(tail + 4, items.to_bytes(4, "little"))
+        pos = tail + 8
+        for p in parts:
+            self._write(pos, p)
+            pos += len(p)
+        if items:
+            self._store(16, self._load(16) + items)
+        self._store(0, tail + need)
+
     # -- consumer side -----------------------------------------------------
     def get_bytes(self) -> bytes:
         if self._clock is not None:
@@ -675,6 +790,36 @@ class ShmChannel:
     def get(self) -> Any:
         return pickle.loads(self.get_bytes())
 
+    def get_obj(self) -> Any:
+        """Read one :meth:`put_obj` frame back into an object."""
+        if self._clock is not None:
+            with self._clock:
+                return self._get_obj()
+        return self._get_obj()
+
+    def _get_obj(self) -> Any:
+        head = self._load(8)
+        self._wait(lambda: self._load(0) > head)
+        n = int.from_bytes(self._read(head, 4), "little")
+        items = int.from_bytes(self._read(head + 4, 4), "little")
+        pos = head + 8
+        end = pos + n
+        nbuf = int.from_bytes(self._read(pos, 4), "little")
+        pos += 4
+        buffers: List[bytes] = []
+        for _ in range(nbuf):
+            blen = int.from_bytes(self._read(pos, 4), "little")
+            pos += 4
+            buffers.append(self._read(pos, blen))
+            pos += blen
+        data = self._read(pos, end - pos)
+        obj = (pickle.loads(data, buffers=buffers) if nbuf
+               else pickle.loads(data))
+        if items:
+            self._store(24, self._load(24) + items)
+        self._store(8, end)
+        return obj
+
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
         self._buf = None
@@ -688,12 +833,13 @@ class ShmChannel:
 
 
 def make_channel(capacity: int, abort: AbortSignal, *, blocking: bool = True,
-                 spsc: bool = False, backend: str = "ring"):
+                 spsc: bool = False, backend: str = "ring", weigh=None):
     """Pick the channel implementation for one queue of an edge.
 
     ``spsc`` asserts single-producer/single-consumer access (the common
     case after plan lowering); ``backend="queue"`` forces the baseline
-    regardless, for benchmarking.
+    regardless, for benchmarking.  ``weigh`` (columnar edges) maps one
+    queued entry to its logical item count for ``qsize_items``.
     """
     if backend not in CHANNEL_BACKENDS:
         raise ValueError(
@@ -703,5 +849,5 @@ def make_channel(capacity: int, abort: AbortSignal, *, blocking: bool = True,
     if backend == "queue":
         return QueueChannel(capacity, abort, blocking)
     if spsc:
-        return SpscChannel(capacity, abort, blocking)
-    return MpmcChannel(capacity, abort, blocking)
+        return SpscChannel(capacity, abort, blocking, weigh)
+    return MpmcChannel(capacity, abort, blocking, weigh)

@@ -193,6 +193,14 @@ class ExecConfig:
     #: ambient default installed by :func:`repro.core.opt.use_optimizer`
     #: (the harness's ``--no-opt``), which is on.
     optimize: Optional[bool] = None
+    #: move ``ItemBlock`` batches (struct-of-arrays columns) instead of
+    #: scalar envelopes on edges the plan proves block-capable at both
+    #: ends (compiled/vectorized kernels, block sources, range-aware
+    #: sequencers).  None = the ambient default installed by
+    #: :func:`repro.core.items.use_columnar`, which is on.  Requires the
+    #: ring channel backend and no ``max_tokens`` gate; ineligible edges
+    #: silently stay scalar (reasons in ``OptReport.columnar``).
+    columnar: Optional[bool] = None
 
     def __post_init__(self) -> None:
         self._normalize()
@@ -265,6 +273,14 @@ class ExecConfig:
         from repro.core.opt import optimizer_default
 
         return optimizer_default()
+
+    def resolved_columnar(self) -> bool:
+        """Whether block transport may be planned for this run's edges."""
+        if self.columnar is not None:
+            return bool(self.columnar)
+        from repro.core.items import columnar_default
+
+        return columnar_default()
 
     def replace(self, **kwargs) -> "ExecConfig":
         """A copy with the given fields replaced (validation re-runs)."""

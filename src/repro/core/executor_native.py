@@ -44,7 +44,7 @@ from repro.control.controller import Controller, StageHandle
 from repro.core.channel import Aborted, AbortSignal, make_channel
 from repro.core.config import ExecConfig
 from repro.core.graph import PipelineGraph
-from repro.core.items import EOS, Multi, RETIRE
+from repro.core.items import EOS, ItemBlock, Multi, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
 from repro.core.opt import FusedStage, get_kernel
 from repro.core.ordering import SimpleReorderBuffer
@@ -94,6 +94,22 @@ class Env:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Env(seq={self.seq}, n={len(self.payloads)})"
+
+
+def _is_block_env(env: Env) -> bool:
+    """One envelope carrying one ItemBlock: the columnar wire format."""
+    p = env.payloads
+    return len(p) == 1 and type(p[0]) is ItemBlock
+
+
+def _env_weight(item: Any) -> int:
+    """Logical stream items one queued entry carries (for occupancy)."""
+    if type(item) is Env:
+        n = 0
+        for p in item.payloads:
+            n += p.count if type(p) is ItemBlock else 1
+        return n
+    return 1  # EOS / RETIRE sentinels occupy one slot, as on scalar edges
 
 
 class _ErrorBox(AbortSignal):
@@ -175,6 +191,9 @@ class Edge:
         self.producers = spec.producers
         self.consumers = spec.consumers
         self.errors = errors
+        #: block-typed edge: envelopes may carry whole ItemBlocks, and
+        #: occupancy is reported in logical items (see _env_weight)
+        self.columnar = getattr(spec, "columnar", False)
         self._placement = spec.placement
         self._tracer = tracer
         self._clock = clock
@@ -205,7 +224,8 @@ class Edge:
     def _new_channel(self):
         return make_channel(self._capacity, self.errors,
                             blocking=self._blocking, spsc=self._spsc,
-                            backend=self._backend)
+                            backend=self._backend,
+                            weigh=_env_weight if self.columnar else None)
 
     # -- live rewiring (autonomic controller) ----------------------------
     def set_blocking(self, blocking: bool) -> bool:
@@ -300,11 +320,21 @@ class Edge:
             self._channels[idx].put(RETIRE)
 
     def _sample(self, idx: int) -> None:
+        ch = self._channels[idx]
         self._tracer.counter(self._tracks[idx], "occupancy",
-                             self._clock.now(), self._channels[idx].qsize())
+                             self._clock.now(),
+                             ch.qsize_items() if self.columnar
+                             else ch.qsize())
 
     def qsize_total(self) -> int:
-        """Items queued across all of the edge's channels (metrics gauge)."""
+        """Items queued across all of the edge's channels (metrics gauge).
+
+        On columnar edges a queued entry may be a whole ItemBlock; the
+        gauge reports logical items either way, so occupancy is
+        comparable with the fast path on or off.
+        """
+        if self.columnar:
+            return sum(ch.qsize_items() for ch in self._channels)
         return sum(ch.qsize() for ch in self._channels)
 
     def _route(self, item: Any) -> int:
@@ -440,6 +470,15 @@ class _Outbox:
                 self._probe.put_waited(t1 - t0)
 
 
+def _unpack_blocks(gen):
+    """Adapter: flatten a block-emitting source to a scalar item stream."""
+    for payload in gen:
+        if type(payload) is ItemBlock:
+            yield from payload.to_items()
+        else:
+            yield payload
+
+
 def _normalize_outputs(result: Any) -> tuple[Any, ...]:
     """Stage return value -> tuple of payloads (None filters, Multi expands)."""
     if result is None:
@@ -482,6 +521,9 @@ class UnitRunner:
         self.outbox_batch = 1 if config.max_tokens is not None else self.batch
         self.collect = (config.collect_outputs if collect_outputs is None
                         else collect_outputs)
+        #: the plan proved the sink accepts blocks: last-stage kernels may
+        #: deliver whole ItemBlocks into the output accumulator
+        self.sink_columnar = False
         self._metrics_lock = threading.Lock()
         self.metrics: dict[str, StageMetrics] = {}
         self.outputs: List[Env] = []
@@ -553,11 +595,24 @@ class UnitRunner:
         probe = self._probe("source", src_spec.name, out_edge=out_edge)
         outbox = self._make_outbox(out_edge, track, probe)
         seq = 0
+        emits_blocks = getattr(src_spec, "emits_blocks", False)
+        # block adapter shim: a block-emitting source feeding a scalar
+        # edge unpacks each block into per-item envelopes right here, so
+        # the fast path being off (or unproven) is invisible downstream
+        blocks_on = emits_blocks and out_edge.columnar
         try:
             src.on_start(ctx)
-            for payload in src.generate(ctx):
+            gen = src.generate(ctx)
+            if emits_blocks and not blocks_on:
+                gen = _unpack_blocks(gen)
+            for payload in gen:
                 if not self._gate.is_set():
                     self._wait_gate()
+                if blocks_on and type(payload) is ItemBlock:
+                    payload.seq_start = seq
+                    step = payload.count
+                else:
+                    step = 1
                 env = Env(seq, (payload,))
                 # wait timing runs when tracing, or on the probe's 1-in-N
                 # sampled ops; otherwise the op goes through untimed
@@ -588,8 +643,8 @@ class UnitRunner:
                     else:
                         outbox.put(env)  # times its own flushes
                 if probe is not None:
-                    probe.emitted()
-                seq += 1
+                    probe.emitted(step)
+                seq += step
             src.on_end(ctx)
         except PipelineAborted:
             raise
@@ -638,6 +693,12 @@ class UnitRunner:
         # contiguous 0..n sequence.
         keep_seq = unit.keep_seq
         out_seq = 0
+        # Columnar typing, as the plan proved it: ItemBlock envelopes may
+        # arrive on the in edge, and may be emitted on the out edge (or
+        # into the sink when the whole tail of the plan is columnar).
+        in_blocks = in_edge.columnar
+        emit_blocks = (out_edge.columnar if out_edge is not None
+                       else self.sink_columnar)
         tail: List[Env] = []  # on_end outputs from upstream replicas
         if fused:
             last = len(parts) - 1
@@ -726,19 +787,97 @@ class UnitRunner:
                 elif env.tokened:
                     self.tokens.release()
         elif kernel is not None:
+            blocks = kernel.blocks
+            # Scalar inputs may be re-packed into a fresh block only at a
+            # renumbering stage: a keep_seq unit sees round-robin (gapped)
+            # sequence numbers, which can't form a contiguous range.
+            pack_out = emit_blocks and not keep_seq
+
+            def _kernel_check(n_out: int, n_in: int) -> None:
+                if n_out != n_in:
+                    raise RuntimeError(
+                        f"stage {spec.name!r}: batch kernel returned "
+                        f"{n_out} outputs for {n_in} inputs "
+                        "(vectorized stages are strict 1:1 maps)")
+
+            def _record_block(service: float, n: int, seq: int,
+                              batched: int) -> None:
+                metrics.record_batch(service, n, n)
+                if probe is not None:
+                    probe.record_batch(service, n, n)
+                if tr is not None:
+                    end = clock.now()
+                    tr.span(CAT_STAGE, track, spec.name, end - service, end,
+                            args={"seq": seq, "batch": batched})
+
+            def handle_block(env: Env) -> None:
+                # Columnar fast path: the envelope carries one ItemBlock
+                # whose columns feed the compiled kernel directly; the
+                # output columns become the next block with no per-item
+                # materialization at the hop.
+                nonlocal out_seq
+                block = env.payloads[0]
+                n = block.count
+                t0 = time.perf_counter()
+                outs = out_block = None
+                if blocks is not None:
+                    out_block = blocks.call_block(block)
+                if out_block is None:
+                    # shim: unmappable columns (or an item-level kernel)
+                    # materialize, compute, and re-pack when type-faithful
+                    items = block.to_items()
+                    outs = kernel(logic, items, ctx)
+                    _kernel_check(len(outs), n)
+                    if emit_blocks:
+                        out_block = ItemBlock.try_from_items(
+                            outs, key=block.key)
+                service = time.perf_counter() - t0
+                _record_block(service, n, env.seq, 1)
+                base = block.seq_start if keep_seq else out_seq
+                if out_block is not None and emit_blocks:
+                    out_block.seq_start = base
+                    emit(Env(base, (out_block,), tokened=env.tokened))
+                    out_seq += n
+                    return
+                if outs is None:
+                    outs = out_block.to_items()
+                # scalar out edge: unpack; a keep_seq unit preserves the
+                # block's item-granular range so reorder points downstream
+                # still see the exact sequence tiling
+                if keep_seq:
+                    for i, o in enumerate(outs):
+                        emit(Env(base + i, (o,), tokened=env.tokened))
+                    out_seq += n
+                else:
+                    for o in outs:
+                        emit(Env(out_seq, (o,), tokened=env.tokened))
+                        out_seq += 1
+
             def handle_kernel(env: Env, batch: List[Env]) -> None:
                 nonlocal out_seq
                 flat: List[Any] = []
                 for e in batch:
                     flat.extend(e.payloads)
+                pack = pack_out and all(e.tokened for e in batch)
                 t0 = time.perf_counter()
-                outs = kernel(logic, flat, ctx)
+                outs = out_block = None
+                if pack and blocks is not None:
+                    out_block = blocks.call_items_block(flat)
+                if out_block is None:
+                    outs = kernel(logic, flat, ctx)
+                    _kernel_check(len(outs), len(flat))
+                    if pack:
+                        out_block = ItemBlock.try_from_items(outs)
                 service = time.perf_counter() - t0
-                if len(outs) != len(flat):
-                    raise RuntimeError(
-                        f"stage {spec.name!r}: batch kernel returned "
-                        f"{len(outs)} outputs for {len(flat)} inputs "
-                        "(vectorized stages are strict 1:1 maps)")
+                if out_block is not None:
+                    # scalar->block adapter: this stage renumbers, so the
+                    # batch packs into one contiguous-range block envelope
+                    n = len(flat)
+                    _record_block(service, n, env.seq, len(batch))
+                    out_block.seq_start = out_seq
+                    emit(Env(out_seq, (out_block,), tokened=True))
+                    out_seq += n
+                    return
                 if tr is not None:
                     end = clock.now()
                     tr.span(CAT_STAGE, track, spec.name, end - service, end,
@@ -757,20 +896,37 @@ class UnitRunner:
                     out_seq += 1
 
             if rob is None:
-                def handle(env: Env) -> None:
-                    # one kernel call per get_many batch: drain whatever
-                    # envelopes the multi-pop already fetched
-                    batch = [env]
-                    while inbox and isinstance(inbox[0], Env) \
-                            and inbox[0].payloads:
-                        batch.append(inbox.popleft())
-                    handle_kernel(env, batch)
+                if in_blocks:
+                    def handle(env: Env) -> None:
+                        # mixed streams are legal on columnar edges:
+                        # blocks go one-per-call, scalar runs batch up
+                        if _is_block_env(env):
+                            handle_block(env)
+                            return
+                        batch = [env]
+                        while inbox and isinstance(inbox[0], Env) \
+                                and inbox[0].payloads \
+                                and not _is_block_env(inbox[0]):
+                            batch.append(inbox.popleft())
+                        handle_kernel(env, batch)
+                else:
+                    def handle(env: Env) -> None:
+                        # one kernel call per get_many batch: drain whatever
+                        # envelopes the multi-pop already fetched
+                        batch = [env]
+                        while inbox and isinstance(inbox[0], Env) \
+                                and inbox[0].payloads:
+                            batch.append(inbox.popleft())
+                        handle_kernel(env, batch)
             else:
                 def handle(env: Env) -> None:
                     # reorder point: envelopes arrive one by one in order
-                    handle_kernel(env, [env])
+                    if in_blocks and _is_block_env(env):
+                        handle_block(env)
+                    else:
+                        handle_kernel(env, [env])
         else:
-            def handle(env: Env) -> None:
+            def scalar_handle(env: Env) -> None:
                 nonlocal out_seq
                 t0 = time.perf_counter()
                 outs: List[Any] = []
@@ -797,6 +953,37 @@ class UnitRunner:
                     emit(Env(env.seq, (), tokened=env.tokened))
                 elif env.tokened:
                     self.tokens.release()
+
+            if in_blocks and getattr(spec, "accepts_blocks", False):
+                def handle(env: Env) -> None:
+                    # block-aware stage (accepts_blocks): the whole block
+                    # is one process() call, metrics count its items
+                    nonlocal out_seq
+                    if not _is_block_env(env):
+                        scalar_handle(env)
+                        return
+                    block = env.payloads[0]
+                    t0 = time.perf_counter()
+                    outs = _normalize_outputs(logic.process(block, ctx))
+                    service = time.perf_counter() - t0
+                    metrics.record_batch(service, block.count, len(outs))
+                    if probe is not None:
+                        probe.record_batch(service, block.count, len(outs))
+                    if tr is not None:
+                        end = clock.now()
+                        tr.span(CAT_STAGE, track, spec.name, end - service,
+                                end, args={"seq": env.seq})
+                    if outs:
+                        new_env = Env(env.seq if keep_seq else out_seq,
+                                      outs, tokened=env.tokened)
+                        out_seq += 1
+                        emit(new_env)
+                    elif unit.forward_empty:
+                        emit(Env(env.seq, (), tokened=env.tokened))
+                    elif env.tokened:
+                        self.tokens.release()
+            else:
+                handle = scalar_handle
 
         def next_item() -> Any:
             # read per call: the controller retunes the width live
@@ -862,7 +1049,9 @@ class UnitRunner:
                     if not env.tokened:
                         tail.append(env)  # upstream on_end output: after all items
                         continue
-                    for ordered_env in rob.push(env.seq, env):
+                    w = (env.payloads[0].count
+                         if in_blocks and _is_block_env(env) else 1)
+                    for ordered_env in rob.push_range(env.seq, w, env):
                         if not ordered_env.payloads:
                             # skip-marker from a filtering farm replica
                             if ordered_env.tokened:
@@ -939,7 +1128,10 @@ class UnitRunner:
                 return item
             return in_edge.get(0)
 
-        def send(env: Env) -> None:
+        in_blocks = in_edge.columnar
+        out_blocks = out_edge.columnar
+
+        def send(env: Env, items: int = 1) -> None:
             if probe is not None:
                 if probe.tick_put():
                     t0 = clock.now()
@@ -949,9 +1141,30 @@ class UnitRunner:
                         probe.sampled_put_wait(dt)
                 else:
                     out_edge.put(env)
-                probe.passed()
+                probe.passed(items)
             else:
                 out_edge.put(env)
+
+        def forward(env: Env) -> None:
+            # Renumber one envelope onto the output sequence.  A block
+            # advances the counter by its whole range; when the out edge
+            # is scalar the block is unpacked here (block->scalar shim),
+            # so the consumer side of a columnar segment never changes.
+            nonlocal out_seq
+            p = env.payloads
+            if in_blocks and len(p) == 1 and type(p[0]) is ItemBlock:
+                block = p[0]
+                if out_blocks:
+                    block.seq_start = out_seq
+                    send(Env(out_seq, p, env.tokened), block.count)
+                    out_seq += block.count
+                else:
+                    for item in block.to_items():
+                        send(Env(out_seq, (item,), env.tokened))
+                        out_seq += 1
+                return
+            send(Env(out_seq, p, env.tokened))
+            out_seq += 1
 
         try:
             while True:
@@ -960,16 +1173,16 @@ class UnitRunner:
                     break
                 env: Env = item
                 if rob is None:
-                    send(Env(out_seq, env.payloads, env.tokened))
-                    out_seq += 1
+                    forward(env)
                 elif not env.tokened:
                     tail.append(env)
                 else:
                     if tr is not None and env.seq not in held:
                         held[env.seq] = clock.now()
-                    for ordered in rob.push(env.seq, env):
-                        send(Env(out_seq, ordered.payloads, ordered.tokened))
-                        out_seq += 1
+                    w = (env.payloads[0].count
+                         if in_blocks and _is_block_env(env) else 1)
+                    for ordered in rob.push_range(env.seq, w, env):
+                        forward(ordered)
                         if tr is not None:
                             t_in = held.pop(ordered.seq, None)
                             now = clock.now()
@@ -1178,14 +1391,25 @@ class NativeExecutor:
         # is replicated+ordered, else in arrival order; on_end extras last.
         envs = runner.outputs
         ordered_out: List[Any] = []
+
+        def deliver(e: Env) -> None:
+            # columnar tail: a sink envelope may hold a whole ItemBlock
+            # (its seq is the block's range start, so range-sorted
+            # streams interleave correctly with scalar envelopes)
+            for p in e.payloads:
+                if type(p) is ItemBlock:
+                    ordered_out.extend(p.to_items())
+                else:
+                    ordered_out.append(p)
+
         if self.plan.sort_output:
             keyed = sorted((e for e in envs if e.tokened), key=lambda e: e.seq)
             extras = [e for e in envs if not e.tokened]
             for e in keyed + extras:
-                ordered_out.extend(e.payloads)
+                deliver(e)
         else:
             for e in envs:
-                ordered_out.extend(e.payloads)
+                deliver(e)
 
         result = RunResult(
             makespan=makespan,
@@ -1215,6 +1439,7 @@ class NativeExecutor:
         runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
                                            tracer=tracer, clock=self._clock,
                                            metrics=registry)
+        runner.sink_columnar = plan.sink_columnar
 
         policy = cfg.resolved_policy()
         # Elastic boundary edges may gain producers/consumers mid-run,

@@ -76,6 +76,7 @@ from repro.core.executor_native import (
     NativeExecutor,
     PipelineAborted,
     UnitRunner,
+    _env_weight,
     _ErrorBox,
     _NativeActuator,
     _TokenPool,
@@ -162,6 +163,10 @@ class ShmEdge:
     def __init__(self, spec: ChannelSpec, flag: ShmAbortFlag,
                  blocking: bool, mp_ctx, elastic: bool = False) -> None:
         self.name = spec.name
+        #: block-typed edge: envelopes may carry whole ItemBlocks; the
+        #: frame item counts then tally logical items so the shm
+        #: occupancy gauges stay comparable with the fast path off
+        self.columnar = getattr(spec, "columnar", False)
         #: total-ever producer count; a ``Value`` (not a plain int) so a
         #: worker forked before a grow still sees the live count when it
         #: aggregates EOS (``elastic`` edges may gain producers mid-run)
@@ -242,14 +247,23 @@ class ShmEdge:
             return self._placement(env.seq, self.consumers) % self.consumers
         return next(self._rr)
 
+    def _items_of(self, envs: Sequence[Any]) -> int:
+        if not self.columnar:
+            return len(envs)
+        return sum(_env_weight(e) for e in envs)
+
     # producer side ------------------------------------------------------
+    # Envelope frames use the protocol-5 out-of-band format
+    # (:meth:`ShmChannel.put_obj`): an ItemBlock's numpy columns are
+    # gathered straight from the arrays into the ring — one copy —
+    # instead of pickle concatenating them into an intermediate blob.
     def put(self, env: Any, consumer_hint: Optional[int] = None) -> None:
         if self._shared:
             idx = 0
         else:
             idx = self._route(env) if consumer_hint is None else consumer_hint
-        self._channels[idx].put_bytes(pickle.dumps([env], _PICKLE_PROTO),
-                                      items=1)
+        self._channels[idx].put_obj(
+            [env], items=_env_weight(env) if self.columnar else 1)
         if self._tracer is not None:
             self._sample(idx)
         if self._pending_retire:
@@ -258,8 +272,7 @@ class ShmEdge:
 
     def put_many(self, envs: Sequence[Any]) -> None:
         if self._shared or len(self._channels) == 1:
-            self._channels[0].put_bytes(pickle.dumps(list(envs), _PICKLE_PROTO),
-                                        items=len(envs))
+            self._channels[0].put_obj(list(envs), items=self._items_of(envs))
             if self._tracer is not None:
                 self._sample(0)
         else:
@@ -267,8 +280,8 @@ class ShmEdge:
             for env in envs:
                 buckets.setdefault(self._route(env), []).append(env)
             for idx, bucket in buckets.items():
-                self._channels[idx].put_bytes(
-                    pickle.dumps(bucket, _PICKLE_PROTO), items=len(bucket))
+                self._channels[idx].put_obj(bucket,
+                                            items=self._items_of(bucket))
                 if self._tracer is not None:
                     self._sample(idx)
         if self._pending_retire:
@@ -284,16 +297,15 @@ class ShmEdge:
                 self._eos_fanned.value = 1
         if not last:
             return
-        frame = pickle.dumps([EOS], _PICKLE_PROTO)
         with self._retire_lock:
             self._drain_retires()
             if self._shared:
                 for _ in range(self.consumers):
-                    self._channels[0].put_bytes(frame, items=1)
+                    self._channels[0].put_obj([EOS], items=1)
             else:
                 for i, ch in enumerate(self._channels):
                     if i not in self._retired:
-                        ch.put_bytes(frame, items=1)
+                        ch.put_obj([EOS], items=1)
 
     # elastic rewiring (parent-side only) --------------------------------
     def set_blocking(self, blocking: bool) -> bool:
@@ -340,8 +352,7 @@ class ShmEdge:
             if self._eos_fanned.value:
                 # stream ended while the worker was forking: hand it the
                 # EOS the fan-out skipped so it exits immediately
-                self._channels[idx].put_bytes(
-                    pickle.dumps([EOS], _PICKLE_PROTO), items=1)
+                self._channels[idx].put_obj([EOS], items=1)
                 return
             self._retired.discard(idx)
             self._rotation.append(idx)
@@ -392,9 +403,8 @@ class ShmEdge:
         if not self._pending_retire:
             return
         pending, self._pending_retire = self._pending_retire, []
-        frame = pickle.dumps([RETIRE], _PICKLE_PROTO)
         for idx in pending:
-            self._channels[idx].put_bytes(frame, items=1)
+            self._channels[idx].put_obj([RETIRE], items=1)
 
     # consumer side ------------------------------------------------------
     def _inbox(self, consumer_idx: int) -> deque:
@@ -407,7 +417,7 @@ class ShmEdge:
         idx = 0 if self._shared else consumer_idx
         inbox = self._inbox(consumer_idx)
         if not inbox:
-            inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+            inbox.extend(self._channels[idx].get_obj())
             if self._tracer is not None:
                 self._sample(idx)
         return inbox.popleft()
@@ -417,7 +427,7 @@ class ShmEdge:
         idx = 0 if self._shared else consumer_idx
         inbox = self._inbox(consumer_idx)
         if not inbox:
-            inbox.extend(pickle.loads(self._channels[idx].get_bytes()))
+            inbox.extend(self._channels[idx].get_obj())
             if self._tracer is not None:
                 self._sample(idx)
         out: List[Any] = []
@@ -831,6 +841,7 @@ class ProcessExecutor(NativeExecutor):
         runner = self._runner = UnitRunner(cfg, self._errors, self._tokens,
                                            tracer=tracer, clock=self._clock,
                                            metrics=registry)
+        runner.sink_columnar = plan.sink_columnar
 
         flag = ShmAbortFlag()
         self._errors.flag = flag

@@ -18,6 +18,11 @@ actually had to wait, matching FastFlow's blocking vs non-blocking modes.
 ``ExecConfig.batch_size`` is a native-transport knob only: the simulator
 keeps per-envelope hand-off semantics (and costs) unchanged, so a
 batched native run and a simulated run still produce identical streams.
+The same holds for columnar block transport (``ExecConfig.columnar``):
+the simulator unpacks block-emitting sources to per-item envelopes and
+never forms :class:`~repro.core.items.ItemBlock` payloads, so a columnar
+native run and a simulated run agree on outputs, logical item counts and
+sequence numbering even though the native transport moves whole blocks.
 """
 
 from __future__ import annotations
@@ -27,7 +32,12 @@ from typing import Any, List, Optional, Sequence
 
 from repro.control.controller import Controller, StageHandle
 from repro.core.config import ExecConfig
-from repro.core.executor_native import Env, _ElasticState, _normalize_outputs
+from repro.core.executor_native import (
+    Env,
+    _ElasticState,
+    _normalize_outputs,
+    _unpack_blocks,
+)
 from repro.core.graph import PipelineGraph
 from repro.core.items import EOS, RETIRE
 from repro.core.metrics import RunResult, StageMetrics
@@ -386,7 +396,12 @@ class SimExecutor:
         seq = 0
         with use_cursor(ctx_cursor):
             src.on_start(ctx)
-        for payload in self._iterate_source(src, ctx):
+        source_iter = self._iterate_source(src, ctx)
+        if getattr(src_spec, "emits_blocks", False):
+            # per-item hand-off semantics: blocks are a native-transport
+            # packaging, so the simulator unrolls them at the source
+            source_iter = _unpack_blocks(source_iter)
+        for payload in source_iter:
             if self._tokens is not None:
                 t0 = engine.now
                 yield self._tokens.get()
@@ -398,6 +413,9 @@ class SimExecutor:
             ctx_cursor = ctx.cursor  # refreshed by _iterate_source
             if ctx_cursor.elapsed > 0:
                 yield self.engine.timeout(ctx_cursor.elapsed)
+                # a block's generation cost is charged once, on its first
+                # unpacked item — later items see a zeroed cursor
+                ctx.cursor = self._make_cursor(tid)
             t0 = engine.now
             yield out_edge.put(Env(seq, (payload,)))
             if engine.now > t0:

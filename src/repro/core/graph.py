@@ -58,10 +58,19 @@ def _check_bounds(name: str, kind: str, replicas: int,
 
 @dataclass
 class SourceSpec:
-    """The stream generator at the head of the pipeline."""
+    """The stream generator at the head of the pipeline.
+
+    ``emits_blocks`` declares that ``generate`` yields
+    :class:`~repro.core.items.ItemBlock` batches (each covering a run of
+    consecutive sequence numbers) instead of scalar items.  The plan uses
+    it for per-edge block typing; when the first edge is not columnar the
+    source loop unpacks each block back into scalar envelopes, so a
+    block source is always safe to run with the fast path off.
+    """
 
     factory: Callable[[], Source]
     name: str = "source"
+    emits_blocks: bool = False
 
 
 @dataclass
@@ -119,6 +128,10 @@ class StageSpec:
     cost: Optional[float] = None
     no_fuse: bool = False
     vectorized: Any = None  # None=auto-detect | bool | batch-kernel callable
+    #: stage consumes whole ItemBlocks as items (a block-aware sink):
+    #: ``process`` receives each block un-unpacked; metrics still count
+    #: its ``count`` logical items
+    accepts_blocks: bool = False
     fused_from: tuple = ()
 
     def __post_init__(self) -> None:
@@ -335,7 +348,8 @@ def linear_graph(source: Source | SourceSpec | Callable[[], Source],
     if isinstance(source, SourceSpec):
         src = source
     elif isinstance(source, Source):
-        src = SourceSpec(factory=lambda s=source: s)
+        src = SourceSpec(factory=lambda s=source: s,
+                         emits_blocks=getattr(source, "emits_blocks", False))
     else:
         src = SourceSpec(factory=source)
     g = PipelineGraph(source=src, stages=list(stages), name=name)

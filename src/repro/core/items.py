@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, List, Optional, Sequence
 
 
 class _EndOfStream:
@@ -69,6 +71,160 @@ class Multi:
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "items", tuple(self.items))
+
+
+# scalar types an ItemBlock column can represent without changing the
+# observable item type on the numpy round-trip (tolist() restores them
+# exactly: bool -> bool, int -> int, float -> float, complex -> complex).
+_COLUMN_TYPES = (bool, int, float, complex)
+
+
+class ItemBlock:
+    """Struct-of-arrays batch: a contiguous run of logical stream items.
+
+    A block stands for ``count`` consecutive items occupying sequence
+    numbers ``[seq_start, seq_start + count)``.  ``layout`` says how the
+    columns map back to items:
+
+    - ``"scalar"`` — one column; item ``i`` is ``columns[0][i]``.
+    - ``"tuple"``  — N columns; item ``i`` is
+      ``(columns[0][i], ..., columns[N-1][i])``.
+
+    ``key`` is an optional routing column (per-item partition keys) that
+    rides along untouched; the transport never inspects it.
+
+    Blocks are the unit of the columnar fast path: one ring slot on the
+    thread backend, one protocol-5 out-of-band frame on the shared-memory
+    backend, and a direct column hand-off between compiled kernels.  A
+    block must round-trip: ``to_items()`` yields exactly the Python
+    values the scalar path would have carried (numpy ``tolist`` restores
+    native scalars), which is what the cross-backend equivalence matrix
+    leans on.
+    """
+
+    __slots__ = ("columns", "count", "seq_start", "layout", "key")
+
+    def __init__(self, columns: Sequence[Any], count: Optional[int] = None,
+                 seq_start: int = 0, layout: Optional[str] = None,
+                 key: Any = None):
+        self.columns = tuple(columns)
+        if not self.columns:
+            raise ValueError("ItemBlock needs at least one column")
+        self.count = int(len(self.columns[0]) if count is None else count)
+        self.seq_start = seq_start
+        self.layout = layout or ("scalar" if len(self.columns) == 1
+                                 else "tuple")
+        self.key = key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ItemBlock(count={self.count}, seq_start={self.seq_start},"
+                f" layout={self.layout!r}, cols={len(self.columns)})")
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __reduce__(self):
+        return (ItemBlock, (self.columns, self.count, self.seq_start,
+                            self.layout, self.key))
+
+    def to_items(self) -> List[Any]:
+        """Materialize the logical items (native Python scalars/tuples)."""
+        lists = [_tolist(c) for c in self.columns]
+        if self.layout == "scalar":
+            return lists[0]
+        return list(zip(*lists))
+
+    @classmethod
+    def from_items(cls, items: Sequence[Any], seq_start: int = 0,
+                   key: Any = None) -> "ItemBlock":
+        """Pack scalar items into a block; raises if not representable."""
+        block = cls.try_from_items(items, seq_start, key=key)
+        if block is None:
+            raise ValueError("items are not columnar-representable")
+        return block
+
+    @classmethod
+    def try_from_items(cls, items: Sequence[Any], seq_start: int = 0,
+                       key: Any = None) -> "Optional[ItemBlock]":
+        """Pack items if the numpy round-trip is provably faithful.
+
+        Returns ``None`` (caller keeps the scalar path) unless every item
+        shares one exact scalar type per column — mixed int/float columns
+        would silently coerce ints to floats, and arbitrary objects would
+        land in ``object`` dtype, both of which break the bit-identity
+        contract with the scalar path.
+        """
+        import numpy as np
+
+        if not items:
+            return None
+        first = items[0]
+        if type(first) is tuple:
+            width = len(first)
+            if width == 0:
+                return None
+            types = tuple(type(v) for v in first)
+            if not all(t in _COLUMN_TYPES for t in types):
+                return None
+            for it in items:
+                if type(it) is not tuple or len(it) != width:
+                    return None
+                for v, t in zip(it, types):
+                    if type(v) is not t:
+                        return None
+            try:
+                cols = tuple(np.asarray([it[j] for it in items])
+                             for j in range(width))
+            except OverflowError:
+                return None
+            if any(c.dtype == object for c in cols):
+                return None
+            return cls(cols, len(items), seq_start, "tuple", key=key)
+        t0 = type(first)
+        if t0 not in _COLUMN_TYPES:
+            return None
+        for it in items:
+            if type(it) is not t0:
+                return None
+        try:
+            col = np.asarray(items)
+        except OverflowError:
+            return None
+        if col.dtype == object:
+            return None
+        return cls((col,), len(items), seq_start, "scalar", key=key)
+
+
+def _tolist(col: Any) -> List[Any]:
+    """Column -> list of native Python scalars (lists pass through)."""
+    tolist = getattr(col, "tolist", None)
+    return tolist() if tolist is not None else list(col)
+
+
+def payload_items(payload: Any) -> int:
+    """Logical item count carried by one envelope payload."""
+    return payload.count if type(payload) is ItemBlock else 1
+
+
+# ambient default for ExecConfig.columnar=None, mirroring the optimizer's
+# ambient: the fast path is on unless a scope or config turns it off.
+_COLUMNAR_DEFAULT: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_columnar_default", default=True)
+
+
+def columnar_default() -> bool:
+    """The ambient columnar-transport default (True unless overridden)."""
+    return _COLUMNAR_DEFAULT.get()
+
+
+@contextlib.contextmanager
+def use_columnar(enabled: bool):
+    """Scope the ambient columnar default (A/B runs, tests, harness)."""
+    token = _COLUMNAR_DEFAULT.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _COLUMNAR_DEFAULT.reset(token)
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,27 @@ class StageMetrics:
         if service_time > self.service_max:
             self.service_max = service_time
 
+    def record_batch(self, service_time: float, count: int,
+                     emitted: int) -> None:
+        """Record ``count`` logical items served by one batched call.
+
+        The columnar transport processes a whole ``ItemBlock`` per kernel
+        call; identity requires counting its *items*, not the envelope.
+        Per-item service is the mean share of the call, exactly what the
+        scalar kernel path attributes when it splits one timed call
+        across its batch.
+        """
+        if count <= 0:
+            return
+        per = service_time / count
+        if self.items_in == 0 or per < self.service_min:
+            self.service_min = per
+        self.items_in += count
+        self.items_out += emitted
+        self.busy_time += service_time
+        if per > self.service_max:
+            self.service_max = per
+
     @property
     def service_mean(self) -> float:
         return self.busy_time / self.items_in if self.items_in else 0.0

@@ -505,13 +505,24 @@ class CompiledKernel:
     """
 
     def __init__(self, fn: Callable, sig_fn: Callable, source: str,
-                 origin: Callable, kind: str, consts: Dict[str, Any]):
+                 origin: Callable, kind: str, consts: Dict[str, Any],
+                 cols_fn: Optional[Callable] = None,
+                 extract_fn: Optional[Callable] = None,
+                 input_kinds: Tuple[Tuple[str, Any], ...] = (),
+                 out_parts: Optional[int] = None):
         self._fn = fn
         self._sig_fn = sig_fn
         self.source = source
         self.origin = origin
         self.kind = kind
         self.consts = consts
+        # column-level entry points (block-native transport)
+        self._cols_fn = cols_fn
+        self._extract_fn = extract_fn
+        #: (kind, ref) of each input column, in extraction order
+        self.input_kinds = input_kinds
+        #: result tuple width, or None for a scalar result
+        self.out_parts = out_parts
         #: per-column numpy dtype names of the first batch seen
         self.dtype_signature: Optional[Tuple[str, ...]] = None
 
@@ -519,6 +530,68 @@ class CompiledKernel:
         if self.dtype_signature is None and items:
             self.dtype_signature = self._sig_fn(items)
         return self._fn(items)
+
+    # -- block-native path (columnar transport) -----------------------
+
+    def map_columns(self, block) -> Optional[Tuple[Any, ...]]:
+        """Map an ItemBlock's columns onto this kernel's input columns.
+
+        Returns ``None`` when the block layout cannot feed the kernel
+        directly (field access, whole-item use of a tuple block, ...);
+        the caller then falls back to materializing the items.
+        """
+        cols = []
+        for kind, ref in self.input_kinds:
+            if kind == "item" and block.layout == "scalar":
+                cols.append(block.columns[0])
+            elif (kind == "index" and block.layout == "tuple"
+                  and type(ref) is int and 0 <= ref < len(block.columns)):
+                cols.append(block.columns[ref])
+            else:
+                return None
+        return tuple(cols)
+
+    def _record_sig(self, cols) -> None:
+        if self.dtype_signature is None:
+            self.dtype_signature = tuple(
+                np.asarray(c).dtype.name for c in cols)
+
+    def _out_block(self, out_cols, count: int, seq_start: int, key):
+        from repro.core.items import ItemBlock
+
+        layout = "scalar" if self.out_parts is None else "tuple"
+        return ItemBlock(out_cols, count, seq_start, layout, key=key)
+
+    def call_block(self, block):
+        """ItemBlock in, ItemBlock out — no per-item materialization.
+
+        Returns ``None`` if the block's columns don't map onto the
+        kernel inputs; outputs then take the item-level path instead.
+        """
+        if self._cols_fn is None:
+            return None
+        cols = self.map_columns(block)
+        if cols is None:
+            return None
+        self._record_sig(cols)
+        out = self._cols_fn(cols, block.count)
+        return self._out_block(out, block.count, block.seq_start, block.key)
+
+    def call_items_block(self, items, seq_start: int = 0):
+        """Scalar items in, ItemBlock out (the scalar→block shim).
+
+        Extraction reuses the rendered column expressions, so numerics
+        and dtypes match the item-level kernel exactly.
+        """
+        if self._cols_fn is None or not items:
+            return None
+        try:
+            cols = self._extract_fn(items)
+        except Exception:
+            return None
+        self._record_sig(cols)
+        out = self._cols_fn(cols, len(items))
+        return self._out_block(out, len(items), seq_start, None)
 
     def __repr__(self) -> str:
         return (f"<CompiledKernel {self.origin.__qualname__} "
@@ -564,8 +637,14 @@ def compile_body(fn: Callable, *, kind: str, self_obj: Any = None,
         source = kir.render_kernel(result, inputs)
         namespace: Dict[str, Any] = {"_np": np}
         exec(source, namespace)  # noqa: S102 - compiler back end
+        out_parts = (len(result.parts) if isinstance(result, kir.Tup)
+                     else None)
         kernel = CompiledKernel(namespace["_kernel"], namespace["_sig"],
-                                source, fn, kind, dict(compiler.consts))
+                                source, fn, kind, dict(compiler.consts),
+                                cols_fn=namespace["_kernel_cols"],
+                                extract_fn=namespace["_extract"],
+                                input_kinds=tuple(inputs.keys()),
+                                out_parts=out_parts)
         _BODY_CACHE[key] = kernel
         _STATS["compiled"] += 1
         return kernel

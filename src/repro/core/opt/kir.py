@@ -185,50 +185,71 @@ def _emit(node: Node, lines: List[str], memo: Dict[int, str],
 
 def render_kernel(result: Node,
                   inputs: Dict[Tuple[str, Any], Input]) -> str:
-    """Source of ``_kernel(items)`` plus ``_sig(items)`` for one body.
+    """Source of the kernel family for one body.
 
-    ``inputs`` maps (kind, ref) to the shared :class:`Input` node in
-    first-use order; each becomes one column extracted up front.  The
-    result is broadcast to the batch length before conversion so bodies
-    that collapse to a constant still honour the strict 1:1 contract.
+    Four functions are rendered so the block transport can enter at the
+    column level without changing the established item-level contract:
+
+    - ``_extract(items)`` — the input columns, one numpy array per
+      :class:`Input` in first-use order.
+    - ``_kernel_cols(_cols, _n)`` — the whole computation over column
+      arrays, returning a tuple of output arrays (one per result part)
+      each broadcast to ``(_n,)``.  This is the block-native entry: an
+      ``ItemBlock``'s columns go in, the next block's columns come out,
+      with no per-item materialization in between.
+    - ``_kernel(items)`` — the strict 1:1 item-level kernel the
+      executors already run: extract, compute, materialize.
+    - ``_sig(items)`` — the dtype-signature probe over the same columns.
+
+    The result is broadcast to the batch length before conversion so
+    bodies that collapse to a constant still honour the 1:1 contract.
     """
+    n_in = len(inputs)
+    lines = ["def _extract(items):"]
+    if n_in:
+        lines.append("    return (" +
+                     ", ".join(_column_expr(inp)
+                               for inp in inputs.values()) + ",)")
+    else:
+        lines.append("    return ()")
+    lines.append("")
     # np.where evaluates both arms over the whole batch, so a scalar
     # body's guard (e.g. sqrt only when t >= 0) no longer protects the
     # other arm — the unselected lanes may raise FP warnings the scalar
     # loop never would.  errstate silences them; where still picks the
     # guarded value, so outputs are unaffected.
-    lines = ["def _kernel(items):",
-             "    _n = len(items)",
-             "    if _n == 0:",
-             "        return []",
-             "    with _np.errstate(divide='ignore', invalid='ignore',"
-             " over='ignore'):"]
+    lines.append("def _kernel_cols(_cols, _n):")
     memo: Dict[int, str] = {}
-    col_exprs: List[str] = []
     for i, inp in enumerate(inputs.values()):
-        lines.append(f"        _c{i} = {_column_expr(inp)}")
+        lines.append(f"    _c{i} = _cols[{i}]")
         memo[id(inp)] = f"_c{i}"
-        col_exprs.append(_column_expr(inp))
+    lines.append("    with _np.errstate(divide='ignore', invalid='ignore',"
+                 " over='ignore'):")
     counter = [0]
-    out = "    return list(zip({}))"
+    parts = (list(result.parts) if isinstance(result, Tup) else [result])
+    names = [_emit(p, lines, memo, counter) for p in parts]
+    if counter[0] == 0:
+        # pure pass-through/const body: errstate block needs a statement
+        lines.append("        pass")
+    lines.append("    return (" +
+                 ", ".join(f"_np.broadcast_to(_np.asarray({p}), (_n,))"
+                           for p in names) + ",)")
+    lines.append("")
+    lines.append("def _kernel(items):")
+    lines.append("    _n = len(items)")
+    lines.append("    if _n == 0:")
+    lines.append("        return []")
+    lines.append("    _res = _kernel_cols(_extract(items), _n)")
     if isinstance(result, Tup):
-        parts = [_emit(p, lines, memo, counter) for p in result.parts]
-        for j, p in enumerate(parts):
-            lines.append(f"        _o{j} = _np.broadcast_to("
-                         f"_np.asarray({p}), (_n,)).tolist()")
-        lines.append(out.format(", ".join(f"_o{j}"
-                                          for j in range(len(parts)))))
+        lines.append("    return list(zip(*[_o.tolist() for _o in _res]))")
     else:
-        name = _emit(result, lines, memo, counter)
-        lines.append(f"        _r = _np.broadcast_to("
-                     f"_np.asarray({name}), (_n,))")
-        lines.append("    return _r.tolist()")
+        lines.append("    return _res[0].tolist()")
     # the dtype-signature probe reuses the column extraction verbatim
     lines.append("")
     lines.append("def _sig(items):")
-    if col_exprs:
-        lines.append("    return tuple(_c.dtype.name for _c in ("
-                     + ", ".join(col_exprs) + ",))")
+    if n_in:
+        lines.append("    return tuple(_c.dtype.name"
+                     " for _c in _extract(items))")
     else:
         lines.append("    return ()")
     return "\n".join(lines) + "\n"

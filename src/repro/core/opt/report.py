@@ -28,6 +28,12 @@ class OptReport:
     #: body-compiler disposition per ``"auto"`` stage:
     #: ``"compiled"`` or ``"fallback:<reason>"``
     bodycomp: Dict[str, str] = field(default_factory=dict)
+    #: block-transport disposition per plan edge (filled by
+    #: :func:`repro.core.plan.build_plan`, which owns edge typing):
+    #: ``"columnar"``, plain ``"scalar"`` (endpoints not block-capable),
+    #: or a named fallback reason (``"disabled"``, ``"token-gate"``,
+    #: ``"queue-backend"``, ``"elastic"``, ``"placement"``)
+    columnar: Dict[str, str] = field(default_factory=dict)
 
     @property
     def changed(self) -> bool:
@@ -36,6 +42,10 @@ class OptReport:
     def compiled_stages(self) -> List[str]:
         return sorted(n for n, d in self.bodycomp.items()
                       if d == "compiled")
+
+    def columnar_edges(self) -> List[str]:
+        return sorted(n for n, d in self.columnar.items()
+                      if d == "columnar")
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -46,4 +56,5 @@ class OptReport:
             "fused": [dict(g) for g in self.fused],
             "vectorized": list(self.vectorized),
             "bodycomp": dict(self.bodycomp),
+            "columnar": dict(self.columnar),
         }

@@ -70,14 +70,21 @@ class BatchKernel:
     kernel (``logic``/``ctx`` ignored) or the stage class's unbound
     ``process_batch`` — the kernel object itself is instance-free so one
     cache entry serves every replica of the stage.
+
+    ``blocks`` is the block-native handle (a
+    :class:`~repro.core.opt.bodycomp.CompiledKernel` exposing
+    ``call_block``/``call_items_block``) when the kernel can consume and
+    produce ``ItemBlock`` columns directly; ``None`` means the columnar
+    transport materializes items around this kernel instead.
     """
 
-    __slots__ = ("call", "key")
+    __slots__ = ("call", "key", "blocks")
 
     def __init__(self, call: Callable[[Any, Sequence[Any], Any], Sequence[Any]],
-                 key: Any):
+                 key: Any, blocks: Any = None):
         self.call = call
         self.key = key
+        self.blocks = blocks
 
     def __call__(self, logic: Any, items: Sequence[Any],
                  ctx: Any) -> Sequence[Any]:
@@ -140,9 +147,14 @@ def get_kernel(spec: StageSpec, logic: Any) -> Optional[BatchKernel]:
         return None
     if callable(v) and not isinstance(v, bool):
         fn = v
+        # compiled kernels expose column-level entry points; hand them to
+        # the transport so consecutive compiled stages form columnar
+        # segments with no per-item materialization at the hop
+        blocks = fn if hasattr(fn, "call_block") else None
 
         def build_fn() -> BatchKernel:
-            return BatchKernel(lambda logic, items, ctx: fn(items), key=fn)
+            return BatchKernel(lambda logic, items, ctx: fn(items), key=fn,
+                               blocks=blocks)
 
         return _compile(fn, build_fn)
     cls = type(logic)

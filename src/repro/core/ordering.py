@@ -71,10 +71,18 @@ class SimpleReorderBuffer:
 
     This is the common fast path (every stage emits exactly one item per
     input); the farm collector uses it unless a stage returned ``Multi``.
+
+    The columnar transport pushes *ranges* (:meth:`push_range`): an
+    ``ItemBlock`` envelope covers ``[seq, seq + count)`` of the logical
+    sequence space, and delivery advances by the whole range at once.
+    Scalar pushes are the ``count == 1`` special case, so a stream may
+    freely interleave item and block envelopes — the ranges must still
+    tile the sequence exactly (overlaps raise, gaps stall and are
+    reported via ``pending`` at EOS, same as missing scalar seqs).
     """
 
     def __init__(self, start: int = 0) -> None:
-        self._heap: List[Tuple[int, Any]] = []
+        self._heap: List[Tuple[int, int, Any]] = []
         self._next = start
         self._held: set[int] = set()
         self.max_held = 0
@@ -88,25 +96,38 @@ class SimpleReorderBuffer:
             raise OrderingError(f"duplicate sequence {seq}")
 
     def push(self, seq: int, payload: Any) -> Iterator[Any]:
+        return self.push_range(seq, 1, payload)
+
+    def push_range(self, seq: int, count: int,
+                   payload: Any) -> Iterator[Any]:
+        """Insert a payload covering ``[seq, seq + count)``; drain in order."""
+        if count < 1:
+            raise OrderingError(f"range at {seq} has count {count}")
         self._check(seq)
         self._held.add(seq)
-        heappush(self._heap, (seq, payload))
+        heappush(self._heap, (seq, count, payload))
         self.max_held = max(self.max_held, len(self._heap))
-        while self._heap and self._heap[0][0] == self._next:
-            s, out = heappop(self._heap)
-            self._held.discard(s)
-            self._next += 1
-            yield out
+        return self._drain()
 
     def skip(self, seq: int) -> Iterator[Any]:
         """Declare that ``seq`` produced no output (filtered item)."""
         self._check(seq)
         self._held.add(seq)
-        heappush(self._heap, (seq, _SKIP))
-        while self._heap and self._heap[0][0] == self._next:
-            s, out = heappop(self._heap)
+        heappush(self._heap, (seq, 1, _SKIP))
+        return self._drain()
+
+    def _drain(self) -> Iterator[Any]:
+        while self._heap and self._heap[0][0] <= self._next:
+            s, count, out = self._heap[0]
+            if s < self._next:
+                # a later-arriving range started inside one already
+                # delivered: the streams' ranges do not tile the space
+                raise OrderingError(
+                    f"range [{s}, {s + count}) overlaps sequence "
+                    f"{self._next} already delivered")
+            heappop(self._heap)
             self._held.discard(s)
-            self._next += 1
+            self._next += count
             if out is not _SKIP:
                 yield out
 

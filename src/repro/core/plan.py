@@ -62,6 +62,14 @@ class ChannelSpec:
     consumers: int
     per_consumer: bool = False
     placement: Optional[Callable[[int, int], int]] = None
+    #: block typing: envelopes on this edge may carry whole
+    #: :class:`~repro.core.items.ItemBlock` batches (one ring slot / one
+    #: shm frame per block).  Proven by :func:`build_plan`: every
+    #: producer emits blocks and every consumer accepts them, and no
+    #: plan-level gate (token throttle, queue backend, elastic boundary,
+    #: placement hook) applies.  Scalar envelopes remain legal on a
+    #: columnar edge — mixed streams tile the sequence space by count.
+    columnar: bool = False
 
     @property
     def spsc_queues(self) -> bool:
@@ -154,6 +162,12 @@ class ExecutionPlan:
     elastic: Dict[str, "ElasticGroup"] = field(default_factory=dict)
     #: what the graph optimizer did while lowering (None = optimizer off)
     opt: Optional["OptReport"] = None
+    #: per-edge block-transport disposition: ``"columnar"``, ``"scalar"``
+    #: (endpoints not block-capable) or a named fallback gate
+    columnar: Dict[str, str] = field(default_factory=dict)
+    #: the sink (final collection) takes ItemBlock envelopes un-unpacked;
+    #: off when the columnar fast path is gated for this run
+    sink_columnar: bool = False
 
     @property
     def total_threads(self) -> int:
@@ -402,7 +416,120 @@ def build_plan(graph: PipelineGraph,
 
     last = segs[-1]
     plan.sort_output = last.replicated and last.ordered
+    _plan_columnar(plan, cfg)
     return plan
+
+
+def _spec_kernelized(spec: StageSpec) -> bool:
+    """The unit will run a batch kernel (vectorize already resolved)."""
+    v = spec.vectorized
+    return bool(v) and v != "auto"
+
+
+def _plan_columnar(plan: ExecutionPlan, cfg: ExecConfig) -> None:
+    """Per-edge block typing: prove which edges may carry ItemBlocks.
+
+    An edge is columnar iff every producer emits blocks (a block source,
+    a batch-kernel stage that can preserve seq ranges, or a sequencer on
+    a columnar input) and every consumer accepts them (a batch-kernel
+    stage, an ``accepts_blocks`` sink stage, or a sequencer — sequencers
+    reorder by seq *ranges*).  Whole-plan gates (``columnar=False``, the
+    ``queue`` channel backend, a ``max_tokens`` throttle) and per-edge
+    gates (elastic boundaries under an active policy, ``placement``
+    hooks, which route by per-item seq) force the scalar path; the
+    dispositions land on ``plan.columnar`` and the OptReport so the
+    harness can surface columnar edge counts and fallback reasons.
+    """
+    from repro.core.config import ChannelBackend
+
+    channels = plan.channels
+    gate: Optional[str] = None
+    if not cfg.resolved_columnar():
+        gate = "disabled"
+    elif cfg.channel_backend != ChannelBackend.RING:
+        gate = "queue-backend"
+    elif cfg.max_tokens is not None:
+        gate = "token-gate"
+
+    blocked: Dict[str, str] = {}
+    for name, spec in channels.items():
+        if spec.placement is not None:
+            blocked[name] = "placement"
+    if gate is None and cfg.resolved_policy() is not None:
+        # an active controller may rewire these edges mid-run (worker
+        # add/retire); keep them scalar so RETIRE fan-out and rerouting
+        # stay envelope-granular
+        for g in plan.elastic.values():
+            blocked.setdefault(g.in_channel, "elastic")
+            if g.out_channel is not None:
+                blocked.setdefault(g.out_channel, "elastic")
+
+    producers: Dict[str, list] = {name: [] for name in channels}
+    consumers: Dict[str, list] = {name: [] for name in channels}
+    producers[plan.source.out_channel].append(plan.source)
+    for s in plan.sequencers:
+        producers[s.out_channel].append(s)
+        consumers[s.in_channel].append(s)
+    for u in plan.stages:
+        consumers[u.in_channel].append(u)
+        if u.out_channel is not None:
+            producers[u.out_channel].append(u)
+
+    columnar: set = set()
+
+    def emits(unit) -> bool:
+        if isinstance(unit, SourceUnit):
+            return unit.spec.emits_blocks
+        if isinstance(unit, SequencerUnit):
+            return unit.in_channel in columnar
+        if not _spec_kernelized(unit.spec):
+            return False
+        # a keep_seq unit must preserve upstream seqs, so it can only
+        # emit range blocks when its input already arrives as ranges;
+        # serial units renumber and may pack freely
+        return (not unit.keep_seq) or unit.in_channel in columnar
+
+    def accepts(unit) -> bool:
+        if isinstance(unit, SequencerUnit):
+            return True
+        if _spec_kernelized(unit.spec):
+            return True
+        # a block-aware scalar stage consumes a whole block per
+        # process() call, collapsing its seq range into one envelope —
+        # legal only where the stage renumbers anyway; a keep_seq unit
+        # doing that would break the range tiling downstream reorder
+        # points rely on
+        return unit.spec.accepts_blocks and not unit.keep_seq
+
+    def capable(name: str) -> bool:
+        return (all(emits(p) for p in producers[name])
+                and all(accepts(c) for c in consumers[name]))
+
+    changed = True
+    while changed:
+        changed = False
+        for name in channels:
+            if name in columnar or name in blocked:
+                continue
+            if capable(name):
+                columnar.add(name)
+                changed = True
+
+    disp: Dict[str, str] = {}
+    for name in channels:
+        if name in columnar:
+            disp[name] = gate or "columnar"
+        elif name in blocked and capable(name):
+            disp[name] = blocked[name]
+        else:
+            disp[name] = "scalar"
+    if gate is None:
+        for name in columnar:
+            channels[name].columnar = True
+        plan.sink_columnar = True
+    plan.columnar = disp
+    if plan.opt is not None:
+        plan.opt.columnar = disp
 
 
 #: side label for units that stay in the parent process

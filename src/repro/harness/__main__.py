@@ -123,12 +123,22 @@ def main(argv=None) -> int:
     parser.add_argument("--no-opt", dest="opt", action="store_false",
                         help="disable the graph optimizer, for A/B runs "
                              "against the unoptimized lowering")
+    parser.add_argument("--columnar", dest="columnar", action="store_true",
+                        default=True,
+                        help="allow the columnar block transport on edges "
+                             "whose endpoints are block-capable "
+                             "(the default)")
+    parser.add_argument("--no-columnar", dest="columnar",
+                        action="store_false",
+                        help="force every edge onto the scalar object path, "
+                             "for A/B runs against the columnar transport")
     args = parser.parse_args(argv)
 
     names = list(REGISTRY) if args.experiment == "all" else [args.experiment]
     default_scale = {"fig1": "paper", "fig4": "paper", "fig5": "small",
                      "ablations": "paper"}
     trace_dir = pathlib.Path(args.trace_dir)
+    from repro.core.items import use_columnar
     from repro.core.opt import collect_reports, use_optimizer
 
     for name in names:
@@ -137,6 +147,7 @@ def main(argv=None) -> int:
         opt_reports: list = []
         with contextlib.ExitStack() as stack:
             stack.enter_context(use_optimizer(args.opt))
+            stack.enter_context(use_columnar(args.columnar))
             stack.enter_context(collect_reports(opt_reports))
             if args.trace:
                 trace_dir.mkdir(parents=True, exist_ok=True)
@@ -181,6 +192,12 @@ def _opt_summary(enabled: bool, reports: list) -> dict:
         "fallbacks": sum(1 for r in reports
                          for d in r.bodycomp.values()
                          if d.startswith("fallback:")),
+        "columnar_edges": sum(len(r.columnar_edges()) for r in reports),
+        # named gate/fallback reasons only — plain "scalar" just means the
+        # endpoints were not block-capable, which is not a fallback
+        "columnar_fallbacks": sorted({d for r in reports
+                                      for d in r.columnar.values()
+                                      if d not in ("columnar", "scalar")}),
     }
 
 
@@ -193,11 +210,14 @@ def _opt_line(summary: dict) -> str:
             if summary["compiled"] else "")
     fall = (f" fallbacks={summary['fallbacks']}"
             if summary["fallbacks"] else "")
+    colf = (f" columnar_fallbacks={','.join(summary['columnar_fallbacks'])}"
+            if summary["columnar_fallbacks"] else "")
     return (f"[opt] plans={summary['plans']} "
             f"stages_fused={summary['stages_fused']} "
             f"channels_deleted={summary['channels_deleted']} "
-            f"kernels_compiled={summary['kernels_compiled']}"
-            f"{comp}{fall}{vec}")
+            f"kernels_compiled={summary['kernels_compiled']} "
+            f"columnar_edges={summary['columnar_edges']}"
+            f"{comp}{fall}{colf}{vec}")
 
 
 if __name__ == "__main__":

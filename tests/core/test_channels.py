@@ -444,3 +444,100 @@ def test_shm_abort_wakes_blocked_get(blocking):
         assert latency < ABORT_LATENCY
     finally:
         _shm_close(ch, abort)
+
+
+# -- columnar transport: weighed occupancy and shm object frames -----------
+
+
+def _weigh_pairs(item):
+    # stand-in for the executor's _env_weight: (payload, weight) tuples
+    return item[1]
+
+
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel])
+def test_qsize_items_reports_logical_items(cls):
+    ch = cls(8, AbortSignal(), blocking=True, weigh=_weigh_pairs)
+    ch.put(("block", 16))
+    ch.put(("scalar", 1))
+    assert ch.qsize() == 2
+    assert ch.qsize_items() == 17
+    assert ch.get() == ("block", 16)
+    assert ch.qsize_items() == 1
+    ch.put_many([("b", 4), ("c", 2)])
+    assert ch.qsize_items() == 7
+    got = ch.get_many(max_n=8)
+    assert got == [("scalar", 1), ("b", 4), ("c", 2)]
+    assert ch.qsize_items() == 0
+
+
+@pytest.mark.parametrize("cls", [SpscChannel, MpmcChannel, QueueChannel])
+def test_qsize_items_defaults_to_qsize_without_weigher(cls):
+    ch = cls(4, AbortSignal(), blocking=True)
+    ch.put("a")
+    ch.put("b")
+    assert ch.qsize_items() == ch.qsize() == 2
+
+
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_shm_put_obj_roundtrip_with_wraparound(blocking):
+    """Protocol-5 gather frames on the smallest viable ring (a ~190-byte
+    frame in a 256-byte ring holds at most one frame, so every second
+    frame wraps): the out-of-band numpy columns come back bit-identical."""
+    np = pytest.importorskip("numpy")
+    ch, abort = _shm_pair(capacity=256, blocking=blocking)
+    try:
+        payloads = [np.arange(i, i + 5, dtype=np.float64)
+                    for i in range(200)]
+
+        def producer():
+            for i, arr in enumerate(payloads):
+                ch.put_obj([("env", i, arr)], items=len(arr))
+
+        t = threading.Thread(target=producer)
+        t.start()
+        for i, arr in enumerate(payloads):
+            tag, idx, back = ch.get_obj()[0]
+            assert (tag, idx) == ("env", i)
+            assert back.dtype == arr.dtype and np.array_equal(back, arr)
+        t.join()
+        assert ch.qsize_items() == 0
+    finally:
+        _shm_close(ch, abort)
+
+
+@pytest.mark.parametrize("blocking", DISCIPLINES)
+def test_shm_put_obj_plain_objects_use_inline_fallback(blocking):
+    """Objects with no buffer-protocol columns still round-trip (the
+    nbuf=0 frame layout), interleaved with out-of-band frames."""
+    np = pytest.importorskip("numpy")
+    ch, abort = _shm_pair(capacity=256, blocking=blocking)
+    try:
+        items = [{"k": i, "v": "x" * (i % 7)} for i in range(40)]
+
+        def producer():
+            for i, obj in enumerate(items):
+                if i % 3 == 0:
+                    ch.put_obj([obj, np.int64(i) + np.zeros(2)], items=2)
+                else:
+                    ch.put_obj([obj], items=1)
+
+        t = threading.Thread(target=producer)
+        t.start()
+        for i, obj in enumerate(items):
+            got = ch.get_obj()
+            assert got[0] == obj
+        t.join()
+    finally:
+        _shm_close(ch, abort)
+
+
+def test_shm_put_obj_counts_logical_items():
+    ch, abort = _shm_pair(capacity=1024)
+    try:
+        ch.put_obj(["a"], items=7)
+        ch.put_obj(["b"], items=1)
+        assert ch.qsize_items() == 8
+        ch.get_obj()
+        assert ch.qsize_items() == 1
+    finally:
+        _shm_close(ch, abort)

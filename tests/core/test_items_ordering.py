@@ -202,3 +202,73 @@ def test_reorder_buffer_property(pairs):
         out.extend(rob.close_seq(s))
     assert out == sorted(pairs)
     assert rob.pending == 0
+
+
+# -- range-aware SimpleReorderBuffer (columnar block envelopes) ------------
+
+
+def test_simple_reorder_ranges_in_order():
+    rob = SimpleReorderBuffer()
+    out = []
+    out.extend(rob.push_range(0, 4, "b0"))
+    out.extend(rob.push_range(4, 2, "b1"))
+    out.extend(rob.push_range(6, 3, "b2"))
+    assert out == ["b0", "b1", "b2"]
+    assert rob.pending == 0
+
+
+def test_simple_reorder_ranges_out_of_order():
+    rob = SimpleReorderBuffer()
+    assert list(rob.push_range(4, 4, "late")) == []
+    assert rob.pending == 1
+    assert list(rob.push_range(0, 4, "early")) == ["early", "late"]
+    assert rob.pending == 0
+
+
+def test_simple_reorder_interleaved_scalar_and_ranges():
+    # Mixed granularity on one reorder point: scalar envelopes (weight 1)
+    # and block envelopes (weight n) tile the same sequence space.
+    rob = SimpleReorderBuffer()
+    out = []
+    out.extend(rob.push_range(5, 3, "block(5,3)"))
+    out.extend(rob.push(4, "s4"))
+    out.extend(rob.push_range(0, 4, "block(0,4)"))
+    out.extend(rob.push_range(8, 1, "block(8,1)"))
+    assert out == ["block(0,4)", "s4", "block(5,3)", "block(8,1)"]
+    assert rob.pending == 0
+
+
+def test_simple_reorder_duplicate_range_raises():
+    rob = SimpleReorderBuffer()
+    list(rob.push_range(0, 4, "b0"))
+    # a range starting inside delivered territory is rejected on push
+    with pytest.raises(OrderingError, match="already delivered"):
+        list(rob.push_range(2, 3, "bad"))
+    # a held duplicate start is rejected before delivery, like scalars
+    assert list(rob.push_range(8, 2, "held")) == []
+    with pytest.raises(OrderingError, match="duplicate"):
+        list(rob.push_range(8, 4, "dup"))
+
+
+def test_simple_reorder_overlapping_held_range_raises_on_drain():
+    # Two producers disagree on the tiling: a held range [4, 8) becomes
+    # an overlap once a wider range [0, 6) delivers past its start.
+    rob = SimpleReorderBuffer()
+    assert list(rob.push_range(4, 4, "late")) == []
+    with pytest.raises(OrderingError, match="overlaps"):
+        list(rob.push_range(0, 6, "wide"))
+
+
+def test_simple_reorder_range_gap_with_eos_outstanding():
+    # The stream ends while [4, 8) never arrived: the held block stays
+    # pending, which the executors turn into a loud failure at EOS.
+    rob = SimpleReorderBuffer()
+    assert list(rob.push_range(0, 4, "b0")) == ["b0"]
+    assert list(rob.push_range(8, 4, "b2")) == []
+    assert rob.pending == 1
+
+
+def test_simple_reorder_range_count_must_be_positive():
+    rob = SimpleReorderBuffer()
+    with pytest.raises(OrderingError):
+        list(rob.push_range(0, 0, "empty"))
